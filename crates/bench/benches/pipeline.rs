@@ -1,0 +1,144 @@
+//! Criterion micro/meso benchmarks of the pipeline building blocks:
+//! pattern operations, rank tests, kernel construction, compression, and
+//! whole-network enumeration at toy scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efm_bitset::{BitPattern, Pattern1, Pattern2};
+use efm_core::{enumerate_with_scalar, Backend, EfmOptions};
+use efm_linalg::{gauss_rank_in_place_f64, kernel_basis, rank_of_cols, Mat};
+use efm_metnet::generator::{layered_branches, random_network, RandomNetworkParams};
+use efm_metnet::{compress, examples::toy_network};
+use efm_numeric::{DynInt, F64Tol, Rational};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let pats1: Vec<Pattern1> =
+        (0..4096).map(|_| Pattern1::from_indices((0..64).filter(|_| rng.gen_bool(0.3)))).collect();
+    let pats2: Vec<Pattern2> =
+        (0..4096).map(|_| Pattern2::from_indices((0..128).filter(|_| rng.gen_bool(0.3)))).collect();
+    c.bench_function("pattern1_union_count_sweep", |b| {
+        b.iter(|| {
+            let probe = pats1[0];
+            let mut acc = 0u32;
+            for p in &pats1 {
+                acc += probe.union_count(black_box(p));
+            }
+            acc
+        })
+    });
+    c.bench_function("pattern2_union_count_sweep", |b| {
+        b.iter(|| {
+            let probe = pats2[0];
+            let mut acc = 0u32;
+            for p in &pats2 {
+                acc += probe.union_count(black_box(p));
+            }
+            acc
+        })
+    });
+    c.bench_function("pattern2_subset_sweep", |b| {
+        b.iter(|| {
+            let probe = pats2[0];
+            pats2.iter().filter(|p| p.is_subset_of(black_box(&probe))).count()
+        })
+    });
+}
+
+fn bench_rank_tests(c: &mut Criterion) {
+    // A yeast-shaped matrix: 40 rows, sparse columns.
+    let net = efm_metnet::yeast::network_i();
+    let (red, _) = compress(&net);
+    let m: Mat<DynInt> = {
+        let mut out = Mat::zeros(red.stoich.rows(), red.num_reduced());
+        for r in 0..red.stoich.rows() {
+            for cidx in 0..red.num_reduced() {
+                // scale row-wise handled implicitly: use numerator to keep ints
+                let v = red.stoich.get(r, cidx);
+                out.set(r, cidx, v.numer().clone());
+            }
+        }
+        out
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    let supports: Vec<Vec<usize>> = (0..64)
+        .map(|_| {
+            let size = rng.gen_range(10..30);
+            let mut cols: Vec<usize> = (0..red.num_reduced()).collect();
+            for i in (1..cols.len()).rev() {
+                cols.swap(i, rng.gen_range(0..=i));
+            }
+            cols.truncate(size);
+            cols
+        })
+        .collect();
+    c.bench_function("rank_f64_yeast_supports", |b| {
+        let mut scratch = Vec::new();
+        let nr = m.rows();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for cols in &supports {
+                scratch.clear();
+                scratch.resize(nr * cols.len(), 0.0f64);
+                for (j, &cc) in cols.iter().enumerate() {
+                    for r in 0..nr {
+                        scratch[r * cols.len() + j] = m.get(r, cc).to_f64();
+                    }
+                }
+                acc += gauss_rank_in_place_f64(&mut scratch, nr, cols.len(), 1e-9);
+            }
+            acc
+        })
+    });
+    c.bench_function("rank_exact_yeast_supports", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for cols in supports.iter().take(8) {
+                acc += rank_of_cols(&m, cols, &mut scratch);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_kernel_and_compress(c: &mut Criterion) {
+    let net = efm_metnet::yeast::network_i();
+    let n: Mat<Rational> = net.stoichiometry();
+    c.bench_function("kernel_basis_yeast", |b| {
+        b.iter(|| kernel_basis(black_box(&n), &[]).k.cols())
+    });
+    c.bench_function("compress_yeast_network_i", |b| {
+        b.iter(|| compress(black_box(&net)).0.num_reduced())
+    });
+    let params = RandomNetworkParams { metabolites: 12, reactions: 24, ..Default::default() };
+    let rnet = random_network(&params, 3);
+    c.bench_function("compress_random_12x24", |b| {
+        b.iter(|| compress(black_box(&rnet)).0.num_reduced())
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let toy = toy_network();
+    let opts = EfmOptions::default();
+    c.bench_function("enumerate_toy_exact", |b| {
+        b.iter(|| enumerate_with_scalar::<DynInt>(&toy, &opts, &Backend::Serial).unwrap().efms.len())
+    });
+    c.bench_function("enumerate_toy_f64", |b| {
+        b.iter(|| enumerate_with_scalar::<F64Tol>(&toy, &opts, &Backend::Serial).unwrap().efms.len())
+    });
+    let layered = layered_branches(5, 3);
+    c.bench_function("enumerate_layered_5x3_exact", |b| {
+        b.iter(|| {
+            enumerate_with_scalar::<DynInt>(&layered, &opts, &Backend::Serial).unwrap().efms.len()
+        })
+    });
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(20);
+    targets = bench_patterns, bench_rank_tests, bench_kernel_and_compress, bench_enumeration
+);
+criterion_main!(pipeline);

@@ -1,0 +1,114 @@
+//! The §IV memory-failure narrative: the combinatorial parallel algorithm
+//! (Algorithm 2) aborts when the per-node mode matrix exceeds local memory
+//! ("the computation had to be abandoned at the 59th iteration, two
+//! iterations before completion"), while the divide-and-conquer split fits
+//! each subproblem within the same per-node capacity.
+//!
+//! ```text
+//! memory_wall [--scale toy|lite|full] [--limit BYTES] [--nodes 4]
+//!             [--partition R54r,R90r,R60r]
+//! ```
+//!
+//! Without `--limit`, the harness first measures the unsplit run's peak
+//! per-node footprint and then re-runs with a cap set between the split and
+//! unsplit peaks, demonstrating the failure and the fix.
+
+use efm_bench::{flag, harness_options, network_ii, parse_cli, pick_partition, Scale};
+use efm_core::{
+    enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmError,
+};
+use efm_numeric::F64Tol;
+
+fn main() {
+    let (flags, _) = parse_cli();
+    let scale = Scale::parse(flag(&flags, "scale").unwrap_or("lite")).expect("bad --scale");
+    let nodes: usize = flag(&flags, "nodes").unwrap_or("4").parse().expect("bad --nodes");
+    let requested: Vec<String> = flag(&flags, "partition")
+        .unwrap_or("R54r,R90r,R60r")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let net = network_ii(scale);
+    let (red, _) = efm_metnet::compress(&net);
+    let preferred: Vec<&str> = requested.iter().map(String::as_str).collect();
+    let partition = pick_partition(&net, &red, &preferred, requested.len());
+    if partition != requested {
+        println!("note: using partition {partition:?} (requested {requested:?})");
+    }
+    let names: Vec<&str> = partition.iter().map(String::as_str).collect();
+    let opts = harness_options();
+
+    // Phase 1: unlimited run to measure peaks.
+    println!("== phase 1: measure per-node peaks (no memory cap) ==");
+    let unsplit = enumerate_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
+    )
+    .expect("unsplit run failed");
+    println!(
+        "unsplit: {} EFMs, peak {} intermediate modes",
+        unsplit.efms.len(),
+        unsplit.stats.peak_modes
+    );
+    let split = enumerate_divide_conquer_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &names,
+        &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
+    )
+    .expect("split run failed");
+    let split_peak = split.subsets.iter().map(|s| s.stats.peak_modes).max().unwrap_or(0);
+    println!(
+        "split {{{}}}: {} EFMs, worst subset peak {} intermediate modes",
+        partition.join(","),
+        split.efms.len(),
+        split_peak
+    );
+
+    // Phase 2: cap between the two peaks (or user-provided).
+    let limit: u64 = match flag(&flags, "limit") {
+        Some(v) => v.parse().expect("bad --limit"),
+        None => {
+            // Modes dominate the accounted bytes; scale the cap from the
+            // observed peak mode counts.
+            let per_mode = 64u64; // conservative bytes/mode estimate
+            (split_peak as u64).max(1) * per_mode * 4
+        }
+    };
+    println!("\n== phase 2: per-node capacity {limit} bytes ==");
+    let capped =
+        efm_cluster::ClusterConfig::new(nodes).with_memory_limit(limit);
+    match enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Cluster(capped.clone())) {
+        Err(EfmError::Cluster(efm_cluster::ClusterError::MemoryExceeded {
+            rank,
+            in_use,
+            limit,
+            ..
+        })) => {
+            println!(
+                "unsplit Algorithm 2: ABORTED — rank {rank} exceeded {limit} B (had {in_use} B) \
+                 [reproduces the paper's abandoned run]"
+            );
+        }
+        Ok(out) => println!(
+            "unsplit Algorithm 2: completed under the cap ({} EFMs) — raise --limit pressure",
+            out.efms.len()
+        ),
+        Err(e) => println!("unsplit Algorithm 2: failed differently: {e}"),
+    }
+    match enumerate_divide_conquer_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &names,
+        &Backend::Cluster(capped),
+    ) {
+        Ok(out) => println!(
+            "combined Algorithm 3: completed under the same cap ({} EFMs across {} subsets) \
+             [the paper's fix]",
+            out.efms.len(),
+            out.subsets.len()
+        ),
+        Err(e) => println!("combined Algorithm 3: failed: {e} — refine the partition (paper adds R22r)"),
+    }
+}

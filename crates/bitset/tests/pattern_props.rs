@@ -1,0 +1,87 @@
+//! Property tests for bit patterns: set-algebra laws and consistency of the
+//! fused counting operations with their naive counterparts.
+
+use efm_bitset::{BitPattern, DynPattern, Pattern1, Pattern2, Pattern4};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn indices(max: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..max, 0..max.min(40))
+}
+
+macro_rules! pattern_props {
+    ($name:ident, $ty:ty, $bits:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(150))]
+
+                #[test]
+                fn set_get_roundtrip(ix in indices($bits)) {
+                    let p = <$ty>::from_indices(ix.clone());
+                    let want: BTreeSet<usize> = ix.into_iter().collect();
+                    for i in 0..$bits {
+                        prop_assert_eq!(p.get(i), want.contains(&i));
+                    }
+                    prop_assert_eq!(p.count() as usize, want.len());
+                    prop_assert_eq!(p.ones(), want.into_iter().collect::<Vec<_>>());
+                }
+
+                #[test]
+                fn union_count_is_count_of_union(a in indices($bits), b in indices($bits)) {
+                    let pa = <$ty>::from_indices(a.clone());
+                    let pb = <$ty>::from_indices(b.clone());
+                    prop_assert_eq!(pa.union_count(&pb), pa.union(&pb).count());
+                    let sa: BTreeSet<usize> = a.into_iter().collect();
+                    let sb: BTreeSet<usize> = b.into_iter().collect();
+                    prop_assert_eq!(pa.union_count(&pb) as usize, sa.union(&sb).count());
+                }
+
+                #[test]
+                fn xor_count_is_symmetric_difference(a in indices($bits), b in indices($bits)) {
+                    let pa = <$ty>::from_indices(a.clone());
+                    let pb = <$ty>::from_indices(b.clone());
+                    let sa: BTreeSet<usize> = a.into_iter().collect();
+                    let sb: BTreeSet<usize> = b.into_iter().collect();
+                    prop_assert_eq!(
+                        pa.xor_count(&pb) as usize,
+                        sa.symmetric_difference(&sb).count()
+                    );
+                    prop_assert_eq!(pa.xor_count(&pb), pb.xor_count(&pa));
+                }
+
+                #[test]
+                fn subset_iff_union_equals_superset(a in indices($bits), b in indices($bits)) {
+                    let pa = <$ty>::from_indices(a);
+                    let pb = <$ty>::from_indices(b);
+                    prop_assert_eq!(pa.is_subset_of(&pb), pa.union(&pb) == pb);
+                }
+
+                #[test]
+                fn ordering_total_and_dedup_safe(a in indices($bits), b in indices($bits)) {
+                    let pa = <$ty>::from_indices(a);
+                    let pb = <$ty>::from_indices(b);
+                    prop_assert_eq!(pa == pb, pa.cmp(&pb) == std::cmp::Ordering::Equal);
+                }
+            }
+        }
+    };
+}
+
+pattern_props!(p1, Pattern1, 64);
+pattern_props!(p2, Pattern2, 128);
+pattern_props!(p4, Pattern4, 256);
+
+proptest! {
+    #[test]
+    fn dyn_pattern_matches_fixed(ix in indices(128)) {
+        let fixed = Pattern2::from_indices(ix.clone());
+        let mut dynp = DynPattern::with_capacity(128);
+        for &i in &ix {
+            dynp.set(i);
+        }
+        prop_assert_eq!(fixed.count(), dynp.count());
+        prop_assert_eq!(fixed.ones(), dynp.iter_ones().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,720 @@
+//! # efm-cluster — a simulated distributed-memory cluster
+//!
+//! The paper's combinatorial parallel Nullspace Algorithm (its Algorithm 2)
+//! is a bulk-synchronous message-passing program: every compute node holds a
+//! full copy of the current mode matrix, processes its stripe of the
+//! pos×neg candidate grid, and exchanges survivors with all other nodes at
+//! the end of each iteration. The authors ran it over MPI on an SGI Altix
+//! cluster and an IBM Blue Gene/P.
+//!
+//! We do not have those machines, so this crate provides the faithful
+//! stand-in the reproduction runs on (see DESIGN.md §4):
+//!
+//! * **ranks as OS threads** with private state — nothing is shared unless
+//!   it travels through a message;
+//! * **typed FIFO channels** (crossbeam) as the interconnect, with
+//!   [`NodeCtx::allgather`], [`NodeCtx::barrier`], and point-to-point
+//!   [`NodeCtx::send`]/[`NodeCtx::recv`];
+//! * **per-node memory meters** with a configurable capacity so the paper's
+//!   out-of-memory failure mode ("the computation had to be abandoned at
+//!   the 59th iteration") is reproducible;
+//! * **per-node phase clocks and work counters**, which the table harnesses
+//!   use to report the paper's `gen cand / rank test / communicate / merge`
+//!   rows even on a single physical core.
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of compute nodes (ranks).
+    pub nodes: usize,
+    /// Optional per-node memory capacity in bytes. Accounted allocations
+    /// beyond this abort the node with [`ClusterError::MemoryExceeded`].
+    pub memory_limit: Option<u64>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` ranks with unlimited memory.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig { nodes, memory_limit: None }
+    }
+
+    /// Sets the per-node memory capacity.
+    pub fn with_memory_limit(mut self, bytes: u64) -> Self {
+        self.memory_limit = Some(bytes);
+        self
+    }
+}
+
+/// Errors surfaced by a cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A node exceeded its memory capacity.
+    MemoryExceeded {
+        /// Rank that failed.
+        rank: usize,
+        /// Bytes the failing allocation requested.
+        requested: u64,
+        /// Bytes already accounted on that node.
+        in_use: u64,
+        /// The configured capacity.
+        limit: u64,
+    },
+    /// A node panicked; the message is the panic payload when printable.
+    NodePanicked {
+        /// Rank that panicked.
+        rank: usize,
+        /// Panic message.
+        message: String,
+    },
+    /// A communication primitive was used inconsistently.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::MemoryExceeded { rank, requested, in_use, limit } => write!(
+                f,
+                "rank {rank}: memory capacity exceeded (requested {requested} B on top of {in_use} B, limit {limit} B)"
+            ),
+            ClusterError::NodePanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            ClusterError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-node accounted memory meter.
+#[derive(Debug)]
+pub struct MemoryMeter {
+    current: AtomicU64,
+    peak: AtomicU64,
+    limit: Option<u64>,
+    rank: usize,
+}
+
+impl MemoryMeter {
+    fn new(rank: usize, limit: Option<u64>) -> Self {
+        MemoryMeter { current: AtomicU64::new(0), peak: AtomicU64::new(0), limit, rank }
+    }
+
+    /// Accounts an allocation of `bytes`. Fails when the capacity would be
+    /// exceeded (the allocation is then *not* accounted).
+    pub fn alloc(&self, bytes: u64) -> Result<(), ClusterError> {
+        let prev = self.current.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev + bytes;
+        if let Some(limit) = self.limit {
+            if now > limit {
+                self.current.fetch_sub(bytes, Ordering::Relaxed);
+                return Err(ClusterError::MemoryExceeded {
+                    rank: self.rank,
+                    requested: bytes,
+                    in_use: prev,
+                    limit,
+                });
+            }
+        }
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Releases `bytes` previously accounted.
+    pub fn free(&self, bytes: u64) {
+        let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "MemoryMeter::free underflow");
+    }
+
+    /// Adjusts the accounted size from `old` to `new` in one step.
+    pub fn realloc(&self, old: u64, new: u64) -> Result<(), ClusterError> {
+        if new >= old {
+            self.alloc(new - old)
+        } else {
+            self.free(old - new);
+            Ok(())
+        }
+    }
+
+    /// Currently accounted bytes.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Peak accounted bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+type Packet = (usize, Box<dyn Any + Send>);
+
+struct Fabric {
+    /// `senders[dst]` delivers into `dst`'s mailbox.
+    senders: Vec<Sender<Packet>>,
+}
+
+/// Per-node phase instrumentation: wall-clock per phase plus abstract work
+/// counters (used for modeled scaling on machines with fewer physical cores
+/// than simulated ranks).
+#[derive(Debug, Default)]
+pub struct PhaseStats {
+    times: Mutex<HashMap<&'static str, Duration>>,
+    work: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl PhaseStats {
+    /// Accumulated wall time per phase.
+    pub fn times(&self) -> HashMap<&'static str, Duration> {
+        self.times.lock().clone()
+    }
+
+    /// Accumulated work units per phase.
+    pub fn work(&self) -> HashMap<&'static str, u64> {
+        self.work.lock().clone()
+    }
+}
+
+/// RAII guard accumulating elapsed time into a phase on drop.
+pub struct PhaseTimer<'a> {
+    stats: &'a PhaseStats,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        *self.stats.times.lock().entry(self.phase).or_default() += elapsed;
+    }
+}
+
+/// Handle a node's code uses to talk to the rest of the simulated cluster.
+pub struct NodeCtx<'a> {
+    rank: usize,
+    size: usize,
+    fabric: &'a Fabric,
+    mailbox: Receiver<Packet>,
+    /// Out-of-order packets parked until a matching `recv`.
+    parked: Mutex<Vec<Packet>>,
+    barrier: &'a std::sync::Barrier,
+    meter: &'a MemoryMeter,
+    stats: &'a PhaseStats,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// This node's rank (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The node's memory meter.
+    pub fn memory(&self) -> &MemoryMeter {
+        self.meter
+    }
+
+    /// Starts a phase timer; elapsed time accumulates on drop.
+    pub fn timed(&self, phase: &'static str) -> PhaseTimer<'a> {
+        PhaseTimer { stats: self.stats, phase, start: Instant::now() }
+    }
+
+    /// Adds abstract work units to a phase counter.
+    pub fn add_work(&self, phase: &'static str, units: u64) {
+        *self.stats.work.lock().entry(phase).or_default() += units;
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sends a message to `dst` (FIFO per sender→receiver pair).
+    pub fn send<M: Send + 'static>(&self, dst: usize, msg: M) {
+        assert!(dst < self.size, "send to out-of-range rank");
+        self.fabric.senders[dst]
+            .send((self.rank, Box::new(msg)))
+            .expect("cluster fabric closed");
+    }
+
+    /// Receives the next message of type `M` from rank `src`. Messages of
+    /// other types or sources are parked, preserving per-sender order.
+    pub fn recv<M: Send + 'static>(&self, src: usize) -> M {
+        // Check parked packets first.
+        {
+            let mut parked = self.parked.lock();
+            if let Some(pos) = parked
+                .iter()
+                .position(|(from, b)| *from == src && b.is::<M>())
+            {
+                let (_, b) = parked.remove(pos);
+                return *b.downcast::<M>().unwrap();
+            }
+        }
+        loop {
+            let (from, boxed) = self.mailbox.recv().expect("cluster fabric closed");
+            if from == src && boxed.is::<M>() {
+                return *boxed.downcast::<M>().unwrap();
+            }
+            self.parked.lock().push((from, boxed));
+        }
+    }
+
+    /// All-to-all collective: every rank contributes `local`; returns the
+    /// contributions of all ranks indexed by rank. Every rank must call
+    /// this the same number of times in the same order.
+    pub fn allgather<M: Clone + Send + 'static>(&self, local: M) -> Vec<M> {
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send(dst, local.clone());
+            }
+        }
+        let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
+        out[self.rank] = Some(local);
+        for src in 0..self.size {
+            if src != self.rank {
+                out[src] = Some(self.recv::<M>(src));
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Reduction collective: combines every rank's `local` with `op` (the
+    /// result is identical on every rank).
+    pub fn allreduce<M: Clone + Send + 'static>(&self, local: M, op: impl Fn(M, M) -> M) -> M {
+        let all = self.allgather(local);
+        let mut it = all.into_iter();
+        let first = it.next().expect("cluster has at least one rank");
+        it.fold(first, op)
+    }
+
+    /// One-to-all broadcast: rank `root` supplies the value (others pass
+    /// anything, conventionally `None`); every rank returns the root's
+    /// value.
+    pub fn broadcast<M: Clone + Send + 'static>(&self, root: usize, local: Option<M>) -> M {
+        assert!(root < self.size, "broadcast root out of range");
+        if self.rank == root {
+            let v = local.expect("root must supply the broadcast value");
+            for dst in 0..self.size {
+                if dst != self.rank {
+                    self.send(dst, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv::<M>(root)
+        }
+    }
+
+    /// All-to-one gather: returns `Some(values by rank)` on `root`, `None`
+    /// elsewhere.
+    pub fn gather<M: Clone + Send + 'static>(&self, root: usize, local: M) -> Option<Vec<M>> {
+        assert!(root < self.size, "gather root out of range");
+        if self.rank == root {
+            let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
+            out[self.rank] = Some(local);
+            for src in 0..self.size {
+                if src != self.rank {
+                    out[src] = Some(self.recv::<M>(src));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send(root, local);
+            None
+        }
+    }
+
+    /// One-to-all scatter: `root` supplies one value per rank; every rank
+    /// returns its slot.
+    pub fn scatter<M: Clone + Send + 'static>(&self, root: usize, items: Option<Vec<M>>) -> M {
+        assert!(root < self.size, "scatter root out of range");
+        if self.rank == root {
+            let items = items.expect("root must supply the scatter items");
+            assert_eq!(items.len(), self.size, "scatter needs one item per rank");
+            let mut mine = None;
+            for (dst, item) in items.into_iter().enumerate() {
+                if dst == self.rank {
+                    mine = Some(item);
+                } else {
+                    self.send(dst, item);
+                }
+            }
+            mine.expect("root keeps its own slot")
+        } else {
+            self.recv::<M>(root)
+        }
+    }
+}
+
+/// A node's result together with its instrumentation.
+#[derive(Debug, Clone)]
+pub struct NodeReport<T> {
+    /// The node's rank.
+    pub rank: usize,
+    /// Value returned by the node body.
+    pub value: T,
+    /// Wall time accumulated per phase.
+    pub phase_times: HashMap<&'static str, Duration>,
+    /// Work units accumulated per phase.
+    pub phase_work: HashMap<&'static str, u64>,
+    /// Peak accounted memory in bytes.
+    pub peak_memory: u64,
+}
+
+/// Runs `body` on every rank of a simulated cluster and collects reports.
+///
+/// The first error (memory exhaustion, panic) aborts the whole run; other
+/// nodes' channel operations unblock because the fabric closes. This mirrors
+/// an MPI job killed by one rank's failure.
+pub fn run_cluster<T, F>(config: &ClusterConfig, body: F) -> Result<Vec<NodeReport<T>>, ClusterError>
+where
+    T: Send,
+    F: Fn(&NodeCtx) -> Result<T, ClusterError> + Sync,
+{
+    assert!(config.nodes >= 1, "cluster needs at least one node");
+    let n = config.nodes;
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded::<Packet>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let fabric = Fabric { senders };
+    let barrier = std::sync::Barrier::new(n);
+    let meters: Vec<MemoryMeter> =
+        (0..n).map(|r| MemoryMeter::new(r, config.memory_limit)).collect();
+    let stats: Vec<PhaseStats> = (0..n).map(|_| PhaseStats::default()).collect();
+    let results: Vec<Mutex<Option<Result<T, ClusterError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let receivers: Vec<Mutex<Option<Receiver<Packet>>>> =
+        receivers.into_iter().map(|r| Mutex::new(Some(r))).collect();
+
+    let panic_info: Arc<Mutex<Option<(usize, String)>>> = Arc::new(Mutex::new(None));
+
+    std::thread::scope(|scope| {
+        for rank in 0..n {
+            let fabric = &fabric;
+            let barrier = &barrier;
+            let meter = &meters[rank];
+            let stat = &stats[rank];
+            let slot = &results[rank];
+            let mailbox = receivers[rank].lock().take().expect("mailbox taken once");
+            let body = &body;
+            let panic_info = Arc::clone(&panic_info);
+            scope.spawn(move || {
+                let ctx = NodeCtx {
+                    rank,
+                    size: n,
+                    fabric,
+                    mailbox,
+                    parked: Mutex::new(Vec::new()),
+                    barrier,
+                    meter,
+                    stats: stat,
+                };
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+                match out {
+                    Ok(r) => *slot.lock() = Some(r),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        panic_info.lock().get_or_insert((rank, msg));
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((rank, message)) = panic_info.lock().take() {
+        return Err(ClusterError::NodePanicked { rank, message });
+    }
+
+    let mut reports = Vec::with_capacity(n);
+    for (rank, slot) in results.iter().enumerate() {
+        let value = slot
+            .lock()
+            .take()
+            .ok_or_else(|| ClusterError::Protocol(format!("rank {rank} produced no result")))??;
+        reports.push(NodeReport {
+            rank,
+            value,
+            phase_times: stats[rank].times(),
+            phase_work: stats[rank].work(),
+            peak_memory: meters[rank].peak(),
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_runs() {
+        let reports = run_cluster(&ClusterConfig::new(1), |ctx| {
+            assert_eq!(ctx.rank(), 0);
+            assert_eq!(ctx.size(), 1);
+            Ok(ctx.rank() * 10)
+        })
+        .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].value, 0);
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
+            let all = ctx.allgather(ctx.rank() as u64 * 100);
+            Ok(all)
+        })
+        .unwrap();
+        for rep in reports {
+            assert_eq!(rep.value, vec![0, 100, 200, 300]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_mix() {
+        let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
+            let mut sums = Vec::new();
+            for round in 0..10u64 {
+                let all = ctx.allgather(round * 10 + ctx.rank() as u64);
+                sums.push(all.iter().sum::<u64>());
+            }
+            Ok(sums)
+        })
+        .unwrap();
+        let expect: Vec<u64> = (0..10u64).map(|r| 3 * (r * 10) + 3).collect();
+        for rep in reports {
+            assert_eq!(rep.value, expect);
+        }
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let reports = run_cluster(&ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, String::from("ping"));
+                Ok(ctx.recv::<String>(1))
+            } else {
+                let m = ctx.recv::<String>(0);
+                ctx.send(0, format!("{m}-pong"));
+                Ok(m)
+            }
+        })
+        .unwrap();
+        assert_eq!(reports[0].value, "ping-pong");
+        assert_eq!(reports[1].value, "ping");
+    }
+
+    #[test]
+    fn recv_distinguishes_types_and_sources() {
+        let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
+            match ctx.rank() {
+                0 => {
+                    // Receive u32 from 2 first even though 1 may arrive first.
+                    let a = ctx.recv::<u32>(2);
+                    let b = ctx.recv::<u32>(1);
+                    let s = ctx.recv::<String>(1);
+                    Ok(format!("{a}-{b}-{s}"))
+                }
+                1 => {
+                    ctx.send(0, 11u32);
+                    ctx.send(0, String::from("x"));
+                    Ok(String::new())
+                }
+                _ => {
+                    ctx.send(0, 22u32);
+                    Ok(String::new())
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(reports[0].value, "22-11-x");
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
+            Ok(ctx.allreduce(ctx.rank() as u64 + 1, |a, b| a + b))
+        })
+        .unwrap();
+        for rep in reports {
+            assert_eq!(rep.value, 10);
+        }
+    }
+
+    #[test]
+    fn memory_meter_tracks_peak() {
+        let reports = run_cluster(&ClusterConfig::new(1), |ctx| {
+            ctx.memory().alloc(1000)?;
+            ctx.memory().alloc(500)?;
+            ctx.memory().free(800);
+            ctx.memory().alloc(100)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(reports[0].peak_memory, 1500);
+    }
+
+    #[test]
+    fn memory_limit_aborts_run() {
+        let cfg = ClusterConfig::new(2).with_memory_limit(1024);
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.memory().alloc(512)?;
+                ctx.memory().alloc(1024)?; // exceeds
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::MemoryExceeded { rank, requested, in_use, limit } => {
+                assert_eq!(rank, 1);
+                assert_eq!(requested, 1024);
+                assert_eq!(in_use, 512);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn realloc_shrink_and_grow() {
+        let meter = MemoryMeter::new(0, Some(100));
+        meter.alloc(50).unwrap();
+        meter.realloc(50, 80).unwrap();
+        assert_eq!(meter.current(), 80);
+        meter.realloc(80, 20).unwrap();
+        assert_eq!(meter.current(), 20);
+        assert!(meter.realloc(20, 200).is_err());
+        assert_eq!(meter.current(), 20);
+    }
+
+    #[test]
+    fn phase_timing_and_work() {
+        let reports = run_cluster(&ClusterConfig::new(1), |ctx| {
+            {
+                let _t = ctx.timed("gen");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            ctx.add_work("gen", 42);
+            ctx.add_work("gen", 8);
+            Ok(())
+        })
+        .unwrap();
+        let t = reports[0].phase_times.get("gen").copied().unwrap();
+        assert!(t >= Duration::from_millis(4), "recorded {t:?}");
+        assert_eq!(reports[0].phase_work.get("gen"), Some(&50));
+    }
+
+    #[test]
+    fn node_panic_is_reported() {
+        // A panicking rank must not hang the others: use no collectives.
+        let err = run_cluster(&ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                panic!("boom");
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::NodePanicked { rank, message } => {
+                assert_eq!(rank, 0);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
+            let v = if ctx.rank() == 2 { Some(String::from("hello")) } else { None };
+            Ok(ctx.broadcast(2, v))
+        })
+        .unwrap();
+        for rep in reports {
+            assert_eq!(rep.value, "hello");
+        }
+    }
+
+    #[test]
+    fn gather_collects_on_root() {
+        let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
+            Ok(ctx.gather(1, ctx.rank() as u32 * 10))
+        })
+        .unwrap();
+        assert_eq!(reports[0].value, None);
+        assert_eq!(reports[1].value, Some(vec![0, 10, 20]));
+        assert_eq!(reports[2].value, None);
+    }
+
+    #[test]
+    fn scatter_distributes_slots() {
+        let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
+            let items = if ctx.rank() == 0 { Some(vec![100u64, 200, 300]) } else { None };
+            Ok(ctx.scatter(0, items))
+        })
+        .unwrap();
+        assert_eq!(reports[0].value, 100);
+        assert_eq!(reports[1].value, 200);
+        assert_eq!(reports[2].value, 300);
+    }
+
+    #[test]
+    fn collectives_compose() {
+        // scatter → local work → gather → broadcast in one program.
+        let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
+            let items = if ctx.rank() == 0 { Some(vec![1u64, 2, 3, 4]) } else { None };
+            let mine = ctx.scatter(0, items);
+            let squared = mine * mine;
+            let gathered = ctx.gather(0, squared);
+            let total = if ctx.rank() == 0 {
+                Some(gathered.unwrap().iter().sum::<u64>())
+            } else {
+                None
+            };
+            Ok(ctx.broadcast(0, total))
+        })
+        .unwrap();
+        for rep in reports {
+            assert_eq!(rep.value, 1 + 4 + 9 + 16);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_cluster(&ClusterConfig::new(4), |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+            Ok(())
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,370 @@
+//! `efm-compute` — command-line elementary flux mode computation.
+//!
+//! The role of the paper's released `elmocomp` tool: read a metabolic
+//! network in the text format of the paper's reaction listings, enumerate
+//! its elementary flux modes with a selectable algorithm, and print the
+//! modes and per-phase statistics.
+//!
+//! ```text
+//! efm-compute [OPTIONS] <NETWORK-FILE | --builtin NAME>
+//!
+//!   --builtin <toy|yeast1|yeast2>   use an embedded network
+//!   --backend <serial|rayon|cluster> execution backend   [default: serial]
+//!   --nodes <N>                     simulated cluster ranks [default: 4]
+//!   --memory-limit <BYTES>          per-node memory cap (cluster backend)
+//!   --partition <R1,R2,...>         divide-and-conquer partition reactions
+//!   --ordering <paper|nnz|asis|random> row ordering      [default: paper]
+//!   --test <rank|adjacency>         elementarity test    [default: rank]
+//!   --float                         f64 arithmetic instead of exact
+//!   --max-modes <N>                 abort beyond N intermediate modes
+//!   --print-modes <N>               print up to N modes  [default: 20]
+//!   --coefficients                  recover numeric coefficients
+//!   --quiet                         summary only
+//!   --stats                         print network statistics and exit
+//!   --suggest-partition <K>         print K suggested partition reactions and exit
+//!   --cut-sets <RXN>                minimal cut sets (size ≤ 3) for a target reaction
+//!   --yields <SUBSTRATE,PRODUCT>    per-mode product/substrate yields
+//!   --export-metatool <FILE>        write the network in Metatool .dat format
+//!   --output <FILE>                 write the computed modes to FILE
+//!   --output-format <text|packed>   mode file format        [default: text]
+//!
+//! Network files may be in the reaction-per-line format of the paper's
+//! figures or in Metatool `.dat` format (auto-detected by the leading
+//! `-ENZREV`/`-ENZIRREV` section header).
+//! ```
+
+use efm_core::{
+    enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, CandidateTest,
+    EfmOptions, EfmOutcome, RowOrdering,
+};
+use efm_metnet::{examples, parse_metatool, parse_network, to_metatool, yeast, MetabolicNetwork};
+use efm_numeric::{DynInt, F64Tol};
+use std::process::ExitCode;
+
+struct Args {
+    network: Option<String>,
+    builtin: Option<String>,
+    backend: String,
+    nodes: usize,
+    memory_limit: Option<u64>,
+    partition: Vec<String>,
+    ordering: String,
+    test: String,
+    float: bool,
+    max_modes: Option<usize>,
+    print_modes: usize,
+    coefficients: bool,
+    quiet: bool,
+    stats: bool,
+    suggest_partition: Option<usize>,
+    cut_sets: Option<String>,
+    yields: Option<String>,
+    export_metatool: Option<String>,
+    output: Option<String>,
+    output_format: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: efm-compute [--builtin toy|yeast1|yeast2] [--backend serial|rayon|cluster]\n\
+         \x20                 [--nodes N] [--memory-limit BYTES] [--partition R1,R2,...]\n\
+         \x20                 [--ordering paper|nnz|asis|random] [--test rank|adjacency]\n\
+         \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
+         \x20                 [--quiet] [NETWORK-FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        network: None,
+        builtin: None,
+        backend: "serial".into(),
+        nodes: 4,
+        memory_limit: None,
+        partition: Vec::new(),
+        ordering: "paper".into(),
+        test: "rank".into(),
+        float: false,
+        max_modes: None,
+        print_modes: 20,
+        coefficients: false,
+        quiet: false,
+        stats: false,
+        suggest_partition: None,
+        cut_sets: None,
+        yields: None,
+        export_metatool: None,
+        output: None,
+        output_format: "text".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>| -> String {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--builtin" => args.builtin = Some(val(&mut it)),
+            "--backend" => args.backend = val(&mut it),
+            "--nodes" => args.nodes = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--memory-limit" => {
+                args.memory_limit = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--partition" => {
+                args.partition = val(&mut it).split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--ordering" => args.ordering = val(&mut it),
+            "--test" => args.test = val(&mut it),
+            "--float" => args.float = true,
+            "--max-modes" => args.max_modes = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--print-modes" => {
+                args.print_modes = val(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--coefficients" => args.coefficients = true,
+            "--quiet" => args.quiet = true,
+            "--stats" => args.stats = true,
+            "--suggest-partition" => {
+                args.suggest_partition = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--cut-sets" => args.cut_sets = Some(val(&mut it)),
+            "--yields" => args.yields = Some(val(&mut it)),
+            "--export-metatool" => args.export_metatool = Some(val(&mut it)),
+            "--output" => args.output = Some(val(&mut it)),
+            "--output-format" => args.output_format = val(&mut it),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => args.network = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn load_network(args: &Args) -> Result<MetabolicNetwork, String> {
+    if let Some(b) = &args.builtin {
+        return match b.as_str() {
+            "toy" => Ok(examples::toy_network()),
+            "yeast1" => Ok(yeast::network_i()),
+            "yeast2" => Ok(yeast::network_ii()),
+            other => Err(format!("unknown builtin network {other}")),
+        };
+    }
+    let Some(path) = &args.network else {
+        return Err("no network file and no --builtin given".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Auto-detect Metatool .dat files by their section headers.
+    let is_metatool = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| l.eq_ignore_ascii_case("-enzrev") || l.eq_ignore_ascii_case("-enzirrev"));
+    if is_metatool {
+        parse_metatool(&text).map_err(|e| format!("metatool parse error in {path}: {e}"))
+    } else {
+        parse_network(&text).map_err(|e| format!("parse error in {path}: {e}"))
+    }
+}
+
+fn run<S: efm_core::EfmScalar>(
+    net: &MetabolicNetwork,
+    args: &Args,
+) -> Result<EfmOutcome, efm_core::EfmError> {
+    let ordering = match args.ordering.as_str() {
+        "paper" => RowOrdering::Paper,
+        "nnz" => RowOrdering::FewestNonzeros,
+        "asis" => RowOrdering::AsIs,
+        "random" => RowOrdering::Random(42),
+        _ => usage(),
+    };
+    let test = match args.test.as_str() {
+        "rank" => CandidateTest::Rank,
+        "adjacency" => CandidateTest::Adjacency,
+        _ => usage(),
+    };
+    let opts = EfmOptions { ordering, test, max_modes: args.max_modes, ..Default::default() };
+    let backend = match args.backend.as_str() {
+        "serial" => Backend::Serial,
+        "rayon" => Backend::Rayon,
+        "cluster" => {
+            let mut cfg = efm_cluster::ClusterConfig::new(args.nodes);
+            if let Some(limit) = args.memory_limit {
+                cfg = cfg.with_memory_limit(limit);
+            }
+            Backend::Cluster(cfg)
+        }
+        _ => usage(),
+    };
+    if args.partition.is_empty() {
+        enumerate_with_scalar::<S>(net, &opts, &backend)
+    } else {
+        let names: Vec<&str> = args.partition.iter().map(String::as_str).collect();
+        enumerate_divide_conquer_with_scalar::<S>(net, &opts, &names, &backend)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let net = match load_network(&args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.quiet {
+        println!(
+            "network: {} internal metabolites, {} reactions ({} reversible)",
+            net.num_internal(),
+            net.num_reactions(),
+            net.reactions.iter().filter(|r| r.reversible).count()
+        );
+    }
+    if let Some(path) = &args.export_metatool {
+        if let Err(e) = std::fs::write(path, to_metatool(&net)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Metatool .dat to {path}");
+    }
+    if args.stats {
+        let s = efm_metnet::stats::network_stats(&net);
+        print!("{}", efm_metnet::stats::format_stats(&s));
+        let comp = efm_metnet::stats::reaction_components(&net);
+        let ncomp = comp.iter().copied().max().map_or(0, |m| m + 1);
+        println!("connected components (reaction graph): {ncomp}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(k) = args.suggest_partition {
+        let (red, _) = efm_metnet::compress(&net);
+        let suggestion = efm_core::suggest_partition(&net, &red, k);
+        println!(
+            "suggested divide-and-conquer partition ({} of {} requested): {}",
+            suggestion.len(),
+            k,
+            suggestion.join(", ")
+        );
+        return ExitCode::SUCCESS;
+    }
+    let outcome = if args.float { run::<F64Tol>(&net, &args) } else { run::<DynInt>(&net, &args) };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        println!(
+            "reduced network: {} x {} ({:?})",
+            outcome.reduced.stoich.rows(),
+            outcome.reduced.num_reduced(),
+            outcome.compression
+        );
+    }
+    println!("elementary flux modes: {}", outcome.efms.len());
+    println!(
+        "candidates generated:  {}   peak intermediate modes: {}",
+        outcome.stats.candidates_generated, outcome.stats.peak_modes
+    );
+    let ph = &outcome.stats.phases;
+    println!(
+        "phase times: gen={:.3}s dedup={:.3}s ranktest={:.3}s comm={:.3}s merge={:.3}s total={:.3}s",
+        ph.generate.as_secs_f64(),
+        ph.dedup.as_secs_f64(),
+        ph.rank_test.as_secs_f64(),
+        ph.communicate.as_secs_f64(),
+        ph.merge.as_secs_f64(),
+        outcome.stats.total_time.as_secs_f64()
+    );
+    if !outcome.subsets.is_empty() && !args.quiet {
+        println!("divide-and-conquer subsets:");
+        for s in &outcome.subsets {
+            println!(
+                "  [{}] {:40} EFMs={:<10} candidates={:<14} time={:.3}s{}",
+                s.id,
+                s.pattern,
+                s.efm_count,
+                s.stats.candidates_generated,
+                s.stats.total_time.as_secs_f64(),
+                if s.skipped_empty { "  (provably empty, skipped)" } else { "" }
+            );
+        }
+    }
+    if let Some(path) = &args.output {
+        let result = std::fs::File::create(path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            match args.output_format.as_str() {
+                "packed" => efm_core::io::write_packed(&outcome.efms, &mut w),
+                _ => efm_core::io::write_text(&outcome.efms, &mut w),
+            }
+        });
+        match result {
+            Ok(()) => println!("wrote {} modes to {path} ({})", outcome.efms.len(), args.output_format),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(target_name) = &args.cut_sets {
+        match net.reaction_index(target_name) {
+            Some(target) => {
+                let cuts = efm_core::minimal_cut_sets(&outcome.efms, target, 3);
+                println!("minimal cut sets (size ≤ 3) for {target_name}:");
+                for cut in cuts {
+                    let names: Vec<&str> =
+                        cut.iter().map(|&j| net.reactions[j].name.as_str()).collect();
+                    println!("  {{{}}}", names.join(", "));
+                }
+            }
+            None => eprintln!("warning: unknown reaction {target_name} for --cut-sets"),
+        }
+    }
+    if let Some(spec) = &args.yields {
+        let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+        match parts.as_slice() {
+            [s, p] => match (net.reaction_index(s), net.reaction_index(p)) {
+                (Some(substrate), Some(product)) => {
+                    let ys = efm_core::mode_yields(
+                        &net,
+                        &outcome.reduced,
+                        &outcome.efms,
+                        substrate,
+                        product,
+                    );
+                    println!("mode yields {p}/{s} (top 10 of {}):", ys.len());
+                    for (mode, y) in ys.iter().take(10) {
+                        println!("  mode {mode}: {y:.4}");
+                    }
+                }
+                _ => eprintln!("warning: unknown reaction in --yields {spec}"),
+            },
+            _ => eprintln!("warning: --yields wants SUBSTRATE,PRODUCT"),
+        }
+    }
+    let shown = args.print_modes.min(outcome.efms.len());
+    if shown > 0 && !args.quiet {
+        println!("first {shown} modes:");
+        let rev = net.reversibilities();
+        for i in 0..shown {
+            let sup = outcome.efms.support(i);
+            if args.coefficients {
+                match efm_core::recover_flux(&outcome.reduced, &rev, &sup) {
+                    Ok(flux) => {
+                        let parts: Vec<String> = sup
+                            .iter()
+                            .map(|&j| format!("{}={}", net.reactions[j].name, flux[j]))
+                            .collect();
+                        println!("  [{}] {}", i, parts.join(" "));
+                    }
+                    Err(e) => println!("  [{}] <recovery failed: {e}>", i),
+                }
+            } else {
+                let names: Vec<&str> =
+                    sup.iter().map(|&j| net.reactions[j].name.as_str()).collect();
+                println!("  [{}] {}", i, names.join(" "));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

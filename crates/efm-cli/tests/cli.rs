@@ -1,0 +1,132 @@
+//! End-to-end tests of the `efm-compute` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_efm-compute"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn toy_builtin_end_to_end() {
+    let (stdout, _, ok) = run(&["--builtin", "toy"]);
+    assert!(ok);
+    assert!(stdout.contains("elementary flux modes: 8"), "{stdout}");
+}
+
+#[test]
+fn divide_and_conquer_via_cli() {
+    let (stdout, _, ok) =
+        run(&["--builtin", "toy", "--partition", "r6r,r8r", "--backend", "cluster", "--nodes", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("elementary flux modes: 8"), "{stdout}");
+    assert!(stdout.contains("divide-and-conquer subsets:"), "{stdout}");
+}
+
+#[test]
+fn stats_mode() {
+    let (stdout, _, ok) = run(&["--builtin", "yeast1", "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("62 internal"), "{stdout}");
+    // Network I's structural dead ends: cytosolic FAD/FADH (their only
+    // producer R57 exists in Network II) and O2 (consumed by nothing).
+    assert!(stdout.contains("dead-end metabolites:"), "{stdout}");
+    assert!(stdout.contains("O2"), "{stdout}");
+    assert!(stdout.contains("FADH"), "{stdout}");
+}
+
+#[test]
+fn suggest_partition_mode() {
+    let (stdout, _, ok) = run(&["--builtin", "toy", "--suggest-partition", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("suggested divide-and-conquer partition"), "{stdout}");
+    assert!(stdout.contains("r8r"), "{stdout}");
+}
+
+#[test]
+fn reads_network_file_and_metatool() {
+    let dir = std::env::temp_dir().join("efm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plain = dir.join("net.txt");
+    std::fs::write(&plain, "in : Sext => A\nout : A => Pext\n").unwrap();
+    let (stdout, _, ok) = run(&[plain.to_str().unwrap(), "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("elementary flux modes: 1"), "{stdout}");
+
+    let dat = dir.join("net.dat");
+    std::fs::write(
+        &dat,
+        "-ENZREV\n\n-ENZIRREV\nin out\n\n-METINT\nA\n\n-METEXT\nSext Pext\n\n-CAT\nin : Sext = A .\nout : A = Pext .\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&[dat.to_str().unwrap(), "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("elementary flux modes: 1"), "{stdout}");
+}
+
+#[test]
+fn export_metatool_roundtrip() {
+    let dir = std::env::temp_dir().join("efm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("toy_export.dat");
+    let (_, _, ok) = run(&[
+        "--builtin",
+        "toy",
+        "--quiet",
+        "--export-metatool",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (stdout, _, ok) = run(&[out_path.to_str().unwrap(), "--quiet"]);
+    assert!(ok);
+    assert!(stdout.contains("elementary flux modes: 8"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let (_, stderr, ok) = run(&["--builtin", "nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown builtin"), "{stderr}");
+    let (_, stderr, ok) = run(&["/does/not/exist.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn cut_sets_and_yields_flags() {
+    let (stdout, _, ok) =
+        run(&["--builtin", "toy", "--quiet", "--cut-sets", "r4", "--yields", "r1,r4"]);
+    assert!(ok);
+    assert!(stdout.contains("minimal cut sets"), "{stdout}");
+    assert!(stdout.contains("mode yields"), "{stdout}");
+}
+
+#[test]
+fn writes_mode_files() {
+    let dir = std::env::temp_dir().join("efm_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let text = dir.join("modes.txt");
+    let packed = dir.join("modes.efms");
+    let (_, _, ok) = run(&[
+        "--builtin", "toy", "--quiet",
+        "--output", text.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let contents = std::fs::read_to_string(&text).unwrap();
+    assert_eq!(contents.lines().count(), 8);
+    let (_, _, ok) = run(&[
+        "--builtin", "toy", "--quiet",
+        "--output", packed.to_str().unwrap(),
+        "--output-format", "packed",
+    ]);
+    assert!(ok);
+    let bytes = std::fs::read(&packed).unwrap();
+    assert_eq!(&bytes[..4], b"EFMS");
+}

@@ -1,0 +1,43 @@
+//! Diagnostic: how much of the exact-integer mode matrix has promoted to
+//! the big-integer path at each iteration (explains the exact-mode cost on
+//! genome-scale networks; recorded in EXPERIMENTS.md).
+
+use efm_core::*;
+use efm_metnet::compress;
+use efm_numeric::DynInt;
+
+fn main() {
+    let net = efm_metnet::yeast::network_i();
+    let (red, _) = compress(&net);
+    let opts = EfmOptions::default();
+    let problem = build_problem::<DynInt>(&red, &opts).unwrap();
+    let mut eng = Engine::<efm_bitset::Pattern2, DynInt>::new(&problem, &opts).unwrap();
+    let limit: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(58);
+    let mut it = 0;
+    while !eng.done() && it < limit {
+        eng.step();
+        it += 1;
+        let total = eng.modes.vals.len().max(1);
+        let promoted = eng.modes.vals.iter().filter(|v| v.is_promoted()).count();
+        let maxbits = eng
+            .modes
+            .vals
+            .iter()
+            .map(|v| match v.to_i128() {
+                Some(x) => 128 - x.unsigned_abs().leading_zeros(),
+                None => 200,
+            })
+            .max()
+            .unwrap_or(0);
+        if it % 5 == 0 || promoted > 0 {
+            println!(
+                "iter {it}: modes={} vals={} promoted={} ({:.2}%) max_bits≈{}",
+                eng.modes.len(),
+                total,
+                promoted,
+                100.0 * promoted as f64 / total as f64,
+                maxbits
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+use efm_core::*;
+use efm_metnet::yeast;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "1".into());
+    let cap: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let net = if which == "2" { yeast::network_ii() } else { yeast::network_i() };
+    let (red, stats) = efm_metnet::compress(&net);
+    println!(
+        "network {which}: original {}x{}, reduced {}x{} (paper: I=35x55, II=40x61); stats {:?}",
+        net.num_internal(), net.num_reactions(), red.stoich.rows(), red.num_reduced(), stats
+    );
+    let nrev = red.reversible.iter().filter(|&&r| r).count();
+    println!("reduced reversible: {nrev}");
+    if cap == 0 { return; }
+    let opts = EfmOptions { max_modes: Some(cap), ..Default::default() };
+    let scalar = std::env::args().nth(3).unwrap_or_else(|| "exact".into());
+    if scalar == "float" {
+        run_traced::<efm_numeric::F64Tol>(&red, &opts);
+    } else {
+        run_traced::<efm_numeric::DynInt>(&red, &opts);
+    }
+}
+
+fn run_traced<S: efm_core::EfmScalar>(red: &efm_metnet::ReducedNetwork, opts: &EfmOptions) {
+    let problem = build_problem::<S>(red, opts).unwrap();
+    let t0 = Instant::now();
+    let run = serial_supports_traced::<efm_bitset::Pattern2, S>(&problem, opts, |it| {
+        println!("iter pos={:2} rxn={:24} rev={:5} p/n/z={:>8}/{:>8}/{:>9} pairs={:>14} hits={:>10} pref={:>9} acc={:>9} after={:>9} gen={:.2?} dd={:.2?} tst={:.2?} el={:.0?}",
+            it.position, it.reaction, it.reversible, it.pos, it.neg, it.zero, it.pairs, it.numeric_pass, it.prefiltered, it.accepted, it.modes_after, it.t_generate, it.t_dedup, it.t_test, t0.elapsed());
+    });
+    match run {
+        Ok((sups, stats)) => {
+            println!("EFMs (reduced supports): {} candidates: {} peak: {} time: {:?}",
+                sups.len(), stats.candidates_generated, stats.peak_modes, t0.elapsed());
+        }
+        Err(e) => println!("failed after {:?}: {e}", t0.elapsed()),
+    }
+}

@@ -1,0 +1,148 @@
+//! High-level entry points: network in, EFM set out.
+
+use crate::bridge::EfmScalar;
+use crate::divide::{divide_conquer_supports, Backend, SubsetReport};
+use crate::drivers::{rayon_supports, serial_supports, SupportsAndStats};
+use crate::cluster_algo::cluster_supports;
+use crate::problem::build_problem;
+use crate::types::{EfmError, EfmOptions, EfmSet, RunStats};
+use efm_metnet::{compress_with, CompressionStats, MetabolicNetwork, ReducedNetwork};
+use efm_numeric::DynInt;
+
+/// Result of a full enumeration.
+#[derive(Debug, Clone)]
+pub struct EfmOutcome {
+    /// The elementary flux modes, as supports over the original reactions.
+    pub efms: EfmSet,
+    /// Enumeration statistics.
+    pub stats: RunStats,
+    /// The compressed network used internally.
+    pub reduced: ReducedNetwork,
+    /// What compression did.
+    pub compression: CompressionStats,
+    /// Per-subset reports (divide-and-conquer runs only).
+    pub subsets: Vec<SubsetReport>,
+}
+
+/// Maximum reduced-network size the pattern widths support.
+pub const MAX_REDUCED_REACTIONS: usize = 256;
+
+/// Dispatches a generic runner over the pattern width needed for `q` bits.
+/// The scalar type `S` is taken from the expansion site.
+macro_rules! dispatch_width {
+    ($q:expr, $run:ident ( $($arg:expr),* $(,)? )) => {{
+        let q = $q;
+        if q <= 64 {
+            $run::<efm_bitset::Pattern1, S>($($arg),*)
+        } else if q <= 128 {
+            $run::<efm_bitset::Pattern2, S>($($arg),*)
+        } else if q <= 256 {
+            $run::<efm_bitset::Pattern4, S>($($arg),*)
+        } else {
+            Err(EfmError::TooManyReactions { got: q, max: MAX_REDUCED_REACTIONS })
+        }
+    }};
+}
+
+fn assemble(
+    net: &MetabolicNetwork,
+    red: &ReducedNetwork,
+    comp: CompressionStats,
+    supports_reduced: Vec<Vec<usize>>,
+    stats: RunStats,
+    subsets: Vec<SubsetReport>,
+) -> EfmOutcome {
+    let mut efms = EfmSet::new(net.reaction_names());
+    for sup in &supports_reduced {
+        efms.push_support(&red.expand_support(sup));
+    }
+    efms.canonicalize();
+    EfmOutcome { efms, stats, reduced: red.clone(), compression: comp, subsets }
+}
+
+/// Enumerates all EFMs with the chosen scalar and backend.
+pub fn enumerate_with_scalar<S: EfmScalar>(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    backend: &Backend,
+) -> Result<EfmOutcome, EfmError> {
+    let (red, comp) = compress_with(net, &opts.compression);
+    if red.num_reduced() == 0 {
+        return Ok(assemble(net, &red, comp, Vec::new(), RunStats::default(), Vec::new()));
+    }
+    let problem = build_problem::<S>(&red, opts)?;
+    let q = problem.num_cols();
+    let (sups, stats): SupportsAndStats = match backend {
+        Backend::Serial => dispatch_width!(q, serial_supports(&problem, opts))?,
+        Backend::Rayon => dispatch_width!(q, rayon_supports(&problem, opts))?,
+        Backend::Cluster(cfg) => {
+            fn run_cluster_backend<P: efm_bitset::BitPattern, S: EfmScalar>(
+                problem: &crate::problem::EfmProblem<S>,
+                opts: &EfmOptions,
+                cfg: &efm_cluster::ClusterConfig,
+            ) -> Result<SupportsAndStats, EfmError> {
+                let o = cluster_supports::<P, S>(problem, opts, cfg)?;
+                Ok((o.supports, o.stats))
+            }
+            dispatch_width!(q, run_cluster_backend(&problem, opts, cfg))?
+        }
+    };
+    Ok(assemble(net, &red, comp, sups, stats, Vec::new()))
+}
+
+/// Enumerates all EFMs serially with exact integer arithmetic — the
+/// default, paper-faithful configuration (Algorithm 1).
+pub fn enumerate(net: &MetabolicNetwork, opts: &EfmOptions) -> Result<EfmOutcome, EfmError> {
+    enumerate_with_scalar::<DynInt>(net, opts, &Backend::Serial)
+}
+
+/// Enumerates all EFMs with a chosen backend and exact integer arithmetic.
+pub fn enumerate_with(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    backend: &Backend,
+) -> Result<EfmOutcome, EfmError> {
+    enumerate_with_scalar::<DynInt>(net, opts, backend)
+}
+
+/// Divide-and-conquer enumeration (the paper's Algorithm 3) with exact
+/// integer arithmetic: the EFM set is partitioned across `partition_names`
+/// into `2^qsub` independent subproblems, each run on `backend`.
+pub fn enumerate_divide_conquer(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    partition_names: &[&str],
+    backend: &Backend,
+) -> Result<EfmOutcome, EfmError> {
+    enumerate_divide_conquer_with_scalar::<DynInt>(net, opts, partition_names, backend)
+}
+
+/// Divide-and-conquer enumeration generic over the scalar.
+pub fn enumerate_divide_conquer_with_scalar<S: EfmScalar>(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    partition_names: &[&str],
+    backend: &Backend,
+) -> Result<EfmOutcome, EfmError> {
+    let (red, comp) = compress_with(net, &opts.compression);
+    if red.num_reduced() == 0 {
+        return Ok(assemble(net, &red, comp, Vec::new(), RunStats::default(), Vec::new()));
+    }
+    let q = red.num_reduced();
+    fn run_dc<P: efm_bitset::BitPattern, S: EfmScalar>(
+        net: &MetabolicNetwork,
+        red: &ReducedNetwork,
+        partition_names: &[&str],
+        opts: &EfmOptions,
+        backend: &Backend,
+    ) -> Result<(Vec<Vec<usize>>, Vec<SubsetReport>), EfmError> {
+        divide_conquer_supports::<P, S>(net, red, partition_names, opts, backend)
+    }
+    let (sups, subsets) = dispatch_width!(q, run_dc(net, &red, partition_names, opts, backend))?;
+    let mut stats = RunStats::default();
+    for s in &subsets {
+        stats.accumulate(&s.stats);
+    }
+    stats.final_modes = sups.len();
+    Ok(assemble(net, &red, comp, sups, stats, subsets))
+}

@@ -1,0 +1,99 @@
+//! Bridging exact rational network data into the algorithm's scalar type.
+//!
+//! Networks carry exact rational stoichiometry. The enumeration core runs
+//! over a [`Scalar`] — [`DynInt`] by default (exact) or [`F64Tol`]
+//! (efmtool-style). Each scalar needs its own way of importing a rational
+//! matrix:
+//!
+//! * integers: scale each row (stoichiometry) or column (kernel basis) to a
+//!   primitive integer vector — row scaling preserves rank/nullity and
+//!   column scaling preserves the spanned ray;
+//! * floats: convert entrywise.
+
+use efm_linalg::Mat;
+use efm_numeric::{to_primitive_integer_vec, DynInt, F64Tol, Rational, Scalar};
+
+/// Scalars usable by the EFM enumeration core.
+pub trait EfmScalar: Scalar {
+    /// Imports a stoichiometry matrix (row-wise canonicalization allowed).
+    fn import_stoich(n: &Mat<Rational>) -> Mat<Self>;
+    /// Imports a kernel basis (column-wise canonicalization allowed).
+    fn import_kernel(k: &Mat<Rational>) -> Mat<Self>;
+}
+
+impl EfmScalar for DynInt {
+    fn import_stoich(n: &Mat<Rational>) -> Mat<Self> {
+        let mut out = Mat::<DynInt>::zeros(n.rows(), n.cols());
+        for r in 0..n.rows() {
+            let ints = to_primitive_integer_vec(n.row(r));
+            for (c, v) in ints.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    fn import_kernel(k: &Mat<Rational>) -> Mat<Self> {
+        let mut out = Mat::<DynInt>::zeros(k.rows(), k.cols());
+        for c in 0..k.cols() {
+            let ints = to_primitive_integer_vec(&k.col(c));
+            for (r, v) in ints.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+impl EfmScalar for F64Tol {
+    fn import_stoich(n: &Mat<Rational>) -> Mat<Self> {
+        n.map(|v| F64Tol(v.to_f64()))
+    }
+
+    fn import_kernel(k: &Mat<Rational>) -> Mat<Self> {
+        let mut out = k.map(|v| F64Tol(v.to_f64()));
+        // Normalize each column by its max magnitude for stability.
+        for c in 0..out.cols() {
+            let mut col: Vec<F64Tol> = out.col(c);
+            F64Tol::normalize_vec(&mut col);
+            for (r, v) in col.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efm_linalg::rational_mat;
+
+    #[test]
+    fn dynint_stoich_rows_are_primitive() {
+        let n = rational_mat(&[&[2, 4, -6], &[1, 1, 1]]);
+        let m = DynInt::import_stoich(&n);
+        assert_eq!(m.get(0, 0), &DynInt::from_i64(1));
+        assert_eq!(m.get(0, 2), &DynInt::from_i64(-3));
+        assert_eq!(m.get(1, 0), &DynInt::from_i64(1));
+    }
+
+    #[test]
+    fn dynint_kernel_cols_are_primitive() {
+        use efm_numeric::Rational;
+        let mut k = Mat::<Rational>::zeros(2, 1);
+        k.set(0, 0, Rational::new(DynInt::from_i64(1), DynInt::from_i64(2)));
+        k.set(1, 0, Rational::new(DynInt::from_i64(-1), DynInt::from_i64(3)));
+        let m = DynInt::import_kernel(&k);
+        assert_eq!(m.get(0, 0), &DynInt::from_i64(3));
+        assert_eq!(m.get(1, 0), &DynInt::from_i64(-2));
+    }
+
+    #[test]
+    fn f64_import_is_entrywise() {
+        let n = rational_mat(&[&[2, -4]]);
+        let m = F64Tol::import_stoich(&n);
+        assert_eq!(m.get(0, 0).0, 2.0);
+        assert_eq!(m.get(0, 1).0, -4.0);
+    }
+}

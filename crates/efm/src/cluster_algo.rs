@@ -1,0 +1,214 @@
+//! The combinatorial parallel Nullspace Algorithm (the paper's Algorithm 2)
+//! on the simulated distributed-memory cluster.
+//!
+//! Every rank keeps a **full copy** of the current mode matrix — exactly the
+//! memory weakness the paper's divide-and-conquer addition attacks. Each
+//! iteration:
+//!
+//! 1. `ParallelGenerateEFMCands` — the rank processes its contiguous stripe
+//!    of the `pos × neg` pair grid;
+//! 2. `Sort&RemoveDuplicates` — locally;
+//! 3. `RankTests` — locally;
+//! 4. `Communicate&Merge` — allgather of the local survivor buffers, then a
+//!    global sort+dedup (duplicates *across* ranks are possible);
+//! 5. `RemoveNegColumns` + append — every rank advances to the identical
+//!    next state.
+//!
+//! Phase wall-times and per-phase work counters are recorded through the
+//! cluster's instrumentation; the per-node mode matrix and the merged
+//! candidate buffer are charged against the per-node memory meter (these
+//! two quantities are identical on every rank, so a memory failure is
+//! symmetric and cannot deadlock a collective).
+
+use crate::bridge::EfmScalar;
+use crate::engine::{CandidateBuf, CandidateSet, Engine};
+use crate::problem::EfmProblem;
+use crate::types::{EfmError, EfmOptions, IterationStats, RunStats};
+use efm_bitset::BitPattern;
+use efm_cluster::{run_cluster, ClusterConfig, ClusterError, NodeCtx};
+use std::time::Instant;
+
+/// Phase labels used with the cluster instrumentation (match Table II rows).
+pub mod phases {
+    /// Candidate generation.
+    pub const GENERATE: &str = "gen cand";
+    /// Local sort + duplicate removal.
+    pub const DEDUP: &str = "sort/dedup";
+    /// Local rank tests.
+    pub const RANK: &str = "rank test";
+    /// Allgather of candidate buffers.
+    pub const COMMUNICATE: &str = "communicate";
+    /// Bytes shipped through allgather (work counter, not a timer).
+    pub const COMM_BYTES: &str = "comm bytes";
+    /// Global merge + dedup + state advance.
+    pub const MERGE: &str = "merge";
+}
+
+/// Result of one rank of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterNodeOutcome {
+    /// Supports in reduced-reaction indices (identical on every rank; only
+    /// rank 0's copy is used by callers).
+    pub supports: Vec<Vec<usize>>,
+    /// This rank's run statistics (stripe-local candidate counts).
+    pub stats: RunStats,
+}
+
+/// Outcome of a cluster run plus per-rank reports.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Supports in reduced-reaction indices.
+    pub supports: Vec<Vec<usize>>,
+    /// Global statistics: pair counts are totals over the whole grid;
+    /// phase times are the *maximum* over ranks per phase (the
+    /// bulk-synchronous model of wall time).
+    pub stats: RunStats,
+    /// Per-rank phase times in seconds, keyed by phase label.
+    pub per_rank: Vec<efm_cluster::NodeReport<ClusterNodeOutcome>>,
+}
+
+/// Runs Algorithm 2 on a simulated cluster of `cfg.nodes` ranks.
+pub fn cluster_supports<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    cfg: &ClusterConfig,
+) -> Result<ClusterOutcome, EfmError> {
+    // Surface width errors before spawning the cluster.
+    Engine::<P, S>::new(problem, opts)?;
+
+    let reports = run_cluster(cfg, |ctx| node_body::<P, S>(ctx, problem, opts))?;
+
+    // Aggregate: supports from rank 0; totals across ranks.
+    let mut stats = RunStats::default();
+    let nranks = reports.len();
+    for rep in &reports {
+        stats.candidates_generated += rep.value.stats.candidates_generated;
+        stats.peak_modes = stats.peak_modes.max(rep.value.stats.peak_modes);
+    }
+    // Iteration records: take rank 0's skeleton, with pair counts summed
+    // across ranks (each rank recorded only its stripe).
+    let mut iterations = reports[0].value.stats.iterations.clone();
+    for rep in &reports[1..] {
+        for (acc, it) in iterations.iter_mut().zip(&rep.value.stats.iterations) {
+            acc.pairs += it.pairs;
+            acc.prefiltered += it.prefiltered;
+            acc.deduped += it.deduped;
+            acc.accepted += it.accepted;
+        }
+    }
+    stats.iterations = iterations;
+    // Bulk-synchronous wall-time model: each phase costs its slowest rank.
+    let phase_max = |label: &str| {
+        reports
+            .iter()
+            .filter_map(|r| r.phase_times.get(label).copied())
+            .max()
+            .unwrap_or_default()
+    };
+    stats.phases.generate = phase_max(phases::GENERATE);
+    stats.phases.dedup = phase_max(phases::DEDUP);
+    stats.phases.rank_test = phase_max(phases::RANK);
+    stats.phases.communicate = phase_max(phases::COMMUNICATE);
+    stats.phases.merge = phase_max(phases::MERGE);
+    stats.total_time = reports
+        .iter()
+        .map(|r| r.value.stats.total_time)
+        .max()
+        .unwrap_or_default();
+    stats.final_modes = reports[0].value.supports.len();
+    let supports = reports[0].value.supports.clone();
+    let _ = nranks;
+    Ok(ClusterOutcome { supports, stats, per_rank: reports })
+}
+
+fn node_body<P: BitPattern, S: EfmScalar>(
+    ctx: &NodeCtx,
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+) -> Result<ClusterNodeOutcome, ClusterError> {
+    let t_run = Instant::now();
+    let mut eng = Engine::<P, S>::new(problem, opts)
+        .map_err(|e| ClusterError::Protocol(e.to_string()))?;
+    let rank = ctx.rank() as u64;
+    let nodes = ctx.size() as u64;
+    let mut accounted: u64 = 0;
+    let track = |ctx: &NodeCtx, accounted: &mut u64, now: u64| -> Result<(), ClusterError> {
+        ctx.memory().realloc(*accounted, now)?;
+        *accounted = now;
+        Ok(())
+    };
+    track(ctx, &mut accounted, eng.modes.approx_bytes())?;
+
+    while !eng.done() {
+        let mut rec = IterationStats {
+            position: eng.cursor,
+            reaction: eng.name_at[eng.cursor].clone(),
+            reversible: eng.reversible_at[eng.cursor],
+            ..Default::default()
+        };
+        // --- ParallelGenerateEFMCands: my stripe of the pair grid.
+        let new_stride = eng.candidate_stride();
+        let (part, mut local) = {
+            let _t = ctx.timed(phases::GENERATE);
+            let part = eng.partition();
+            let pairs = part.pairs();
+            let start = rank * pairs / nodes;
+            let end = (rank + 1) * pairs / nodes;
+            rec.pos = part.pos.len();
+            rec.neg = part.neg.len();
+            rec.zero = part.zero.len();
+            rec.pairs = end - start;
+            ctx.add_work(phases::GENERATE, end - start);
+            let mut set = CandidateSet::<P>::default();
+            let mut scratch = Vec::new();
+            rec.prefiltered = eng.generate_range(&part, start, end, &mut set, &mut scratch);
+            (part, set)
+        };
+        // --- Sort&RemoveDuplicates (local).
+        {
+            let _t = ctx.timed(phases::DEDUP);
+            local.sort_dedup();
+            eng.drop_duplicates_of_existing(&mut local, &part);
+            rec.deduped = local.len() as u64;
+        }
+        // --- RankTests (local).
+        let local_buf = {
+            let _t = ctx.timed(phases::RANK);
+            ctx.add_work(phases::RANK, local.len() as u64);
+            rec.accepted = eng.elementarity_filter(&mut local, &part);
+            eng.materialize(&local)
+        };
+        // --- Communicate.
+        let all = {
+            let _t = ctx.timed(phases::COMMUNICATE);
+            // Under an α/β network model every rank ships its survivor
+            // buffer to all peers; record the outgoing volume.
+            ctx.add_work(phases::COMM_BYTES, local_buf.approx_bytes() * (nodes - 1));
+            ctx.allgather(local_buf)
+        };
+        // --- Merge: identical on every rank.
+        {
+            let _t = ctx.timed(phases::MERGE);
+            let mut merged = CandidateBuf::<P, S>::new(new_stride);
+            for mut b in all {
+                merged.append(&mut b);
+            }
+            merged.sort_dedup();
+            // Cross-rank duplicates may pass the test on two ranks; the
+            // global dedup above removes them. The merged buffer plus the
+            // mode matrix is the per-node memory high-water mark.
+            track(ctx, &mut accounted, eng.modes.approx_bytes() + merged.approx_bytes())?;
+            eng.advance(&part, merged);
+            track(ctx, &mut accounted, eng.modes.approx_bytes())?;
+        }
+        rec.modes_after = eng.modes.len();
+        eng.stats.candidates_generated += rec.pairs;
+        eng.stats.iterations.push(rec);
+    }
+
+    let supports: Vec<Vec<usize>> = crate::drivers::map_final_supports(problem, &eng);
+    eng.stats.final_modes = supports.len();
+    eng.stats.total_time = t_run.elapsed();
+    let stats = eng.stats.clone();
+    Ok(ClusterNodeOutcome { supports, stats })
+}

@@ -1,0 +1,185 @@
+//! Serial and shared-memory (rayon) drivers — the paper's Algorithm 1 and
+//! the EFMTools-style multithreaded variant it cites as prior work.
+
+use crate::bridge::EfmScalar;
+use crate::engine::{CandidateSet, Engine};
+use crate::problem::EfmProblem;
+use crate::types::{CandidateTest, EfmError, EfmOptions, RunStats};
+use efm_bitset::BitPattern;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Supports (in reduced-network reaction indices) plus run statistics.
+pub type SupportsAndStats = (Vec<Vec<usize>>, RunStats);
+
+fn check_limit<P: BitPattern, S: EfmScalar>(
+    eng: &Engine<P, S>,
+    opts: &EfmOptions,
+) -> Result<(), EfmError> {
+    if let Some(limit) = opts.max_modes {
+        if eng.modes.len() > limit {
+            return Err(EfmError::ModeLimitExceeded { limit, at_iteration: eng.cursor });
+        }
+    }
+    Ok(())
+}
+
+/// Maps the engine's final position-space supports into reduced-network
+/// reaction indices, dropping two-cycle artifacts of split reversible
+/// columns (a mode using both direction twins of one reaction).
+pub(crate) fn map_final_supports<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    eng: &Engine<P, S>,
+) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = eng
+        .final_supports()
+        .iter()
+        .filter_map(|p| {
+            let cols = eng.support_to_cols(p);
+            let twin_pair = cols.iter().any(|&c| {
+                problem.twin_of[c].is_some_and(|t| cols.binary_search(&t).is_ok())
+            });
+            if twin_pair {
+                return None;
+            }
+            let mut sup: Vec<usize> = cols.iter().map(|&c| problem.col_to_reduced[c]).collect();
+            sup.sort_unstable();
+            sup.dedup();
+            Some(sup)
+        })
+        .collect();
+    // An all-reversible-support EFM is enumerated in both directions when a
+    // split column is involved; the two directions share one support.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn finalize<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    mut eng: Engine<P, S>,
+    t0: Instant,
+) -> SupportsAndStats {
+    let sups = map_final_supports(problem, &eng);
+    eng.stats.final_modes = sups.len();
+    eng.stats.total_time = t0.elapsed();
+    (sups, eng.stats)
+}
+
+/// Runs the serial Nullspace Algorithm (Algorithm 1 of the paper).
+pub fn serial_supports<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+) -> Result<SupportsAndStats, EfmError> {
+    let t0 = Instant::now();
+    let mut eng = Engine::<P, S>::new(problem, opts)?;
+    while !eng.done() {
+        check_limit(&eng, opts)?;
+        eng.step();
+    }
+    Ok(finalize(problem, eng, t0))
+}
+
+/// Runs the serial algorithm, invoking `on_iteration` after every step —
+/// the trace hook used to reproduce the paper's Fig. 2 walk-through.
+pub fn serial_supports_traced<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    mut on_iteration: impl FnMut(&crate::types::IterationStats),
+) -> Result<SupportsAndStats, EfmError> {
+    let t0 = Instant::now();
+    let mut eng = Engine::<P, S>::new(problem, opts)?;
+    while !eng.done() {
+        check_limit(&eng, opts)?;
+        let rec = eng.step();
+        on_iteration(&rec);
+    }
+    Ok(finalize(problem, eng, t0))
+}
+
+/// Runs the shared-memory parallel variant: the pair grid and the rank
+/// tests of each iteration are split across the rayon pool.
+pub fn rayon_supports<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+) -> Result<SupportsAndStats, EfmError> {
+    let t0 = Instant::now();
+    let mut eng = Engine::<P, S>::new(problem, opts)?;
+    while !eng.done() {
+        check_limit(&eng, opts)?;
+        rayon_step(&mut eng);
+    }
+    Ok(finalize(problem, eng, t0))
+}
+
+/// One parallel iteration (exposed for tests).
+pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
+    let mut rec = crate::types::IterationStats {
+        position: eng.cursor,
+        reaction: eng.name_at[eng.cursor].clone(),
+        reversible: eng.reversible_at[eng.cursor],
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let part = eng.partition();
+    rec.pos = part.pos.len();
+    rec.neg = part.neg.len();
+    rec.zero = part.zero.len();
+    rec.pairs = part.pairs();
+
+    let pairs = part.pairs();
+    let nchunks = (rayon::current_num_threads() * 4).max(1) as u64;
+    let chunk = pairs.div_ceil(nchunks).max(1);
+    let results: Vec<(CandidateSet<P>, u64)> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(pairs);
+            let mut set = CandidateSet::default();
+            let mut scratch = Vec::new();
+            let survivors = if start < end {
+                eng.generate_range(&part, start, end, &mut set, &mut scratch)
+            } else {
+                0
+            };
+            (set, survivors)
+        })
+        .collect();
+    let mut set = CandidateSet::default();
+    for (mut b, s) in results {
+        rec.prefiltered += s;
+        set.append(&mut b);
+    }
+    let t1 = Instant::now();
+    set.sort_dedup();
+    eng.drop_duplicates_of_existing(&mut set, &part);
+    rec.deduped = set.len() as u64;
+    let t2 = Instant::now();
+
+    match eng.test {
+        CandidateTest::Rank => {
+            let n = set.len();
+            let rchunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+            let keeps: Vec<Vec<u32>> = (0..n)
+                .into_par_iter()
+                .step_by(rchunk)
+                .map(|s| eng.rank_filter_range(&set, s..(s + rchunk).min(n)))
+                .collect();
+            let keep: Vec<u32> = keeps.into_iter().flatten().collect();
+            rec.accepted = keep.len() as u64;
+            set.gather(&keep);
+        }
+        CandidateTest::Adjacency => {
+            rec.accepted = eng.elementarity_filter(&mut set, &part);
+        }
+    }
+    let t3 = Instant::now();
+    let buf = eng.materialize(&set);
+    eng.advance(&part, buf);
+    rec.modes_after = eng.modes.len();
+    eng.stats.phases.generate += t1 - t0;
+    eng.stats.phases.dedup += t2 - t1;
+    eng.stats.phases.rank_test += t3 - t2;
+    eng.stats.candidates_generated += rec.pairs;
+    eng.stats.iterations.push(rec);
+}

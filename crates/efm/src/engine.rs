@@ -1,0 +1,1099 @@
+//! The iteration engine of the Nullspace Algorithm.
+//!
+//! State is a *binary-plus-numeric* representation of each intermediate
+//! mode, following the structure of the paper's Fig. 2 columns:
+//!
+//! * a **bit pattern** over the rows whose sign can never change again —
+//!   the identity block and every processed *irreversible* row (all live
+//!   modes are nonnegative there and positive combinations cannot cancel);
+//! * exact **numeric values** for the processed *reversible* rows (kept
+//!   negative columns make cancellation possible there, so bits would
+//!   overstate supports) and for the unprocessed tail rows.
+//!
+//! One iteration (Algorithm 1, loop body):
+//!
+//! 1. partition modes by the sign of the current row's value;
+//! 2. pair every positive with every negative mode — `|pos|·|neg|` is the
+//!    paper's "generated candidate modes" count;
+//! 3. summary rejection: a candidate whose support exceeds `m+1` entries
+//!    cannot have nullity 1;
+//! 4. sort + remove duplicate candidates (by support);
+//! 5. elementarity test (algebraic rank test, or the combinatorial
+//!    support-minimality test for the ablation);
+//! 6. advance: keep zero and positive modes, keep negative modes only for
+//!    reversible rows, append accepted candidates.
+//!
+//! The engine is driver-agnostic: candidate generation takes an explicit
+//! pair-index range, so the serial driver passes the full grid, the rayon
+//! driver splits it into chunks, and the cluster driver stripes it across
+//! ranks exactly like the paper's combinatorial parallelization.
+
+use crate::bridge::EfmScalar;
+use crate::problem::EfmProblem;
+use crate::types::{CandidateTest, EfmError, EfmOptions, IterationStats, RunStats};
+use efm_bitset::BitPattern;
+use efm_linalg::{nullity_of_cols, Mat};
+
+/// Absolute tolerance of the floating-point rank test (columns are
+/// max-scaled first).
+pub const RANK_TOL: f64 = 1e-9;
+
+use efm_numeric::Scalar;
+
+/// Struct-of-arrays storage for intermediate modes.
+///
+/// Each mode owns `rev_len + tail_len` numeric values: first the processed
+/// reversible rows (in processing order), then the unprocessed rows (in
+/// position order). The value of the *current* row is `vals[rev_len]`.
+#[derive(Debug, Clone, Default)]
+pub struct ModeMatrix<P, S> {
+    /// Bit patterns over identity + processed irreversible rows.
+    pub patterns: Vec<P>,
+    /// Numeric sections, flattened with stride `rev_len + tail_len`.
+    pub vals: Vec<S>,
+    /// Number of processed reversible rows.
+    pub rev_len: usize,
+    /// Number of unprocessed rows.
+    pub tail_len: usize,
+}
+
+impl<P: BitPattern, S: Scalar> ModeMatrix<P, S> {
+    /// Values per mode.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.rev_len + self.tail_len
+    }
+
+    /// Number of modes.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether there are no modes.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The numeric section of mode `i`.
+    #[inline]
+    pub fn vals(&self, i: usize) -> &[S] {
+        let s = self.stride();
+        &self.vals[i * s..(i + 1) * s]
+    }
+
+    /// Approximate resident bytes (for the cluster memory meter).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.patterns.len() * std::mem::size_of::<P>()
+            + self.vals.len() * std::mem::size_of::<S>()) as u64
+    }
+}
+
+/// Candidate modes produced within one iteration, struct-of-arrays.
+#[derive(Debug, Clone)]
+pub struct CandidateBuf<P, S> {
+    /// Pattern over fixed rows (union of the parents').
+    pub patterns: Vec<P>,
+    /// Support bits of the numeric section (bit `k` ⇔ `vals[k]` nonzero) —
+    /// the second half of the dedup key.
+    pub val_sups: Vec<P>,
+    /// Numeric sections, flattened with stride `stride`.
+    pub vals: Vec<S>,
+    /// Values per candidate.
+    pub stride: usize,
+}
+
+impl<P: BitPattern, S: Scalar> CandidateBuf<P, S> {
+    /// Empty buffer for candidates with the given numeric stride.
+    pub fn new(stride: usize) -> Self {
+        CandidateBuf { patterns: Vec::new(), val_sups: Vec::new(), vals: Vec::new(), stride }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The numeric section of candidate `i`.
+    #[inline]
+    pub fn vals(&self, i: usize) -> &[S] {
+        &self.vals[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Appends all candidates of `other` (same stride).
+    pub fn append(&mut self, other: &mut CandidateBuf<P, S>) {
+        assert_eq!(self.stride, other.stride, "stride mismatch");
+        self.patterns.append(&mut other.patterns);
+        self.val_sups.append(&mut other.val_sups);
+        self.vals.append(&mut other.vals);
+    }
+
+    /// Sorts by `(pattern, value support)` and removes duplicates, keeping
+    /// the first occurrence. Two candidates with equal support describe
+    /// the same ray, so survivors are unaffected.
+    pub fn sort_dedup(&mut self) {
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            self.patterns[a]
+                .cmp(&self.patterns[b])
+                .then_with(|| self.val_sups[a].cmp(&self.val_sups[b]))
+        });
+        order.dedup_by(|&mut a, &mut b| {
+            let (a, b) = (a as usize, b as usize);
+            self.patterns[a] == self.patterns[b] && self.val_sups[a] == self.val_sups[b]
+        });
+        self.gather(&order);
+    }
+
+    /// Keeps only the candidates at the given indices, in order.
+    pub fn gather(&mut self, keep: &[u32]) {
+        let stride = self.stride;
+        let mut patterns = Vec::with_capacity(keep.len());
+        let mut val_sups = Vec::with_capacity(keep.len());
+        let mut vals = Vec::with_capacity(keep.len() * stride);
+        for &i in keep {
+            let i = i as usize;
+            patterns.push(self.patterns[i]);
+            val_sups.push(self.val_sups[i]);
+            vals.extend_from_slice(self.vals(i));
+        }
+        self.patterns = patterns;
+        self.val_sups = val_sups;
+        self.vals = vals;
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.patterns.len() * 2 * std::mem::size_of::<P>()
+            + self.vals.len() * std::mem::size_of::<S>()) as u64
+    }
+}
+
+/// Lightweight candidate records produced by the generation pass: support
+/// information plus parent indices, **without** numeric values. Values are
+/// recomputed only for the (few) candidates that survive deduplication and
+/// the elementarity test ([`Engine::materialize`]), which avoids writing
+/// kilobytes of exact integers per rejected candidate.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet<P> {
+    /// Pattern over fixed rows (union of the parents').
+    pub patterns: Vec<P>,
+    /// Support bits of the numeric section.
+    pub val_sups: Vec<P>,
+    /// `(positive parent, negative parent)` mode indices.
+    pub parents: Vec<(u32, u32)>,
+    /// Pairs that reached the numeric combination pass (prefilter hits) —
+    /// instrumentation for tuning the cheap bounds.
+    pub numeric_pass: u64,
+}
+
+impl<P: BitPattern> CandidateSet<P> {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Appends all candidates of `other`.
+    pub fn append(&mut self, other: &mut CandidateSet<P>) {
+        self.patterns.append(&mut other.patterns);
+        self.val_sups.append(&mut other.val_sups);
+        self.parents.append(&mut other.parents);
+        self.numeric_pass += other.numeric_pass;
+    }
+
+    /// Sorts by `(pattern, value support)` and removes duplicates.
+    pub fn sort_dedup(&mut self) {
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            self.patterns[a]
+                .cmp(&self.patterns[b])
+                .then_with(|| self.val_sups[a].cmp(&self.val_sups[b]))
+        });
+        order.dedup_by(|&mut a, &mut b| {
+            let (a, b) = (a as usize, b as usize);
+            self.patterns[a] == self.patterns[b] && self.val_sups[a] == self.val_sups[b]
+        });
+        self.gather(&order);
+    }
+
+    /// Keeps only the candidates at the given indices, in order.
+    pub fn gather(&mut self, keep: &[u32]) {
+        let mut patterns = Vec::with_capacity(keep.len());
+        let mut val_sups = Vec::with_capacity(keep.len());
+        let mut parents = Vec::with_capacity(keep.len());
+        for &i in keep {
+            let i = i as usize;
+            patterns.push(self.patterns[i]);
+            val_sups.push(self.val_sups[i]);
+            parents.push(self.parents[i]);
+        }
+        self.patterns = patterns;
+        self.val_sups = val_sups;
+        self.parents = parents;
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.patterns.len() * (2 * std::mem::size_of::<P>() + 8)) as u64
+    }
+}
+
+/// Sign partition of the current row: indices of modes with positive,
+/// negative, and zero value.
+#[derive(Debug, Clone, Default)]
+pub struct SignPartition<P> {
+    /// Modes with positive entry.
+    pub pos: Vec<u32>,
+    /// Modes with negative entry.
+    pub neg: Vec<u32>,
+    /// Modes with zero entry.
+    pub zero: Vec<u32>,
+    /// Patterns of the negative modes, gathered contiguously so the hot
+    /// pair loop streams a dense slice instead of chasing indices.
+    pub neg_pats: Vec<P>,
+    /// Value-section supports of the negative modes (current-row slot
+    /// excluded), aligned with `neg_pats`. Slots where exactly one parent
+    /// is nonzero survive any positive combination, so
+    /// `xor_count(pos_sup, neg_sup)` is a true lower bound on the
+    /// candidate's tail nonzeros — a second cheap rejection level.
+    pub neg_tail_sups: Vec<P>,
+}
+
+impl<P> SignPartition<P> {
+    /// Total candidate pairs of this iteration.
+    pub fn pairs(&self) -> u64 {
+        self.pos.len() as u64 * self.neg.len() as u64
+    }
+}
+
+/// The engine: problem data plus evolving mode matrix.
+pub struct Engine<P: BitPattern, S: EfmScalar> {
+    /// Stoichiometry used by rank tests.
+    pub stoich: Mat<S>,
+    /// `m + 1`: maximum support size a nullity-1 candidate can have.
+    pub max_support: usize,
+    /// Position → column map (the kernel row order).
+    pub row_order: Vec<usize>,
+    /// Reversibility per *position*.
+    pub reversible_at: Vec<bool>,
+    /// Display names per position.
+    pub name_at: Vec<String>,
+    /// First processed position (identity block size).
+    pub free_count: usize,
+    /// One past the last position to process.
+    pub stop_at: usize,
+    /// Current position (next row to process).
+    pub cursor: usize,
+    /// Positions of the processed reversible rows, in processing order
+    /// (indexes the `rev` section of every mode's numeric values).
+    pub rev_positions: Vec<usize>,
+    /// The evolving mode matrix.
+    pub modes: ModeMatrix<P, S>,
+    /// Elementarity test.
+    pub test: CandidateTest,
+    /// Whether rank tests run in exact arithmetic (see
+    /// [`EfmOptions::exact_rank_test`]).
+    pub exact_rank_test: bool,
+    /// Run statistics.
+    pub stats: RunStats,
+    /// Column-major, column-max-scaled f64 copy of `stoich` for the
+    /// numerical rank test (`stoich_f64[c*m + r]`).
+    stoich_f64: Vec<f64>,
+    /// Per-column bitmask of nonzero rows (active-row pruning); empty when
+    /// the stoichiometry has more than 128 rows.
+    row_masks: Vec<u128>,
+}
+
+impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
+    /// Builds the start state from a problem. Fails when the pattern width
+    /// cannot hold the subproblem's columns.
+    pub fn new(problem: &EfmProblem<S>, opts: &EfmOptions) -> Result<Self, EfmError> {
+        let q = problem.num_cols();
+        if q > P::capacity() {
+            return Err(EfmError::TooManyReactions { got: q, max: P::capacity() });
+        }
+        let d = problem.free_count;
+        let tail_len = q - d;
+        let mut patterns = Vec::with_capacity(d);
+        let mut vals = Vec::with_capacity(d * tail_len);
+        for j in 0..problem.kernel.cols() {
+            let mut pat = P::empty();
+            pat.set(j);
+            patterns.push(pat);
+            for k in 0..tail_len {
+                let col = problem.row_order[d + k];
+                vals.push(problem.kernel.get(col, j).clone());
+            }
+        }
+        let reversible_at: Vec<bool> =
+            problem.row_order.iter().map(|&c| problem.reversible[c]).collect();
+        let name_at: Vec<String> =
+            problem.row_order.iter().map(|&c| problem.names[c].clone()).collect();
+        // Cache a scaled f64 copy of the stoichiometry and per-column
+        // nonzero-row masks for the hot numerical rank test.
+        let m = problem.num_rows();
+        let qc = problem.stoich.cols();
+        let mut stoich_f64 = vec![0.0f64; m * qc];
+        let mut row_masks = Vec::new();
+        for c in 0..qc {
+            let mut maxabs = 0.0f64;
+            for r in 0..m {
+                let v = problem.stoich.get(r, c).to_f64();
+                stoich_f64[c * m + r] = v;
+                maxabs = maxabs.max(v.abs());
+            }
+            if maxabs > 0.0 {
+                for r in 0..m {
+                    stoich_f64[c * m + r] /= maxabs;
+                }
+            }
+        }
+        if m <= 128 {
+            row_masks = (0..qc)
+                .map(|c| {
+                    let mut mask = 0u128;
+                    for r in 0..m {
+                        if stoich_f64[c * m + r] != 0.0 {
+                            mask |= 1u128 << r;
+                        }
+                    }
+                    mask
+                })
+                .collect();
+        }
+        let mut engine = Engine {
+            stoich: problem.stoich.clone(),
+            max_support: problem.num_rows() + 1,
+            row_order: problem.row_order.clone(),
+            reversible_at,
+            name_at,
+            free_count: d,
+            stop_at: q - problem.stop_before,
+            cursor: d,
+            rev_positions: Vec::new(),
+            modes: ModeMatrix { patterns, vals, rev_len: 0, tail_len },
+            test: opts.test,
+            exact_rank_test: opts.exact_rank_test,
+            stats: RunStats::default(),
+            stoich_f64,
+            row_masks,
+        };
+        engine.stats.peak_modes = engine.modes.len();
+        Ok(engine)
+    }
+
+    /// Whether all rows have been processed.
+    pub fn done(&self) -> bool {
+        self.cursor >= self.stop_at
+    }
+
+    /// Number of iterations remaining.
+    pub fn remaining(&self) -> usize {
+        self.stop_at - self.cursor
+    }
+
+    /// Whether the current row is reversible.
+    #[inline]
+    pub fn current_reversible(&self) -> bool {
+        self.reversible_at[self.cursor]
+    }
+
+    /// Stride candidates of the current iteration will have: unchanged for
+    /// a reversible row (the zero entry stays, reinterpreted as part of the
+    /// rev section), one less for an irreversible row.
+    #[inline]
+    pub fn candidate_stride(&self) -> usize {
+        if self.current_reversible() {
+            self.modes.stride()
+        } else {
+            self.modes.stride() - 1
+        }
+    }
+
+    /// Sign-partitions the current row.
+    pub fn partition(&self) -> SignPartition<P> {
+        let mut p = SignPartition::default();
+        let stride = self.modes.stride();
+        let head = self.modes.rev_len;
+        for i in 0..self.modes.len() {
+            match self.modes.vals[i * stride + head].signum() {
+                1 => p.pos.push(i as u32),
+                -1 => p.neg.push(i as u32),
+                _ => p.zero.push(i as u32),
+            }
+        }
+        p.neg_pats = p.neg.iter().map(|&i| self.modes.patterns[i as usize]).collect();
+        p.neg_tail_sups = p.neg.iter().map(|&i| self.val_support(i as usize)).collect();
+        p
+    }
+
+    /// Support bits of a mode's value section, current-row slot excluded.
+    fn val_support(&self, i: usize) -> P {
+        let head = self.modes.rev_len;
+        let mut s = P::empty();
+        for (t, v) in self.modes.vals(i).iter().enumerate() {
+            if t != head && !v.is_zero() {
+                s.set(t);
+            }
+        }
+        s
+    }
+
+    /// Generates candidates for the pair-index range `[start, end)` of the
+    /// `pos × neg` grid (pair `k` = `(pos[k / |neg|], neg[k % |neg|])`).
+    /// Survivors of the summary rejection are appended to `out`.
+    /// Returns the number of surviving pairs.
+    pub fn generate_range(
+        &self,
+        part: &SignPartition<P>,
+        start: u64,
+        end: u64,
+        out: &mut CandidateSet<P>,
+        scratch: &mut Vec<S>,
+    ) -> u64 {
+        let nneg = part.neg.len() as u64;
+        if nneg == 0 || start >= end {
+            return 0;
+        }
+        let stride = self.modes.stride();
+        let head = self.modes.rev_len;
+        let max_nz = self.max_support as u32;
+        let mut survivors = 0u64;
+        let mut a = (start / nneg) as usize;
+        let mut b = (start % nneg) as usize;
+        let mut k = start;
+        let last_row = (end - 1) / nneg;
+        let mut hit_idx: Vec<u32> = Vec::new();
+        while k < end {
+            let pi = part.pos[a] as usize;
+            let pat_p = self.modes.patterns[pi];
+            let tail_sup_p = self.val_support(pi);
+            let vals_p = self.modes.vals(pi);
+            let coeff_n = vals_p[head].neg(); // multiplies the negative parent (−v_p)
+            let b_end =
+                if a as u64 == last_row { ((end - 1) % nneg + 1) as usize } else { part.neg.len() };
+            k += (b_end - b) as u64;
+            // Hot prefilter sweep over the dense pattern slices. The lower
+            // bound is exact for settled rows (pattern union) and uses the
+            // one-parent-nonzero guarantee for value slots (XOR of tail
+            // supports); only surviving pairs pay for exact arithmetic.
+            hit_idx.clear();
+            let negs = &part.neg_pats[b..b_end];
+            let nsups = &part.neg_tail_sups[b..b_end];
+            for bi in 0..negs.len() {
+                let bound = pat_p.union_count(&negs[bi]) + tail_sup_p.xor_count(&nsups[bi]);
+                if bound <= max_nz {
+                    hit_idx.push((b + bi) as u32);
+                }
+            }
+            b = 0;
+            a += 1;
+            out.numeric_pass += hit_idx.len() as u64;
+            // Numeric pass on prefilter survivors only; values go to a
+            // reusable scratch — only the support bits are recorded.
+            'hits: for &bidx in &hit_idx {
+                let ni = part.neg[bidx as usize] as usize;
+                let pat_n = &self.modes.patterns[ni];
+                let base = pat_p.union_count(pat_n);
+                let vals_n = self.modes.vals(ni);
+                let coeff_p = vals_n[head].neg(); // = −v_n > 0
+                let mut nz = base;
+                scratch.clear();
+                let mut sup = P::empty();
+                for t in 0..stride {
+                    if t == head {
+                        continue;
+                    }
+                    let v = S::fused_comb(&coeff_p, &vals_p[t], &coeff_n, &vals_n[t]);
+                    if !v.is_zero() {
+                        nz += 1;
+                        if nz > max_nz {
+                            continue 'hits;
+                        }
+                        sup.set(scratch.len());
+                    }
+                    scratch.push(v);
+                }
+                // On reversible rows the (zero) current-row slot stays part
+                // of the numeric section; its support bit is never set, but
+                // slot indices must account for it.
+                if self.current_reversible() {
+                    let mut shifted = P::empty();
+                    for slot in sup.ones() {
+                        shifted.set(if slot >= head { slot + 1 } else { slot });
+                    }
+                    sup = shifted;
+                }
+                out.patterns.push(pat_p.union(pat_n));
+                out.val_sups.push(sup);
+                out.parents.push((pi as u32, ni as u32));
+                survivors += 1;
+            }
+        }
+        survivors
+    }
+
+    /// Recomputes the numeric sections for the surviving candidates (their
+    /// parents are still alive) and produces the buffer [`Engine::advance`]
+    /// consumes. Values are gcd-normalized here, once per survivor.
+    pub fn materialize(&self, set: &CandidateSet<P>) -> CandidateBuf<P, S> {
+        let stride = self.modes.stride();
+        let head = self.modes.rev_len;
+        let reversible = self.current_reversible();
+        let out_stride = self.candidate_stride();
+        let mut buf = CandidateBuf::new(out_stride);
+        buf.patterns = set.patterns.clone();
+        buf.val_sups = set.val_sups.clone();
+        buf.vals.reserve(set.len() * out_stride);
+        for &(pi, ni) in &set.parents {
+            let vals_p = self.modes.vals(pi as usize);
+            let vals_n = self.modes.vals(ni as usize);
+            let coeff_n = vals_p[head].neg();
+            let coeff_p = vals_n[head].neg();
+            let vstart = buf.vals.len();
+            for t in 0..stride {
+                if t == head {
+                    if reversible {
+                        buf.vals.push(S::zero());
+                    }
+                    continue;
+                }
+                buf.vals.push(S::fused_comb(&coeff_p, &vals_p[t], &coeff_n, &vals_n[t]));
+            }
+            S::normalize_vec(&mut buf.vals[vstart..]);
+        }
+        buf
+    }
+
+    /// The stoichiometry column index a value-section slot maps to. Slots
+    /// `0..rev_len` are processed reversible rows; slots `rev_len..` are
+    /// unprocessed positions starting at the cursor. `extra_shift` is 1
+    /// for candidate sections on irreversible rows (their section skips
+    /// the current row).
+    #[inline]
+    fn val_slot_col(&self, slot: usize, candidate: bool) -> usize {
+        let head = self.modes.rev_len;
+        let pos = if slot < head {
+            self.rev_positions[slot]
+        } else if candidate && !self.current_reversible() {
+            // Candidate sections on irreversible rows skip the current row.
+            self.cursor + 1 + (slot - head)
+        } else if candidate {
+            // Reversible rows keep the (zero) current-row slot in place.
+            self.cursor + (slot - head)
+        } else {
+            self.cursor + (slot - head)
+        };
+        self.row_order[pos]
+    }
+
+    /// Support column indices (into `stoich`) of candidate `i` in `buf`.
+    fn candidate_support_cols(&self, buf: &CandidateSet<P>, i: usize, cols: &mut Vec<usize>) {
+        cols.clear();
+        for pos in buf.patterns[i].ones() {
+            cols.push(self.row_order[pos]);
+        }
+        for slot in buf.val_sups[i].ones() {
+            cols.push(self.val_slot_col(slot, true));
+        }
+    }
+
+    /// Full support (positions) of a live mode.
+    fn mode_support(&self, i: usize) -> P {
+        let head = self.modes.rev_len;
+        let mut s = self.modes.patterns[i];
+        for (slot, v) in self.modes.vals(i).iter().enumerate() {
+            if !v.is_zero() {
+                let pos = if slot < head {
+                    self.rev_positions[slot]
+                } else {
+                    self.cursor + (slot - head)
+                };
+                s.set(pos);
+            }
+        }
+        s
+    }
+
+    /// Full support (positions) of a candidate.
+    fn candidate_support(&self, buf: &CandidateSet<P>, i: usize) -> P {
+        let head = self.modes.rev_len;
+        let mut s = buf.patterns[i];
+        for slot in buf.val_sups[i].ones() {
+            let pos = if slot < head {
+                self.rev_positions[slot]
+            } else if self.current_reversible() {
+                self.cursor + (slot - head)
+            } else {
+                self.cursor + 1 + (slot - head)
+            };
+            s.set(pos);
+        }
+        s
+    }
+
+    /// Drops candidates whose full support equals an existing zero-row
+    /// mode's support: cancellation at processed reversible rows can make a
+    /// combination reproduce an existing ray (both have nullity-1 supports,
+    /// hence are the same ray). Positive/negative modes carry the
+    /// current-row position and can never collide. Returns the number
+    /// dropped.
+    pub fn drop_duplicates_of_existing(
+        &self,
+        buf: &mut CandidateSet<P>,
+        part: &SignPartition<P>,
+    ) -> u64 {
+        if buf.is_empty() || part.zero.is_empty() {
+            return 0;
+        }
+        let zero_sups: std::collections::HashSet<P> =
+            part.zero.iter().map(|&i| self.mode_support(i as usize)).collect();
+        let keep: Vec<u32> = (0..buf.len())
+            .filter(|&i| !zero_sups.contains(&self.candidate_support(buf, i)))
+            .map(|i| i as u32)
+            .collect();
+        let dropped = buf.len() as u64 - keep.len() as u64;
+        if dropped > 0 {
+            buf.gather(&keep);
+        }
+        dropped
+    }
+
+    /// Applies the elementarity test, keeping only accepted candidates.
+    /// Returns the number accepted.
+    pub fn elementarity_filter(&self, buf: &mut CandidateSet<P>, part: &SignPartition<P>) -> u64 {
+        match self.test {
+            CandidateTest::Rank => {
+                let keep = self.rank_filter_range(buf, 0..buf.len());
+                let n = keep.len() as u64;
+                buf.gather(&keep);
+                n
+            }
+            CandidateTest::Adjacency => self.adjacency_filter(buf, part),
+        }
+    }
+
+    /// Fast numerical nullity-1 test on selected columns: uses the cached
+    /// scaled f64 stoichiometry and prunes rows that are zero across the
+    /// whole support (they cannot affect the rank).
+    fn nullity_is_one_f64(&self, cols: &[usize], scratch: &mut Vec<f64>) -> bool {
+        let m = self.stoich.rows();
+        let nc = cols.len();
+        if nc == 0 {
+            return false;
+        }
+        if !self.row_masks.is_empty() {
+            let mut mask = 0u128;
+            for &c in cols {
+                mask |= self.row_masks[c];
+            }
+            let nr = mask.count_ones() as usize;
+            // nullity = nc − rank and rank ≤ nr: with too few active rows
+            // the candidate cannot be elementary.
+            if nr + 1 < nc {
+                return false;
+            }
+            scratch.clear();
+            scratch.resize(nr * nc, 0.0);
+            let mut r_out = 0;
+            let mut rest = mask;
+            while rest != 0 {
+                let r = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                for (j, &c) in cols.iter().enumerate() {
+                    scratch[r_out * nc + j] = self.stoich_f64[c * m + r];
+                }
+                r_out += 1;
+            }
+            let rank = efm_linalg::gauss_rank_in_place_f64(scratch, nr, nc, RANK_TOL);
+            nc - rank == 1
+        } else {
+            scratch.clear();
+            scratch.resize(m * nc, 0.0);
+            for (j, &c) in cols.iter().enumerate() {
+                for r in 0..m {
+                    scratch[r * nc + j] = self.stoich_f64[c * m + r];
+                }
+            }
+            let rank = efm_linalg::gauss_rank_in_place_f64(scratch, m, nc, RANK_TOL);
+            nc - rank == 1
+        }
+    }
+
+    /// Rank test on a sub-range of candidates: returns indices (relative
+    /// to the buffer) that pass. Used by parallel drivers.
+    pub fn rank_filter_range(
+        &self,
+        buf: &CandidateSet<P>,
+        range: std::ops::Range<usize>,
+    ) -> Vec<u32> {
+        let mut cols = Vec::with_capacity(self.max_support);
+        let mut keep = Vec::new();
+        if self.exact_rank_test {
+            let mut scratch = Vec::new();
+            for i in range {
+                self.candidate_support_cols(buf, i, &mut cols);
+                if nullity_of_cols(&self.stoich, &cols, &mut scratch) == 1 {
+                    keep.push(i as u32);
+                }
+            }
+        } else {
+            // The paper's rank test is numerical ("LU, QR or SVD"); exact
+            // integer elimination would blow up on genome-scale entries.
+            let mut scratch: Vec<f64> = Vec::new();
+            for i in range {
+                self.candidate_support_cols(buf, i, &mut cols);
+                if self.nullity_is_one_f64(&cols, &mut scratch) {
+                    keep.push(i as u32);
+                }
+            }
+        }
+        keep
+    }
+
+    /// Combinatorial (support-minimality) test, the classical alternative
+    /// to the rank test: a candidate survives iff no *other* mode of the
+    /// next generation has support strictly contained in the candidate's.
+    ///
+    /// Modes kept with a nonzero current-row entry (positive, and negative
+    /// on reversible rows) carry the current-row position in their support
+    /// while candidates never do, so they cannot be subsets; only zero-row
+    /// modes and the other candidates can reject. Candidates are
+    /// deduplicated beforehand, so subset means strict subset.
+    fn adjacency_filter(&self, buf: &mut CandidateSet<P>, part: &SignPartition<P>) -> u64 {
+        let zero_sups: Vec<P> =
+            part.zero.iter().map(|&i| self.mode_support(i as usize)).collect();
+        let cand_sups: Vec<P> = (0..buf.len()).map(|i| self.candidate_support(buf, i)).collect();
+        let mut keep = Vec::new();
+        'cand: for (i, cs) in cand_sups.iter().enumerate() {
+            for z in &zero_sups {
+                if z.is_subset_of(cs) {
+                    continue 'cand;
+                }
+            }
+            for (j, other) in cand_sups.iter().enumerate() {
+                if j != i && other.is_subset_of(cs) {
+                    continue 'cand;
+                }
+            }
+            keep.push(i as u32);
+        }
+        let n = keep.len() as u64;
+        buf.gather(&keep);
+        n
+    }
+
+    /// Completes the iteration: installs the survivor set and advances the
+    /// cursor. `part` must be the partition used for generation,
+    /// `accepted` the filtered candidate buffer.
+    pub fn advance(&mut self, part: &SignPartition<P>, accepted: CandidateBuf<P, S>) {
+        let stride = self.modes.stride();
+        let head = self.modes.rev_len;
+        let reversible = self.current_reversible();
+        if reversible {
+            // Nothing is dropped and no slot is removed: the current row's
+            // value slot is reinterpreted as the last rev-section slot.
+            debug_assert_eq!(accepted.stride, stride);
+            self.modes.patterns.extend_from_slice(&accepted.patterns);
+            self.modes.vals.extend_from_slice(&accepted.vals);
+            self.modes.rev_len += 1;
+            self.modes.tail_len -= 1;
+            self.rev_positions.push(self.cursor);
+        } else {
+            // Rebuild: drop negatives, drop the current-row slot, set the
+            // pattern bit on positives.
+            let new_stride = stride - 1;
+            let total = part.zero.len() + part.pos.len() + accepted.len();
+            let mut patterns = Vec::with_capacity(total);
+            let mut vals = Vec::with_capacity(total * new_stride);
+            let push_old = |idx: u32, set_bit: bool, patterns: &mut Vec<P>, vals: &mut Vec<S>| {
+                let i = idx as usize;
+                let mut pat = self.modes.patterns[i];
+                if set_bit {
+                    pat.set(self.cursor);
+                }
+                patterns.push(pat);
+                let v = self.modes.vals(i);
+                vals.extend_from_slice(&v[..head]);
+                vals.extend_from_slice(&v[head + 1..]);
+            };
+            for &i in &part.zero {
+                push_old(i, false, &mut patterns, &mut vals);
+            }
+            for &i in &part.pos {
+                push_old(i, true, &mut patterns, &mut vals);
+            }
+            patterns.extend_from_slice(&accepted.patterns);
+            vals.extend_from_slice(&accepted.vals);
+            self.modes =
+                ModeMatrix { patterns, vals, rev_len: head, tail_len: self.modes.tail_len - 1 };
+        }
+        self.stats.peak_modes = self.stats.peak_modes.max(self.modes.len());
+        self.cursor += 1;
+    }
+
+    /// Runs one full iteration in-place (used by the serial driver and by
+    /// tests; parallel drivers orchestrate the pieces themselves).
+    pub fn step(&mut self) -> IterationStats {
+        use std::time::Instant;
+        debug_assert!(!self.done());
+        let mut rec = IterationStats {
+            position: self.cursor,
+            reaction: self.name_at[self.cursor].clone(),
+            reversible: self.current_reversible(),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let part = self.partition();
+        rec.pos = part.pos.len();
+        rec.neg = part.neg.len();
+        rec.zero = part.zero.len();
+        rec.pairs = part.pairs();
+        let mut set = CandidateSet::default();
+        let mut scratch = Vec::new();
+        rec.prefiltered = self.generate_range(&part, 0, part.pairs(), &mut set, &mut scratch);
+        rec.numeric_pass = set.numeric_pass;
+        let t1 = Instant::now();
+        set.sort_dedup();
+        self.drop_duplicates_of_existing(&mut set, &part);
+        rec.deduped = set.len() as u64;
+        let t2 = Instant::now();
+        rec.accepted = self.elementarity_filter(&mut set, &part);
+        let t3 = Instant::now();
+        let buf = self.materialize(&set);
+        self.advance(&part, buf);
+        let t4 = Instant::now();
+        rec.modes_after = self.modes.len();
+        rec.t_generate = t1 - t0;
+        rec.t_dedup = t2 - t1;
+        rec.t_test = (t3 - t2) + (t4 - t3);
+        self.stats.phases.generate += t1 - t0;
+        self.stats.phases.dedup += t2 - t1;
+        self.stats.phases.rank_test += t3 - t2;
+        self.stats.candidates_generated += rec.pairs;
+        self.stats.iterations.push(rec.clone());
+        rec
+    }
+
+    /// Extracts the final supports as patterns over *positions*; when the
+    /// run stopped early (divide-and-conquer), only modes whose remaining
+    /// tail is everywhere nonzero are kept (Proposition 1), with all
+    /// numeric-section positions added to the support.
+    pub fn final_supports(&self) -> Vec<P> {
+        let head = self.modes.rev_len;
+        let mut out = Vec::new();
+        'mode: for i in 0..self.modes.len() {
+            let mut pat = self.modes.patterns[i];
+            for (slot, v) in self.modes.vals(i).iter().enumerate() {
+                if slot < head {
+                    // Processed reversible row: nonzero → support member.
+                    if !v.is_zero() {
+                        pat.set(self.rev_positions[slot]);
+                    }
+                } else {
+                    // Unprocessed forced row: must be nonzero.
+                    if v.is_zero() {
+                        continue 'mode;
+                    }
+                    pat.set(self.cursor + (slot - head));
+                }
+            }
+            out.push(pat);
+        }
+        out
+    }
+
+    /// Maps a position-space support pattern to subproblem column indices.
+    pub fn support_to_cols(&self, pat: &P) -> Vec<usize> {
+        let mut v: Vec<usize> = pat.ones().into_iter().map(|p| self.row_order[p]).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::build_problem;
+    use crate::types::EfmOptions;
+    use efm_bitset::Pattern1;
+    use efm_metnet::compress;
+    use efm_numeric::DynInt;
+
+    fn toy_engine() -> Engine<Pattern1, DynInt> {
+        let net = efm_metnet::examples::toy_network();
+        let (red, _) = compress(&net);
+        let opts = EfmOptions::default();
+        let problem = build_problem::<DynInt>(&red, &opts).unwrap();
+        Engine::new(&problem, &opts).unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_identity_patterned() {
+        let eng = toy_engine();
+        assert_eq!(eng.modes.len(), 4, "kernel dimension of the reduced toy network");
+        for j in 0..eng.modes.len() {
+            assert!(eng.modes.patterns[j].get(j), "mode {j} carries its identity bit");
+            assert_eq!(eng.modes.patterns[j].count(), 1);
+        }
+        assert_eq!(eng.modes.rev_len, 0);
+        assert_eq!(eng.modes.tail_len, 4);
+        assert_eq!(eng.cursor, eng.free_count);
+        assert!(!eng.done());
+        assert_eq!(eng.remaining(), 4);
+    }
+
+    #[test]
+    fn partition_is_a_partition() {
+        let eng = toy_engine();
+        let p = eng.partition();
+        assert_eq!(p.pos.len() + p.neg.len() + p.zero.len(), eng.modes.len());
+        assert_eq!(p.neg_pats.len(), p.neg.len());
+        assert_eq!(p.neg_tail_sups.len(), p.neg.len());
+        let head = eng.modes.rev_len;
+        for &i in &p.pos {
+            assert_eq!(eng.modes.vals(i as usize)[head].signum(), 1);
+        }
+        for &i in &p.neg {
+            assert_eq!(eng.modes.vals(i as usize)[head].signum(), -1);
+        }
+        for &i in &p.zero {
+            assert_eq!(eng.modes.vals(i as usize)[head].signum(), 0);
+        }
+    }
+
+    #[test]
+    fn striped_generation_equals_full_generation() {
+        // Run two iterations so pairs exist, then compare the full range
+        // against a 3-way stripe at the same iteration.
+        let mut eng = toy_engine();
+        while !eng.done() {
+            let part = eng.partition();
+            if part.pairs() >= 2 {
+                let mut full = CandidateSet::default();
+                let mut scratch = Vec::new();
+                let total = part.pairs();
+                eng.generate_range(&part, 0, total, &mut full, &mut scratch);
+                let mut striped = CandidateSet::default();
+                let bounds = [0, total / 3, 2 * total / 3, total];
+                for w in bounds.windows(2) {
+                    eng.generate_range(&part, w[0], w[1], &mut striped, &mut scratch);
+                }
+                full.sort_dedup();
+                striped.sort_dedup();
+                assert_eq!(full.patterns, striped.patterns);
+                assert_eq!(full.val_sups, striped.val_sups);
+                return; // compared once, done
+            }
+            eng.step();
+        }
+        panic!("toy network has an iteration with at least two pairs");
+    }
+
+    #[test]
+    fn advance_reversible_keeps_negatives_and_grows_rev_section() {
+        let mut eng = toy_engine();
+        // Process until the first reversible row.
+        while !eng.current_reversible() {
+            eng.step();
+        }
+        let part = eng.partition();
+        let before = eng.modes.len();
+        let negs = part.neg.len();
+        let rev_before = eng.modes.rev_len;
+        eng.step();
+        assert_eq!(eng.modes.rev_len, rev_before + 1);
+        assert!(eng.modes.len() >= before.min(before - 0), "negatives kept");
+        let _ = negs;
+        assert_eq!(eng.rev_positions.last().copied(), Some(eng.cursor - 1));
+    }
+
+    #[test]
+    fn advance_irreversible_drops_negatives() {
+        let mut eng = toy_engine();
+        // Find an irreversible iteration with at least one negative mode.
+        loop {
+            assert!(!eng.done(), "toy run has an irreversible row with negatives");
+            let part = eng.partition();
+            if !eng.current_reversible() && !part.neg.is_empty() {
+                let stride_before = eng.modes.stride();
+                let rec = eng.step();
+                assert_eq!(eng.modes.stride(), stride_before - 1);
+                // zero + pos + accepted = survivors.
+                assert_eq!(rec.modes_after, rec.zero + rec.pos + rec.accepted as usize);
+                return;
+            }
+            eng.step();
+        }
+    }
+
+    #[test]
+    fn mode_limit_check_in_types() {
+        // The engine itself has no limit; drivers enforce it. Covered in
+        // lib tests; here assert peak tracking works.
+        let mut eng = toy_engine();
+        while !eng.done() {
+            eng.step();
+        }
+        assert_eq!(eng.stats.peak_modes, 8);
+        assert_eq!(eng.modes.len(), 8);
+        assert_eq!(eng.final_supports().len(), 8);
+    }
+
+    #[test]
+    fn candidate_buf_append_and_gather() {
+        let mut a = CandidateBuf::<Pattern1, DynInt>::new(2);
+        a.patterns = vec![Pattern1::from_indices([0]), Pattern1::from_indices([1])];
+        a.val_sups = vec![Pattern1::empty(), Pattern1::from_indices([0])];
+        a.vals = vec![
+            DynInt::from_i64(1),
+            DynInt::from_i64(2),
+            DynInt::from_i64(3),
+            DynInt::from_i64(4),
+        ];
+        let mut b = a.clone();
+        a.append(&mut b);
+        assert_eq!(a.len(), 4);
+        a.gather(&[3, 0]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.patterns[0], Pattern1::from_indices([1]));
+        assert_eq!(a.vals(1), &[DynInt::from_i64(1), DynInt::from_i64(2)]);
+    }
+
+    #[test]
+    fn candidate_set_sort_dedup_keeps_distinct_supports() {
+        let mut s = CandidateSet::<Pattern1>::default();
+        s.patterns = vec![
+            Pattern1::from_indices([0]),
+            Pattern1::from_indices([0]),
+            Pattern1::from_indices([1]),
+        ];
+        s.val_sups = vec![
+            Pattern1::from_indices([2]),
+            Pattern1::from_indices([2]),
+            Pattern1::from_indices([2]),
+        ];
+        s.parents = vec![(0, 1), (2, 3), (4, 5)];
+        s.sort_dedup();
+        assert_eq!(s.len(), 2, "equal (pattern, val_sup) keys collapse");
+    }
+}

@@ -1,0 +1,182 @@
+//! Persisting computed EFM sets.
+//!
+//! Two formats:
+//!
+//! * **text** — one mode per line, reaction names separated by spaces
+//!   (human-greppable; what the paper's tool printed);
+//! * **packed** — a compact binary layout (`EFMS` magic, u32 header,
+//!   reaction-name table, then the raw support words), appropriate for the
+//!   tens of millions of modes of the paper's Table IV.
+
+use crate::types::EfmSet;
+use std::io::{self, BufRead, Read, Write};
+
+const MAGIC: &[u8; 4] = b"EFMS";
+const VERSION: u32 = 1;
+
+/// Writes a mode-per-line text listing.
+pub fn write_text<W: Write>(efms: &EfmSet, mut w: W) -> io::Result<()> {
+    let names = efms.reaction_names();
+    for i in 0..efms.len() {
+        let line: Vec<&str> = efms.support(i).into_iter().map(|r| names[r].as_str()).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Reads a mode-per-line text listing produced by [`write_text`]; the
+/// universe (reaction names) must be supplied because the text format does
+/// not embed unused reactions.
+pub fn read_text<R: BufRead>(reaction_names: Vec<String>, r: R) -> io::Result<EfmSet> {
+    let index: std::collections::HashMap<&str, usize> =
+        reaction_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let mut sups: Vec<Vec<usize>> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut sup = Vec::new();
+        for tok in line.split_whitespace() {
+            let Some(&i) = index.get(tok) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown reaction {tok}"),
+                ));
+            };
+            sup.push(i);
+        }
+        sups.push(sup);
+    }
+    let mut set = EfmSet::new(reaction_names);
+    for s in &sups {
+        set.push_support(s);
+    }
+    Ok(set)
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes the packed binary format.
+pub fn write_packed<W: Write>(efms: &EfmSet, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    put_u32(&mut w, efms.num_reactions() as u32)?;
+    put_u32(&mut w, efms.len() as u32)?;
+    for name in efms.reaction_names() {
+        put_u32(&mut w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+    }
+    for word in efms.raw_words() {
+        w.write_all(&word.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads the packed binary format.
+pub fn read_packed<R: Read>(mut r: R) -> io::Result<EfmSet> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an EFMS file"));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported EFMS version {version}"),
+        ));
+    }
+    let nreactions = get_u32(&mut r)? as usize;
+    let nmodes = get_u32(&mut r)? as usize;
+    let mut names = Vec::with_capacity(nreactions);
+    for _ in 0..nreactions {
+        let len = get_u32(&mut r)? as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        names.push(String::from_utf8(buf).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 reaction name")
+        })?);
+    }
+    let words_per_mode = nreactions.div_ceil(64).max(1);
+    let mut words = vec![0u64; nmodes * words_per_mode];
+    for w in words.iter_mut() {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        *w = u64::from_le_bytes(b);
+    }
+    EfmSet::from_raw_words(names, words)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate, EfmOptions};
+    use efm_metnet::examples::toy_network;
+
+    fn toy_set() -> (EfmSet, Vec<String>) {
+        let net = toy_network();
+        let out = enumerate(&net, &EfmOptions::default()).unwrap();
+        (out.efms, net.reaction_names())
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (efms, names) = toy_set();
+        let mut buf = Vec::new();
+        write_text(&efms, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 8);
+        let back = read_text(names, &buf[..]).unwrap();
+        assert_eq!(back, efms);
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let (efms, _) = toy_set();
+        let mut buf = Vec::new();
+        write_packed(&efms, &mut buf).unwrap();
+        let back = read_packed(&buf[..]).unwrap();
+        assert_eq!(back, efms);
+        assert_eq!(back.reaction_names(), efms.reaction_names());
+    }
+
+    #[test]
+    fn packed_detects_corruption() {
+        let (efms, _) = toy_set();
+        let mut buf = Vec::new();
+        write_packed(&efms, &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(read_packed(&buf[..]).is_err());
+        let mut buf2 = Vec::new();
+        write_packed(&efms, &mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 3);
+        assert!(read_packed(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn text_rejects_unknown_reaction() {
+        let (_, names) = toy_set();
+        let err = read_text(names, "r1 bogus\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn packed_is_compact() {
+        let (efms, _) = toy_set();
+        let mut buf = Vec::new();
+        write_packed(&efms, &mut buf).unwrap();
+        // Header + names + 8 modes × 2 words (9 reactions → 1 word... cap 64).
+        assert!(buf.len() < 400, "packed size {} too large", buf.len());
+    }
+}

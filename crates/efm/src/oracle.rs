@@ -1,0 +1,127 @@
+//! Brute-force EFM oracle for small networks.
+//!
+//! Enumerate every reaction subset `S` with `|S| ≤ m+1` and accept `S` as an
+//! EFM support iff
+//!
+//! 1. the support submatrix `N[:, S]` has nullity exactly 1 (the algebraic
+//!    characterization of elementarity, [18]/[30]),
+//! 2. the one-dimensional kernel vector is nonzero on all of `S` (so `S` is
+//!    the actual support), and
+//! 3. the vector (or its negation) satisfies every irreversibility
+//!    constraint inside `S`.
+//!
+//! Exponential in the reaction count — usable up to ~20 reactions — and
+//! completely independent of the Nullspace Algorithm code paths, which is
+//! what makes it a trustworthy test oracle.
+
+use crate::types::EfmSet;
+use efm_linalg::kernel_basis;
+use efm_metnet::MetabolicNetwork;
+
+/// Brute-force enumeration of all EFM supports of a network.
+///
+/// Panics if the network has more than `max_reactions` (default guard 22)
+/// reactions, to protect test suites from accidental explosions.
+pub fn brute_force_efms(net: &MetabolicNetwork, max_reactions: usize) -> EfmSet {
+    let q = net.num_reactions();
+    assert!(
+        q <= max_reactions && q < usize::BITS as usize - 1,
+        "brute-force oracle limited to {max_reactions} reactions, got {q}"
+    );
+    let n = net.stoichiometry();
+    let reversible = net.reversibilities();
+    // Rank of N bounds the useful support size at rank+1; use row count as
+    // a cheap upper bound.
+    let max_support = n.rows() + 1;
+
+    let mut out = EfmSet::new(net.reaction_names());
+    for mask in 1usize..(1 << q) {
+        let size = mask.count_ones() as usize;
+        if size > max_support {
+            continue;
+        }
+        let cols: Vec<usize> = (0..q).filter(|&j| mask >> j & 1 == 1).collect();
+        let sub = n.select_cols(&cols);
+        let kb = kernel_basis(&sub, &[]);
+        if kb.k.cols() != 1 {
+            continue;
+        }
+        // Full support within S.
+        if (0..cols.len()).any(|i| kb.k.get(i, 0).is_zero()) {
+            continue;
+        }
+        // Sign feasibility.
+        let mut pos_ok = true;
+        let mut neg_ok = true;
+        for (i, &j) in cols.iter().enumerate() {
+            if reversible[j] {
+                continue;
+            }
+            match kb.k.get(i, 0).signum() {
+                1 => neg_ok = false,
+                -1 => pos_ok = false,
+                _ => unreachable!("full support checked above"),
+            }
+        }
+        if pos_ok || neg_ok {
+            out.push_support(&cols);
+        }
+    }
+    out.canonicalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efm_metnet::examples;
+
+    #[test]
+    fn chain_has_one_efm() {
+        let efms = brute_force_efms(&examples::chain3(), 22);
+        assert_eq!(efms.len(), 1);
+        assert_eq!(efms.support(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diamond_has_two_efms() {
+        let efms = brute_force_efms(&examples::diamond(), 22);
+        assert_eq!(efms.len(), 2);
+    }
+
+    #[test]
+    fn toy_network_has_eight_efms() {
+        let net = examples::toy_network();
+        let efms = brute_force_efms(&net, 22);
+        assert_eq!(efms.len(), 8, "the paper's Eq. (7) lists 8 EFMs");
+        // Spot-check two known supports.
+        let idx = |n: &str| net.reaction_index(n).unwrap();
+        let sets = efms.as_support_sets();
+        let mut s1 = vec![idx("r1"), idx("r2"), idx("r3"), idx("r4"), idx("r9")];
+        s1.sort_unstable();
+        assert!(sets.contains(&s1), "glycolysis-like route missing");
+        let mut s7 = vec![idx("r4"), idx("r7"), idx("r8r")];
+        s7.sort_unstable();
+        assert!(sets.contains(&s7), "Bext import route missing");
+    }
+
+    #[test]
+    fn reversible_cycle_efms() {
+        // in/fwd/out, in/alt/out, and the internal 2-cycle fwd(-)/alt.
+        let net = examples::reversible_cycle();
+        let efms = brute_force_efms(&net, 22);
+        assert_eq!(efms.len(), 3);
+        let sets = efms.as_support_sets();
+        let idx = |n: &str| net.reaction_index(n).unwrap();
+        let mut cycle = vec![idx("fwd"), idx("alt")];
+        cycle.sort_unstable();
+        assert!(sets.contains(&cycle), "internal reversible cycle missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "brute-force oracle limited")]
+    fn oracle_guards_size() {
+        let net = efm_metnet::generator::layered_branches(8, 3);
+        let _ = brute_force_efms(&net, 10);
+    }
+}

@@ -1,0 +1,382 @@
+//! Problem construction: reduced network → ordered kernel start state.
+//!
+//! An [`EfmProblem`] is everything the enumeration engine needs and nothing
+//! more: the (sub)problem stoichiometry over the algorithm scalar, the
+//! kernel basis in `[I; R(2)]` shape, the row processing order, and — for
+//! divide-and-conquer subproblems — how many trailing rows stay unprocessed
+//! (Proposition 1 of the paper).
+
+use crate::bridge::EfmScalar;
+use crate::types::{EfmError, EfmOptions, RowOrdering};
+use efm_linalg::{kernel_basis, Mat};
+use efm_metnet::ReducedNetwork;
+use efm_numeric::Scalar;
+
+/// A fully prepared enumeration problem.
+#[derive(Debug, Clone)]
+pub struct EfmProblem<S: EfmScalar> {
+    /// Stoichiometry of the (sub)problem: independent rows × columns.
+    pub stoich: Mat<S>,
+    /// Kernel basis columns (rows indexed like `stoich` columns).
+    pub kernel: Mat<S>,
+    /// Reversibility per column.
+    pub reversible: Vec<bool>,
+    /// Display name per column.
+    pub names: Vec<String>,
+    /// Row processing order: `row_order[position] = column index`. The
+    /// first `free_count` positions are the identity block (never
+    /// processed); the rest are processed in order.
+    pub row_order: Vec<usize>,
+    /// Size of the identity block (kernel dimension).
+    pub free_count: usize,
+    /// Number of trailing positions left unprocessed (divide-and-conquer);
+    /// 0 for the full problem.
+    pub stop_before: usize,
+    /// Map from column index to the reduced-network reaction index.
+    pub col_to_reduced: Vec<usize>,
+    /// For columns produced by splitting a reversible reaction that was
+    /// forced into the identity block: the index of the twin column
+    /// carrying the opposite direction. Modes using both twins are
+    /// artifacts and are filtered from the final supports.
+    pub twin_of: Vec<Option<usize>>,
+}
+
+impl<S: EfmScalar> EfmProblem<S> {
+    /// Number of columns (reactions) in the subproblem.
+    pub fn num_cols(&self) -> usize {
+        self.stoich.cols()
+    }
+
+    /// Number of independent stoichiometry rows.
+    pub fn num_rows(&self) -> usize {
+        self.stoich.rows()
+    }
+}
+
+fn order_pivot_positions<S: Scalar>(
+    kernel: &Mat<S>,
+    pivot_cols: &[usize],
+    reversible: &[bool],
+    ordering: &RowOrdering,
+) -> Vec<usize> {
+    let nnz = |col: usize| -> usize {
+        (0..kernel.cols()).filter(|&j| !kernel.get(col, j).is_zero()).count()
+    };
+    let mut order: Vec<usize> = pivot_cols.to_vec();
+    match ordering {
+        RowOrdering::Paper => {
+            order.sort_by_key(|&c| (reversible[c], nnz(c), c));
+        }
+        RowOrdering::FewestNonzeros => {
+            order.sort_by_key(|&c| (nnz(c), c));
+        }
+        RowOrdering::AsIs => {
+            order.sort_unstable();
+        }
+        RowOrdering::Random(seed) => {
+            // Deterministic xorshift shuffle (no rand dependency needed).
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for i in (1..order.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+        }
+    }
+    order
+}
+
+/// Builds the full-network problem from a reduced network.
+pub fn build_problem<S: EfmScalar>(
+    red: &ReducedNetwork,
+    opts: &EfmOptions,
+) -> Result<EfmProblem<S>, EfmError> {
+    let q = red.num_reduced();
+    // Pivot preference: when the caller pins the free (identity) columns,
+    // everything else is preferred as a pivot.
+    let prefer_pivot: Vec<usize> = match &opts.force_free {
+        Some(free_orig) => {
+            let free: Vec<usize> = free_orig
+                .iter()
+                .map(|&o| {
+                    red.reduced_index_of(o)
+                        .ok_or_else(|| EfmError::PartitionBlocked(red.original_names[o].clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            (0..q).filter(|c| !free.contains(c)).collect()
+        }
+        None => Vec::new(),
+    };
+    build_sub(red, &(0..q).collect::<Vec<_>>(), &[], &prefer_pivot, opts)
+        .map(|p| p.expect("full problem is never empty"))
+}
+
+/// Builds a divide-and-conquer subproblem over the reduced network.
+///
+/// * `keep_cols` — reduced reaction indices retained (the zero-flux
+///   reactions of the subset are removed);
+/// * `force_last` — reduced indices (⊆ `keep_cols`) that must be nonzero:
+///   ordered last and left unprocessed.
+///
+/// Returns `Ok(None)` when the subset is provably empty (a must-be-nonzero
+/// reaction is blocked within the subnetwork).
+pub fn build_subproblem<S: EfmScalar>(
+    red: &ReducedNetwork,
+    keep_cols: &[usize],
+    force_last: &[usize],
+    opts: &EfmOptions,
+) -> Result<Option<EfmProblem<S>>, EfmError> {
+    build_sub(red, keep_cols, force_last, force_last, opts)
+}
+
+fn build_sub<S: EfmScalar>(
+    red: &ReducedNetwork,
+    keep_cols: &[usize],
+    force_last: &[usize],
+    prefer_pivot_reduced: &[usize],
+    opts: &EfmOptions,
+) -> Result<Option<EfmProblem<S>>, EfmError> {
+    // Column selection relative to the reduced network.
+    let mut n_rat = red.stoich.select_cols(keep_cols);
+    let col_of_reduced = |r: usize| keep_cols.iter().position(|&c| c == r);
+    let mut names: Vec<String> = keep_cols.iter().map(|&c| red.names[c].clone()).collect();
+    let mut reversible: Vec<bool> = keep_cols.iter().map(|&c| red.reversible[c]).collect();
+    let mut col_to_reduced: Vec<usize> = keep_cols.to_vec();
+    let mut twin_of: Vec<Option<usize>> = vec![None; keep_cols.len()];
+
+    let force_last_cols: Vec<usize> = force_last
+        .iter()
+        .map(|&r| col_of_reduced(r).expect("force_last not kept"))
+        .collect();
+
+    // Pivot preference. Correctness requires every reversible reaction to
+    // land in the pivot block `R(2)`: the identity block is never
+    // processed, and every generated mode is a *positive* combination of
+    // the initial basis, so a free reaction can never carry negative flux
+    // (the paper's worked example accordingly uses the all-irreversible
+    // {r2, r4, r5, r7} as its identity). Forced-last columns come first
+    // (divide-and-conquer needs them pivotal), then the remaining
+    // reversible columns, then any caller preference.
+    let mut prefer_pivot: Vec<usize> = force_last_cols.clone();
+    for (c, &rev) in reversible.iter().enumerate() {
+        if rev && !prefer_pivot.contains(&c) {
+            prefer_pivot.push(c);
+        }
+    }
+    for &r in prefer_pivot_reduced {
+        let c = col_of_reduced(r).expect("preferred pivot not kept");
+        if !prefer_pivot.contains(&c) {
+            prefer_pivot.push(c);
+        }
+    }
+
+    let mut kb = kernel_basis(&n_rat, &prefer_pivot);
+
+    // A reversible column can still end up free when it is linearly
+    // dependent on the other reversible pivots (e.g. more reversible
+    // reactions than stoichiometry rank). Fall back to splitting those
+    // columns into forward/backward irreversible twins, which restores the
+    // positive-combination invariant; the pure two-cycle artifacts are
+    // filtered from the final supports via `twin_of`. Splitting changes
+    // the pivot structure, so iterate until no reversible column is free
+    // (each round strictly reduces the reversible count — it terminates).
+    loop {
+        let split_cols: Vec<usize> =
+            kb.free_cols.iter().copied().filter(|&c| reversible[c]).collect();
+        if split_cols.is_empty() {
+            break;
+        }
+        if let Some(&fc) = split_cols.iter().find(|c| force_last_cols.contains(c)) {
+            return Err(EfmError::PartitionNotPivotal(names[fc].clone()));
+        }
+        let base = n_rat.cols();
+        let mut wide = Mat::<efm_numeric::Rational>::zeros(n_rat.rows(), base + split_cols.len());
+        for r in 0..n_rat.rows() {
+            for c in 0..base {
+                wide.set(r, c, n_rat.get(r, c).clone());
+            }
+            for (k, &c) in split_cols.iter().enumerate() {
+                wide.set(r, base + k, n_rat.get(r, c).neg());
+            }
+        }
+        for (k, &c) in split_cols.iter().enumerate() {
+            let twin = base + k;
+            names.push(format!("{}_rev", names[c]));
+            reversible[c] = false;
+            reversible.push(false);
+            col_to_reduced.push(col_to_reduced[c]);
+            twin_of[c] = Some(twin);
+            twin_of.push(Some(c));
+        }
+        n_rat = wide;
+        let mut prefer: Vec<usize> = force_last_cols.clone();
+        for (c, &rev) in reversible.iter().enumerate() {
+            if rev && !prefer.contains(&c) {
+                prefer.push(c);
+            }
+        }
+        prefer.extend(split_cols.iter().copied());
+        kb = kernel_basis(&n_rat, &prefer);
+    }
+
+    // Drop dependent stoichiometry rows so the summary rejection bound
+    // (|support| ≤ m+1) is tight. RREF preserves the row space, hence the
+    // kernel and all support-submatrix nullities.
+    let rr = efm_linalg::rref(&n_rat);
+    let m_independent = rr.pivot_cols.len();
+    let mut n_indep = Mat::<efm_numeric::Rational>::zeros(m_independent, n_rat.cols());
+    for r in 0..m_independent {
+        for c in 0..n_rat.cols() {
+            n_indep.set(r, c, rr.mat.get(r, c).clone());
+        }
+    }
+
+    // Must-be-nonzero columns: detect blocked (zero kernel row) → empty
+    // subset; detect non-pivot (identity) placement → unusable partition.
+    for &c in &force_last_cols {
+        let blocked = (0..kb.k.cols()).all(|j| kb.k.get(c, j).is_zero());
+        if blocked {
+            return Ok(None);
+        }
+        if kb.free_cols.contains(&c) {
+            return Err(EfmError::PartitionNotPivotal(names[c].clone()));
+        }
+    }
+
+    // Row order: identity block first, then pivots by heuristic with the
+    // forced columns last.
+    let other_pivots: Vec<usize> = kb
+        .pivot_cols
+        .iter()
+        .copied()
+        .filter(|c| !force_last_cols.contains(c))
+        .collect();
+    let mut row_order: Vec<usize> = kb.free_cols.clone();
+    row_order.extend(order_pivot_positions(&kb.k, &other_pivots, &reversible, &opts.ordering));
+    // Forced columns at the very bottom, in the caller's order.
+    row_order.extend(force_last_cols.iter().copied());
+
+    debug_assert_eq!(row_order.len(), n_rat.cols());
+
+    Ok(Some(EfmProblem {
+        stoich: S::import_stoich(&n_indep),
+        kernel: S::import_kernel(&kb.k),
+        reversible,
+        names,
+        row_order,
+        free_count: kb.free_cols.len(),
+        stop_before: force_last_cols.len(),
+        col_to_reduced,
+        twin_of,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efm_metnet::{compress, examples};
+    use efm_numeric::DynInt;
+
+    fn toy_reduced() -> ReducedNetwork {
+        compress(&examples::toy_network()).0
+    }
+
+    #[test]
+    fn full_problem_shape() {
+        let red = toy_reduced();
+        let p: EfmProblem<DynInt> = build_problem(&red, &EfmOptions::default()).unwrap();
+        assert_eq!(p.num_cols(), 8);
+        assert_eq!(p.num_rows(), 4);
+        assert_eq!(p.kernel.cols(), 4, "kernel dimension q - m = 4");
+        assert_eq!(p.free_count, 4);
+        assert_eq!(p.stop_before, 0);
+        assert_eq!(p.row_order.len(), 8);
+        // row_order is a permutation.
+        let mut sorted = p.row_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_ordering_puts_reversibles_last() {
+        let red = toy_reduced();
+        let p: EfmProblem<DynInt> = build_problem(&red, &EfmOptions::default()).unwrap();
+        let processed = &p.row_order[p.free_count..];
+        // All irreversible processed rows must come before any reversible.
+        let first_rev = processed.iter().position(|&c| p.reversible[c]);
+        if let Some(fr) = first_rev {
+            assert!(
+                processed[fr..].iter().all(|&c| p.reversible[c]),
+                "reversible rows must be contiguous at the end: {processed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn force_free_pins_identity_block() {
+        let net = examples::toy_network();
+        let (red, _) = compress(&net);
+        // The paper's worked example uses r2, r4, r5, r7 as the identity.
+        let force: Vec<usize> = ["r2", "r4", "r5", "r7"]
+            .iter()
+            .map(|n| net.reaction_index(n).unwrap())
+            .collect();
+        let opts = EfmOptions { force_free: Some(force.clone()), ..Default::default() };
+        let p: EfmProblem<DynInt> = build_problem(&red, &opts).unwrap();
+        let free_reduced: Vec<usize> =
+            p.row_order[..p.free_count].iter().map(|&c| p.col_to_reduced[c]).collect();
+        let want: Vec<usize> =
+            force.iter().map(|&o| red.reduced_index_of(o).unwrap()).collect();
+        let mut a = free_reduced.clone();
+        a.sort_unstable();
+        let mut b = want.clone();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subproblem_removes_columns_and_orders_forced_last() {
+        let net = examples::toy_network();
+        let (red, _) = compress(&net);
+        let r6 = red.reduced_index_of(net.reaction_index("r6r").unwrap()).unwrap();
+        let r8 = red.reduced_index_of(net.reaction_index("r8r").unwrap()).unwrap();
+        // Subset: r6r zero (column removed), r8r nonzero (ordered last).
+        let keep: Vec<usize> = (0..red.num_reduced()).filter(|&c| c != r6).collect();
+        let p: EfmProblem<DynInt> =
+            build_subproblem(&red, &keep, &[r8], &EfmOptions::default()).unwrap().unwrap();
+        assert_eq!(p.num_cols(), 7);
+        assert_eq!(p.stop_before, 1);
+        let last_col = *p.row_order.last().unwrap();
+        assert_eq!(p.col_to_reduced[last_col], r8);
+    }
+
+    #[test]
+    fn kernel_annihilated_by_stoich() {
+        let red = toy_reduced();
+        let p: EfmProblem<DynInt> = build_problem(&red, &EfmOptions::default()).unwrap();
+        let prod = p.stoich.matmul(&p.kernel);
+        assert!(prod.is_zero(), "N_red · K must be zero");
+    }
+
+    #[test]
+    fn ordering_variants_are_permutations() {
+        let red = toy_reduced();
+        for ordering in [
+            RowOrdering::Paper,
+            RowOrdering::FewestNonzeros,
+            RowOrdering::AsIs,
+            RowOrdering::Random(7),
+        ] {
+            let opts = EfmOptions { ordering, ..Default::default() };
+            let p: EfmProblem<DynInt> = build_problem(&red, &opts).unwrap();
+            let mut sorted = p.row_order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Numeric coefficient recovery for support-encoded EFMs.
+//!
+//! The algorithm's output is the paper's "bit-valued matrix of elementary
+//! modes" — supports only. Because every EFM's support submatrix has
+//! nullity 1, the flux values are recoverable up to scale by solving that
+//! one-dimensional kernel exactly, then expanding through the compression
+//! record (the paper adds the folded reaction `r9` back the same way in
+//! Eq. (7)).
+
+use crate::types::EfmError;
+use efm_linalg::kernel_basis;
+use efm_metnet::ReducedNetwork;
+use efm_numeric::Rational;
+
+/// Recovers the exact flux vector (over *original* reactions, up to
+/// positive scale) of an EFM given by its original-reaction support.
+///
+/// The sign is fixed so that irreversible reactions carry nonnegative flux;
+/// for all-reversible supports the first nonzero entry is made positive.
+/// Returns an error if the support is not an EFM support (nullity ≠ 1).
+pub fn recover_flux(
+    red: &ReducedNetwork,
+    reversible_original: &[bool],
+    support_original: &[usize],
+) -> Result<Vec<Rational>, EfmError> {
+    // Map to the reduced support.
+    let mut reduced_sup: Vec<usize> = support_original
+        .iter()
+        .map(|&o| {
+            red.reduced_index_of(o).ok_or_else(|| {
+                EfmError::UnknownReaction(format!("reaction {o} is blocked, not in any EFM"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    reduced_sup.sort_unstable();
+    reduced_sup.dedup();
+
+    // Solve the 1-dimensional kernel of the support submatrix.
+    let sub = red.stoich.select_cols(&reduced_sup);
+    let kb = kernel_basis(&sub, &[]);
+    if kb.k.cols() != 1 {
+        return Err(EfmError::UnknownReaction(format!(
+            "support has nullity {} (not an EFM support)",
+            kb.k.cols()
+        )));
+    }
+    let mut reduced_flux = vec![Rational::zero(); red.num_reduced()];
+    for (i, &c) in reduced_sup.iter().enumerate() {
+        reduced_flux[c] = kb.k.get(i, 0).clone();
+    }
+    let mut flux = red.expand_flux(&reduced_flux);
+
+    // Fix the sign.
+    let violates = |f: &[Rational]| {
+        f.iter()
+            .enumerate()
+            .any(|(i, v)| !reversible_original[i] && v.signum() < 0)
+    };
+    if violates(&flux) {
+        for v in &mut flux {
+            *v = v.neg();
+        }
+        if violates(&flux) {
+            return Err(EfmError::UnknownReaction(
+                "support is sign-infeasible in both directions".to_string(),
+            ));
+        }
+    } else {
+        // All-reversible supports admit both directions; canonicalize so
+        // the first nonzero entry is positive.
+        let all_rev = flux
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.is_zero() || reversible_original[i]);
+        if all_rev {
+            if let Some(first) = flux.iter().position(|v| !v.is_zero()) {
+                if flux[first].signum() < 0 {
+                    for v in &mut flux {
+                        *v = v.neg();
+                    }
+                }
+            }
+        }
+    }
+    Ok(flux)
+}
+
+/// Verifies that `flux` is a steady-state flux mode of the original
+/// network: `N·v = 0` exactly and irreversible entries nonnegative.
+pub fn verify_flux(
+    net: &efm_metnet::MetabolicNetwork,
+    flux: &[Rational],
+) -> Result<(), String> {
+    let n = net.stoichiometry();
+    assert_eq!(flux.len(), n.cols(), "flux length mismatch");
+    let residual = n.matvec(flux);
+    for (i, v) in residual.iter().enumerate() {
+        if !v.is_zero() {
+            return Err(format!("metabolite row {i} is unbalanced: {v}"));
+        }
+    }
+    for (j, rxn) in net.reactions.iter().enumerate() {
+        if !rxn.reversible && flux[j].signum() < 0 {
+            return Err(format!("irreversible reaction {} has negative flux", rxn.name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efm_metnet::{compress, examples};
+
+    #[test]
+    fn recover_simple_chain() {
+        let net = examples::chain3();
+        let (red, _) = compress(&net);
+        let rev: Vec<bool> = net.reversibilities();
+        let flux = recover_flux(&red, &rev, &[0, 1, 2]).unwrap();
+        assert!(verify_flux(&net, &flux).is_ok());
+        assert!(flux.iter().all(|v| v.signum() > 0));
+    }
+
+    #[test]
+    fn recover_toy_doubling_pathway() {
+        // EFM {r1, r4, r5, r7}: A→B→2P gives r4 = 2·r1.
+        let net = examples::toy_network();
+        let (red, _) = compress(&net);
+        let rev = net.reversibilities();
+        let idx = |n: &str| net.reaction_index(n).unwrap();
+        let sup = vec![idx("r1"), idx("r4"), idx("r5"), idx("r7")];
+        let flux = recover_flux(&red, &rev, &sup).unwrap();
+        assert!(verify_flux(&net, &flux).is_ok());
+        let r1 = flux[idx("r1")].clone();
+        let r4 = flux[idx("r4")].clone();
+        assert_eq!(r4, r1.mul(&Rational::from_i64(2)));
+    }
+
+    #[test]
+    fn recover_negative_reversible_direction() {
+        // EFM {r4, r7, r8r}: Bext→B→2P requires r8r < 0.
+        let net = examples::toy_network();
+        let (red, _) = compress(&net);
+        let rev = net.reversibilities();
+        let idx = |n: &str| net.reaction_index(n).unwrap();
+        let flux = recover_flux(&red, &rev, &[idx("r4"), idx("r7"), idx("r8r")]).unwrap();
+        assert!(verify_flux(&net, &flux).is_ok());
+        assert_eq!(flux[idx("r8r")].signum(), -1);
+        assert_eq!(flux[idx("r7")].signum(), 1);
+    }
+
+    #[test]
+    fn non_efm_support_is_rejected() {
+        // The union of two EFMs has nullity 2.
+        let net = examples::diamond();
+        let (red, _) = compress(&net);
+        let rev = net.reversibilities();
+        let all: Vec<usize> = (0..net.num_reactions()).collect();
+        assert!(recover_flux(&red, &rev, &all).is_err());
+    }
+}

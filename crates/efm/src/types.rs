@@ -1,0 +1,446 @@
+//! Shared public types: options, statistics, results, errors.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Row-processing order for the `R(2)` block of the kernel matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOrdering {
+    /// The paper's heuristic: rows sorted by ascending nonzero count, with
+    /// rows of reversible reactions processed last (§II.C).
+    Paper,
+    /// Ascending nonzero count only (no reversibility tie-break).
+    FewestNonzeros,
+    /// Natural column order (no heuristic) — ablation baseline.
+    AsIs,
+    /// Deterministic pseudo-random order — ablation worst-ish case.
+    Random(u64),
+}
+
+/// Elementarity test applied to candidate modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateTest {
+    /// The algebraic rank test of the paper ([18],[30]): the support
+    /// submatrix of the stoichiometry matrix must have nullity 1.
+    Rank,
+    /// The classical combinatorial adjacency (support-superset) test of the
+    /// double description method — the ablation alternative.
+    Adjacency,
+}
+
+/// Options shared by all algorithm variants.
+#[derive(Debug, Clone)]
+pub struct EfmOptions {
+    /// Row ordering heuristic.
+    pub ordering: RowOrdering,
+    /// Candidate elementarity test.
+    pub test: CandidateTest,
+    /// Abort if the intermediate mode count exceeds this (safety valve for
+    /// property tests on adversarial networks).
+    pub max_modes: Option<usize>,
+    /// Force these reactions (by original index) to be the *free* (identity)
+    /// part of the kernel. Used by the golden tests that reproduce the
+    /// paper's worked example exactly; `None` lets elimination choose.
+    pub force_free: Option<Vec<usize>>,
+    /// Run rank tests in exact (Bareiss) arithmetic instead of the default
+    /// floating-point LU the paper prescribes. Exact tests are orders of
+    /// magnitude slower on genome-scale submatrices (intermediate integers
+    /// grow to hundreds of digits) and exist for verification.
+    pub exact_rank_test: bool,
+    /// Which network-reduction stages run before enumeration (ablation
+    /// hook; the default is the paper's full preprocessing).
+    pub compression: efm_metnet::CompressionOptions,
+}
+
+impl Default for EfmOptions {
+    fn default() -> Self {
+        EfmOptions {
+            ordering: RowOrdering::Paper,
+            test: CandidateTest::Rank,
+            max_modes: None,
+            force_free: None,
+            exact_rank_test: false,
+            compression: efm_metnet::CompressionOptions::default(),
+        }
+    }
+}
+
+/// Statistics for one iteration of the Nullspace Algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// Position of the processed row within the ordered kernel matrix.
+    pub position: usize,
+    /// Name of the reduced reaction whose row was processed.
+    pub reaction: String,
+    /// Whether that reaction is reversible.
+    pub reversible: bool,
+    /// Modes with positive / negative / zero entry in the processed row.
+    pub pos: usize,
+    /// Negative-entry modes.
+    pub neg: usize,
+    /// Zero-entry modes.
+    pub zero: usize,
+    /// Candidate pairs generated (`pos × neg`) — the paper's "number of
+    /// generated intermediate candidate modes".
+    pub pairs: u64,
+    /// Pairs that reached the numeric combination pass (cheap-bound hits).
+    pub numeric_pass: u64,
+    /// Candidates surviving the summary (too-many-nonzeros) rejection.
+    pub prefiltered: u64,
+    /// Candidates surviving duplicate removal.
+    pub deduped: u64,
+    /// Candidates accepted by the elementarity test.
+    pub accepted: u64,
+    /// Modes alive after the iteration.
+    pub modes_after: usize,
+    /// Wall time of the generation phase (serial driver).
+    pub t_generate: std::time::Duration,
+    /// Wall time of the dedup phase (serial driver).
+    pub t_dedup: std::time::Duration,
+    /// Wall time of the elementarity + materialize phase (serial driver).
+    pub t_test: std::time::Duration,
+}
+
+/// Wall-clock time spent per algorithm phase (the paper's Table II rows).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// Candidate generation (pairing + summary rejection).
+    pub generate: Duration,
+    /// Sorting and duplicate removal.
+    pub dedup: Duration,
+    /// Rank (or adjacency) tests.
+    pub rank_test: Duration,
+    /// Inter-node communication (cluster backend only).
+    pub communicate: Duration,
+    /// Merging exchanged candidate sets (cluster backend only).
+    pub merge: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.generate + self.dedup + self.rank_test + self.communicate + self.merge
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &PhaseBreakdown) {
+        self.generate += other.generate;
+        self.dedup += other.dedup;
+        self.rank_test += other.rank_test;
+        self.communicate += other.communicate;
+        self.merge += other.merge;
+    }
+}
+
+/// Statistics of a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-iteration records, in processing order.
+    pub iterations: Vec<IterationStats>,
+    /// Total candidate pairs generated across all iterations.
+    pub candidates_generated: u64,
+    /// Peak number of intermediate modes.
+    pub peak_modes: usize,
+    /// Final mode count.
+    pub final_modes: usize,
+    /// Phase time breakdown.
+    pub phases: PhaseBreakdown,
+    /// Total wall time of the enumeration core.
+    pub total_time: Duration,
+}
+
+impl RunStats {
+    /// Accumulates another run's statistics (used by divide-and-conquer to
+    /// report cumulative numbers across subproblems).
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.candidates_generated += other.candidates_generated;
+        self.peak_modes = self.peak_modes.max(other.peak_modes);
+        self.final_modes += other.final_modes;
+        self.phases.accumulate(&other.phases);
+        self.total_time += other.total_time;
+    }
+}
+
+/// A set of elementary flux modes over a fixed reaction universe, stored as
+/// packed support bit patterns (the paper's "bit-valued matrix of
+/// elementary modes").
+#[derive(Debug, Clone)]
+pub struct EfmSet {
+    /// Number of reactions in the universe (bits per mode).
+    num_reactions: usize,
+    /// Reaction names, indexed by bit position.
+    reaction_names: Vec<String>,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl EfmSet {
+    /// Creates an empty set over `reaction_names`.
+    pub fn new(reaction_names: Vec<String>) -> Self {
+        let num_reactions = reaction_names.len();
+        let words = num_reactions.div_ceil(64).max(1);
+        EfmSet { num_reactions, reaction_names, words, bits: Vec::new() }
+    }
+
+    /// Number of reactions in the universe.
+    pub fn num_reactions(&self) -> usize {
+        self.num_reactions
+    }
+
+    /// Reaction names.
+    pub fn reaction_names(&self) -> &[String] {
+        &self.reaction_names
+    }
+
+    /// Number of modes.
+    pub fn len(&self) -> usize {
+        self.bits.len() / self.words
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Appends a mode given by its support (reaction indices).
+    pub fn push_support(&mut self, support: &[usize]) {
+        let base = self.bits.len();
+        self.bits.resize(base + self.words, 0);
+        for &r in support {
+            assert!(r < self.num_reactions, "support index out of range");
+            self.bits[base + r / 64] |= 1u64 << (r % 64);
+        }
+    }
+
+    /// The support of mode `i`, ascending.
+    pub fn support(&self, i: usize) -> Vec<usize> {
+        let base = i * self.words;
+        let mut out = Vec::new();
+        for w in 0..self.words {
+            let mut word = self.bits[base + w];
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Whether mode `i` uses reaction `r`.
+    pub fn uses(&self, i: usize, r: usize) -> bool {
+        (self.bits[i * self.words + r / 64] >> (r % 64)) & 1 == 1
+    }
+
+    /// Merges another set over the same universe into this one.
+    pub fn extend_from(&mut self, other: &EfmSet) {
+        assert_eq!(self.num_reactions, other.num_reactions, "universe mismatch");
+        self.bits.extend_from_slice(&other.bits);
+    }
+
+    /// Sorts modes by their packed representation and removes duplicates.
+    pub fn canonicalize(&mut self) {
+        let words = self.words;
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.bits[a * words..(a + 1) * words].cmp(&self.bits[b * words..(b + 1) * words])
+        });
+        order.dedup_by(|&mut a, &mut b| {
+            self.bits[a * words..(a + 1) * words] == self.bits[b * words..(b + 1) * words]
+        });
+        let mut new_bits = Vec::with_capacity(order.len() * words);
+        for &i in &order {
+            new_bits.extend_from_slice(&self.bits[i * words..(i + 1) * words]);
+        }
+        self.bits = new_bits;
+    }
+
+    /// The supports as a set-of-sets (order independent) for comparisons.
+    pub fn as_support_sets(&self) -> BTreeSet<Vec<usize>> {
+        (0..self.len()).map(|i| self.support(i)).collect()
+    }
+
+    /// Iterates over the supports in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.len()).map(|i| self.support(i))
+    }
+
+    /// The raw packed support words (serialization backend).
+    pub fn raw_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a set from raw packed words (serialization backend).
+    /// Fails when the word count is not a multiple of the per-mode width.
+    pub fn from_raw_words(reaction_names: Vec<String>, bits: Vec<u64>) -> Result<Self, String> {
+        let num_reactions = reaction_names.len();
+        let words = num_reactions.div_ceil(64).max(1);
+        if bits.len() % words != 0 {
+            return Err(format!(
+                "{} words is not a multiple of the {}-word mode width",
+                bits.len(),
+                words
+            ));
+        }
+        Ok(EfmSet { num_reactions, reaction_names, words, bits })
+    }
+}
+
+impl PartialEq for EfmSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_reactions == other.num_reactions
+            && self.as_support_sets() == other.as_support_sets()
+    }
+}
+
+/// Errors of the EFM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EfmError {
+    /// The (reduced) network has more reactions than the widest supported
+    /// bit pattern.
+    TooManyReactions {
+        /// Reduced reaction count.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// A divide-and-conquer partition reaction is unknown.
+    UnknownReaction(String),
+    /// A partition reaction was removed (blocked) by compression.
+    PartitionBlocked(String),
+    /// A partition reaction is irreversible in the reduced network; the
+    /// paper's scheme partitions on reversible reactions only.
+    PartitionIrreversible(String),
+    /// A partition reaction could not be made a pivot (dependent) column,
+    /// so it cannot be ordered last (Proposition 1 does not apply).
+    PartitionNotPivotal(String),
+    /// Two partition reactions collapsed into the same reduced reaction.
+    PartitionCollision(String, String),
+    /// The intermediate mode count exceeded `EfmOptions::max_modes`.
+    ModeLimitExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+        /// Iteration position at which it happened.
+        at_iteration: usize,
+    },
+    /// The simulated cluster failed (memory exhaustion, node panic).
+    Cluster(efm_cluster::ClusterError),
+}
+
+impl std::fmt::Display for EfmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EfmError::TooManyReactions { got, max } => {
+                write!(f, "reduced network has {got} reactions; at most {max} supported")
+            }
+            EfmError::UnknownReaction(n) => write!(f, "unknown partition reaction {n}"),
+            EfmError::PartitionBlocked(n) => {
+                write!(f, "partition reaction {n} is blocked (removed by compression)")
+            }
+            EfmError::PartitionIrreversible(n) => {
+                write!(f, "partition reaction {n} is irreversible in the reduced network")
+            }
+            EfmError::PartitionNotPivotal(n) => {
+                write!(f, "partition reaction {n} cannot be ordered last in the kernel")
+            }
+            EfmError::PartitionCollision(a, b) => {
+                write!(f, "partition reactions {a} and {b} merged into one reduced reaction")
+            }
+            EfmError::ModeLimitExceeded { limit, at_iteration } => {
+                write!(f, "mode limit {limit} exceeded at iteration {at_iteration}")
+            }
+            EfmError::Cluster(e) => write!(f, "cluster failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EfmError {}
+
+impl From<efm_cluster::ClusterError> for EfmError {
+    fn from(e: efm_cluster::ClusterError) -> Self {
+        EfmError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("r{i}")).collect()
+    }
+
+    #[test]
+    fn efmset_push_and_support() {
+        let mut s = EfmSet::new(names(70));
+        s.push_support(&[0, 63, 64, 69]);
+        s.push_support(&[5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.support(0), vec![0, 63, 64, 69]);
+        assert_eq!(s.support(1), vec![5]);
+        assert!(s.uses(0, 64));
+        assert!(!s.uses(1, 0));
+    }
+
+    #[test]
+    fn efmset_canonicalize_dedups() {
+        let mut s = EfmSet::new(names(10));
+        s.push_support(&[1, 2]);
+        s.push_support(&[0]);
+        s.push_support(&[1, 2]);
+        s.canonicalize();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_support_sets().len(), 2);
+    }
+
+    #[test]
+    fn efmset_equality_is_order_independent() {
+        let mut a = EfmSet::new(names(8));
+        a.push_support(&[1]);
+        a.push_support(&[2, 3]);
+        let mut b = EfmSet::new(names(8));
+        b.push_support(&[2, 3]);
+        b.push_support(&[1]);
+        assert_eq!(a, b);
+        b.push_support(&[4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn efmset_extend() {
+        let mut a = EfmSet::new(names(6));
+        a.push_support(&[0]);
+        let mut b = EfmSet::new(names(6));
+        b.push_support(&[1]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn phase_breakdown_totals() {
+        let mut p = PhaseBreakdown::default();
+        p.generate = Duration::from_millis(10);
+        p.rank_test = Duration::from_millis(5);
+        let mut q = PhaseBreakdown::default();
+        q.merge = Duration::from_millis(1);
+        p.accumulate(&q);
+        assert_eq!(p.total(), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn runstats_accumulate() {
+        let mut a = RunStats { candidates_generated: 10, peak_modes: 5, final_modes: 2, ..Default::default() };
+        let b = RunStats { candidates_generated: 7, peak_modes: 9, final_modes: 3, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.candidates_generated, 17);
+        assert_eq!(a.peak_modes, 9);
+        assert_eq!(a.final_modes, 5);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EfmError::PartitionIrreversible("R5".into());
+        assert!(e.to_string().contains("R5"));
+    }
+}

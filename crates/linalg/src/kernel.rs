@@ -1,0 +1,246 @@
+//! Reduced row echelon form and kernel (nullspace) bases.
+//!
+//! The Nullspace Algorithm starts from a kernel basis of the reduced
+//! stoichiometry matrix in the form `K = [I; R(2)]` (after a row
+//! permutation): the *free* reactions carry the identity block, the *pivot*
+//! reactions carry `R(2)`. Divide-and-conquer additionally requires that the
+//! chosen partition reactions end up in the `R(2)` block so that they can be
+//! ordered last and left unprocessed (Proposition 1 of the paper) — hence
+//! the pivot-preference parameter.
+
+use crate::Mat;
+use efm_numeric::{to_primitive_integer_vec, DynInt, Rational, Scalar};
+
+/// Result of reduced row echelon elimination.
+#[derive(Debug, Clone)]
+pub struct Rref<S: Scalar> {
+    /// The matrix in reduced row echelon form (rows permuted so pivot `i`
+    /// lives in row `i`).
+    pub mat: Mat<S>,
+    /// Pivot columns, one per pivot row, in pivot-row order.
+    pub pivot_cols: Vec<usize>,
+    /// Columns without a pivot (free columns), ascending.
+    pub free_cols: Vec<usize>,
+}
+
+/// Computes the RREF of `m`, searching for pivots column-by-column in the
+/// order given by `col_order` (every column must appear exactly once).
+pub fn rref_with_col_order<S: Scalar>(m: &Mat<S>, col_order: &[usize]) -> Rref<S> {
+    assert_eq!(col_order.len(), m.cols(), "col_order must cover all columns");
+    let mut a = m.clone();
+    let nr = a.rows();
+    let mut pivot_cols = Vec::new();
+    let mut next_row = 0;
+    for &c in col_order {
+        if next_row == nr {
+            break;
+        }
+        // Pick the best-scoring nonzero entry in this column at/below next_row.
+        let mut best: Option<(usize, f64)> = None;
+        for r in next_row..nr {
+            let v = a.get(r, c);
+            if !v.is_zero() {
+                let s = v.pivot_score();
+                if best.map_or(true, |(_, bs)| s > bs) {
+                    best = Some((r, s));
+                }
+            }
+        }
+        let Some((pr, _)) = best else {
+            continue;
+        };
+        a.swap_rows(pr, next_row);
+        // Normalize the pivot row.
+        let pivot = a.get(next_row, c).clone();
+        for j in 0..a.cols() {
+            let v = a.get(next_row, j).exact_div(&pivot);
+            a.set(next_row, j, v);
+        }
+        // Eliminate the column everywhere else.
+        for r in 0..nr {
+            if r == next_row {
+                continue;
+            }
+            let factor = a.get(r, c).clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..a.cols() {
+                let v = a.get(r, j).sub(&factor.mul(a.get(next_row, j)));
+                a.set(r, j, v);
+            }
+            a.set(r, c, S::zero());
+        }
+        pivot_cols.push(c);
+        next_row += 1;
+    }
+    let free_cols: Vec<usize> =
+        (0..m.cols()).filter(|c| !pivot_cols.contains(c)).collect();
+    Rref { mat: a, pivot_cols, free_cols }
+}
+
+/// RREF with natural left-to-right column order.
+pub fn rref<S: Scalar>(m: &Mat<S>) -> Rref<S> {
+    let order: Vec<usize> = (0..m.cols()).collect();
+    rref_with_col_order(m, &order)
+}
+
+/// A kernel basis of a matrix `N` (columns of `k` span `{x : N·x = 0}`).
+#[derive(Debug, Clone)]
+pub struct KernelBasis<S: Scalar> {
+    /// `cols(N) × d` matrix whose columns are the basis vectors. Row `i`
+    /// corresponds to column `i` of `N`.
+    pub k: Mat<S>,
+    /// Free columns of `N`: the kernel restricted to these rows is the
+    /// identity (basis vector `j` has 1 at `free_cols[j]`, 0 at the others).
+    pub free_cols: Vec<usize>,
+    /// Pivot columns of `N`: the rows of the `R(2)` block.
+    pub pivot_cols: Vec<usize>,
+}
+
+/// Computes a kernel basis of `n`, preferring the columns in `prefer_pivot`
+/// as pivot (dependent) columns. Pivot preference is best-effort: a
+/// preferred column that is linearly dependent on earlier preferred columns
+/// ends up free.
+pub fn kernel_basis<S: Scalar>(n: &Mat<S>, prefer_pivot: &[usize]) -> KernelBasis<S> {
+    let q = n.cols();
+    for &c in prefer_pivot {
+        assert!(c < q, "prefer_pivot index out of range");
+    }
+    let mut order: Vec<usize> = prefer_pivot.to_vec();
+    order.extend((0..q).filter(|c| !prefer_pivot.contains(c)));
+    let r = rref_with_col_order(n, &order);
+    let d = r.free_cols.len();
+    let mut k = Mat::<S>::zeros(q, d);
+    for (j, &f) in r.free_cols.iter().enumerate() {
+        k.set(f, j, S::one());
+        for (prow, &pc) in r.pivot_cols.iter().enumerate() {
+            let v = r.mat.get(prow, f);
+            if !v.is_zero() {
+                k.set(pc, j, v.neg());
+            }
+        }
+    }
+    KernelBasis { k, free_cols: r.free_cols, pivot_cols: r.pivot_cols }
+}
+
+/// Converts a rational kernel basis into primitive integer columns (each
+/// column scaled by the lcm of denominators and divided by the gcd).
+pub fn kernel_to_primitive_int(k: &Mat<Rational>) -> Mat<DynInt> {
+    let mut out = Mat::<DynInt>::zeros(k.rows(), k.cols());
+    for j in 0..k.cols() {
+        let col = k.col(j);
+        let ints = to_primitive_integer_vec(&col);
+        for (i, v) in ints.into_iter().enumerate() {
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+/// Builds a rational matrix from `i64` entries.
+pub fn rational_mat(rows: &[&[i64]]) -> Mat<Rational> {
+    Mat::from_i64_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elim::rank;
+
+    #[test]
+    fn rref_identity_is_fixed_point() {
+        let m = rational_mat(&[&[1, 0], &[0, 1]]);
+        let r = rref(&m);
+        assert_eq!(r.mat, m);
+        assert_eq!(r.pivot_cols, vec![0, 1]);
+        assert!(r.free_cols.is_empty());
+    }
+
+    #[test]
+    fn rref_known_form() {
+        let m = rational_mat(&[&[1, 2, 3], &[2, 4, 7]]);
+        let r = rref(&m);
+        // Pivots at columns 0 and 2; column 1 free with coefficient 2.
+        assert_eq!(r.pivot_cols, vec![0, 2]);
+        assert_eq!(r.free_cols, vec![1]);
+        assert_eq!(r.mat.get(0, 1), &Rational::from_i64(2));
+        assert!(r.mat.get(0, 2).is_zero());
+        assert_eq!(r.mat.get(1, 2), &Rational::one());
+    }
+
+    #[test]
+    fn kernel_annihilates() {
+        let n = rational_mat(&[&[1, -1, 0, 2], &[0, 1, -1, 1]]);
+        let kb = kernel_basis(&n, &[]);
+        assert_eq!(kb.k.cols(), 2);
+        let prod = n.matmul(&kb.k);
+        assert!(prod.is_zero(), "N·K must be 0, got {prod:?}");
+        assert_eq!(kb.free_cols.len() + kb.pivot_cols.len(), 4);
+    }
+
+    #[test]
+    fn kernel_identity_block() {
+        let n = rational_mat(&[&[1, 1, 1]]);
+        let kb = kernel_basis(&n, &[]);
+        assert_eq!(kb.k.cols(), 2);
+        for (j, &f) in kb.free_cols.iter().enumerate() {
+            assert!(kb.k.get(f, j).is_one());
+            for (j2, _) in kb.free_cols.iter().enumerate() {
+                if j2 != j {
+                    assert!(kb.k.get(f, j2).is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_preference_is_honored() {
+        let n = rational_mat(&[&[1, 1, 0, 0], &[0, 0, 1, 1]]);
+        // Ask for columns 1 and 3 to be pivots.
+        let kb = kernel_basis(&n, &[1, 3]);
+        assert_eq!(kb.pivot_cols, vec![1, 3]);
+        assert!(n.matmul(&kb.k).is_zero());
+    }
+
+    #[test]
+    fn pivot_preference_best_effort_on_dependence() {
+        // Columns 0 and 1 are identical: they cannot both be pivots.
+        let n = rational_mat(&[&[1, 1, 2]]);
+        let kb = kernel_basis(&n, &[0, 1]);
+        assert_eq!(kb.pivot_cols, vec![0]);
+        assert_eq!(kb.free_cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn kernel_dimension_matches_rank() {
+        let n = rational_mat(&[&[1, 2, 3, 4], &[2, 4, 6, 8], &[0, 1, 0, 1]]);
+        let kb = kernel_basis(&n, &[]);
+        assert_eq!(kb.k.cols(), n.cols() - rank(&n));
+        assert!(n.matmul(&kb.k).is_zero());
+    }
+
+    #[test]
+    fn kernel_of_full_rank_square_is_empty() {
+        let n = rational_mat(&[&[1, 0], &[0, 1]]);
+        let kb = kernel_basis(&n, &[]);
+        assert_eq!(kb.k.cols(), 0);
+    }
+
+    #[test]
+    fn primitive_int_conversion() {
+        let n = rational_mat(&[&[1, 2, 0], &[0, 2, 4]]);
+        let kb = kernel_basis(&n, &[]);
+        let ki = kernel_to_primitive_int(&kb.k);
+        // Kernel of [[1,2,0],[0,2,4]] is spanned by (4, -2, 1).
+        assert_eq!(ki.cols(), 1);
+        let col = ki.col(0);
+        let as_i64: Vec<i64> = col.iter().map(|v| v.to_i128().unwrap() as i64).collect();
+        let canonical = if as_i64[0] < 0 {
+            as_i64.iter().map(|v| -v).collect::<Vec<_>>()
+        } else {
+            as_i64
+        };
+        assert_eq!(canonical, vec![4, -2, 1]);
+    }
+}

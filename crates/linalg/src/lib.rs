@@ -1,0 +1,34 @@
+//! # efm-linalg — exact dense linear algebra for EFM computation
+//!
+//! Three jobs, all in service of the Nullspace Algorithm:
+//!
+//! 1. **Rank tests** ([`rank_of_cols`], [`nullity_of_cols`]) — fraction-free
+//!    Bareiss elimination in caller-provided scratch space; this is the
+//!    algebraic elementarity test executed millions of times per run.
+//! 2. **Kernel bases** ([`kernel_basis`]) — RREF-based nullspace construction
+//!    in the `[I; R(2)]` shape the algorithm starts from, with pivot-column
+//!    preferences for the divide-and-conquer partition reactions.
+//! 3. **Applications** ([`nnls`]) — flux decomposition onto modes.
+//!
+//! Everything is generic over [`efm_numeric::Scalar`]; exact integer /
+//! rational arithmetic is the default throughout the workspace.
+
+#![warn(missing_docs)]
+
+mod elim;
+mod kernel;
+mod matrix;
+mod nnls;
+mod simplex;
+
+pub use elim::{
+    bareiss_rank_in_place, gauss_rank_in_place_f64, nullity, nullity_of_cols, rank, rank_of_cols,
+    rank_of_cols_f64,
+};
+pub use kernel::{
+    kernel_basis, kernel_to_primitive_int, rational_mat, rref, rref_with_col_order, KernelBasis,
+    Rref,
+};
+pub use matrix::Mat;
+pub use nnls::{least_squares, nnls, solve_dense, NnlsSolution};
+pub use simplex::{lp_feasible, lp_maximize, LpOutcome, LpProblem};

@@ -1,0 +1,279 @@
+//! Dense row-major matrices over any [`Scalar`].
+
+use efm_numeric::Scalar;
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct Mat<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Mat<S> {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![S::zero(); rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            *m.get_mut(i, i) = S::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from nested rows. Panics on ragged input.
+    pub fn from_rows(rows: Vec<Vec<S>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend(row);
+        }
+        Mat { rows: r, cols: c, data }
+    }
+
+    /// Builds from integer literals (test / dataset convenience).
+    pub fn from_i64_rows(rows: &[&[i64]]) -> Self {
+        Self::from_rows(
+            rows.iter()
+                .map(|r| r.iter().map(|&v| S::from_i64(v)).collect())
+                .collect(),
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element reference.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> &S {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable element reference.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut S {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Sets an element.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[S] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A column, cloned.
+    pub fn col(&self, c: usize) -> Vec<S> {
+        (0..self.rows).map(|r| self.get(r, c).clone()).collect()
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Swaps two columns.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + a, r * self.cols + b);
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c).clone());
+            }
+        }
+        out
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matmul");
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let add = a.mul(rhs.get(k, j));
+                    let cur = out.get(i, j).add(&add);
+                    out.set(i, j, cur);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[S]) -> Vec<S> {
+        assert_eq!(self.cols, v.len(), "shape mismatch in matvec");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = S::zero();
+                for c in 0..self.cols {
+                    let a = self.get(r, c);
+                    if !a.is_zero() {
+                        acc = acc.add(&a.mul(&v[c]));
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// New matrix keeping only the given columns, in the given order.
+    pub fn select_cols(&self, cols: &[usize]) -> Self {
+        let mut out = Self::zeros(self.rows, cols.len());
+        for (j, &c) in cols.iter().enumerate() {
+            for r in 0..self.rows {
+                out.set(r, j, self.get(r, c).clone());
+            }
+        }
+        out
+    }
+
+    /// New matrix keeping only the given rows, in the given order.
+    pub fn select_rows(&self, rows: &[usize]) -> Self {
+        let mut out = Self::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c).clone());
+            }
+        }
+        out
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(Scalar::is_zero)
+    }
+
+    /// Maps every element through `f` into a new scalar type.
+    pub fn map<T: Scalar>(&self, f: impl Fn(&S) -> T) -> Mat<T> {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl<S: Scalar> fmt::Debug for Mat<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:?}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efm_numeric::DynInt;
+
+    type M = Mat<DynInt>;
+
+    #[test]
+    fn construction_and_access() {
+        let m = M::from_i64_rows(&[&[1, 2], &[3, 4], &[5, 6]]);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.get(2, 1), &DynInt::from_i64(6));
+        assert_eq!(m.row(1), &[DynInt::from_i64(3), DynInt::from_i64(4)]);
+        assert_eq!(m.col(0), vec![DynInt::from_i64(1), DynInt::from_i64(3), DynInt::from_i64(5)]);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let m = M::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        let i = M::identity(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = M::from_i64_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let b = M::from_i64_rows(&[&[7, 8], &[9, 10], &[11, 12]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, M::from_i64_rows(&[&[58, 64], &[139, 154]]));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = M::from_i64_rows(&[&[1, -1, 0], &[2, 0, 3]]);
+        let v: Vec<DynInt> = [1i64, 2, 3].iter().map(|&x| DynInt::from_i64(x)).collect();
+        let got = a.matvec(&v);
+        assert_eq!(got, vec![DynInt::from_i64(-1), DynInt::from_i64(11)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = M::from_i64_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), &DynInt::from_i64(6));
+    }
+
+    #[test]
+    fn selections() {
+        let a = M::from_i64_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        assert_eq!(a.select_cols(&[2, 0]), M::from_i64_rows(&[&[3, 1], &[6, 4], &[9, 7]]));
+        assert_eq!(a.select_rows(&[1]), M::from_i64_rows(&[&[4, 5, 6]]));
+    }
+
+    #[test]
+    fn swaps() {
+        let mut a = M::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        a.swap_rows(0, 1);
+        assert_eq!(a, M::from_i64_rows(&[&[3, 4], &[1, 2]]));
+        a.swap_cols(0, 1);
+        assert_eq!(a, M::from_i64_rows(&[&[4, 3], &[2, 1]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = M::from_rows(vec![vec![DynInt::zero()], vec![]]);
+    }
+}

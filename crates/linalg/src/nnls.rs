@@ -1,0 +1,267 @@
+//! Floating-point least squares and nonnegative least squares.
+//!
+//! Supports the flux-decomposition application of EFMs (Schwartz & Kanehisa
+//! 2005/2006, cited in the paper's introduction): given a measured flux
+//! distribution `v` and the EFM matrix `E`, find nonnegative weights `w`
+//! minimizing `‖E·w − v‖₂` — the decomposition of a steady-state flux onto
+//! elementary modes.
+
+/// Dense column-major f64 helpers kept local to this module.
+fn mat_t_vec(a: &[f64], rows: usize, cols: usize, v: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &a[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            out[c] += row[c] * v[r];
+        }
+    }
+    out
+}
+
+/// Solves the square system `m·x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` when the matrix is (numerically) singular.
+pub fn solve_dense(m: &[f64], n: usize, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(m.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut a = m.to_vec();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for r in col + 1..n {
+            let v = a[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(piv * n + c, col * n + c);
+            }
+            x.swap(piv, col);
+        }
+        let d = a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut s = x[col];
+        for c in col + 1..n {
+            s -= a[col * n + c] * x[c];
+        }
+        x[col] = s / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Unconstrained linear least squares via the normal equations:
+/// minimizes `‖A·x − b‖₂` for a row-major `rows × cols` matrix `A`.
+pub fn least_squares(a: &[f64], rows: usize, cols: usize, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), rows * cols);
+    assert_eq!(b.len(), rows);
+    // Form AtA (cols × cols) and Atb.
+    let mut ata = vec![0.0; cols * cols];
+    for r in 0..rows {
+        let row = &a[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            if row[i] == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                ata[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    let atb = mat_t_vec(a, rows, cols, b);
+    solve_dense(&ata, cols, &atb)
+}
+
+/// Result of a nonnegative least squares solve.
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// The nonnegative weight vector.
+    pub x: Vec<f64>,
+    /// Final residual norm `‖A·x − b‖₂`.
+    pub residual: f64,
+    /// Iterations of the outer active-set loop.
+    pub iterations: usize,
+}
+
+/// Lawson–Hanson active-set nonnegative least squares: minimizes
+/// `‖A·x − b‖₂` subject to `x ≥ 0`.
+pub fn nnls(a: &[f64], rows: usize, cols: usize, b: &[f64]) -> NnlsSolution {
+    assert_eq!(a.len(), rows * cols);
+    assert_eq!(b.len(), rows);
+    let mut x = vec![0.0; cols];
+    let mut passive: Vec<bool> = vec![false; cols];
+    let max_iter = 3 * cols + 30;
+    let tol = 1e-10;
+    let mut iterations = 0;
+
+    let residual_vec = |x: &[f64]| -> Vec<f64> {
+        let mut r = b.to_vec();
+        for row in 0..rows {
+            let arow = &a[row * cols..(row + 1) * cols];
+            let mut dot = 0.0;
+            for c in 0..cols {
+                dot += arow[c] * x[c];
+            }
+            r[row] -= dot;
+        }
+        r
+    };
+
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Gradient w = Aᵀ(b − A·x); pick the most violated inactive index.
+        let r = residual_vec(&x);
+        let w = mat_t_vec(a, rows, cols, &r);
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..cols {
+            if !passive[c] && w[c] > tol {
+                if best.map_or(true, |(_, bw)| w[c] > bw) {
+                    best = Some((c, w[c]));
+                }
+            }
+        }
+        let Some((enter, _)) = best else {
+            break; // KKT satisfied
+        };
+        passive[enter] = true;
+
+        // Inner loop: solve LS on the passive set; clip negatives.
+        loop {
+            let pcols: Vec<usize> = (0..cols).filter(|&c| passive[c]).collect();
+            let mut sub = vec![0.0; rows * pcols.len()];
+            for row in 0..rows {
+                for (j, &c) in pcols.iter().enumerate() {
+                    sub[row * pcols.len() + j] = a[row * cols + c];
+                }
+            }
+            let z = match least_squares(&sub, rows, pcols.len(), b) {
+                Some(z) => z,
+                None => {
+                    // Degenerate passive set: drop the entering variable.
+                    passive[enter] = false;
+                    break;
+                }
+            };
+            if z.iter().all(|&v| v > tol) {
+                for (j, &c) in pcols.iter().enumerate() {
+                    x[c] = z[j];
+                }
+                break;
+            }
+            // Step toward z, stopping at the first variable hitting zero.
+            let mut alpha = f64::INFINITY;
+            for (j, &c) in pcols.iter().enumerate() {
+                if z[j] <= tol {
+                    let d = x[c] - z[j];
+                    if d > 0.0 {
+                        alpha = alpha.min(x[c] / d);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (j, &c) in pcols.iter().enumerate() {
+                x[c] += alpha * (z[j] - x[c]);
+                if x[c] < tol {
+                    x[c] = 0.0;
+                    passive[c] = false;
+                }
+            }
+        }
+    }
+    let r = residual_vec(&x);
+    let residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    NnlsSolution { x, residual, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_dense_known() {
+        // [2 1; 1 3] x = [3; 5] → x = (4/5, 7/5)
+        let m = vec![2.0, 1.0, 1.0, 3.0];
+        let x = solve_dense(&m, 2, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_singular() {
+        let m = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&m, 2, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2t + 1 through noisy-free points.
+        let ts = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for &t in &ts {
+            a.extend([t, 1.0]);
+            b.push(2.0 * t + 1.0);
+        }
+        let x = least_squares(&a, 4, 2, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nnls_clips_negative_solution() {
+        // Unconstrained solution has a negative weight; NNLS must zero it.
+        let a = vec![
+            1.0, 0.0, //
+            0.0, 1.0, //
+        ];
+        let sol = nnls(&a, 2, 2, &[2.0, -3.0]);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert_eq!(sol.x[1], 0.0);
+        assert!((sol.residual - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nnls_exact_recovery() {
+        // b is an exact nonnegative combination: recover it.
+        let a = vec![
+            1.0, 1.0, 0.0, //
+            0.0, 1.0, 1.0, //
+            1.0, 0.0, 1.0, //
+        ];
+        let truth = [1.0, 2.0, 3.0];
+        let b: Vec<f64> = (0..3)
+            .map(|r| (0..3).map(|c| a[r * 3 + c] * truth[c]).sum())
+            .collect();
+        let sol = nnls(&a, 3, 3, &b);
+        for (got, want) in sol.x.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+        assert!(sol.residual < 1e-8);
+    }
+
+    #[test]
+    fn nnls_zero_rhs() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let sol = nnls(&a, 2, 2, &[0.0, 0.0]);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+        assert!(sol.residual < 1e-12);
+    }
+}

@@ -1,0 +1,465 @@
+//! Exact linear programming over rationals (dense simplex).
+//!
+//! Network compression needs *sign-aware* blocked-reaction detection: a
+//! reaction is blocked not only when its kernel row vanishes but also when
+//! irreversibility constraints forbid any steady-state flux through it —
+//! the paper's preprocessing ("eliminating redundant reactions ... using
+//! known methods") relies on this to shrink S. cerevisiae Network I to
+//! 35×55. The question "is there `v` with `N·v = 0`, `v_irrev ≥ 0`,
+//! `v_j = 1`?" is a small LP feasibility problem, solved here exactly:
+//!
+//! * free variables are eliminated by Gaussian pivoting (their rows are
+//!   always satisfiable and are recorded for witness back-substitution);
+//! * the remaining nonnegative system runs phase-1 simplex with Bland's
+//!   rule (no cycling, exact rational arithmetic, no tolerances);
+//! * phase-2 ([`lp_maximize`]) supports bounded optimization, e.g. flux
+//!   variability analysis.
+
+use crate::Mat;
+use efm_numeric::Rational;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// Optimal value attained.
+    Optimal(Rational),
+}
+
+/// A dense simplex tableau for `A x = b, x ≥ 0` with exact arithmetic.
+struct Tableau {
+    /// m × (n + 1) rows: coefficients then rhs.
+    rows: Vec<Vec<Rational>>,
+    /// Objective row (length n + 1, rhs = negated objective value).
+    obj: Vec<Rational>,
+    /// Basis variable per row.
+    basis: Vec<usize>,
+    n: usize,
+    /// Only columns `< enter_limit` may enter the basis (used by phase 2
+    /// to lock out artificials).
+    enter_limit: usize,
+}
+
+impl Tableau {
+    /// Bland's rule simplex on the current tableau; returns false when the
+    /// objective is unbounded.
+    fn solve(&mut self) -> bool {
+        loop {
+            // Entering: smallest index with positive reduced cost
+            // (maximization form: obj row holds c − z, enter while > 0).
+            let enter = (0..self.enter_limit).find(|&j| self.obj[j].signum() > 0);
+            let Some(enter) = enter else {
+                return true;
+            };
+            // Leaving: minimum ratio, ties by smallest basis index (Bland).
+            let mut leave: Option<(usize, Rational)> = None;
+            for (i, row) in self.rows.iter().enumerate() {
+                if row[enter].signum() > 0 {
+                    let ratio = row[self.n].div(&row[enter]);
+                    let better = match &leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((leave, _)) = leave else {
+                return false; // unbounded
+            };
+            self.pivot(leave, enter);
+        }
+    }
+
+    fn pivot(&mut self, r: usize, c: usize) {
+        let p = self.rows[r][c].clone();
+        for v in self.rows[r].iter_mut() {
+            *v = v.div(&p);
+        }
+        for i in 0..self.rows.len() {
+            if i == r {
+                continue;
+            }
+            let f = self.rows[i][c].clone();
+            if f.is_zero() {
+                continue;
+            }
+            for j in 0..=self.n {
+                let delta = f.mul(&self.rows[r][j]);
+                self.rows[i][j] = self.rows[i][j].sub(&delta);
+            }
+        }
+        let f = self.obj[c].clone();
+        if !f.is_zero() {
+            for j in 0..=self.n {
+                let delta = f.mul(&self.rows[r][j]);
+                self.obj[j] = self.obj[j].sub(&delta);
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Current value of variable `j`.
+    fn value_of(&self, j: usize) -> Rational {
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b == j {
+                return self.rows[i][self.n].clone();
+            }
+        }
+        Rational::zero()
+    }
+}
+
+/// A problem `A x = b` with per-variable sign restriction (`true` = x ≥ 0,
+/// `false` = free).
+pub struct LpProblem {
+    /// Equality constraint matrix.
+    pub a: Mat<Rational>,
+    /// Right-hand side.
+    pub b: Vec<Rational>,
+    /// Per-column: restricted to nonnegative?
+    pub nonneg: Vec<bool>,
+}
+
+/// Elimination record for one free variable: `(var, row_coeffs, rhs)` so
+/// that `var = (rhs − Σ coeffs·x) / pivot` after solving.
+struct FreeElim {
+    var: usize,
+    coeffs: Vec<Rational>,
+    rhs: Rational,
+    pivot: Rational,
+}
+
+fn eliminate_free(p: &LpProblem) -> (Vec<Vec<Rational>>, Vec<Rational>, Vec<usize>, Vec<FreeElim>) {
+    let m = p.a.rows();
+    let n = p.a.cols();
+    let mut rows: Vec<Vec<Rational>> =
+        (0..m).map(|i| (0..n).map(|j| p.a.get(i, j).clone()).collect()).collect();
+    let mut rhs: Vec<Rational> = p.b.clone();
+    let mut live_rows: Vec<bool> = vec![true; m];
+    let mut elims: Vec<FreeElim> = Vec::new();
+
+    for var in (0..n).filter(|&j| !p.nonneg[j]) {
+        // Find a live row with a nonzero coefficient on this free variable.
+        let Some(r) = (0..m).find(|&i| live_rows[i] && !rows[i][var].is_zero()) else {
+            continue; // free var absent: set to 0 in the witness
+        };
+        let pivot = rows[r][var].clone();
+        // Eliminate from all other live rows.
+        for i in 0..m {
+            if i == r || !live_rows[i] || rows[i][var].is_zero() {
+                continue;
+            }
+            let f = rows[i][var].div(&pivot);
+            for j in 0..n {
+                let delta = f.mul(&rows[r][j]);
+                rows[i][j] = rows[i][j].sub(&delta);
+            }
+            let delta = f.mul(&rhs[r]);
+            rhs[i] = rhs[i].sub(&delta);
+        }
+        // Record and retire the pivot row: whatever the other variables
+        // take, this free variable absorbs the residual.
+        elims.push(FreeElim { var, coeffs: rows[r].clone(), rhs: rhs[r].clone(), pivot });
+        live_rows[r] = false;
+    }
+
+    let kept: Vec<usize> = (0..m).filter(|&i| live_rows[i]).collect();
+    let kept_rows: Vec<Vec<Rational>> = kept.iter().map(|&i| rows[i].clone()).collect();
+    let kept_rhs: Vec<Rational> = kept.iter().map(|&i| rhs[i].clone()).collect();
+    let cols: Vec<usize> = (0..n).filter(|&j| p.nonneg[j]).collect();
+    (kept_rows, kept_rhs, cols, elims)
+}
+
+/// Tests feasibility of `A x = b` with the given sign restrictions.
+/// Returns a witness `x` on success.
+pub fn lp_feasible(p: &LpProblem) -> Option<Vec<Rational>> {
+    let n_all = p.a.cols();
+    assert_eq!(p.b.len(), p.a.rows(), "rhs length mismatch");
+    assert_eq!(p.nonneg.len(), n_all, "nonneg length mismatch");
+    let (rows, rhs, cols, elims) = eliminate_free(p);
+    let m = rows.len();
+    let n = cols.len();
+
+    // Standard form with artificials; ensure rhs ≥ 0.
+    let mut trows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    for (i, row) in rows.iter().enumerate() {
+        let mut t: Vec<Rational> = Vec::with_capacity(n + m + 1);
+        let flip = rhs[i].signum() < 0;
+        for &c in &cols {
+            t.push(if flip { row[c].neg() } else { row[c].clone() });
+        }
+        for k in 0..m {
+            t.push(if k == i { Rational::one() } else { Rational::zero() });
+        }
+        t.push(if flip { rhs[i].neg() } else { rhs[i].clone() });
+        trows.push(t);
+    }
+    // Phase-1 objective: maximize −Σ artificials → reduced obj row.
+    let mut obj = vec![Rational::zero(); n + m + 1];
+    for row in &trows {
+        for (j, cell) in obj.iter_mut().enumerate() {
+            *cell = cell.add(&row[j]);
+        }
+    }
+    for j in n..n + m {
+        obj[j] = Rational::zero();
+    }
+    let mut tab = Tableau {
+        rows: trows,
+        obj,
+        basis: (n..n + m).collect(),
+        n: n + m,
+        enter_limit: n + m,
+    };
+    let bounded = tab.solve();
+    debug_assert!(bounded, "phase-1 objective is bounded by construction");
+    if !tab.obj[tab.n].is_zero() {
+        return None; // artificial residue: infeasible
+    }
+    // Build the witness: nonneg variables from the tableau, then
+    // back-substitute the eliminated free variables in reverse order.
+    let mut x = vec![Rational::zero(); n_all];
+    for (k, &c) in cols.iter().enumerate() {
+        x[c] = tab.value_of(k);
+    }
+    for e in elims.iter().rev() {
+        let mut acc = e.rhs.clone();
+        for (j, coeff) in e.coeffs.iter().enumerate() {
+            if j != e.var && !coeff.is_zero() {
+                acc = acc.sub(&coeff.mul(&x[j]));
+            }
+        }
+        x[e.var] = acc.div(&e.pivot);
+    }
+    Some(x)
+}
+
+/// Maximizes `c·x` subject to `A x = b` and the sign restrictions.
+pub fn lp_maximize(p: &LpProblem, c: &[Rational]) -> LpOutcome {
+    let n_all = p.a.cols();
+    assert_eq!(c.len(), n_all, "objective length mismatch");
+    let (rows, rhs, cols, elims) = eliminate_free(p);
+    let m = rows.len();
+    let n = cols.len();
+
+    // Substitute eliminated free variables into the objective:
+    // var = (rhs − Σ coeffs·x)/pivot contributes c_var·that.
+    let mut eff_c: Vec<Rational> = c.to_vec();
+    let mut const_term = Rational::zero();
+    for e in elims.iter().rev() {
+        let cv = eff_c[e.var].clone();
+        if cv.is_zero() {
+            continue;
+        }
+        eff_c[e.var] = Rational::zero();
+        let scale = cv.div(&e.pivot);
+        const_term = const_term.add(&scale.mul(&e.rhs));
+        for (j, coeff) in e.coeffs.iter().enumerate() {
+            if j != e.var && !coeff.is_zero() {
+                eff_c[j] = eff_c[j].sub(&scale.mul(coeff));
+            }
+        }
+    }
+    // Any remaining free variable with nonzero objective and no constraint
+    // row: unbounded.
+    for j in 0..n_all {
+        if !p.nonneg[j] && !eff_c[j].is_zero() && !elims.iter().any(|e| e.var == j) {
+            return LpOutcome::Unbounded;
+        }
+    }
+
+    // Phase 1 (reuse lp_feasible machinery conceptually; rebuilt here to
+    // keep the tableau for phase 2).
+    let mut trows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    for (i, row) in rows.iter().enumerate() {
+        let mut t: Vec<Rational> = Vec::with_capacity(n + m + 1);
+        let flip = rhs[i].signum() < 0;
+        for &ccol in &cols {
+            t.push(if flip { row[ccol].neg() } else { row[ccol].clone() });
+        }
+        for k in 0..m {
+            t.push(if k == i { Rational::one() } else { Rational::zero() });
+        }
+        t.push(if flip { rhs[i].neg() } else { rhs[i].clone() });
+        trows.push(t);
+    }
+    let mut obj = vec![Rational::zero(); n + m + 1];
+    for row in &trows {
+        for (j, cell) in obj.iter_mut().enumerate() {
+            *cell = cell.add(&row[j]);
+        }
+    }
+    for j in n..n + m {
+        obj[j] = Rational::zero();
+    }
+    let mut tab =
+        Tableau { rows: trows, obj, basis: (n..n + m).collect(), n: n + m, enter_limit: n + m };
+    tab.solve();
+    if !tab.obj[tab.n].is_zero() {
+        return LpOutcome::Infeasible;
+    }
+    // Drive artificials out of the basis where possible; rows whose basis
+    // stays artificial are redundant (all-zero) and can keep them at 0.
+    for i in 0..tab.basis.len() {
+        if tab.basis[i] >= n {
+            if let Some(c2) = (0..n).find(|&j| !tab.rows[i][j].is_zero()) {
+                tab.pivot(i, c2);
+            }
+        }
+    }
+    // Phase 2: objective over structural variables only (artificials get a
+    // prohibitive negative cost by simply excluding them: set reduced cost
+    // ≤ 0 by zeroing and never entering them).
+    let mut obj2 = vec![Rational::zero(); tab.n + 1];
+    for (k, &ccol) in cols.iter().enumerate() {
+        obj2[k] = eff_c[ccol].clone();
+    }
+    // Reduce against the current basis.
+    for (i, &b) in tab.basis.iter().enumerate() {
+        if b < tab.n && !obj2[b].is_zero() {
+            let f = obj2[b].clone();
+            for j in 0..=tab.n {
+                let delta = f.mul(&tab.rows[i][j]);
+                obj2[j] = obj2[j].sub(&delta);
+            }
+        }
+    }
+    // Never let artificials re-enter.
+    tab.enter_limit = n;
+    tab.obj = obj2;
+    if !tab.solve() {
+        return LpOutcome::Unbounded;
+    }
+    // Optimal value = −obj rhs + constant from eliminated variables.
+    LpOutcome::Optimal(tab.obj[tab.n].neg().add(&const_term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational_mat;
+
+    fn r(v: i64) -> Rational {
+        Rational::from_i64(v)
+    }
+
+    fn prob(a: Mat<Rational>, b: Vec<i64>, nonneg: Vec<bool>) -> LpProblem {
+        LpProblem { a, b: b.into_iter().map(r).collect(), nonneg }
+    }
+
+    #[test]
+    fn feasible_simple() {
+        // x + y = 2, x,y ≥ 0 — feasible.
+        let p = prob(rational_mat(&[&[1, 1]]), vec![2], vec![true, true]);
+        let x = lp_feasible(&p).unwrap();
+        assert_eq!(x[0].add(&x[1]), r(2));
+        assert!(x[0].signum() >= 0 && x[1].signum() >= 0);
+    }
+
+    #[test]
+    fn infeasible_negative_sum() {
+        // x + y = -1, x,y ≥ 0 — infeasible.
+        let p = prob(rational_mat(&[&[1, 1]]), vec![-1], vec![true, true]);
+        assert!(lp_feasible(&p).is_none());
+    }
+
+    #[test]
+    fn free_variable_rescues() {
+        // x + y = -1 with y free — feasible (y = -1 - x).
+        let p = prob(rational_mat(&[&[1, 1]]), vec![-1], vec![true, false]);
+        let x = lp_feasible(&p).unwrap();
+        assert_eq!(x[0].add(&x[1]), r(-1));
+        assert!(x[0].signum() >= 0);
+    }
+
+    #[test]
+    fn witness_satisfies_all_rows() {
+        let a = rational_mat(&[&[1, -1, 0, 2], &[0, 1, -1, 1], &[1, 0, -1, 3]]);
+        let p = prob(a.clone(), vec![3, 1, 4], vec![true, false, true, false]);
+        let x = lp_feasible(&p).unwrap();
+        let res = a.matvec(&x);
+        assert_eq!(res, vec![r(3), r(1), r(4)]);
+        assert!(x[0].signum() >= 0 && x[2].signum() >= 0);
+    }
+
+    #[test]
+    fn inconsistent_equalities() {
+        // x = 1 and x = 2 simultaneously.
+        let p = prob(rational_mat(&[&[1], &[1]]), vec![1, 2], vec![true]);
+        assert!(lp_feasible(&p).is_none());
+    }
+
+    #[test]
+    fn redundant_rows_ok() {
+        let p = prob(rational_mat(&[&[1, 1], &[2, 2]]), vec![2, 4], vec![true, true]);
+        assert!(lp_feasible(&p).is_some());
+    }
+
+    #[test]
+    fn maximize_bounded() {
+        // max x subject to x + y = 5, x,y ≥ 0 → 5.
+        let p = prob(rational_mat(&[&[1, 1]]), vec![5], vec![true, true]);
+        assert_eq!(lp_maximize(&p, &[r(1), r(0)]), LpOutcome::Optimal(r(5)));
+        // max x + 2y → 10 at (0,5).
+        assert_eq!(lp_maximize(&p, &[r(1), r(2)]), LpOutcome::Optimal(r(10)));
+    }
+
+    #[test]
+    fn maximize_unbounded() {
+        // max x subject to x − y = 0, x,y ≥ 0: ray (t, t).
+        let p = prob(rational_mat(&[&[1, -1]]), vec![0], vec![true, true]);
+        assert_eq!(lp_maximize(&p, &[r(1), r(0)]), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn maximize_infeasible() {
+        let p = prob(rational_mat(&[&[1, 1]]), vec![-3], vec![true, true]);
+        assert_eq!(lp_maximize(&p, &[r(1), r(0)]), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn maximize_with_free_vars() {
+        // max x st x + f = 1 (f free), x ≥ 0, and x ≤ 4 via x + s = 4.
+        let a = rational_mat(&[&[1, 1, 0], &[1, 0, 1]]);
+        let p = prob(a, vec![1, 4], vec![true, false, true]);
+        assert_eq!(lp_maximize(&p, &[r(1), r(0), r(0)]), LpOutcome::Optimal(r(4)));
+        // Objective on the free variable: f = 1 − x ∈ (−∞, 1]; max f = 1.
+        let a = rational_mat(&[&[1, 1, 0], &[1, 0, 1]]);
+        let p = prob(a, vec![1, 4], vec![true, false, true]);
+        assert_eq!(lp_maximize(&p, &[r(0), r(1), r(0)]), LpOutcome::Optimal(r(1)));
+    }
+
+    #[test]
+    fn steady_state_flux_feasibility() {
+        // Tiny network: in → A → out. v_in = v_out ≥ 0; forcing v_in = 1
+        // feasible, v_in = −1 infeasible.
+        let n = rational_mat(&[&[1, -1]]);
+        // Add row v_0 = 1.
+        let a = rational_mat(&[&[1, -1], &[1, 0]]);
+        let p = prob(a.clone(), vec![0, 1], vec![true, true]);
+        assert!(lp_feasible(&p).is_some());
+        let p = prob(a, vec![0, -1], vec![true, true]);
+        assert!(lp_feasible(&p).is_none());
+        let _ = n;
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // Classic degenerate LP; Bland's rule must terminate.
+        let a = rational_mat(&[&[1, 1, 1, 0], &[1, -1, 0, 1]]);
+        let p = prob(a, vec![0, 0], vec![true, true, true, true]);
+        let x = lp_feasible(&p).unwrap();
+        assert!(x.iter().all(|v| v.signum() >= 0));
+        assert_eq!(lp_maximize(&{
+            let a = rational_mat(&[&[1, 1, 1, 0], &[1, -1, 0, 1]]);
+            prob(a, vec![0, 0], vec![true, true, true, true])
+        }, &[r(1), r(0), r(0), r(0)]), LpOutcome::Optimal(r(0)));
+    }
+}

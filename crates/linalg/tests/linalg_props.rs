@@ -1,0 +1,105 @@
+//! Property tests for the linear algebra substrate: rank bounds and
+//! invariances, kernel correctness, RREF shape, LP certificates.
+
+use efm_linalg::{
+    kernel_basis, lp_feasible, lp_maximize, nullity, rank, rank_of_cols_f64, rref, LpOutcome,
+    LpProblem, Mat,
+};
+use efm_numeric::{DynInt, Rational, Scalar};
+use proptest::prelude::*;
+
+fn small_mat() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    (1usize..5, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(-4i64..5, c), r)
+    })
+}
+
+fn to_int(rows: &[Vec<i64>]) -> Mat<DynInt> {
+    Mat::from_rows(rows.iter().map(|r| r.iter().map(|&v| DynInt::from_i64(v)).collect()).collect())
+}
+
+fn to_rat(rows: &[Vec<i64>]) -> Mat<Rational> {
+    Mat::from_rows(
+        rows.iter().map(|r| r.iter().map(|&v| Rational::from_i64(v)).collect()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn rank_bounds_and_transpose_invariance(rows in small_mat()) {
+        let m = to_int(&rows);
+        let r = rank(&m);
+        prop_assert!(r <= m.rows().min(m.cols()));
+        prop_assert_eq!(r, rank(&m.transpose()));
+    }
+
+    #[test]
+    fn rank_matches_f64_rank(rows in small_mat()) {
+        let m = to_int(&rows);
+        let cols: Vec<usize> = (0..m.cols()).collect();
+        let mut scratch = Vec::new();
+        let f = rank_of_cols_f64(&m, &cols, &mut scratch, 1e-9);
+        prop_assert_eq!(rank(&m), f);
+    }
+
+    #[test]
+    fn kernel_annihilates_and_spans(rows in small_mat()) {
+        let n = to_rat(&rows);
+        let kb = kernel_basis(&n, &[]);
+        prop_assert_eq!(kb.k.cols(), nullity(&n));
+        prop_assert!(n.matmul(&kb.k).is_zero());
+        // Basis columns are linearly independent: rank(K) = dim.
+        if kb.k.cols() > 0 {
+            prop_assert_eq!(rank(&kb.k), kb.k.cols());
+        }
+    }
+
+    #[test]
+    fn rref_pivots_are_canonical(rows in small_mat()) {
+        let n = to_rat(&rows);
+        let r = rref(&n);
+        prop_assert_eq!(r.pivot_cols.len(), rank(&n));
+        for (i, &c) in r.pivot_cols.iter().enumerate() {
+            prop_assert!(r.mat.get(i, c).is_one(), "pivot must be 1");
+            for i2 in 0..n.rows() {
+                if i2 != i {
+                    prop_assert!(r.mat.get(i2, c).is_zero(), "pivot column must be unit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_feasible_witness_is_valid(rows in small_mat(), nonneg_mask in any::<u8>()) {
+        let a = to_rat(&rows);
+        let nonneg: Vec<bool> = (0..a.cols()).map(|j| nonneg_mask >> (j % 8) & 1 == 1).collect();
+        // Homogeneous system: x = 0 is always feasible, so lp_feasible must
+        // succeed and its witness must satisfy the constraints.
+        let p = LpProblem { a: a.clone(), b: vec![Rational::zero(); a.rows()], nonneg: nonneg.clone() };
+        let x = lp_feasible(&p).expect("homogeneous system is feasible");
+        let res = a.matvec(&x);
+        prop_assert!(res.iter().all(|v| v.is_zero()));
+        for (xi, nn) in x.iter().zip(&nonneg) {
+            if *nn {
+                prop_assert!(xi.signum() >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_maximize_zero_objective_is_zero(rows in small_mat()) {
+        let a = to_rat(&rows);
+        let c = vec![Rational::zero(); a.cols()];
+        let p = LpProblem {
+            a: a.clone(),
+            b: vec![Rational::zero(); a.rows()],
+            nonneg: vec![true; a.cols()],
+        };
+        match lp_maximize(&p, &c) {
+            LpOutcome::Optimal(v) => prop_assert!(v.is_zero()),
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Small example networks, including the paper's Fig. 1 toy network.
+
+use crate::model::MetabolicNetwork;
+use crate::parser::parse_network;
+
+/// The illustrative network of the paper's Fig. 1 / Eq. (2): five internal
+/// metabolites (A, B, C, D, P) and nine reactions, two of them reversible.
+/// Its complete EFM set is the eight modes of Eq. (7).
+pub fn toy_network() -> MetabolicNetwork {
+    parse_network(
+        "# Jevremovic-Boley-Sosa 2011, Fig. 1 (after Trinh et al. 2009)\n\
+         r1  : Aext => A\n\
+         r2  : A => C\n\
+         r3  : C => D + P\n\
+         r4  : P => Pext\n\
+         r5  : A => B\n\
+         r6r : B <=> C\n\
+         r7  : B => 2 P\n\
+         r8r : B <=> Bext\n\
+         r9  : D => Dext\n",
+    )
+    .expect("toy network is well-formed")
+}
+
+/// A tiny 3-reaction chain with exactly one EFM (useful as the smallest
+/// non-degenerate test case).
+pub fn chain3() -> MetabolicNetwork {
+    parse_network(
+        "in  : Sext => A\n\
+         mid : A => B\n\
+         out : B => Pext\n",
+    )
+    .expect("chain3 is well-formed")
+}
+
+/// Two parallel routes from substrate to product: exactly two EFMs.
+pub fn diamond() -> MetabolicNetwork {
+    parse_network(
+        "up   : Sext => A\n\
+         left : A => B\n\
+         right: A => C\n\
+         ljoin: B => P\n\
+         rjoin: C => P\n\
+         down : P => Pext\n",
+    )
+    .expect("diamond is well-formed")
+}
+
+/// A network with a reversible internal cycle, exercising the
+/// keep-negative-columns branch of the algorithm.
+pub fn reversible_cycle() -> MetabolicNetwork {
+    parse_network(
+        "in   : Sext => A\n\
+         fwd  : A <=> B\n\
+         alt  : A => B\n\
+         out  : B => Pext\n",
+    )
+    .expect("reversible_cycle is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_matches_paper_dimensions() {
+        let net = toy_network();
+        assert_eq!(net.num_internal(), 5);
+        assert_eq!(net.num_reactions(), 9);
+        let rev: Vec<&str> = net
+            .reactions
+            .iter()
+            .filter(|r| r.reversible)
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(rev, vec!["r6r", "r8r"]);
+    }
+
+    #[test]
+    fn toy_stoichiometry_matches_eq2() {
+        let net = toy_network();
+        let n = net.stoichiometry();
+        assert_eq!((n.rows(), n.cols()), (5, 9));
+        // Row order: A, C, D, P, B follows first-appearance; check entries
+        // by metabolite lookup instead of assuming an order.
+        let internals = net.internal_indices();
+        let row_of = |name: &str| {
+            let m = net.metabolite_index(name).unwrap();
+            internals.iter().position(|&i| i == m).unwrap()
+        };
+        let col_of = |name: &str| net.reaction_index(name).unwrap();
+        let check = |met: &str, rxn: &str, v: i64| {
+            assert_eq!(
+                n.get(row_of(met), col_of(rxn)).to_f64(),
+                v as f64,
+                "N[{met},{rxn}]"
+            );
+        };
+        check("A", "r1", 1);
+        check("A", "r2", -1);
+        check("A", "r5", -1);
+        check("B", "r5", 1);
+        check("B", "r6r", -1);
+        check("B", "r7", -1);
+        check("B", "r8r", -1);
+        check("C", "r2", 1);
+        check("C", "r3", -1);
+        check("C", "r6r", 1);
+        check("D", "r3", 1);
+        check("D", "r9", -1);
+        check("P", "r3", 1);
+        check("P", "r4", -1);
+        check("P", "r7", 2);
+    }
+
+    #[test]
+    fn small_networks_validate() {
+        for net in [chain3(), diamond(), reversible_cycle()] {
+            assert!(net.validate().is_empty());
+        }
+    }
+}

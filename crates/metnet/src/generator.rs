@@ -1,0 +1,225 @@
+//! Workload generators: random and structured metabolic networks.
+//!
+//! Used by the property-based test suite (serial ≡ parallel ≡
+//! divide-and-conquer on arbitrary networks) and by the synthetic benchmark
+//! sweeps (candidate-count scaling). Structured families have analytically
+//! known EFM counts, which gives the test suite exact oracles independent of
+//! the enumeration code.
+
+use crate::model::MetabolicNetwork;
+use efm_numeric::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random network generation.
+#[derive(Debug, Clone)]
+pub struct RandomNetworkParams {
+    /// Internal metabolite count.
+    pub metabolites: usize,
+    /// Reaction count.
+    pub reactions: usize,
+    /// Probability that a reaction is reversible.
+    pub reversible_prob: f64,
+    /// Mean number of metabolites per reaction (sparsity control).
+    pub mean_degree: f64,
+    /// Probability a reaction is an exchange (touches the boundary).
+    pub exchange_prob: f64,
+    /// Maximum absolute stoichiometric coefficient.
+    pub max_coeff: i64,
+}
+
+impl Default for RandomNetworkParams {
+    fn default() -> Self {
+        RandomNetworkParams {
+            metabolites: 6,
+            reactions: 10,
+            reversible_prob: 0.25,
+            mean_degree: 3.0,
+            exchange_prob: 0.35,
+            max_coeff: 2,
+        }
+    }
+}
+
+/// Generates a random metabolic network (deterministic per seed).
+///
+/// The generator biases toward *connected, flux-capable* networks: every
+/// metabolite gets at least one producer and one consumer where possible,
+/// and a few exchange reactions cross the boundary so nonzero steady states
+/// exist. Degenerate draws are still possible (and useful) — the EFM set
+/// may legitimately be empty.
+pub fn random_network(params: &RandomNetworkParams, seed: u64) -> MetabolicNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = MetabolicNetwork::new();
+    let mets: Vec<usize> = (0..params.metabolites)
+        .map(|i| net.add_metabolite(&format!("M{i}"), false))
+        .collect();
+    let ext_in = net.add_metabolite("Sext", true);
+    let ext_out = net.add_metabolite("Pext", true);
+
+    for j in 0..params.reactions {
+        let reversible = rng.gen_bool(params.reversible_prob);
+        let name = format!("v{j}{}", if reversible { "r" } else { "" });
+        let mut stoich: Vec<(usize, Rational)> = Vec::new();
+        if rng.gen_bool(params.exchange_prob) {
+            // Exchange: one internal metabolite ↔ boundary.
+            let m = mets[rng.gen_range(0..mets.len())];
+            let import = rng.gen_bool(0.5);
+            let coeff = rng.gen_range(1..=params.max_coeff);
+            if import {
+                stoich.push((ext_in, Rational::from_i64(-1)));
+                stoich.push((m, Rational::from_i64(coeff)));
+            } else {
+                stoich.push((m, Rational::from_i64(-coeff)));
+                stoich.push((ext_out, Rational::from_i64(1)));
+            }
+        } else {
+            // Internal conversion with ~mean_degree participants split
+            // between substrates and products.
+            let degree = {
+                let d = params.mean_degree.max(2.0);
+                rng.gen_range(2..=(d.round() as usize).max(2) + 1)
+            };
+            let mut chosen: Vec<usize> = Vec::new();
+            for _ in 0..degree {
+                let m = mets[rng.gen_range(0..mets.len())];
+                if !chosen.contains(&m) {
+                    chosen.push(m);
+                }
+            }
+            if chosen.len() < 2 {
+                // Fall back to a simple conversion between two metabolites.
+                let a = mets[rng.gen_range(0..mets.len())];
+                let b = mets[(mets.iter().position(|&x| x == a).unwrap() + 1) % mets.len()];
+                chosen = vec![a, mets[0].max(b)];
+                chosen.dedup();
+                if chosen.len() < 2 {
+                    chosen = vec![mets[0], *mets.last().unwrap()];
+                }
+            }
+            let split = rng.gen_range(1..chosen.len());
+            for (i, &m) in chosen.iter().enumerate() {
+                let coeff = rng.gen_range(1..=params.max_coeff);
+                let c = if i < split { -coeff } else { coeff };
+                stoich.push((m, Rational::from_i64(c)));
+            }
+        }
+        net.add_reaction(&name, reversible, stoich);
+    }
+    net
+}
+
+/// A linear pathway `Sext → M0 → M1 → … → Pext` of `n` interior steps.
+/// Exactly **one** EFM.
+pub fn linear_chain(n: usize) -> MetabolicNetwork {
+    assert!(n >= 1);
+    let mut net = MetabolicNetwork::new();
+    let sext = net.add_metabolite("Sext", true);
+    let pext = net.add_metabolite("Pext", true);
+    let mets: Vec<usize> = (0..n).map(|i| net.add_metabolite(&format!("M{i}"), false)).collect();
+    net.add_reaction("in", false, vec![(sext, Rational::from_i64(-1)), (mets[0], Rational::from_i64(1))]);
+    for i in 0..n - 1 {
+        net.add_reaction(
+            &format!("s{i}"),
+            false,
+            vec![(mets[i], Rational::from_i64(-1)), (mets[i + 1], Rational::from_i64(1))],
+        );
+    }
+    net.add_reaction("out", false, vec![(mets[n - 1], Rational::from_i64(-1)), (pext, Rational::from_i64(1))]);
+    net
+}
+
+/// `k` parallel branches between a shared substrate and product:
+/// exactly **k** EFMs.
+pub fn parallel_branches(k: usize) -> MetabolicNetwork {
+    assert!(k >= 1);
+    let mut net = MetabolicNetwork::new();
+    let sext = net.add_metabolite("Sext", true);
+    let pext = net.add_metabolite("Pext", true);
+    let a = net.add_metabolite("A", false);
+    let b = net.add_metabolite("B", false);
+    net.add_reaction("in", false, vec![(sext, Rational::from_i64(-1)), (a, Rational::from_i64(1))]);
+    for i in 0..k {
+        net.add_reaction(
+            &format!("b{i}"),
+            false,
+            vec![(a, Rational::from_i64(-1)), (b, Rational::from_i64(1))],
+        );
+    }
+    net.add_reaction("out", false, vec![(b, Rational::from_i64(-1)), (pext, Rational::from_i64(1))]);
+    net
+}
+
+/// `s` sequential stages, each offering `k` parallel branch reactions:
+/// exactly **k^s** EFMs. This is the combinatorial-explosion workload for
+/// scaling benches — EFM count grows exponentially while the network stays
+/// small.
+pub fn layered_branches(stages: usize, k: usize) -> MetabolicNetwork {
+    assert!(stages >= 1 && k >= 1);
+    let mut net = MetabolicNetwork::new();
+    let sext = net.add_metabolite("Sext", true);
+    let pext = net.add_metabolite("Pext", true);
+    let nodes: Vec<usize> =
+        (0..=stages).map(|i| net.add_metabolite(&format!("L{i}"), false)).collect();
+    net.add_reaction("in", false, vec![(sext, Rational::from_i64(-1)), (nodes[0], Rational::from_i64(1))]);
+    for s in 0..stages {
+        for b in 0..k {
+            net.add_reaction(
+                &format!("s{s}b{b}"),
+                false,
+                vec![(nodes[s], Rational::from_i64(-1)), (nodes[s + 1], Rational::from_i64(1))],
+            );
+        }
+    }
+    net.add_reaction(
+        "out",
+        false,
+        vec![(nodes[stages], Rational::from_i64(-1)), (pext, Rational::from_i64(1))],
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_network_is_deterministic_per_seed() {
+        let p = RandomNetworkParams::default();
+        let a = random_network(&p, 42);
+        let b = random_network(&p, 42);
+        assert_eq!(a.num_reactions(), b.num_reactions());
+        for (ra, rb) in a.reactions.iter().zip(&b.reactions) {
+            assert_eq!(ra, rb);
+        }
+        let c = random_network(&p, 43);
+        let differs = a.reactions.len() != c.reactions.len()
+            || a.reactions.iter().zip(&c.reactions).any(|(x, y)| x != y);
+        assert!(differs, "different seeds should give different draws");
+    }
+
+    #[test]
+    fn random_network_validates() {
+        let p = RandomNetworkParams::default();
+        for seed in 0..20 {
+            let net = random_network(&p, seed);
+            assert!(net.validate().is_empty(), "seed {seed}");
+            assert_eq!(net.num_reactions(), p.reactions);
+        }
+    }
+
+    #[test]
+    fn structured_shapes() {
+        let c = linear_chain(4);
+        assert_eq!(c.num_reactions(), 5);
+        assert_eq!(c.num_internal(), 4);
+        let p = parallel_branches(3);
+        assert_eq!(p.num_reactions(), 5);
+        let l = layered_branches(3, 2);
+        assert_eq!(l.num_reactions(), 3 * 2 + 2);
+        assert_eq!(l.num_internal(), 4);
+        for net in [c, p, l] {
+            assert!(net.validate().is_empty());
+        }
+    }
+}

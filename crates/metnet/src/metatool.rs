@@ -1,0 +1,342 @@
+//! Metatool `.dat` format support.
+//!
+//! Metatool (Pfeiffer et al., and the METATOOL 5 of von Kamp & Schuster)
+//! is the classic EFM tool; its input format is the de-facto interchange
+//! format of the EFM literature (efmtool and the paper's `elmocomp` both
+//! read it). The format is section-based:
+//!
+//! ```text
+//! -ENZREV
+//! r6 r8
+//!
+//! -ENZIRREV
+//! r1 r2 r3 r4 r5 r7 r9
+//!
+//! -METINT
+//! A B C D P
+//!
+//! -METEXT
+//! Aext Bext Dext Pext
+//!
+//! -CAT
+//! r1 : Aext = A .
+//! r3 : C = D + P .
+//! r7 : B = 2 P .
+//! ```
+//!
+//! * `-ENZREV` / `-ENZIRREV` list reversible / irreversible reaction names;
+//! * `-METINT` / `-METEXT` declare internal / external metabolites;
+//! * `-CAT` gives one equation per reaction, `lhs = rhs`, optionally
+//!   terminated by ` .`; coefficients prefix metabolite names.
+//!
+//! [`parse_metatool`] converts a `.dat` string into a [`MetabolicNetwork`];
+//! [`to_metatool`] renders a network back (integer-scaled coefficients),
+//! giving a lossless round-trip for rational-coefficient networks.
+
+use crate::model::MetabolicNetwork;
+use crate::parser::{parse_coefficient, ParseError};
+use efm_numeric::Rational;
+use std::collections::HashMap;
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    EnzRev,
+    EnzIrrev,
+    MetInt,
+    MetExt,
+    Cat,
+}
+
+/// Parses a Metatool `.dat` file into a network.
+pub fn parse_metatool(text: &str) -> Result<MetabolicNetwork, ParseError> {
+    let mut section = Section::None;
+    let mut enz_rev: Vec<String> = Vec::new();
+    let mut enz_irrev: Vec<String> = Vec::new();
+    let mut met_int: Vec<String> = Vec::new();
+    let mut met_ext: Vec<String> = Vec::new();
+    let mut cat_lines: Vec<(usize, String)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        section = match line.to_ascii_uppercase().as_str() {
+            "-ENZREV" => {
+                section = Section::EnzRev;
+                continue;
+            }
+            "-ENZIRREV" => {
+                section = Section::EnzIrrev;
+                continue;
+            }
+            "-METINT" => {
+                section = Section::MetInt;
+                continue;
+            }
+            "-METEXT" => {
+                section = Section::MetExt;
+                continue;
+            }
+            "-CAT" => {
+                section = Section::Cat;
+                continue;
+            }
+            _ => section,
+        };
+        match section {
+            Section::None => {
+                return Err(err(line_no, format!("content before any section: '{line}'")))
+            }
+            Section::EnzRev => enz_rev.extend(line.split_whitespace().map(str::to_string)),
+            Section::EnzIrrev => enz_irrev.extend(line.split_whitespace().map(str::to_string)),
+            Section::MetInt => met_int.extend(line.split_whitespace().map(str::to_string)),
+            Section::MetExt => met_ext.extend(line.split_whitespace().map(str::to_string)),
+            Section::Cat => cat_lines.push((line_no, line.to_string())),
+        }
+    }
+
+    let mut net = MetabolicNetwork::new();
+    for m in &met_int {
+        net.add_metabolite(m, false);
+    }
+    for m in &met_ext {
+        net.add_metabolite(m, true);
+    }
+    let mut reversibility: HashMap<&str, bool> = HashMap::new();
+    for r in &enz_rev {
+        reversibility.insert(r, true);
+    }
+    for r in &enz_irrev {
+        if reversibility.insert(r, false) == Some(true) {
+            return Err(err(0, format!("reaction {r} listed in both ENZREV and ENZIRREV")));
+        }
+    }
+
+    for (line_no, line) in &cat_lines {
+        let (name, eqn) = line
+            .split_once(':')
+            .ok_or_else(|| err(*line_no, "missing ':' in CAT line"))?;
+        let name = name.trim();
+        let Some(&reversible) = reversibility.get(name) else {
+            return Err(err(*line_no, format!("reaction {name} not declared in ENZREV/ENZIRREV")));
+        };
+        let eqn = eqn.trim().trim_end_matches('.').trim();
+        let (lhs, rhs) = eqn
+            .split_once('=')
+            .ok_or_else(|| err(*line_no, "missing '=' in CAT equation"))?;
+        let mut stoich: Vec<(usize, Rational)> = Vec::new();
+        for (side, sign) in [(lhs, -1i64), (rhs, 1i64)] {
+            let side = side.trim();
+            if side.is_empty() {
+                continue;
+            }
+            for term in side.split('+') {
+                let toks: Vec<&str> = term.split_whitespace().collect();
+                let (coeff, met) = match toks.as_slice() {
+                    [] => return Err(err(*line_no, "empty term in CAT equation")),
+                    [m] => (Rational::one(), *m),
+                    [c, m] => (
+                        parse_coefficient(c)
+                            .ok_or_else(|| err(*line_no, format!("bad coefficient {c}")))?,
+                        *m,
+                    ),
+                    _ => return Err(err(*line_no, format!("cannot parse term '{}'", term.trim()))),
+                };
+                let Some(mi) = net.metabolite_index(met) else {
+                    return Err(err(
+                        *line_no,
+                        format!("metabolite {met} not declared in METINT/METEXT"),
+                    ));
+                };
+                stoich.push((mi, coeff.mul(&Rational::from_i64(sign))));
+            }
+        }
+        if net.reaction_index(name).is_some() {
+            return Err(err(*line_no, format!("duplicate CAT entry for {name}")));
+        }
+        net.add_reaction(name, reversible, stoich);
+    }
+
+    // Declared reactions without a CAT entry are an error (they would be
+    // silently blocked otherwise).
+    for (r, _) in &reversibility {
+        if net.reaction_index(r).is_none() {
+            return Err(err(0, format!("reaction {r} declared but has no CAT equation")));
+        }
+    }
+    Ok(net)
+}
+
+/// Renders a network in Metatool `.dat` format. Rational coefficients are
+/// scaled per reaction to integers (Metatool only accepts integers).
+pub fn to_metatool(net: &MetabolicNetwork) -> String {
+    let mut out = String::new();
+    let rev: Vec<&str> = net
+        .reactions
+        .iter()
+        .filter(|r| r.reversible)
+        .map(|r| r.name.as_str())
+        .collect();
+    let irrev: Vec<&str> = net
+        .reactions
+        .iter()
+        .filter(|r| !r.reversible)
+        .map(|r| r.name.as_str())
+        .collect();
+    let internal: Vec<&str> = net
+        .metabolites
+        .iter()
+        .filter(|m| !m.external)
+        .map(|m| m.name.as_str())
+        .collect();
+    let external: Vec<&str> = net
+        .metabolites
+        .iter()
+        .filter(|m| m.external)
+        .map(|m| m.name.as_str())
+        .collect();
+    out.push_str("-ENZREV\n");
+    out.push_str(&rev.join(" "));
+    out.push_str("\n\n-ENZIRREV\n");
+    out.push_str(&irrev.join(" "));
+    out.push_str("\n\n-METINT\n");
+    out.push_str(&internal.join(" "));
+    out.push_str("\n\n-METEXT\n");
+    out.push_str(&external.join(" "));
+    out.push_str("\n\n-CAT\n");
+    for rxn in &net.reactions {
+        // Scale to integers: multiply by the lcm of denominators.
+        let vals: Vec<Rational> = rxn.stoich.iter().map(|(_, c)| c.clone()).collect();
+        let ints = efm_numeric::to_primitive_integer_vec(&vals);
+        let mut lhs: Vec<String> = Vec::new();
+        let mut rhs: Vec<String> = Vec::new();
+        for ((m, _), v) in rxn.stoich.iter().zip(&ints) {
+            let name = &net.metabolites[*m].name;
+            let mag = v.abs();
+            let term = if mag.is_one() { name.clone() } else { format!("{mag} {name}") };
+            if v.signum() < 0 {
+                lhs.push(term);
+            } else if v.signum() > 0 {
+                rhs.push(term);
+            }
+        }
+        out.push_str(&format!("{} : {} = {} .\n", rxn.name, lhs.join(" + "), rhs.join(" + ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::toy_network;
+
+    const TOY_DAT: &str = "\
+-ENZREV
+r6r r8r
+
+-ENZIRREV
+r1 r2 r3 r4 r5 r7 r9
+
+-METINT
+A B C D P
+
+-METEXT
+Aext Bext Dext Pext
+
+-CAT
+r1 : Aext = A .
+r2 : A = C .
+r3 : C = D + P .
+r4 : P = Pext .
+r5 : A = B .
+r6r : B = C .
+r7 : B = 2 P .
+r8r : B = Bext .
+r9 : D = Dext .
+";
+
+    #[test]
+    fn parses_toy_dat() {
+        let net = parse_metatool(TOY_DAT).unwrap();
+        assert_eq!(net.num_reactions(), 9);
+        assert_eq!(net.num_internal(), 5);
+        assert!(net.reactions[net.reaction_index("r6r").unwrap()].reversible);
+        assert!(!net.reactions[net.reaction_index("r7").unwrap()].reversible);
+        let p = net.metabolite_index("P").unwrap();
+        let r7 = &net.reactions[net.reaction_index("r7").unwrap()];
+        assert_eq!(r7.coefficient(p).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn metatool_toy_matches_builtin_toy() {
+        // Same stoichiometry as the programmatic toy network.
+        let a = parse_metatool(TOY_DAT).unwrap();
+        let b = toy_network();
+        assert_eq!(a.num_reactions(), b.num_reactions());
+        let na = a.stoichiometry();
+        let nb = b.stoichiometry();
+        // Match rows by metabolite name.
+        let ia = a.internal_indices();
+        let ib = b.internal_indices();
+        for (ra, &ma) in ia.iter().enumerate() {
+            let name = &a.metabolites[ma].name;
+            let rb = ib
+                .iter()
+                .position(|&mb| &b.metabolites[mb].name == name)
+                .expect("metabolite present in both");
+            for (ca, rxn) in a.reactions.iter().enumerate() {
+                let cb = b.reaction_index(&rxn.name).unwrap();
+                assert_eq!(na.get(ra, ca), nb.get(rb, cb), "N[{name},{}]", rxn.name);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_to_metatool() {
+        let net = toy_network();
+        let dat = to_metatool(&net);
+        let back = parse_metatool(&dat).unwrap();
+        assert_eq!(back.num_reactions(), net.num_reactions());
+        assert_eq!(back.num_internal(), net.num_internal());
+        for rxn in &net.reactions {
+            let j = back.reaction_index(&rxn.name).unwrap();
+            assert_eq!(back.reactions[j].reversible, rxn.reversible);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_metatool("garbage before section\n").is_err());
+        let missing_decl = "-ENZIRREV\nr1\n-METINT\nA\n-METEXT\nX\n-CAT\nr2 : A = X .\n";
+        let e = parse_metatool(missing_decl).unwrap_err();
+        assert!(e.message.contains("not declared"), "{e}");
+        let both = "-ENZREV\nr1\n-ENZIRREV\nr1\n-METINT\nA\n-METEXT\nX\n-CAT\nr1 : A = X .\n";
+        assert!(parse_metatool(both).is_err());
+        let no_cat = "-ENZIRREV\nr1 r2\n-METINT\nA\n-METEXT\nX\n-CAT\nr1 : A = X .\n";
+        let e = parse_metatool(no_cat).unwrap_err();
+        assert!(e.message.contains("no CAT equation"), "{e}");
+        let unknown_met = "-ENZIRREV\nr1\n-METINT\nA\n-METEXT\nX\n-CAT\nr1 : A = Q .\n";
+        let e = parse_metatool(unknown_met).unwrap_err();
+        assert!(e.message.contains("not declared in METINT"), "{e}");
+    }
+
+    #[test]
+    fn yeast_network_roundtrips() {
+        let net = crate::yeast::network_i();
+        let dat = to_metatool(&net);
+        let back = parse_metatool(&dat).unwrap();
+        assert_eq!(back.num_reactions(), 78);
+        assert_eq!(back.num_internal(), 62);
+        // Spot-check a large coefficient survives.
+        let r70 = &back.reactions[back.reaction_index("R70").unwrap()];
+        let atp = back.metabolite_index("ATP").unwrap();
+        assert_eq!(r70.coefficient(atp).to_f64(), -40141.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The metabolic network model.
+//!
+//! A network is a set of metabolites (internal or external) and reactions
+//! with rational stoichiometric coefficients and a reversibility flag. The
+//! steady-state constraint `N·v = 0` applies to **internal** metabolites
+//! only; external metabolites are sources/sinks outside the system boundary
+//! (the dotted line of the paper's Fig. 1).
+
+use efm_linalg::Mat;
+use efm_numeric::Rational;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A metabolite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metabolite {
+    /// Name, unique within a network.
+    pub name: String,
+    /// External metabolites are outside the system boundary and are not
+    /// balanced.
+    pub external: bool,
+}
+
+/// A reaction: named, directed (unless reversible), with rational
+/// stoichiometry. Negative coefficients consume, positive produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reaction {
+    /// Name, unique within a network.
+    pub name: String,
+    /// Whether the reaction may carry negative flux.
+    pub reversible: bool,
+    /// Sparse stoichiometry: `(metabolite index, coefficient)`.
+    pub stoich: Vec<(usize, Rational)>,
+}
+
+impl Reaction {
+    /// Coefficient of the given metabolite (zero if absent).
+    pub fn coefficient(&self, met: usize) -> Rational {
+        self.stoich
+            .iter()
+            .find(|(m, _)| *m == met)
+            .map_or_else(Rational::zero, |(_, c)| c.clone())
+    }
+}
+
+/// A metabolic network.
+#[derive(Debug, Clone, Default)]
+pub struct MetabolicNetwork {
+    /// All metabolites (internal and external).
+    pub metabolites: Vec<Metabolite>,
+    /// All reactions.
+    pub reactions: Vec<Reaction>,
+    name_to_met: HashMap<String, usize>,
+    name_to_rxn: HashMap<String, usize>,
+}
+
+impl MetabolicNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a metabolite by name.
+    pub fn add_metabolite(&mut self, name: &str, external: bool) -> usize {
+        if let Some(&i) = self.name_to_met.get(name) {
+            // Externality may be upgraded by an explicit declaration.
+            if external {
+                self.metabolites[i].external = true;
+            }
+            return i;
+        }
+        let i = self.metabolites.len();
+        self.metabolites.push(Metabolite { name: name.to_string(), external });
+        self.name_to_met.insert(name.to_string(), i);
+        i
+    }
+
+    /// Adds a reaction; stoichiometry refers to metabolite indices.
+    /// Panics on duplicate reaction names.
+    pub fn add_reaction(&mut self, name: &str, reversible: bool, stoich: Vec<(usize, Rational)>) -> usize {
+        assert!(
+            !self.name_to_rxn.contains_key(name),
+            "duplicate reaction name {name}"
+        );
+        let i = self.reactions.len();
+        self.reactions.push(Reaction { name: name.to_string(), reversible, stoich });
+        self.name_to_rxn.insert(name.to_string(), i);
+        i
+    }
+
+    /// Looks up a metabolite index by name.
+    pub fn metabolite_index(&self, name: &str) -> Option<usize> {
+        self.name_to_met.get(name).copied()
+    }
+
+    /// Looks up a reaction index by name.
+    pub fn reaction_index(&self, name: &str) -> Option<usize> {
+        self.name_to_rxn.get(name).copied()
+    }
+
+    /// Number of internal metabolites.
+    pub fn num_internal(&self) -> usize {
+        self.metabolites.iter().filter(|m| !m.external).count()
+    }
+
+    /// Number of reactions.
+    pub fn num_reactions(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Indices of internal metabolites, ascending.
+    pub fn internal_indices(&self) -> Vec<usize> {
+        (0..self.metabolites.len()).filter(|&i| !self.metabolites[i].external).collect()
+    }
+
+    /// Reversibility flags per reaction.
+    pub fn reversibilities(&self) -> Vec<bool> {
+        self.reactions.iter().map(|r| r.reversible).collect()
+    }
+
+    /// Reaction names, in order.
+    pub fn reaction_names(&self) -> Vec<String> {
+        self.reactions.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// The stoichiometry matrix over internal metabolites:
+    /// rows = internal metabolites (in `internal_indices` order),
+    /// columns = reactions.
+    pub fn stoichiometry(&self) -> Mat<Rational> {
+        let internals = self.internal_indices();
+        let row_of: HashMap<usize, usize> =
+            internals.iter().enumerate().map(|(r, &m)| (m, r)).collect();
+        let mut n = Mat::<Rational>::zeros(internals.len(), self.reactions.len());
+        for (j, rxn) in self.reactions.iter().enumerate() {
+            for (m, c) in &rxn.stoich {
+                if let Some(&r) = row_of.get(m) {
+                    // Accumulate: a metabolite may legally appear on both
+                    // sides of a reaction equation.
+                    let cur = n.get(r, j).add(c);
+                    n.set(r, j, cur);
+                }
+            }
+        }
+        n
+    }
+
+    /// Validates basic integrity: every stoichiometric index in range, no
+    /// empty reactions, no reaction touching only external metabolites
+    /// reported as an error list (empty when clean).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for rxn in &self.reactions {
+            if rxn.stoich.is_empty() {
+                problems.push(format!("reaction {} has empty stoichiometry", rxn.name));
+            }
+            for (m, c) in &rxn.stoich {
+                if *m >= self.metabolites.len() {
+                    problems.push(format!("reaction {} references unknown metabolite", rxn.name));
+                }
+                if c.is_zero() {
+                    problems.push(format!("reaction {} has a zero coefficient", rxn.name));
+                }
+            }
+        }
+        problems
+    }
+}
+
+impl fmt::Display for MetabolicNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "MetabolicNetwork: {} metabolites ({} internal), {} reactions",
+            self.metabolites.len(),
+            self.num_internal(),
+            self.reactions.len()
+        )?;
+        for rxn in &self.reactions {
+            writeln!(f, "  {}", format_reaction(self, rxn))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a reaction equation like `A + 2 B => C`.
+pub fn format_reaction(net: &MetabolicNetwork, rxn: &Reaction) -> String {
+    let side = |coeffs: &[(usize, Rational)], negate: bool| {
+        let mut parts = Vec::new();
+        for (m, c) in coeffs {
+            let c = if negate { c.neg() } else { c.clone() };
+            if c.signum() <= 0 {
+                continue;
+            }
+            let name = &net.metabolites[*m].name;
+            if c.is_one() {
+                parts.push(name.clone());
+            } else {
+                parts.push(format!("{c} {name}"));
+            }
+        }
+        parts.join(" + ")
+    };
+    let lhs = side(&rxn.stoich, true);
+    let rhs = side(&rxn.stoich, false);
+    let arrow = if rxn.reversible { "<=>" } else { "=>" };
+    format!("{} : {} {} {}", rxn.name, lhs, arrow, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rational {
+        Rational::from_i64(v)
+    }
+
+    #[test]
+    fn build_and_matrix() {
+        let mut net = MetabolicNetwork::new();
+        let aext = net.add_metabolite("Aext", true);
+        let a = net.add_metabolite("A", false);
+        let b = net.add_metabolite("B", false);
+        net.add_reaction("r1", false, vec![(aext, r(-1)), (a, r(1))]);
+        net.add_reaction("r2", true, vec![(a, r(-1)), (b, r(1))]);
+        net.add_reaction("r3", false, vec![(b, r(-2))]);
+
+        assert_eq!(net.num_internal(), 2);
+        let n = net.stoichiometry();
+        assert_eq!((n.rows(), n.cols()), (2, 3));
+        // Row order follows internal_indices: A then B.
+        assert_eq!(n.get(0, 0), &r(1));
+        assert_eq!(n.get(0, 1), &r(-1));
+        assert_eq!(n.get(1, 1), &r(1));
+        assert_eq!(n.get(1, 2), &r(-2));
+        assert!(n.get(0, 2).is_zero());
+        assert!(net.validate().is_empty());
+    }
+
+    #[test]
+    fn metabolite_dedup_and_external_upgrade() {
+        let mut net = MetabolicNetwork::new();
+        let a1 = net.add_metabolite("A", false);
+        let a2 = net.add_metabolite("A", true);
+        assert_eq!(a1, a2);
+        assert!(net.metabolites[a1].external);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate reaction")]
+    fn duplicate_reaction_panics() {
+        let mut net = MetabolicNetwork::new();
+        let a = net.add_metabolite("A", false);
+        net.add_reaction("r", false, vec![(a, r(1))]);
+        net.add_reaction("r", false, vec![(a, r(-1))]);
+    }
+
+    #[test]
+    fn both_sides_accumulate() {
+        // A => A + B has net coefficient 0 for A, 1 for B.
+        let mut net = MetabolicNetwork::new();
+        let a = net.add_metabolite("A", false);
+        let b = net.add_metabolite("B", false);
+        net.add_reaction("r", false, vec![(a, r(-1)), (a, r(1)), (b, r(1))]);
+        let n = net.stoichiometry();
+        assert!(n.get(0, 0).is_zero());
+        assert_eq!(n.get(1, 0), &r(1));
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut net = MetabolicNetwork::new();
+        let a = net.add_metabolite("A", false);
+        net.add_reaction("empty", false, vec![]);
+        net.add_reaction("zero", false, vec![(a, r(0))]);
+        let problems = net.validate();
+        assert_eq!(problems.len(), 2);
+    }
+
+    #[test]
+    fn format_roundtrip_shape() {
+        let mut net = MetabolicNetwork::new();
+        let a = net.add_metabolite("A", false);
+        let b = net.add_metabolite("B", false);
+        let i = net.add_reaction("rx", true, vec![(a, r(-2)), (b, r(1))]);
+        let s = format_reaction(&net, &net.reactions[i]);
+        assert_eq!(s, "rx : 2 A <=> B");
+    }
+}

@@ -1,0 +1,296 @@
+//! Text format parser for metabolic networks.
+//!
+//! The format follows the reaction listings of the paper's Figs. 3–5:
+//!
+//! ```text
+//! # comment
+//! -EXTERNAL BIO            # optional explicit external declarations
+//! R4  : F6P + ATP => FDP + ADP
+//! R3r : G6P <=> F6P
+//! R70 : 7437 G6P + 611 G3P => 1000 BIO
+//! ```
+//!
+//! * `=>` (also `-->`, `==>`) declares an irreversible reaction;
+//!   `<=>` (also `<->`, `<==>`) a reversible one.
+//! * Coefficients are rationals: `2`, `0.5`, and `3/2` are all accepted;
+//!   a missing coefficient means 1.
+//! * Metabolites whose name ends in `ext` are external by convention (the
+//!   paper's convention), as is anything declared via `-EXTERNAL`.
+//! * Either side of the arrow may be empty (pure exchange reactions).
+
+use crate::model::MetabolicNetwork;
+use efm_numeric::{DynInt, Rational};
+
+/// A parse failure with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a rational coefficient: integer, decimal, or `a/b`.
+pub fn parse_coefficient(tok: &str) -> Option<Rational> {
+    if let Some((a, b)) = tok.split_once('/') {
+        let num: i64 = a.parse().ok()?;
+        let den: i64 = b.parse().ok()?;
+        if den == 0 {
+            return None;
+        }
+        return Some(Rational::new(DynInt::from_i64(num), DynInt::from_i64(den)));
+    }
+    if let Some((int_part, frac_part)) = tok.split_once('.') {
+        if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let scale = 10i64.checked_pow(frac_part.len() as u32)?;
+        let int_v: i64 = if int_part.is_empty() { 0 } else { int_part.parse().ok()? };
+        let frac_v: i64 = frac_part.parse().ok()?;
+        let num = int_v.checked_mul(scale)?.checked_add(if int_v < 0 { -frac_v } else { frac_v })?;
+        return Some(Rational::new(DynInt::from_i64(num), DynInt::from_i64(scale)));
+    }
+    let v: i64 = tok.parse().ok()?;
+    Some(Rational::from_i64(v))
+}
+
+fn is_coefficient(tok: &str) -> bool {
+    tok.bytes().next().is_some_and(|b| b.is_ascii_digit())
+        && parse_coefficient(tok).is_some()
+}
+
+/// One side of a reaction equation → `(name, coefficient)` terms.
+fn parse_side(side: &str, line: usize) -> Result<Vec<(String, Rational)>, ParseError> {
+    let side = side.trim();
+    if side.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut terms = Vec::new();
+    for term in side.split('+') {
+        let toks: Vec<&str> = term.split_whitespace().collect();
+        match toks.as_slice() {
+            [] => return Err(err(line, "empty term between '+' signs")),
+            [name] => {
+                if is_coefficient(name) {
+                    return Err(err(line, format!("coefficient {name} without metabolite")));
+                }
+                terms.push(((*name).to_string(), Rational::one()));
+            }
+            [coeff, name] => {
+                let c = parse_coefficient(coeff)
+                    .ok_or_else(|| err(line, format!("bad coefficient {coeff}")))?;
+                if c.signum() <= 0 {
+                    return Err(err(line, format!("non-positive coefficient {coeff}")));
+                }
+                terms.push(((*name).to_string(), c));
+            }
+            _ => return Err(err(line, format!("cannot parse term '{}'", term.trim()))),
+        }
+    }
+    Ok(terms)
+}
+
+const REVERSIBLE_ARROWS: [&str; 3] = ["<==>", "<=>", "<->"];
+const IRREVERSIBLE_ARROWS: [&str; 3] = ["==>", "=>", "-->"];
+
+/// Parses one reaction line `NAME : LHS ARROW RHS` into the network.
+pub fn parse_reaction_line(
+    net: &mut MetabolicNetwork,
+    raw: &str,
+    line: usize,
+    extra_externals: &[String],
+) -> Result<(), ParseError> {
+    let (name, eqn) = raw
+        .split_once(':')
+        .ok_or_else(|| err(line, "missing ':' between reaction name and equation"))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(err(line, "empty reaction name"));
+    }
+    let eqn = eqn.trim();
+    let mut reversible = None;
+    let mut lhs = "";
+    let mut rhs = "";
+    for arrow in REVERSIBLE_ARROWS {
+        if let Some((l, r)) = eqn.split_once(arrow) {
+            reversible = Some(true);
+            lhs = l;
+            rhs = r;
+            break;
+        }
+    }
+    if reversible.is_none() {
+        for arrow in IRREVERSIBLE_ARROWS {
+            if let Some((l, r)) = eqn.split_once(arrow) {
+                reversible = Some(false);
+                lhs = l;
+                rhs = r;
+                break;
+            }
+        }
+    }
+    let reversible = reversible.ok_or_else(|| err(line, "no reaction arrow found"))?;
+    let lhs_terms = parse_side(lhs, line)?;
+    let rhs_terms = parse_side(rhs, line)?;
+    if lhs_terms.is_empty() && rhs_terms.is_empty() {
+        return Err(err(line, "reaction with no metabolites"));
+    }
+    let mut stoich = Vec::with_capacity(lhs_terms.len() + rhs_terms.len());
+    for (metname, c) in lhs_terms {
+        let ext = metname.ends_with("ext") || extra_externals.iter().any(|e| e == &metname);
+        let m = net.add_metabolite(&metname, ext);
+        stoich.push((m, c.neg()));
+    }
+    for (metname, c) in rhs_terms {
+        let ext = metname.ends_with("ext") || extra_externals.iter().any(|e| e == &metname);
+        let m = net.add_metabolite(&metname, ext);
+        stoich.push((m, c));
+    }
+    if net.reaction_index(name).is_some() {
+        return Err(err(line, format!("duplicate reaction name {name}")));
+    }
+    net.add_reaction(name, reversible, stoich);
+    Ok(())
+}
+
+/// Parses a whole network file.
+pub fn parse_network(text: &str) -> Result<MetabolicNetwork, ParseError> {
+    let mut net = MetabolicNetwork::new();
+    let mut externals: Vec<String> = Vec::new();
+    // First pass: collect -EXTERNAL declarations so order does not matter.
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some(rest) = line.strip_prefix("-EXTERNAL") {
+            externals.extend(rest.split_whitespace().map(str::to_string));
+        }
+    }
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("-EXTERNAL") {
+            continue;
+        }
+        parse_reaction_line(&mut net, line, line_no, &externals)?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_network() {
+        let net = parse_network(
+            "# toy\n\
+             r1 : Aext => A\n\
+             r2 : A => B\n\
+             r3 : B <=> Bext\n",
+        )
+        .unwrap();
+        assert_eq!(net.num_reactions(), 3);
+        assert_eq!(net.num_internal(), 2);
+        assert!(net.reactions[2].reversible);
+        assert!(!net.reactions[1].reversible);
+        assert!(net.metabolites[net.metabolite_index("Aext").unwrap()].external);
+    }
+
+    #[test]
+    fn coefficients_integer_decimal_fraction() {
+        assert_eq!(parse_coefficient("2"), Some(Rational::from_i64(2)));
+        assert_eq!(
+            parse_coefficient("0.5"),
+            Some(Rational::new(DynInt::from_i64(1), DynInt::from_i64(2)))
+        );
+        assert_eq!(
+            parse_coefficient("3/2"),
+            Some(Rational::new(DynInt::from_i64(3), DynInt::from_i64(2)))
+        );
+        assert_eq!(parse_coefficient("x"), None);
+        assert_eq!(parse_coefficient("1/0"), None);
+    }
+
+    #[test]
+    fn coefficients_in_equation() {
+        let net = parse_network("R70 : 2 A + 0.5 B => 1000 C\n").unwrap();
+        let n = net.stoichiometry();
+        let a = net.metabolite_index("A").unwrap();
+        assert_eq!(n.get(a, 0), &Rational::from_i64(-2));
+        let c = net.metabolite_index("C").unwrap();
+        assert_eq!(n.get(c, 0), &Rational::from_i64(1000));
+    }
+
+    #[test]
+    fn external_declarations() {
+        let net = parse_network("-EXTERNAL BIO\nR70 : A => 2 BIO\n").unwrap();
+        let bio = net.metabolite_index("BIO").unwrap();
+        assert!(net.metabolites[bio].external);
+        assert_eq!(net.num_internal(), 1);
+    }
+
+    #[test]
+    fn external_declaration_after_use_still_applies() {
+        let net = parse_network("R70 : A => 2 BIO\n-EXTERNAL BIO\n").unwrap();
+        let bio = net.metabolite_index("BIO").unwrap();
+        assert!(net.metabolites[bio].external);
+    }
+
+    #[test]
+    fn empty_sides_allowed() {
+        let net = parse_network("drain : A =>\nsource : => B\n").unwrap();
+        let n = net.stoichiometry();
+        assert_eq!(n.get(0, 0), &Rational::from_i64(-1));
+        assert_eq!(n.get(1, 1), &Rational::from_i64(1));
+    }
+
+    #[test]
+    fn alternative_arrows() {
+        let net = parse_network("a : X --> Y\nb : X <-> Y\nc : X <==> Y\nd : X ==> Y\n").unwrap();
+        assert!(!net.reactions[0].reversible);
+        assert!(net.reactions[1].reversible);
+        assert!(net.reactions[2].reversible);
+        assert!(!net.reactions[3].reversible);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_network("r1 : A => B\nbroken line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_network("r1 : A => B\nr1 : B => A\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse_network("r1 : A 2 B => C\n").unwrap_err();
+        assert!(e.message.contains("cannot parse term"));
+        let e = parse_network("r1 : 2 => C\n").unwrap_err();
+        assert!(e.message.contains("without metabolite"));
+        let e = parse_network("r1 : =>\n").unwrap_err();
+        assert!(e.message.contains("no metabolites"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let net = parse_network("\n# full comment\nr : A => B # trailing\n\n").unwrap();
+        assert_eq!(net.num_reactions(), 1);
+    }
+
+    #[test]
+    fn paper_style_line() {
+        let net = parse_network(
+            "R24 : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit\n",
+        )
+        .unwrap();
+        assert_eq!(net.num_internal(), 6);
+        assert_eq!(net.reactions[0].stoich.len(), 6);
+    }
+}

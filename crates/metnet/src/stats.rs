@@ -1,0 +1,252 @@
+//! Network analytics: connectivity, degree distributions, and structural
+//! health reports. Used by the CLI's `--stats` mode and useful when
+//! choosing divide-and-conquer partition reactions (the paper notes that
+//! selecting them is "a manual procedure" — these statistics are the
+//! signals a human would look at).
+
+use crate::model::MetabolicNetwork;
+
+/// Structural summary of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Internal metabolite count.
+    pub internal_metabolites: usize,
+    /// External metabolite count.
+    pub external_metabolites: usize,
+    /// Total reactions.
+    pub reactions: usize,
+    /// Reversible reactions.
+    pub reversible: usize,
+    /// Exchange reactions (touching at least one external metabolite).
+    pub exchanges: usize,
+    /// Nonzero stoichiometric entries over internal metabolites.
+    pub nonzeros: usize,
+    /// Density of the internal stoichiometry matrix (nonzeros / (m·q)).
+    pub density: f64,
+    /// Maximum reaction degree (internal metabolites touched).
+    pub max_reaction_degree: usize,
+    /// Maximum internal metabolite degree (reactions touching it).
+    pub max_metabolite_degree: usize,
+    /// Internal metabolites with no producer or no consumer (dead ends;
+    /// their reactions are structurally blocked).
+    pub dead_end_metabolites: Vec<String>,
+    /// Orphan reactions: all-zero internal stoichiometry (pure exchange of
+    /// externals).
+    pub orphan_reactions: Vec<String>,
+}
+
+/// Computes the structural summary.
+pub fn network_stats(net: &MetabolicNetwork) -> NetworkStats {
+    let internals = net.internal_indices();
+    let row_of: std::collections::HashMap<usize, usize> =
+        internals.iter().enumerate().map(|(r, &m)| (m, r)).collect();
+    let m = internals.len();
+    let q = net.num_reactions();
+    let mut nonzeros = 0usize;
+    let mut produced = vec![false; m];
+    let mut consumed = vec![false; m];
+    let mut met_degree = vec![0usize; m];
+    let mut max_rxn_degree = 0usize;
+    let mut exchanges = 0usize;
+    let mut orphans = Vec::new();
+    for rxn in &net.reactions {
+        let mut degree = 0usize;
+        let mut touches_external = false;
+        for (mi, c) in &rxn.stoich {
+            if c.is_zero() {
+                continue;
+            }
+            match row_of.get(mi) {
+                Some(&r) => {
+                    degree += 1;
+                    nonzeros += 1;
+                    met_degree[r] += 1;
+                    if c.signum() > 0 || rxn.reversible {
+                        produced[r] = true;
+                    }
+                    if c.signum() < 0 || rxn.reversible {
+                        consumed[r] = true;
+                    }
+                }
+                None => touches_external = true,
+            }
+        }
+        if degree == 0 {
+            orphans.push(rxn.name.clone());
+        }
+        if touches_external {
+            exchanges += 1;
+        }
+        max_rxn_degree = max_rxn_degree.max(degree);
+    }
+    let dead_ends: Vec<String> = internals
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !(produced[*r] && consumed[*r]))
+        .map(|(_, &mi)| net.metabolites[mi].name.clone())
+        .collect();
+    NetworkStats {
+        internal_metabolites: m,
+        external_metabolites: net.metabolites.len() - m,
+        reactions: q,
+        reversible: net.reactions.iter().filter(|r| r.reversible).count(),
+        exchanges,
+        nonzeros,
+        density: if m * q == 0 { 0.0 } else { nonzeros as f64 / (m * q) as f64 },
+        max_reaction_degree: max_rxn_degree,
+        max_metabolite_degree: met_degree.iter().copied().max().unwrap_or(0),
+        dead_end_metabolites: dead_ends,
+        orphan_reactions: orphans,
+    }
+}
+
+/// Connected components of the metabolite–reaction bipartite graph
+/// (internal metabolites only). Returns per-reaction component ids;
+/// reactions touching no internal metabolite get their own component.
+pub fn reaction_components(net: &MetabolicNetwork) -> Vec<usize> {
+    let internals = net.internal_indices();
+    let row_of: std::collections::HashMap<usize, usize> =
+        internals.iter().enumerate().map(|(r, &m)| (m, r)).collect();
+    let m = internals.len();
+    let q = net.num_reactions();
+    // Union-find over m metabolite nodes + q reaction nodes.
+    let mut parent: Vec<usize> = (0..m + q).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for (j, rxn) in net.reactions.iter().enumerate() {
+        for (mi, c) in &rxn.stoich {
+            if c.is_zero() {
+                continue;
+            }
+            if let Some(&r) = row_of.get(mi) {
+                let a = find(&mut parent, r);
+                let b = find(&mut parent, m + j);
+                parent[a] = b;
+            }
+        }
+    }
+    // Renumber roots densely.
+    let mut ids = std::collections::HashMap::new();
+    (0..q)
+        .map(|j| {
+            let root = find(&mut parent, m + j);
+            let next = ids.len();
+            *ids.entry(root).or_insert(next)
+        })
+        .collect()
+}
+
+/// Human-readable report.
+pub fn format_stats(stats: &NetworkStats) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "metabolites: {} internal + {} external\n",
+        stats.internal_metabolites, stats.external_metabolites
+    ));
+    s.push_str(&format!(
+        "reactions: {} ({} reversible, {} exchanges)\n",
+        stats.reactions, stats.reversible, stats.exchanges
+    ));
+    s.push_str(&format!(
+        "stoichiometry: {} nonzeros, density {:.3}, max degrees rxn={} met={}\n",
+        stats.nonzeros, stats.density, stats.max_reaction_degree, stats.max_metabolite_degree
+    ));
+    if !stats.dead_end_metabolites.is_empty() {
+        s.push_str(&format!("dead-end metabolites: {}\n", stats.dead_end_metabolites.join(" ")));
+    }
+    if !stats.orphan_reactions.is_empty() {
+        s.push_str(&format!("orphan reactions: {}\n", stats.orphan_reactions.join(" ")));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::toy_network;
+    use crate::parser::parse_network;
+
+    #[test]
+    fn toy_stats() {
+        let s = network_stats(&toy_network());
+        assert_eq!(s.internal_metabolites, 5);
+        assert_eq!(s.external_metabolites, 4);
+        assert_eq!(s.reactions, 9);
+        assert_eq!(s.reversible, 2);
+        assert_eq!(s.exchanges, 4);
+        assert!(s.dead_end_metabolites.is_empty());
+        assert!(s.orphan_reactions.is_empty());
+        assert!(s.density > 0.0 && s.density < 1.0);
+    }
+
+    #[test]
+    fn dead_ends_detected() {
+        let net = parse_network("r1 : Aext => A\nr2 : A => B\n").unwrap();
+        let s = network_stats(&net);
+        assert_eq!(s.dead_end_metabolites, vec!["B".to_string()]);
+    }
+
+    #[test]
+    fn orphan_reactions_detected() {
+        let net = parse_network("r1 : Aext => Bext\nr2 : Aext => C\nr3 : C => Dext\n").unwrap();
+        let s = network_stats(&net);
+        assert_eq!(s.orphan_reactions, vec!["r1".to_string()]);
+    }
+
+    #[test]
+    fn components_split_disconnected_networks() {
+        let net = parse_network(
+            "a1 : Aext => A\na2 : A => Bext\n\
+             b1 : Cext => C\nb2 : C => Dext\n",
+        )
+        .unwrap();
+        let comp = reaction_components(&net);
+        assert_eq!(comp.len(), 4);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn yeast_components() {
+        // Network I is one big component except the O2 dead end: R68
+        // imports O2 but nothing consumes it (oxidative phosphorylation
+        // R56/R57 only exist in Network II).
+        let net = crate::yeast::network_i();
+        let comp = reaction_components(&net);
+        let r68 = net.reaction_index("R68").unwrap();
+        let r4 = net.reaction_index("R4").unwrap();
+        assert_ne!(comp[r68], comp[r4], "the O2 import is its own component");
+        let main_comp = comp[r4];
+        let main_size = comp.iter().filter(|&&c| c == main_comp).count();
+        assert!(main_size >= 76, "all but the O2 import sit in one component");
+        // Network II reconnects it through R56.
+        let net2 = crate::yeast::network_ii();
+        let comp2 = reaction_components(&net2);
+        let r68b = net2.reaction_index("R68").unwrap();
+        let r4b = net2.reaction_index("R4").unwrap();
+        assert_eq!(comp2[r68b], comp2[r4b]);
+        // And the O2 dead end shows up in the stats report.
+        let s = network_stats(&net);
+        assert!(s.dead_end_metabolites.contains(&"O2".to_string()));
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let s = network_stats(&toy_network());
+        let text = format_stats(&s);
+        assert!(text.contains("5 internal"));
+        assert!(text.contains("9 ("));
+    }
+}

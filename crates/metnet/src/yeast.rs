@@ -1,0 +1,296 @@
+//! The S. cerevisiae metabolic networks of the paper (Figs. 3–5).
+//!
+//! * **Network I** — 62 internal metabolites × 78 reactions (47
+//!   irreversible, 31 reversible); the paper computes **1,515,314 EFMs**
+//!   for it (Tables II–III).
+//! * **Network II** — Network I plus glucose uptake kinase, glycerol
+//!   re-uptake, and oxidative phosphorylation, with three reactions made
+//!   reversible; 63 internal metabolites × 83 reactions; the paper computes
+//!   **49,764,544 EFMs** for it (Table IV).
+//!
+//! Transcription notes (documented substitutions / interpretations):
+//! * `mit`-suffixed metabolites (mitochondrial compartment) are internal;
+//!   `ext`-suffixed metabolites are external, per the paper's convention.
+//! * `BIO` (biomass, produced by R70) is declared external: nothing
+//!   consumes it, the paper's count of 62 internal metabolites is only
+//!   consistent with biomass leaving the system, and the source models
+//!   (Trinh et al.) treat biomass as an external product.
+//! * Fig. 4 is captioned "the reversible reactions"; the OCR of four
+//!   transport reactions (R94r, R95r, R96r, R97r) shows a one-way arrow,
+//!   but the caption and the `r` suffix take precedence: they are encoded
+//!   reversible.
+
+use crate::model::MetabolicNetwork;
+use crate::parser::parse_network;
+
+/// Reaction listing for Network I (Figs. 3 and 4).
+pub const NETWORK_I_TEXT: &str = "\
+-EXTERNAL BIO
+# ---- irreversible reactions (Fig. 3) ----
+R4   : F6P + ATP => FDP + ADP
+R5   : FDP => F6P
+R9   : PYR + ATP => PEP + ADP
+R10  : PEP + ADP => PYR + ATP
+R12  : GL3P + FAD_mit => DHAP + FADH_mit
+R26  : GL3P => GLY
+R15  : G6P + 2 NADP => 2 NADPH + CO2 + RL5P
+R21  : ACCOA + OA => COA + CIT
+R23  : ICIT + NADP => CO2 + NADPH + AKG
+R24  : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit
+R27  : FUM + FADH => SUCC + FAD
+R33  : PYR + COA => ACCOA + FOR
+R37  : PYR + ATP + CO2 => ADP + OA
+R38  : PYR => ACEADH + CO2
+R40  : ACEADH + NADH => ETOH + NAD
+R41  : ACEADH + NADP => AC + NADPH
+R42  : OA + ATP => PEP + CO2 + ADP
+R43  : PEP + CO2 => OA
+R46  : ICIT => GLX + SUCC
+R47  : ACCOA + GLX => COA + MAL
+R53  : ACEADH + NAD => AC + NADH
+R54  : ATP => ADP
+R58  : NADH + NAD_mit => NAD + NADH_mit
+R59  : NH3ext => NH3
+R60  : GLY => GLYext
+R62  : GLCext + PEP => G6P + PYR
+R63  : AC => ACext
+R64  : LAC => LACext
+R65  : FOR => FORext
+R66  : ETOH => ETOHext
+R67  : SUCC => SUCCext
+R68  : O2ext => O2
+R69  : CO2 => CO2ext
+R70  : 7437 G6P + 611 G3P + 437 R5P + 130 E4P + 500 PEP + 2060 PYR + 45 ACCOA_mit + 362 ACCOA + 733 AKG + 1232 OA + 1158 NAD + 434 NAD_mit + 6413 NADPH + 1568 NADPH_mit + 40141 ATP + 5587 NH3 => 1000 BIO + 247 CO2 + 45 COA_mit + 362 COA + 1158 NADH + 434 NADH_mit + 6413 NADP + 1568 NADP_mit + 40141 ADP
+R72  : PYR_mit + COA_mit + NAD_mit => ACCOA_mit + NADH_mit + CO2
+R73  : OA_mit + ACCOA_mit => CIT_mit + COA_mit
+R75  : ICIT_mit + NAD_mit => AKG_mit + NADH_mit + CO2
+R76  : ICIT_mit + NADP_mit => AKG_mit + NADPH_mit + CO2
+R77  : ICIT + NADP => AKG + NADPH + CO2
+R82  : MAL_mit + NADP_mit => PYR_mit + NADPH_mit + CO2
+R85  : ETOH_mit + COA_mit + 2 ATP_mit + 2 NAD_mit => ACCOA_mit + 2 ADP_mit + 2 NADH_mit
+R86  : ACEADH_mit + NAD_mit => AC_mit + NADH_mit
+R87  : ACEADH_mit + NADP_mit => AC_mit + NADPH_mit
+R93  : ADP + ATP_mit => ADP_mit + ATP
+R98  : FUM_mit + SUCC => SUCC_mit + FUM
+R100 : SUCC => SUCC_mit
+R101 : AKG + MAL_mit => AKG_mit + MAL
+# ---- reversible reactions (Fig. 4) ----
+R3r   : G6P <=> F6P
+R6r   : FDP <=> G3P + DHAP
+R7r   : G3P <=> DHAP
+R8r   : G3P + NAD + ADP <=> PEP + ATP + NADH
+R13r  : DHAP + NADH <=> GL3P + NAD
+R16r  : RL5P <=> R5P
+R17r  : RL5P <=> X5P
+R18r  : R5P + X5P <=> G3P + S7P
+R19r  : X5P + E4P <=> F6P + G3P
+R20r  : G3P + S7P <=> E4P + F6P
+R22r  : CIT <=> ICIT
+R25r  : SUCCOA_mit + ADP_mit <=> ATP_mit + COA_mit + SUCC_mit
+R28r  : FUM <=> MAL
+R29r  : MAL + NAD <=> NADH + OA
+R30r  : PYR + NADH <=> NAD + LAC
+R32r  : ACCOA + 2 NADH <=> ETOH + 2 NAD + COA
+R36r  : ATP + AC + COA <=> ADP + ACCOA
+R74r  : CIT_mit <=> ICIT_mit
+R78r  : ACEADH_mit + NADH_mit <=> ETOH_mit + NAD_mit
+R79r  : SUCC_mit + FAD_mit <=> FUM_mit + FADH_mit
+R80r  : FUM_mit <=> MAL_mit
+R81r  : MAL_mit + NAD_mit <=> OA_mit + NADH_mit
+R88r  : CIT + MAL_mit <=> CIT_mit + MAL
+R89r  : MAL + SUCC_mit <=> MAL_mit + SUCC
+R90r  : CIT + ICIT_mit <=> CIT_mit + ICIT
+R92r  : AC_mit <=> AC
+R94r  : PYR <=> PYR_mit
+R95r  : ETOH <=> ETOH_mit
+R96r  : MAL_mit <=> MAL
+R97r  : ACCOA_mit <=> ACCOA
+R102r : OA <=> OA_mit
+";
+
+/// Reaction listing for Network II (Fig. 5 applied to Network I).
+pub const NETWORK_II_TEXT: &str = "\
+-EXTERNAL BIO
+# ---- irreversible reactions ----
+R1   : GLC + ATP => G6P + ADP
+R4   : F6P + ATP => FDP + ADP
+R5   : FDP => F6P
+R9   : PYR + ATP => PEP + ADP
+R10  : PEP + ADP => PYR + ATP
+R12  : GL3P + FAD_mit => DHAP + FADH_mit
+R14  : GLY + ATP => GL3P + ADP
+R26  : GL3P => GLY
+R15  : G6P + 2 NADP => 2 NADPH + CO2 + RL5P
+R21  : ACCOA + OA => COA + CIT
+R23  : ICIT + NADP => CO2 + NADPH + AKG
+R24  : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit
+R27  : FUM + FADH => SUCC + FAD
+R33  : PYR + COA => ACCOA + FOR
+R37  : PYR + ATP + CO2 => ADP + OA
+R38  : PYR => ACEADH + CO2
+R40  : ACEADH + NADH => ETOH + NAD
+R41  : ACEADH + NADP => AC + NADPH
+R42  : OA + ATP => PEP + CO2 + ADP
+R43  : PEP + CO2 => OA
+R46  : ICIT => GLX + SUCC
+R47  : ACCOA + GLX => COA + MAL
+R53  : ACEADH + NAD => AC + NADH
+R56  : 24 ADP + 20 NADH_mit + 10 O2 => 24 ATP + 20 NAD_mit
+R57  : 24 ADP + 20 FADH + 10 O2 => 24 ATP + 20 FAD
+R58  : NADH + NAD_mit => NAD + NADH_mit
+R59  : NH3ext => NH3
+R61  : GLCext => GLC
+R62  : GLC + PEP => G6P + PYR
+R64  : LAC => LACext
+R65  : FOR => FORext
+R66  : ETOH => ETOHext
+R67  : SUCC => SUCCext
+R68  : O2ext => O2
+R69  : CO2 => CO2ext
+R70  : 7437 G6P + 611 G3P + 437 R5P + 130 E4P + 500 PEP + 2060 PYR + 45 ACCOA_mit + 362 ACCOA + 733 AKG + 1232 OA + 1158 NAD + 434 NAD_mit + 6413 NADPH + 1568 NADPH_mit + 40141 ATP + 5587 NH3 => 1000 BIO + 247 CO2 + 45 COA_mit + 362 COA + 1158 NADH + 434 NADH_mit + 6413 NADP + 1568 NADP_mit + 40141 ADP
+R72  : PYR_mit + COA_mit + NAD_mit => ACCOA_mit + NADH_mit + CO2
+R73  : OA_mit + ACCOA_mit => CIT_mit + COA_mit
+R75  : ICIT_mit + NAD_mit => AKG_mit + NADH_mit + CO2
+R76  : ICIT_mit + NADP_mit => AKG_mit + NADPH_mit + CO2
+R77  : ICIT + NADP => AKG + NADPH + CO2
+R82  : MAL_mit + NADP_mit => PYR_mit + NADPH_mit + CO2
+R85  : ETOH_mit + COA_mit + 2 ATP_mit + 2 NAD_mit => ACCOA_mit + 2 ADP_mit + 2 NADH_mit
+R86  : ACEADH_mit + NAD_mit => AC_mit + NADH_mit
+R87  : ACEADH_mit + NADP_mit => AC_mit + NADPH_mit
+R93  : ADP + ATP_mit => ADP_mit + ATP
+R98  : FUM_mit + SUCC => SUCC_mit + FUM
+R100 : SUCC => SUCC_mit
+R101 : AKG + MAL_mit => AKG_mit + MAL
+# ---- reversible reactions ----
+R3r   : G6P <=> F6P
+R6r   : FDP <=> G3P + DHAP
+R7r   : G3P <=> DHAP
+R8r   : G3P + NAD + ADP <=> PEP + ATP + NADH
+R13r  : DHAP + NADH <=> GL3P + NAD
+R16r  : RL5P <=> R5P
+R17r  : RL5P <=> X5P
+R18r  : R5P + X5P <=> G3P + S7P
+R19r  : X5P + E4P <=> F6P + G3P
+R20r  : G3P + S7P <=> E4P + F6P
+R22r  : CIT <=> ICIT
+R25r  : SUCCOA_mit + ADP_mit <=> ATP_mit + COA_mit + SUCC_mit
+R28r  : FUM <=> MAL
+R29r  : MAL + NAD <=> NADH + OA
+R30r  : PYR + NADH <=> NAD + LAC
+R32r  : ACCOA + 2 NADH <=> ETOH + 2 NAD + COA
+R36r  : ATP + AC + COA <=> ADP + ACCOA
+R54r  : ATP <=> ADP
+R60r  : GLY <=> GLYext
+R63r  : AC <=> ACext
+R74r  : CIT_mit <=> ICIT_mit
+R78r  : ACEADH_mit + NADH_mit <=> ETOH_mit + NAD_mit
+R79r  : SUCC_mit + FAD_mit <=> FUM_mit + FADH_mit
+R80r  : FUM_mit <=> MAL_mit
+R81r  : MAL_mit + NAD_mit <=> OA_mit + NADH_mit
+R88r  : CIT + MAL_mit <=> CIT_mit + MAL
+R89r  : MAL + SUCC_mit <=> MAL_mit + SUCC
+R90r  : CIT + ICIT_mit <=> CIT_mit + ICIT
+R92r  : AC_mit <=> AC
+R94r  : PYR <=> PYR_mit
+R95r  : ETOH <=> ETOH_mit
+R96r  : MAL_mit <=> MAL
+R97r  : ACCOA_mit <=> ACCOA
+R102r : OA <=> OA_mit
+";
+
+/// S. cerevisiae Network I (62 internal metabolites × 78 reactions).
+pub fn network_i() -> MetabolicNetwork {
+    parse_network(NETWORK_I_TEXT).expect("Network I text is well-formed")
+}
+
+/// S. cerevisiae Network II (63 internal metabolites × 83 reactions).
+pub fn network_ii() -> MetabolicNetwork {
+    parse_network(NETWORK_II_TEXT).expect("Network II text is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_i_dimensions_match_paper() {
+        let net = network_i();
+        assert_eq!(net.num_reactions(), 78, "Network I must have 78 reactions");
+        assert_eq!(net.num_internal(), 62, "Network I must have 62 internal metabolites");
+        let nrev = net.reactions.iter().filter(|r| r.reversible).count();
+        assert_eq!(nrev, 31, "31 reversible reactions in Fig. 4");
+    }
+
+    #[test]
+    fn network_ii_dimensions_match_paper() {
+        let net = network_ii();
+        assert_eq!(net.num_reactions(), 83, "Network II must have 83 reactions");
+        assert_eq!(net.num_internal(), 63, "Network II must have 63 internal metabolites");
+    }
+
+    #[test]
+    fn network_ii_differences_from_network_i() {
+        let n1 = network_i();
+        let n2 = network_ii();
+        // Added reactions.
+        for name in ["R1", "R14", "R56", "R57", "R61"] {
+            assert!(n1.reaction_index(name).is_none(), "{name} must not be in Network I");
+            assert!(n2.reaction_index(name).is_some(), "{name} must be in Network II");
+        }
+        // Reactions made reversible (name changes R54→R54r etc.).
+        for (old, new) in [("R54", "R54r"), ("R60", "R60r"), ("R63", "R63r")] {
+            assert!(n1.reaction_index(old).is_some());
+            assert!(n2.reaction_index(old).is_none());
+            let i = n2.reaction_index(new).unwrap();
+            assert!(n2.reactions[i].reversible);
+        }
+        // GLC is internal in Network II only.
+        assert!(n1.metabolite_index("GLC").is_none());
+        let glc = n2.metabolite_index("GLC").unwrap();
+        assert!(!n2.metabolites[glc].external);
+        // R62 uses GLCext in I but GLC in II.
+        let r62_1 = &n1.reactions[n1.reaction_index("R62").unwrap()];
+        let r62_2 = &n2.reactions[n2.reaction_index("R62").unwrap()];
+        let uses = |net: &MetabolicNetwork, r: &crate::model::Reaction, m: &str| {
+            net.metabolite_index(m).is_some_and(|i| r.stoich.iter().any(|(mi, _)| *mi == i))
+        };
+        assert!(uses(&n1, r62_1, "GLCext"));
+        assert!(uses(&n2, r62_2, "GLC"));
+    }
+
+    #[test]
+    fn biomass_is_external() {
+        let net = network_i();
+        let bio = net.metabolite_index("BIO").unwrap();
+        assert!(net.metabolites[bio].external);
+    }
+
+    #[test]
+    fn biomass_coefficients_exact() {
+        let net = network_i();
+        let r70 = &net.reactions[net.reaction_index("R70").unwrap()];
+        let atp = net.metabolite_index("ATP").unwrap();
+        let adp = net.metabolite_index("ADP").unwrap();
+        assert_eq!(r70.coefficient(atp).to_f64(), -40141.0);
+        assert_eq!(r70.coefficient(adp).to_f64(), 40141.0);
+    }
+
+    #[test]
+    fn networks_validate() {
+        assert!(network_i().validate().is_empty());
+        assert!(network_ii().validate().is_empty());
+    }
+
+    #[test]
+    fn partition_reactions_exist() {
+        // The paper's divide-and-conquer partition reactions must be present.
+        let n1 = network_i();
+        for name in ["R89r", "R74r"] {
+            assert!(n1.reaction_index(name).is_some());
+        }
+        let n2 = network_ii();
+        for name in ["R54r", "R90r", "R60r", "R22r"] {
+            assert!(n2.reaction_index(name).is_some());
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Dynamically-sized signed integers.
+//!
+//! [`DynInt`] keeps values in a machine `i128` for as long as they fit and
+//! transparently promotes to a heap-allocated sign/magnitude big integer on
+//! overflow. EFM candidate combination normalizes every vector by its gcd, so
+//! in practice virtually all arithmetic stays on the fast small path; the big
+//! path exists so that exotic networks cannot silently corrupt supports.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign/magnitude big integer used by the promoted representation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BigInt {
+    /// True for strictly negative values. Zero is always non-negative.
+    pub negative: bool,
+    /// Magnitude; zero iff the value is zero.
+    pub magnitude: BigUint,
+}
+
+impl BigInt {
+    fn normalize(mut self) -> Self {
+        if self.magnitude.is_zero() {
+            self.negative = false;
+        }
+        self
+    }
+}
+
+/// A signed integer that automatically grows past `i128`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum DynInt {
+    /// Fast path: fits in an `i128`.
+    Small(i128),
+    /// Cold path: promoted sign/magnitude representation.
+    Big(Box<BigInt>),
+}
+
+impl Default for DynInt {
+    fn default() -> Self {
+        DynInt::Small(0)
+    }
+}
+
+fn i128_to_big(v: i128) -> BigInt {
+    let negative = v < 0;
+    let mag = v.unsigned_abs();
+    BigInt { negative, magnitude: BigUint::from_u128(mag) }
+}
+
+fn big_to_small(b: &BigInt) -> Option<i128> {
+    let mag = b.magnitude.to_u128()?;
+    if b.negative {
+        if mag <= (1u128 << 127) {
+            Some((mag as i128).wrapping_neg())
+        } else {
+            None
+        }
+    } else if mag <= i128::MAX as u128 {
+        Some(mag as i128)
+    } else {
+        None
+    }
+}
+
+/// Greatest common divisor of two `u128`s (binary gcd).
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+impl DynInt {
+    /// The zero value.
+    pub fn zero() -> Self {
+        DynInt::Small(0)
+    }
+
+    /// The one value.
+    pub fn one() -> Self {
+        DynInt::Small(1)
+    }
+
+    /// Builds from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        DynInt::Small(v as i128)
+    }
+
+    /// Builds from an `i128`.
+    pub fn from_i128(v: i128) -> Self {
+        DynInt::Small(v)
+    }
+
+    /// Builds from a big integer, demoting to the small path when possible.
+    pub fn from_big(b: BigInt) -> Self {
+        let b = b.normalize();
+        match big_to_small(&b) {
+            Some(v) => DynInt::Small(v),
+            None => DynInt::Big(Box::new(b)),
+        }
+    }
+
+    /// Returns the value as `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        match self {
+            DynInt::Small(v) => Some(*v),
+            DynInt::Big(b) => big_to_small(b),
+        }
+    }
+
+    /// Whether the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        match self {
+            DynInt::Small(v) => *v == 0,
+            DynInt::Big(b) => b.magnitude.is_zero(),
+        }
+    }
+
+    /// Whether the value is one.
+    pub fn is_one(&self) -> bool {
+        matches!(self, DynInt::Small(1))
+    }
+
+    /// Sign: -1, 0, or +1.
+    #[inline]
+    pub fn signum(&self) -> i32 {
+        match self {
+            DynInt::Small(v) => match v.cmp(&0) {
+                Ordering::Less => -1,
+                Ordering::Equal => 0,
+                Ordering::Greater => 1,
+            },
+            DynInt::Big(b) => {
+                if b.magnitude.is_zero() {
+                    0
+                } else if b.negative {
+                    -1
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Whether this value has been promoted off the `i128` fast path.
+    pub fn is_promoted(&self) -> bool {
+        matches!(self, DynInt::Big(_))
+    }
+
+    fn as_big(&self) -> BigInt {
+        match self {
+            DynInt::Small(v) => i128_to_big(*v),
+            DynInt::Big(b) => (**b).clone(),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        match self {
+            DynInt::Small(v) => match v.checked_abs() {
+                Some(a) => DynInt::Small(a),
+                None => DynInt::from_big(BigInt {
+                    negative: false,
+                    magnitude: BigUint::from_u128(v.unsigned_abs()),
+                }),
+            },
+            DynInt::Big(b) => DynInt::from_big(BigInt { negative: false, magnitude: b.magnitude.clone() }),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        match self {
+            DynInt::Small(v) => match v.checked_neg() {
+                Some(n) => DynInt::Small(n),
+                None => DynInt::from_big(BigInt {
+                    negative: false,
+                    magnitude: BigUint::from_u128(v.unsigned_abs()),
+                }),
+            },
+            DynInt::Big(b) => DynInt::from_big(BigInt { negative: !b.negative, magnitude: b.magnitude.clone() }),
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        if let (DynInt::Small(a), DynInt::Small(b)) = (self, rhs) {
+            if let Some(s) = a.checked_add(*b) {
+                return DynInt::Small(s);
+            }
+        }
+        let a = self.as_big();
+        let b = rhs.as_big();
+        let out = if a.negative == b.negative {
+            BigInt { negative: a.negative, magnitude: a.magnitude.add(&b.magnitude) }
+        } else {
+            match a.magnitude.cmp_mag(&b.magnitude) {
+                Ordering::Equal => BigInt { negative: false, magnitude: BigUint::zero() },
+                Ordering::Greater => BigInt { negative: a.negative, magnitude: a.magnitude.sub(&b.magnitude) },
+                Ordering::Less => BigInt { negative: b.negative, magnitude: b.magnitude.sub(&a.magnitude) },
+            }
+        };
+        DynInt::from_big(out)
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        if let (DynInt::Small(a), DynInt::Small(b)) = (self, rhs) {
+            if let Some(s) = a.checked_sub(*b) {
+                return DynInt::Small(s);
+            }
+        }
+        self.add(&rhs.neg())
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if let (DynInt::Small(a), DynInt::Small(b)) = (self, rhs) {
+            if let Some(p) = a.checked_mul(*b) {
+                return DynInt::Small(p);
+            }
+        }
+        let a = self.as_big();
+        let b = rhs.as_big();
+        DynInt::from_big(BigInt {
+            negative: a.negative != b.negative && !a.magnitude.is_zero() && !b.magnitude.is_zero(),
+            magnitude: a.magnitude.mul(&b.magnitude),
+        })
+    }
+
+    /// Exact division: panics if `rhs` does not divide `self`.
+    pub fn exact_div(&self, rhs: &Self) -> Self {
+        assert!(!rhs.is_zero(), "DynInt division by zero");
+        if let (DynInt::Small(a), DynInt::Small(b)) = (self, rhs) {
+            // i128::MIN / -1 is the only overflowing case.
+            if !(*a == i128::MIN && *b == -1) {
+                debug_assert_eq!(a % b, 0, "exact_div with remainder");
+                return DynInt::Small(a / b);
+            }
+        }
+        let a = self.as_big();
+        let b = rhs.as_big();
+        let (q, r) = a.magnitude.divrem(&b.magnitude);
+        assert!(r.is_zero(), "exact_div with remainder");
+        DynInt::from_big(BigInt { negative: a.negative != b.negative && !q.is_zero(), magnitude: q })
+    }
+
+    /// Quotient and remainder (truncated toward zero, like `i128`).
+    pub fn divrem(&self, rhs: &Self) -> (Self, Self) {
+        assert!(!rhs.is_zero(), "DynInt division by zero");
+        if let (DynInt::Small(a), DynInt::Small(b)) = (self, rhs) {
+            if !(*a == i128::MIN && *b == -1) {
+                return (DynInt::Small(a / b), DynInt::Small(a % b));
+            }
+        }
+        let a = self.as_big();
+        let b = rhs.as_big();
+        let (q, r) = a.magnitude.divrem(&b.magnitude);
+        (
+            DynInt::from_big(BigInt { negative: a.negative != b.negative && !q.is_zero(), magnitude: q }),
+            DynInt::from_big(BigInt { negative: a.negative && !r.is_zero(), magnitude: r }),
+        )
+    }
+
+    /// Greatest common divisor of absolute values; `gcd(0, 0) == 0`.
+    pub fn gcd(&self, rhs: &Self) -> Self {
+        if let (DynInt::Small(a), DynInt::Small(b)) = (self, rhs) {
+            return DynInt::Small(gcd_u128(a.unsigned_abs(), b.unsigned_abs()) as i128);
+        }
+        let a = self.as_big();
+        let b = rhs.as_big();
+        DynInt::from_big(BigInt { negative: false, magnitude: a.magnitude.gcd(&b.magnitude) })
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            DynInt::Small(v) => *v as f64,
+            DynInt::Big(b) => {
+                let m = b.magnitude.to_f64();
+                if b.negative {
+                    -m
+                } else {
+                    m
+                }
+            }
+        }
+    }
+
+    /// Fused combination `a*x - b*y`, the hot operation of candidate
+    /// generation. Stays entirely on the small path when everything fits.
+    #[inline]
+    pub fn fused_comb(a: &Self, x: &Self, b: &Self, y: &Self) -> Self {
+        if let (DynInt::Small(a), DynInt::Small(x), DynInt::Small(b), DynInt::Small(y)) = (a, x, b, y) {
+            if let (Some(p1), Some(p2)) = (a.checked_mul(*x), b.checked_mul(*y)) {
+                if let Some(d) = p1.checked_sub(p2) {
+                    return DynInt::Small(d);
+                }
+            }
+        }
+        a.mul(x).sub(&b.mul(y))
+    }
+}
+
+impl Ord for DynInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (DynInt::Small(a), DynInt::Small(b)) => a.cmp(b),
+            _ => {
+                let a = self.as_big();
+                let b = other.as_big();
+                match (a.negative, b.negative) {
+                    (false, true) => Ordering::Greater,
+                    (true, false) => Ordering::Less,
+                    (false, false) => a.magnitude.cmp_mag(&b.magnitude),
+                    (true, true) => b.magnitude.cmp_mag(&a.magnitude),
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for DynInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for DynInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for DynInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynInt::Small(v) => write!(f, "{v}"),
+            DynInt::Big(b) => {
+                if b.negative {
+                    write!(f, "-")?;
+                }
+                write!(f, "{}", b.magnitude)
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for DynInt {
+    type Err = String;
+
+    /// Parses a decimal integer of arbitrary size (optional leading `-`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let (negative, digits) = match t.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, t.strip_prefix('+').unwrap_or(t)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("invalid integer literal '{s}'"));
+        }
+        let ten = DynInt::from_i64(10);
+        let mut acc = DynInt::zero();
+        for b in digits.bytes() {
+            acc = acc.mul(&ten).add(&DynInt::from_i64((b - b'0') as i64));
+        }
+        Ok(if negative { acc.neg() } else { acc })
+    }
+}
+
+impl From<i64> for DynInt {
+    fn from(v: i64) -> Self {
+        DynInt::from_i64(v)
+    }
+}
+
+impl From<i128> for DynInt {
+    fn from(v: i128) -> Self {
+        DynInt::from_i128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(v: i128) -> DynInt {
+        DynInt::Small(v)
+    }
+
+    #[test]
+    fn add_promotes_on_overflow() {
+        let a = small(i128::MAX);
+        let s = a.add(&small(1));
+        assert!(s.is_promoted());
+        assert_eq!(s.sub(&small(1)), a);
+        assert!(!s.sub(&small(1)).is_promoted());
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(small(-5).signum(), -1);
+        assert_eq!(small(0).signum(), 0);
+        assert_eq!(small(5).signum(), 1);
+        let big = small(i128::MAX).mul(&small(-3));
+        assert_eq!(big.signum(), -1);
+        assert_eq!(big.neg().signum(), 1);
+    }
+
+    #[test]
+    fn mul_promote_and_demote() {
+        let a = small(i128::MAX).mul(&small(2));
+        assert!(a.is_promoted());
+        let back = a.exact_div(&small(2));
+        assert!(!back.is_promoted());
+        assert_eq!(back, small(i128::MAX));
+    }
+
+    #[test]
+    fn mixed_sign_add() {
+        let big_pos = small(i128::MAX).mul(&small(4));
+        let big_neg = big_pos.neg();
+        assert!(big_pos.add(&big_neg).is_zero());
+        assert_eq!(big_pos.add(&small(-1)).sub(&big_pos), small(-1));
+    }
+
+    #[test]
+    fn exact_div_signs() {
+        assert_eq!(small(-12).exact_div(&small(4)), small(-3));
+        assert_eq!(small(-12).exact_div(&small(-4)), small(3));
+        let b = small(i128::MAX).mul(&small(6));
+        assert_eq!(b.exact_div(&small(-3)), small(i128::MAX).mul(&small(-2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "remainder")]
+    fn exact_div_checks_divisibility() {
+        let b = small(i128::MAX).mul(&small(6)).add(&small(1));
+        let _ = b.exact_div(&small(3));
+    }
+
+    #[test]
+    fn divrem_truncates_toward_zero() {
+        let (q, r) = small(-7).divrem(&small(2));
+        assert_eq!((q, r), (small(-3), small(-1)));
+        let big = small(i128::MAX).mul(&small(10)).add(&small(7));
+        let (q, r) = big.divrem(&small(10));
+        assert_eq!(q, small(i128::MAX));
+        assert_eq!(r, small(7));
+    }
+
+    #[test]
+    fn i128_min_edge_cases() {
+        let m = small(i128::MIN);
+        assert_eq!(m.neg().to_f64(), -(i128::MIN as f64));
+        assert!(m.neg().is_promoted());
+        assert_eq!(m.abs(), m.neg());
+        let (q, r) = m.divrem(&small(-1));
+        assert!(r.is_zero());
+        assert_eq!(q, m.neg());
+    }
+
+    #[test]
+    fn gcd_values() {
+        assert_eq!(small(48).gcd(&small(-36)), small(12));
+        assert_eq!(small(0).gcd(&small(0)), small(0));
+        assert_eq!(small(0).gcd(&small(-7)), small(7));
+        let b = small(i128::MAX).mul(&small(4));
+        assert_eq!(b.gcd(&small(2)), small(2));
+    }
+
+    #[test]
+    fn fused_comb_small_and_big() {
+        // 3*5 - 2*7 = 1
+        assert_eq!(DynInt::fused_comb(&small(3), &small(5), &small(2), &small(7)), small(1));
+        // Forces promotion through the products.
+        let big = small(i128::MAX);
+        let r = DynInt::fused_comb(&big, &big, &big, &big.sub(&small(1)));
+        assert_eq!(r, big);
+    }
+
+    #[test]
+    fn ordering_across_reprs() {
+        let b = small(i128::MAX).mul(&small(3));
+        assert!(b > small(i128::MAX));
+        assert!(b.neg() < small(i128::MIN));
+        assert!(small(2) > small(-2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(small(-42).to_string(), "-42");
+        let b = small(i128::MAX).add(&small(1));
+        assert_eq!(b.to_string(), "170141183460469231731687303715884105728");
+        assert_eq!(b.neg().to_string(), "-170141183460469231731687303715884105728");
+    }
+
+    #[test]
+    fn from_str_roundtrips() {
+        for v in ["0", "-1", "42", "170141183460469231731687303715884105728",
+                  "-99999999999999999999999999999999999999999999"] {
+            let parsed: DynInt = v.parse().unwrap();
+            assert_eq!(parsed.to_string(), v);
+        }
+        assert!("".parse::<DynInt>().is_err());
+        assert!("12a".parse::<DynInt>().is_err());
+        assert!("--3".parse::<DynInt>().is_err());
+        assert_eq!("+7".parse::<DynInt>().unwrap(), small(7));
+    }
+}

@@ -1,0 +1,73 @@
+//! Tolerance-based floating point scalar.
+//!
+//! The efmtool lineage of EFM implementations runs the Nullspace Algorithm in
+//! `double` precision with a zero tolerance. [`F64Tol`] reproduces that mode
+//! so the exact-vs-float design decision can be benchmarked (see the `scalar`
+//! ablation bench). Zero detection uses an absolute tolerance; vectors are
+//! renormalized by their maximum magnitude to keep values in range.
+
+use std::fmt;
+
+/// Absolute tolerance under which a value is considered zero.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// An `f64` with tolerance-based zero semantics.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct F64Tol(pub f64);
+
+impl F64Tol {
+    /// The zero value.
+    pub fn zero() -> Self {
+        F64Tol(0.0)
+    }
+
+    /// The one value.
+    pub fn one() -> Self {
+        F64Tol(1.0)
+    }
+
+    /// Whether the value is within tolerance of zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.abs() < DEFAULT_TOLERANCE
+    }
+
+    /// Sign with tolerance: values within tolerance of zero report 0.
+    #[inline]
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.0 > 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl fmt::Debug for F64Tol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for F64Tol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_zero() {
+        assert!(F64Tol(0.0).is_zero());
+        assert!(F64Tol(1e-12).is_zero());
+        assert!(!F64Tol(1e-6).is_zero());
+        assert_eq!(F64Tol(1e-12).signum(), 0);
+        assert_eq!(F64Tol(-3.0).signum(), -1);
+        assert_eq!(F64Tol(0.5).signum(), 1);
+    }
+}

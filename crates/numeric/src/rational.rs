@@ -1,0 +1,304 @@
+//! Exact rational numbers over [`DynInt`].
+//!
+//! Used wherever a true field is required (reduced row echelon form, kernel
+//! basis construction, flux-value recovery). Values are kept normalized:
+//! `gcd(|num|, den) == 1` and `den > 0`; zero is `0/1`.
+
+use crate::dynint::DynInt;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num/den` with `den > 0`, always reduced.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: DynInt,
+    den: DynInt,
+}
+
+impl Rational {
+    /// The zero value.
+    pub fn zero() -> Self {
+        Rational { num: DynInt::zero(), den: DynInt::one() }
+    }
+
+    /// The one value.
+    pub fn one() -> Self {
+        Rational { num: DynInt::one(), den: DynInt::one() }
+    }
+
+    /// Builds `num/den`, normalizing sign and reducing. Panics if `den == 0`.
+    pub fn new(num: DynInt, den: DynInt) -> Self {
+        assert!(!den.is_zero(), "Rational with zero denominator");
+        let (num, den) = if den.signum() < 0 { (num.neg(), den.neg()) } else { (num, den) };
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.gcd(&den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            Rational { num: num.exact_div(&g), den: den.exact_div(&g) }
+        }
+    }
+
+    /// Builds a rational from an integer.
+    pub fn from_int(v: DynInt) -> Self {
+        Rational { num: v, den: DynInt::one() }
+    }
+
+    /// Builds a rational from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        Self::from_int(DynInt::from_i64(v))
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &DynInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &DynInt {
+        &self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether the value is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign: -1, 0, or +1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Rational::new(
+            self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den)),
+            self.den.mul(&rhs.den),
+        )
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Rational::new(
+            self.num.mul(&rhs.den).sub(&rhs.num.mul(&self.den)),
+            self.den.mul(&rhs.den),
+        )
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Rational::new(self.num.mul(&rhs.num), self.den.mul(&rhs.den))
+    }
+
+    /// Division. Panics if `rhs` is zero.
+    pub fn div(&self, rhs: &Self) -> Self {
+        assert!(!rhs.is_zero(), "Rational division by zero");
+        Rational::new(self.num.mul(&rhs.den), self.den.mul(&rhs.num))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Rational { num: self.num.neg(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "Rational::recip of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Approximate `f64` value (for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d (b, d > 0)  <=>  a*d vs c*b
+        self.num.mul(&other.den).cmp(&other.num.mul(&self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::str::FromStr for Rational {
+    type Err = String;
+
+    /// Parses `a`, `a/b`, or a decimal like `-1.25`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if let Some((n, d)) = t.split_once('/') {
+            let num: DynInt = n.trim().parse()?;
+            let den: DynInt = d.trim().parse()?;
+            if den.is_zero() {
+                return Err(format!("zero denominator in '{s}'"));
+            }
+            return Ok(Rational::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = t.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(format!("invalid decimal literal '{s}'"));
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int_v: DynInt =
+                if int_part.is_empty() || int_part == "-" { DynInt::zero() } else { int_part.parse()? };
+            let frac_v: DynInt = frac_part.parse()?;
+            let mut scale = DynInt::one();
+            let ten = DynInt::from_i64(10);
+            for _ in 0..frac_part.len() {
+                scale = scale.mul(&ten);
+            }
+            let mag = int_v.abs().mul(&scale).add(&frac_v);
+            let num = if negative { mag.neg() } else { mag };
+            return Ok(Rational::new(num, scale));
+        }
+        Ok(Rational::from_int(t.parse()?))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Clears denominators: scales a slice of rationals by the lcm of their
+/// denominators and divides by the gcd of the numerators, returning the
+/// canonical primitive integer vector with the same direction.
+///
+/// Returns all-zero for an all-zero input.
+pub fn to_primitive_integer_vec(vals: &[Rational]) -> Vec<DynInt> {
+    let mut lcm = DynInt::one();
+    for v in vals {
+        let g = lcm.gcd(v.denom());
+        lcm = lcm.exact_div(&g).mul(v.denom());
+    }
+    let mut ints: Vec<DynInt> = vals
+        .iter()
+        .map(|v| v.numer().mul(&lcm.exact_div(v.denom())))
+        .collect();
+    let mut g = DynInt::zero();
+    for v in &ints {
+        g = g.gcd(v);
+    }
+    if !g.is_zero() && !g.is_one() {
+        for v in &mut ints {
+            *v = v.exact_div(&g);
+        }
+    }
+    ints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(DynInt::from_i64(n), DynInt::from_i64(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, -5), Rational::zero());
+        assert!(r(0, 7).denom().is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        r(1, 0);
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(r(1, 2).add(&r(1, 3)), r(5, 6));
+        assert_eq!(r(1, 2).sub(&r(1, 3)), r(1, 6));
+        assert_eq!(r(2, 3).mul(&r(3, 4)), r(1, 2));
+        assert_eq!(r(2, 3).div(&r(4, 9)), r(3, 2));
+        assert_eq!(r(-5, 7).recip(), r(-7, 5));
+        assert_eq!(r(3, 4).neg().abs(), r(3, 4));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 1) > r(13, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(-3, 7).to_string(), "-3/7");
+    }
+
+    #[test]
+    fn primitive_integer_vec() {
+        let v = vec![r(1, 2), r(-2, 3), r(0, 1), r(5, 6)];
+        let ints = to_primitive_integer_vec(&v);
+        let expect: Vec<DynInt> =
+            [3i64, -4, 0, 5].iter().map(|&x| DynInt::from_i64(x)).collect();
+        assert_eq!(ints, expect);
+    }
+
+    #[test]
+    fn primitive_integer_vec_reduces_content() {
+        let v = vec![r(2, 1), r(4, 1), r(-6, 1)];
+        let ints = to_primitive_integer_vec(&v);
+        let expect: Vec<DynInt> =
+            [1i64, 2, -3].iter().map(|&x| DynInt::from_i64(x)).collect();
+        assert_eq!(ints, expect);
+    }
+
+    #[test]
+    fn from_str_forms() {
+        assert_eq!("3".parse::<Rational>().unwrap(), r(3, 1));
+        assert_eq!("-3/6".parse::<Rational>().unwrap(), r(-1, 2));
+        assert_eq!("1.25".parse::<Rational>().unwrap(), r(5, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), r(-1, 2));
+        assert_eq!(".5".parse::<Rational>().unwrap(), r(1, 2));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a.b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn primitive_integer_vec_zero() {
+        let v = vec![Rational::zero(), Rational::zero()];
+        assert!(to_primitive_integer_vec(&v).iter().all(|x| x.is_zero()));
+    }
+}

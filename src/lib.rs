@@ -1,0 +1,18 @@
+//! # efm-suite — parallel divide-and-conquer computation of elementary flux modes
+//!
+//! Umbrella crate re-exporting the public API of the workspace. See the
+//! individual crates for details:
+//!
+//! * [`numeric`] — exact arithmetic ([`numeric::DynInt`], [`numeric::Rational`]),
+//! * [`bitset`] — compact support patterns,
+//! * [`linalg`] — exact dense linear algebra (rank, kernel),
+//! * [`metnet`] — metabolic network model, parser, compression, datasets,
+//! * [`cluster`] — simulated distributed-memory cluster,
+//! * [`efm`] — the Nullspace Algorithm (serial / parallel / divide-and-conquer).
+
+pub use efm_bitset as bitset;
+pub use efm_cluster as cluster;
+pub use efm_core as efm;
+pub use efm_linalg as linalg;
+pub use efm_metnet as metnet;
+pub use efm_numeric as numeric;

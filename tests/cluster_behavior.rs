@@ -1,0 +1,120 @@
+//! Behavioural tests of the combinatorial parallel algorithm on the
+//! simulated cluster: balanced work split, identical per-rank results,
+//! phase instrumentation, and the memory-capacity failure mode.
+
+use efm_core::{
+    build_problem, cluster_supports, enumerate_with_scalar, phases, Backend, EfmError,
+    EfmOptions,
+};
+use efm_cluster::{ClusterConfig, ClusterError};
+use efm_metnet::generator::layered_branches;
+use efm_metnet::{compress, examples::toy_network};
+use efm_numeric::DynInt;
+
+#[test]
+fn pair_grid_split_is_balanced() {
+    // Each rank's generated pair count differs by at most the per-iteration
+    // number of iterations (integer division remainder ≤ 1 per iteration).
+    let net = layered_branches(4, 3);
+    let (red, _) = compress(&net);
+    let opts = EfmOptions::default();
+    let problem = build_problem::<DynInt>(&red, &opts).unwrap();
+    let out = cluster_supports::<efm_bitset::Pattern1, DynInt>(
+        &problem,
+        &opts,
+        &ClusterConfig::new(5),
+    )
+    .unwrap();
+    let iters = out.per_rank[0].value.stats.iterations.len() as u64;
+    let counts: Vec<u64> =
+        out.per_rank.iter().map(|r| r.value.stats.candidates_generated).collect();
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(
+        max - min <= iters,
+        "pair stripes must be balanced: {counts:?} over {iters} iterations"
+    );
+    let total: u64 = counts.iter().sum();
+    assert_eq!(total, out.stats.candidates_generated);
+}
+
+#[test]
+fn every_rank_reaches_identical_results() {
+    let net = toy_network();
+    let (red, _) = compress(&net);
+    let opts = EfmOptions::default();
+    let problem = build_problem::<DynInt>(&red, &opts).unwrap();
+    let out = cluster_supports::<efm_bitset::Pattern1, DynInt>(
+        &problem,
+        &opts,
+        &ClusterConfig::new(4),
+    )
+    .unwrap();
+    let reference = &out.per_rank[0].value.supports;
+    for rank in &out.per_rank[1..] {
+        assert_eq!(&rank.value.supports, reference, "rank {} diverged", rank.rank);
+    }
+    assert_eq!(reference.len(), 8);
+}
+
+#[test]
+fn phase_clocks_are_recorded() {
+    let net = layered_branches(3, 3);
+    let (red, _) = compress(&net);
+    let opts = EfmOptions::default();
+    let problem = build_problem::<DynInt>(&red, &opts).unwrap();
+    let out = cluster_supports::<efm_bitset::Pattern1, DynInt>(
+        &problem,
+        &opts,
+        &ClusterConfig::new(2),
+    )
+    .unwrap();
+    for rank in &out.per_rank {
+        for label in
+            [phases::GENERATE, phases::DEDUP, phases::RANK, phases::COMMUNICATE, phases::MERGE]
+        {
+            assert!(
+                rank.phase_times.contains_key(label),
+                "rank {} missing phase {label}",
+                rank.rank
+            );
+        }
+        assert!(rank.phase_work.get(phases::GENERATE).copied().unwrap_or(0) > 0);
+        assert!(rank.peak_memory > 0, "memory meter must account the mode matrix");
+    }
+}
+
+#[test]
+fn memory_cap_aborts_cluster_run() {
+    let net = layered_branches(5, 3); // 243 EFMs → a few KB of modes
+    let opts = EfmOptions::default();
+    let tiny = ClusterConfig::new(2).with_memory_limit(512);
+    match enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Cluster(tiny)) {
+        Err(EfmError::Cluster(ClusterError::MemoryExceeded { limit: 512, .. })) => {}
+        other => panic!("expected memory abort, got {other:?}"),
+    }
+    // The same run fits with a generous cap and matches the serial result.
+    let roomy = ClusterConfig::new(2).with_memory_limit(64 << 20);
+    let capped = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Cluster(roomy)).unwrap();
+    let serial = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap();
+    assert_eq!(capped.efms, serial.efms);
+}
+
+#[test]
+fn single_rank_cluster_equals_serial() {
+    let net = layered_branches(4, 2);
+    let opts = EfmOptions::default();
+    let cluster = enumerate_with_scalar::<DynInt>(
+        &net,
+        &opts,
+        &Backend::Cluster(ClusterConfig::new(1)),
+    )
+    .unwrap();
+    let serial = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap();
+    assert_eq!(cluster.efms, serial.efms);
+    assert_eq!(
+        cluster.stats.candidates_generated,
+        serial.stats.candidates_generated,
+        "a single rank owns the whole pair grid"
+    );
+}

@@ -1,0 +1,108 @@
+//! End-to-end checks on a trimmed S. cerevisiae Network I ("lite": the two
+//! hub reactions R15 and R70 removed — a few thousand EFMs): exact and
+//! floating-point arithmetic agree, divide-and-conquer partitions are
+//! disjoint and complete, and the candidate-count reduction the paper
+//! reports for the split shows up.
+
+use efm_core::{
+    enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmOptions,
+};
+use efm_metnet::{parse_network, MetabolicNetwork};
+use efm_numeric::{DynInt, F64Tol};
+
+fn network_i_lite() -> MetabolicNetwork {
+    let text: String = efm_metnet::yeast::NETWORK_I_TEXT
+        .lines()
+        .filter(|l| {
+            let name = l.split(':').next().unwrap_or("").trim();
+            name != "R15" && name != "R70"
+        })
+        .map(|l| format!("{l}\n"))
+        .collect();
+    parse_network(&text).unwrap()
+}
+
+#[test]
+fn exact_and_float_agree_on_yeast_lite() {
+    let net = network_i_lite();
+    let opts = EfmOptions::default();
+    let float = enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap();
+    let exact = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap();
+    assert_eq!(exact.efms.len(), float.efms.len());
+    assert_eq!(exact.efms, float.efms, "exact and f64 EFM sets must coincide");
+    assert_eq!(
+        exact.stats.candidates_generated,
+        float.stats.candidates_generated,
+        "identical pipelines must generate identical candidate counts"
+    );
+}
+
+#[test]
+fn divide_and_conquer_reduces_candidates_on_yeast_lite() {
+    let net = network_i_lite();
+    let opts = EfmOptions::default();
+    let unsplit = enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap();
+    // The lite trimming fixes the direction of some of the paper's
+    // partition reactions; pick two that are still reversible.
+    let mut names: Vec<String> = Vec::new();
+    let mut used = Vec::new();
+    for rxn in &net.reactions {
+        if names.len() == 2 {
+            break;
+        }
+        if let Some(r) = net
+            .reaction_index(&rxn.name)
+            .and_then(|o| unsplit.reduced.reduced_index_of(o))
+        {
+            if unsplit.reduced.reversible[r] && !used.contains(&r) {
+                used.push(r);
+                names.push(rxn.name.clone());
+            }
+        }
+    }
+    assert_eq!(names.len(), 2, "lite network must retain two reversible reactions");
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let split = enumerate_divide_conquer_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &refs,
+        &Backend::Serial,
+    )
+    .unwrap();
+    // Same EFM set.
+    assert_eq!(unsplit.efms, split.efms);
+    // Disjoint subsets covering the union.
+    let total: usize = split.subsets.iter().map(|s| s.efm_count).sum();
+    assert_eq!(total, split.efms.len());
+    assert_eq!(split.subsets.len(), 4);
+    // The paper's Table II → III effect: fewer cumulative candidates.
+    assert!(
+        split.stats.candidates_generated < unsplit.stats.candidates_generated,
+        "split candidates {} must be below unsplit {}",
+        split.stats.candidates_generated,
+        unsplit.stats.candidates_generated
+    );
+    // And a smaller peak mode matrix (the memory claim).
+    let split_peak = split.subsets.iter().map(|s| s.stats.peak_modes).max().unwrap();
+    assert!(
+        split_peak <= unsplit.stats.peak_modes,
+        "worst subset peak {} must not exceed unsplit peak {}",
+        split_peak,
+        unsplit.stats.peak_modes
+    );
+}
+
+#[test]
+fn cluster_backend_agrees_on_yeast_lite() {
+    let net = network_i_lite();
+    let opts = EfmOptions::default();
+    let serial = enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap();
+    let cluster = enumerate_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &Backend::Cluster(efm_cluster::ClusterConfig::new(4)),
+    )
+    .unwrap();
+    assert_eq!(serial.efms, cluster.efms);
+    assert_eq!(serial.stats.candidates_generated, cluster.stats.candidates_generated);
+}
