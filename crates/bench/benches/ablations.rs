@@ -3,9 +3,7 @@
 //! execution backend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use efm_core::{
-    enumerate_with_scalar, Backend, CandidateTest, EfmOptions, RowOrdering,
-};
+use efm_core::{enumerate_with_scalar, Backend, CandidateTest, EfmOptions, RowOrdering};
 use efm_metnet::generator::{layered_branches, random_network, RandomNetworkParams};
 use efm_metnet::MetabolicNetwork;
 use efm_numeric::{DynInt, F64Tol};
@@ -34,7 +32,9 @@ fn ordering_ablation(c: &mut Criterion) {
     ] {
         let opts = EfmOptions { ordering, ..Default::default() };
         g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| enumerate_with_scalar::<DynInt>(&net, opts, &Backend::Serial).unwrap().efms.len())
+            b.iter(|| {
+                enumerate_with_scalar::<DynInt>(&net, opts, &Backend::Serial).unwrap().efms.len()
+            })
         });
     }
     g.finish();
@@ -46,7 +46,9 @@ fn test_ablation(c: &mut Criterion) {
     for (label, test) in [("rank", CandidateTest::Rank), ("adjacency", CandidateTest::Adjacency)] {
         let opts = EfmOptions { test, ..Default::default() };
         g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| enumerate_with_scalar::<DynInt>(&net, opts, &Backend::Serial).unwrap().efms.len())
+            b.iter(|| {
+                enumerate_with_scalar::<DynInt>(&net, opts, &Backend::Serial).unwrap().efms.len()
+            })
         });
     }
     let opts = EfmOptions { exact_rank_test: true, ..Default::default() };
@@ -61,10 +63,14 @@ fn scalar_ablation(c: &mut Criterion) {
     let opts = EfmOptions::default();
     let mut g = c.benchmark_group("scalar");
     g.bench_function("exact-dynint", |b| {
-        b.iter(|| enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap().efms.len())
+        b.iter(|| {
+            enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap().efms.len()
+        })
     });
     g.bench_function("f64-tolerance", |b| {
-        b.iter(|| enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap().efms.len())
+        b.iter(|| {
+            enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap().efms.len()
+        })
     });
     g.finish();
 }
@@ -74,7 +80,9 @@ fn backend_ablation(c: &mut Criterion) {
     let opts = EfmOptions::default();
     let mut g = c.benchmark_group("backend");
     g.bench_function("serial", |b| {
-        b.iter(|| enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap().efms.len())
+        b.iter(|| {
+            enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap().efms.len()
+        })
     });
     g.bench_function("rayon", |b| {
         b.iter(|| enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Rayon).unwrap().efms.len())
@@ -98,7 +106,9 @@ fn compression_ablation(c: &mut Criterion) {
     ] {
         let opts = EfmOptions { compression, ..Default::default() };
         g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| enumerate_with_scalar::<DynInt>(&net, opts, &Backend::Serial).unwrap().efms.len())
+            b.iter(|| {
+                enumerate_with_scalar::<DynInt>(&net, opts, &Backend::Serial).unwrap().efms.len()
+            })
         });
     }
     g.finish();

@@ -3,7 +3,7 @@
 //! whole-network enumeration at toy scale.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use efm_bitset::{BitPattern, Pattern1, Pattern2};
+use efm_bitset::{Pattern1, Pattern2};
 use efm_core::{enumerate_with_scalar, Backend, EfmOptions};
 use efm_linalg::{gauss_rank_in_place_f64, kernel_basis, rank_of_cols, Mat};
 use efm_metnet::generator::{layered_branches, random_network, RandomNetworkParams};
@@ -64,7 +64,7 @@ fn bench_rank_tests(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let supports: Vec<Vec<usize>> = (0..64)
         .map(|_| {
-            let size = rng.gen_range(10..30);
+            let size = rng.gen_range(10usize..30);
             let mut cols: Vec<usize> = (0..red.num_reduced()).collect();
             for i in (1..cols.len()).rev() {
                 cols.swap(i, rng.gen_range(0..=i));
@@ -123,10 +123,14 @@ fn bench_enumeration(c: &mut Criterion) {
     let toy = toy_network();
     let opts = EfmOptions::default();
     c.bench_function("enumerate_toy_exact", |b| {
-        b.iter(|| enumerate_with_scalar::<DynInt>(&toy, &opts, &Backend::Serial).unwrap().efms.len())
+        b.iter(|| {
+            enumerate_with_scalar::<DynInt>(&toy, &opts, &Backend::Serial).unwrap().efms.len()
+        })
     });
     c.bench_function("enumerate_toy_f64", |b| {
-        b.iter(|| enumerate_with_scalar::<F64Tol>(&toy, &opts, &Backend::Serial).unwrap().efms.len())
+        b.iter(|| {
+            enumerate_with_scalar::<F64Tol>(&toy, &opts, &Backend::Serial).unwrap().efms.len()
+        })
     });
     let layered = layered_branches(5, 3);
     c.bench_function("enumerate_layered_5x3_exact", |b| {

@@ -43,12 +43,13 @@ fn main() {
 
     println!("\n== yeast Network I: unsplit vs divide-and-conquer ==");
     let net = network_i(scale);
-    let unsplit = enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial)
-        .expect("unsplit run failed");
+    let unsplit =
+        enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).expect("unsplit run failed");
     let partition = pick_partition(&net, &unsplit.reduced, &["R89r", "R74r"], 2);
     let refs: Vec<&str> = partition.iter().map(String::as_str).collect();
-    let split = enumerate_divide_conquer_with_scalar::<F64Tol>(&net, &opts, &refs, &Backend::Serial)
-        .expect("split run failed");
+    let split =
+        enumerate_divide_conquer_with_scalar::<F64Tol>(&net, &opts, &refs, &Backend::Serial)
+            .expect("split run failed");
     let mut t2 = Table::new(&["variant", "EFMs", "candidates", "time(s)"]);
     t2.row(vec![
         "Algorithm 2 (unsplit)".into(),
@@ -63,5 +64,7 @@ fn main() {
         format!("{:.2}", split.stats.total_time.as_secs_f64()),
     ]);
     t2.print();
-    println!("(the split run should generate fewer candidates and finish sooner — Tables II vs III)");
+    println!(
+        "(the split run should generate fewer candidates and finish sooner — Tables II vs III)"
+    );
 }

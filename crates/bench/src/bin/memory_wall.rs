@@ -14,9 +14,7 @@
 //! unsplit peaks, demonstrating the failure and the fix.
 
 use efm_bench::{flag, harness_options, network_ii, parse_cli, pick_partition, Scale};
-use efm_core::{
-    enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmError,
-};
+use efm_core::{enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmError};
 use efm_numeric::F64Tol;
 
 fn main() {
@@ -77,8 +75,7 @@ fn main() {
         }
     };
     println!("\n== phase 2: per-node capacity {limit} bytes ==");
-    let capped =
-        efm_cluster::ClusterConfig::new(nodes).with_memory_limit(limit);
+    let capped = efm_cluster::ClusterConfig::new(nodes).with_memory_limit(limit);
     match enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Cluster(capped.clone())) {
         Err(EfmError::Cluster(efm_cluster::ClusterError::MemoryExceeded {
             rank,
@@ -109,6 +106,8 @@ fn main() {
             out.efms.len(),
             out.subsets.len()
         ),
-        Err(e) => println!("combined Algorithm 3: failed: {e} — refine the partition (paper adds R22r)"),
+        Err(e) => {
+            println!("combined Algorithm 3: failed: {e} — refine the partition (paper adds R22r)")
+        }
     }
 }

@@ -56,8 +56,18 @@ fn main() {
 
     let opts = harness_options();
     let mut table = Table::new(&[
-        "nodes", "EFMs", "candidates", "gen(s)", "dedup(s)", "rank(s)", "comm(s)", "merge(s)",
-        "total(s)", "model(s)", "model speedup",
+        "nodes",
+        "EFMs",
+        "candidates",
+        "gen(s)",
+        "dedup(s)",
+        "tree(s)",
+        "rank(s)",
+        "comm(s)",
+        "merge(s)",
+        "total(s)",
+        "model(s)",
+        "model speedup",
     ]);
     let mut serial_total: Option<f64> = None;
     let mut serial_model: Option<f64> = None;
@@ -75,14 +85,15 @@ fn main() {
         // tests/cluster_behavior.rs), communication follows the α/β model.
         let compute_this = (out.stats.phases.generate
             + out.stats.phases.dedup
+            + out.stats.phases.tree_filter
             + out.stats.phases.rank_test
             + out.stats.phases.merge)
             .as_secs_f64();
         let base_compute = *serial_model.get_or_insert(compute_this);
         let rounds = out.stats.iterations.len() as f64;
         let bytes = comm_bytes_estimate(&out);
-        let comm_model = rounds * ALPHA_SECS * (n as f64 - 1.0).max(0.0)
-            + bytes as f64 * BETA_SECS_PER_BYTE;
+        let comm_model =
+            rounds * ALPHA_SECS * (n as f64 - 1.0).max(0.0) + bytes as f64 * BETA_SECS_PER_BYTE;
         let model = base_compute / n as f64 + comm_model;
         let mbase = base_compute; // n = 1 model has negligible comm
         table.row(vec![
@@ -91,6 +102,7 @@ fn main() {
             out.stats.candidates_generated.to_string(),
             secs(out.stats.phases.generate),
             secs(out.stats.phases.dedup),
+            secs(out.stats.phases.tree_filter),
             secs(out.stats.phases.rank_test),
             secs(out.stats.phases.communicate),
             secs(out.stats.phases.merge),

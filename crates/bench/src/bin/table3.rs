@@ -57,7 +57,16 @@ fn main() {
     };
 
     let mut table = Table::new(&[
-        "subset", "pattern", "EFMs", "candidates", "gen(s)", "rank(s)", "comm(s)", "merge(s)",
+        "subset",
+        "pattern",
+        "EFMs",
+        "candidates",
+        "gen(s)",
+        "dedup(s)",
+        "tree(s)",
+        "rank(s)",
+        "comm(s)",
+        "merge(s)",
         "total(s)",
     ]);
     for s in &out.subsets {
@@ -67,6 +76,8 @@ fn main() {
             s.efm_count.to_string(),
             s.stats.candidates_generated.to_string(),
             format!("{:.2}", s.stats.phases.generate.as_secs_f64()),
+            format!("{:.2}", s.stats.phases.dedup.as_secs_f64()),
+            format!("{:.2}", s.stats.phases.tree_filter.as_secs_f64()),
             format!("{:.2}", s.stats.phases.rank_test.as_secs_f64()),
             format!("{:.2}", s.stats.phases.communicate.as_secs_f64()),
             format!("{:.2}", s.stats.phases.merge.as_secs_f64()),

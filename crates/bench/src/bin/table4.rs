@@ -13,7 +13,9 @@
 //! lite scale, or individual `--subset` rows at full scale (see
 //! EXPERIMENTS.md for the recorded runs).
 
-use efm_bench::{flag, harness_options, network_ii, paper, parse_cli, pick_partition, Scale, Table};
+use efm_bench::{
+    flag, harness_options, network_ii, paper, parse_cli, pick_partition, Scale, Table,
+};
 use efm_core::{
     resolve_partition, run_subset, subset_pattern, Backend, EfmError, SupportsAndStats,
 };
@@ -63,11 +65,7 @@ fn main() {
         nodes,
         if exact { "exact integer" } else { "f64" }
     );
-    println!(
-        "reduced network {}x{} ({comp:?})",
-        red.stoich.rows(),
-        red.num_reduced()
-    );
+    println!("reduced network {}x{} ({comp:?})", red.stoich.rows(), red.num_reduced());
     println!("paper reference (full scale): {} EFMs total\n", paper::NETWORK_II_EFMS);
 
     let partition = match resolve_partition(&net, &red, &names) {
@@ -84,8 +82,7 @@ fn main() {
         None => (0..1usize << qsub).collect(),
     };
 
-    let mut table =
-        Table::new(&["subset", "binary pattern", "candidates", "EFMs", "time(s)"]);
+    let mut table = Table::new(&["subset", "binary pattern", "candidates", "EFMs", "time(s)"]);
     let mut total_efms: u64 = 0;
     let mut total_cands: u64 = 0;
     let mut total_secs = 0.0;
@@ -129,8 +126,5 @@ fn main() {
         }
     }
     table.print();
-    println!(
-        "\ntotals: {} EFMs, {} candidate modes, {:.2}s",
-        total_efms, total_cands, total_secs
-    );
+    println!("\ntotals: {} EFMs, {} candidate modes, {:.2}s", total_efms, total_cands, total_secs);
 }

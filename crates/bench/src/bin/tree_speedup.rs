@@ -1,0 +1,100 @@
+//! PR 1 acceptance benchmark: pattern-tree filtering + merged-run dedup
+//! versus the classical linear scans, on yeast-lite Network I with the
+//! combinatorial (adjacency) elementarity test.
+//!
+//! ```text
+//! tree_speedup [--scale toy|lite|full] [--reps 3] [--out BENCH_pr1.json]
+//! ```
+//!
+//! The compared quantity is the combined wall time of the phases the tree
+//! subsystem rewired — sort/merge dedup, duplicate drop against existing
+//! modes, and the elementarity test — with `pattern_trees` on vs off on
+//! the shared-memory backend. Results are written as JSON.
+
+use efm_bench::{flag, harness_options, network_i, parse_cli, Scale};
+use efm_core::{enumerate_with_scalar, Backend, CandidateTest, EfmOptions, EfmOutcome};
+use efm_numeric::F64Tol;
+
+struct Measured {
+    dedup: f64,
+    tree_filter: f64,
+    elementarity: f64,
+    total: f64,
+    efms: usize,
+}
+
+impl Measured {
+    fn filtered(&self) -> f64 {
+        self.dedup + self.tree_filter + self.elementarity
+    }
+}
+
+fn run(net: &efm_metnet::MetabolicNetwork, trees: bool, reps: usize) -> Measured {
+    let opts =
+        EfmOptions { test: CandidateTest::Adjacency, pattern_trees: trees, ..harness_options() };
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps {
+        let out: EfmOutcome =
+            enumerate_with_scalar::<F64Tol>(net, &opts, &Backend::Rayon).expect("run failed");
+        let m = Measured {
+            dedup: out.stats.phases.dedup.as_secs_f64(),
+            tree_filter: out.stats.phases.tree_filter.as_secs_f64(),
+            elementarity: out.stats.phases.rank_test.as_secs_f64(),
+            total: out.stats.total_time.as_secs_f64(),
+            efms: out.efms.len(),
+        };
+        if best.as_ref().is_none_or(|b| m.filtered() < b.filtered()) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn main() {
+    let (flags, _) = parse_cli();
+    let scale = Scale::parse(flag(&flags, "scale").unwrap_or("lite")).expect("bad --scale");
+    let reps: usize = flag(&flags, "reps").unwrap_or("3").parse().expect("bad --reps");
+    let out_path = flag(&flags, "out").unwrap_or("BENCH_pr1.json").to_string();
+    let net = network_i(scale);
+
+    println!("tree_speedup — Network I ({scale:?}), adjacency test, rayon backend, {reps} reps");
+    let naive = run(&net, false, reps);
+    println!(
+        "  linear scans : dedup {:.3}s  tree-filter {:.3}s  elementarity {:.3}s  (total {:.2}s, {} EFMs)",
+        naive.dedup, naive.tree_filter, naive.elementarity, naive.total, naive.efms
+    );
+    let trees = run(&net, true, reps);
+    println!(
+        "  pattern trees: dedup {:.3}s  tree-filter {:.3}s  elementarity {:.3}s  (total {:.2}s, {} EFMs)",
+        trees.dedup, trees.tree_filter, trees.elementarity, trees.total, trees.efms
+    );
+    assert_eq!(naive.efms, trees.efms, "tree/naive pipelines must agree");
+
+    let speedup = naive.filtered() / trees.filtered().max(1e-9);
+    let total_speedup = naive.total / trees.total.max(1e-9);
+    println!("  dedup+elementarity speedup: {speedup:.2}x (whole run {total_speedup:.2}x)");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"tree_speedup\",\n  \"network\": \"yeast_network_i\",\n  \
+         \"scale\": \"{scale:?}\",\n  \"backend\": \"rayon\",\n  \"test\": \"adjacency\",\n  \
+         \"reps\": {reps},\n  \"efms\": {efms},\n  \"naive\": {{ \"dedup_s\": {nd:.6}, \
+         \"tree_filter_s\": {nt:.6}, \"elementarity_s\": {ne:.6}, \"combined_s\": {nc:.6}, \
+         \"total_s\": {ntot:.6} }},\n  \"trees\": {{ \"dedup_s\": {td:.6}, \"tree_filter_s\": \
+         {tt:.6}, \"elementarity_s\": {te:.6}, \"combined_s\": {tc:.6}, \"total_s\": {ttot:.6} \
+         }},\n  \"dedup_elementarity_speedup\": {speedup:.4},\n  \"total_speedup\": \
+         {total_speedup:.4}\n}}\n",
+        efms = trees.efms,
+        nd = naive.dedup,
+        nt = naive.tree_filter,
+        ne = naive.elementarity,
+        nc = naive.filtered(),
+        ntot = naive.total,
+        td = trees.dedup,
+        tt = trees.tree_filter,
+        te = trees.elementarity,
+        tc = trees.filtered(),
+        ttot = trees.total,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("  wrote {out_path}");
+}

@@ -155,6 +155,7 @@ pub fn secs(d: Duration) -> String {
 pub fn print_phase_rows(stats: &RunStats) {
     println!("  gen cand    (sec)  {}", secs(stats.phases.generate));
     println!("  sort/dedup  (sec)  {}", secs(stats.phases.dedup));
+    println!("  tree filter (sec)  {}", secs(stats.phases.tree_filter));
     println!("  rank test   (sec)  {}", secs(stats.phases.rank_test));
     println!("  communicate (sec)  {}", secs(stats.phases.communicate));
     println!("  merge       (sec)  {}", secs(stats.phases.merge));

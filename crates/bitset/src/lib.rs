@@ -17,6 +17,10 @@
 use std::fmt;
 use std::hash::Hash;
 
+pub mod tree;
+
+pub use tree::{PatternTree, TreePattern};
+
 /// A fixed-capacity inline bit pattern of `64*W` bits.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pattern<const W: usize> {
@@ -90,8 +94,8 @@ impl<const W: usize> Pattern<W> {
     #[inline]
     pub fn union(&self, rhs: &Self) -> Self {
         let mut out = [0u64; W];
-        for i in 0..W {
-            out[i] = self.words[i] | rhs.words[i];
+        for ((o, &a), &b) in out.iter_mut().zip(&self.words).zip(&rhs.words) {
+            *o = a | b;
         }
         Pattern { words: out }
     }
@@ -100,8 +104,8 @@ impl<const W: usize> Pattern<W> {
     #[inline]
     pub fn intersect(&self, rhs: &Self) -> Self {
         let mut out = [0u64; W];
-        for i in 0..W {
-            out[i] = self.words[i] & rhs.words[i];
+        for ((o, &a), &b) in out.iter_mut().zip(&self.words).zip(&rhs.words) {
+            *o = a & b;
         }
         Pattern { words: out }
     }
@@ -223,6 +227,32 @@ impl DynPattern {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Whether every set bit of `self` is set in `rhs` (widths may differ;
+    /// missing words are zero).
+    pub fn is_subset_of(&self, rhs: &Self) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !rhs.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Bitwise union (result width is the wider operand's).
+    pub fn union(&self, rhs: &Self) -> Self {
+        let n = self.words.len().max(rhs.words.len());
+        let words = (0..n)
+            .map(|i| {
+                self.words.get(i).copied().unwrap_or(0) | rhs.words.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        DynPattern { words }
+    }
+
+    /// Bitwise intersection.
+    pub fn intersect(&self, rhs: &Self) -> Self {
+        let n = self.words.len().min(rhs.words.len());
+        DynPattern { words: (0..n).map(|i| self.words[i] & rhs.words[i]).collect() }
+    }
+
     /// Iterates over set bit indices.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -244,7 +274,9 @@ impl DynPattern {
 ///
 /// Implemented by every inline width; the core monomorphizes per width so the
 /// inner loop compiles to straight-line word operations.
-pub trait BitPattern: Clone + Copy + PartialEq + Eq + Hash + Ord + Send + Sync + Default + fmt::Debug + 'static {
+pub trait BitPattern:
+    Clone + Copy + PartialEq + Eq + Hash + Ord + Send + Sync + Default + fmt::Debug + 'static
+{
     /// Capacity in bits.
     fn capacity() -> usize;
     /// The empty pattern.
@@ -255,6 +287,8 @@ pub trait BitPattern: Clone + Copy + PartialEq + Eq + Hash + Ord + Send + Sync +
     fn get(&self, i: usize) -> bool;
     /// Union.
     fn union(&self, rhs: &Self) -> Self;
+    /// Intersection.
+    fn intersect(&self, rhs: &Self) -> Self;
     /// Popcount.
     fn count(&self) -> u32;
     /// Popcount of the union (fused hot path).
@@ -287,6 +321,10 @@ impl<const W: usize> BitPattern for Pattern<W> {
     #[inline]
     fn union(&self, rhs: &Self) -> Self {
         Pattern::union(self, rhs)
+    }
+    #[inline]
+    fn intersect(&self, rhs: &Self) -> Self {
+        Pattern::intersect(self, rhs)
     }
     #[inline]
     fn count(&self) -> u32 {

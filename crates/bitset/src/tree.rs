@@ -1,0 +1,508 @@
+//! Bit-pattern trees for sub/superset queries over support patterns.
+//!
+//! The combinatorial elementarity test asks, for every candidate support
+//! `q`, whether *any* stored support is a subset of `q`. The classical
+//! implementation scans all stored patterns — `O(|stored|)` per query, which
+//! is the dominant cost of the adjacency ablation and of duplicate dropping
+//! on large iterations. This module implements the bit-pattern-tree
+//! technique of Terzer & Stelling (*Bioinformatics* 2008): a binary tree
+//! that splits the stored patterns on a discriminating bit per node. A
+//! subset query at a node split on bit `b` must always search the
+//! bit-**unset** child (patterns without `b` can still be subsets of
+//! anything), but may skip the bit-**set** child entirely whenever the query
+//! lacks `b`.
+//!
+//! Single-bit pruning alone degrades on *dense* support populations (late
+//! nullspace iterations, where supports carry most bits), so every subtree
+//! additionally records the **intersection** and **union** of the patterns
+//! beneath it plus min/max popcounts. A subset search prunes a whole
+//! subtree when the intersection mask is not a subset of the query (some
+//! bit is set in *every* stored pattern but missing from the query) or when
+//! the smallest stored popcount already exceeds the query's; superset
+//! searches prune on the dual conditions (union mask, max popcount).
+//!
+//! The tree is generic over [`TreePattern`], implemented by every inline
+//! [`Pattern`](crate::Pattern) width (via [`BitPattern`]) and by
+//! [`DynPattern`].
+
+use crate::{BitPattern, DynPattern};
+
+/// The pattern operations the tree needs. Blanket-implemented for every
+/// [`BitPattern`]; implemented directly for [`DynPattern`].
+pub trait TreePattern: Clone + PartialEq {
+    /// Tests bit `i`.
+    fn bit(&self, i: usize) -> bool;
+    /// Whether every set bit of `self` is set in `rhs`.
+    fn subset_of(&self, rhs: &Self) -> bool;
+    /// Set bit indices, ascending.
+    fn one_bits(&self) -> Vec<usize>;
+    /// Popcount.
+    fn count_bits(&self) -> u32;
+    /// Bitwise intersection.
+    fn and(&self, rhs: &Self) -> Self;
+    /// Bitwise union.
+    fn or(&self, rhs: &Self) -> Self;
+}
+
+impl<P: BitPattern> TreePattern for P {
+    #[inline]
+    fn bit(&self, i: usize) -> bool {
+        self.get(i)
+    }
+    #[inline]
+    fn subset_of(&self, rhs: &Self) -> bool {
+        self.is_subset_of(rhs)
+    }
+    fn one_bits(&self) -> Vec<usize> {
+        self.ones()
+    }
+    #[inline]
+    fn count_bits(&self) -> u32 {
+        self.count()
+    }
+    #[inline]
+    fn and(&self, rhs: &Self) -> Self {
+        self.intersect(rhs)
+    }
+    #[inline]
+    fn or(&self, rhs: &Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl TreePattern for DynPattern {
+    #[inline]
+    fn bit(&self, i: usize) -> bool {
+        self.get(i)
+    }
+    #[inline]
+    fn subset_of(&self, rhs: &Self) -> bool {
+        DynPattern::is_subset_of(self, rhs)
+    }
+    fn one_bits(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+    #[inline]
+    fn count_bits(&self) -> u32 {
+        self.count()
+    }
+    #[inline]
+    fn and(&self, rhs: &Self) -> Self {
+        self.intersect(rhs)
+    }
+    #[inline]
+    fn or(&self, rhs: &Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+/// Patterns per leaf before a split is attempted. Leaves this small are
+/// cheaper to scan linearly than to descend further.
+const LEAF_MAX: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node<P> {
+    /// Inner node split on `bit`: patterns with the bit set live under
+    /// `one`, the rest under `zero` (indices into the arena).
+    Branch {
+        bit: u32,
+        zero: u32,
+        one: u32,
+    },
+    Leaf(Vec<P>),
+}
+
+/// Subtree pruning metadata, kept in an arena parallel to the nodes.
+#[derive(Debug, Clone)]
+struct Meta<P> {
+    /// AND of every pattern in the subtree. If this is not a subset of a
+    /// query, no stored pattern can be either.
+    and_mask: P,
+    /// OR of every pattern in the subtree. A query with a bit outside it
+    /// has no stored superset below.
+    or_mask: P,
+    /// Smallest popcount in the subtree.
+    min_count: u32,
+    /// Largest popcount in the subtree.
+    max_count: u32,
+}
+
+fn meta_of<P: TreePattern>(pats: &[P]) -> Meta<P> {
+    let mut it = pats.iter();
+    let first = it.next().expect("meta of a non-empty pattern set");
+    let c0 = first.count_bits();
+    let mut meta =
+        Meta { and_mask: first.clone(), or_mask: first.clone(), min_count: c0, max_count: c0 };
+    for p in it {
+        meta.and_mask = meta.and_mask.and(p);
+        meta.or_mask = meta.or_mask.or(p);
+        let c = p.count_bits();
+        meta.min_count = meta.min_count.min(c);
+        meta.max_count = meta.max_count.max(c);
+    }
+    meta
+}
+
+impl<P: TreePattern> Meta<P> {
+    fn absorb(&mut self, p: &P) {
+        self.and_mask = self.and_mask.and(p);
+        self.or_mask = self.or_mask.or(p);
+        let c = p.count_bits();
+        self.min_count = self.min_count.min(c);
+        self.max_count = self.max_count.max(c);
+    }
+}
+
+/// A static-topology bit-pattern tree over support patterns.
+///
+/// Built in bulk with [`PatternTree::from_patterns`] (which picks the most
+/// discriminating bit per node) or grown with [`PatternTree::insert`]
+/// (leaves split lazily). Queries never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct PatternTree<P> {
+    /// Arena; index 0 is the root when `len > 0`.
+    nodes: Vec<Node<P>>,
+    /// Pruning metadata, indexed like `nodes`.
+    metas: Vec<Meta<P>>,
+    len: usize,
+}
+
+/// Picks the bit whose set/unset split of `pats` is closest to balanced.
+/// Candidate bits are exactly those set in the union but not the
+/// intersection; returns `None` when no bit discriminates (all patterns
+/// equal). Ties break toward the lowest bit index.
+fn discriminating_bit<P: TreePattern>(pats: &[P], meta: &Meta<P>) -> Option<u32> {
+    let n = pats.len();
+    let mut best: Option<(usize, u32)> = None; // (|2c - n|, bit)
+    for b in meta.or_mask.one_bits() {
+        if meta.and_mask.bit(b) {
+            continue; // set in every pattern: does not discriminate
+        }
+        let c = pats.iter().filter(|p| p.bit(b)).count();
+        let score = (2 * c).abs_diff(n);
+        if best.is_none_or(|(s, _)| score < s) {
+            best = Some((score, b as u32));
+        }
+    }
+    best.map(|(_, bit)| bit)
+}
+
+impl<P: TreePattern> PatternTree<P> {
+    /// The empty tree.
+    pub fn new() -> Self {
+        PatternTree { nodes: Vec::new(), metas: Vec::new(), len: 0 }
+    }
+
+    /// Number of stored patterns (duplicates each count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Builds a tree over `pats`, choosing the most discriminating bit at
+    /// every node.
+    pub fn from_patterns(pats: Vec<P>) -> Self {
+        let mut tree = PatternTree { nodes: Vec::new(), metas: Vec::new(), len: pats.len() };
+        if !pats.is_empty() {
+            tree.build_node(pats);
+        }
+        tree
+    }
+
+    /// Recursively builds the subtree for `pats`; returns its arena index.
+    fn build_node(&mut self, pats: Vec<P>) -> u32 {
+        let meta = meta_of(&pats);
+        if pats.len() <= LEAF_MAX {
+            return self.push(Node::Leaf(pats), meta);
+        }
+        let Some(bit) = discriminating_bit(&pats, &meta) else {
+            // All remaining patterns are identical: an oversized leaf is
+            // correct and scans in O(1) practical time (first hit returns).
+            return self.push(Node::Leaf(pats), meta);
+        };
+        let (ones, zeros): (Vec<P>, Vec<P>) = pats.into_iter().partition(|p| p.bit(bit as usize));
+        // Reserve the branch slot before the children so the root stays 0.
+        let slot = self.push(Node::Branch { bit, zero: 0, one: 0 }, meta);
+        let zero = self.build_node(zeros);
+        let one = self.build_node(ones);
+        self.nodes[slot as usize] = Node::Branch { bit, zero, one };
+        slot
+    }
+
+    fn push(&mut self, node: Node<P>, meta: Meta<P>) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.metas.push(meta);
+        idx
+    }
+
+    /// Inserts one pattern, splitting the target leaf when it overflows.
+    pub fn insert(&mut self, p: P) {
+        self.len += 1;
+        if self.nodes.is_empty() {
+            let meta = meta_of(std::slice::from_ref(&p));
+            self.nodes.push(Node::Leaf(vec![p]));
+            self.metas.push(meta);
+            return;
+        }
+        let mut at = 0u32;
+        loop {
+            self.metas[at as usize].absorb(&p);
+            match &mut self.nodes[at as usize] {
+                Node::Branch { bit, zero, one } => {
+                    at = if p.bit(*bit as usize) { *one } else { *zero };
+                }
+                Node::Leaf(pats) => {
+                    pats.push(p);
+                    if pats.len() > LEAF_MAX {
+                        let pats = std::mem::take(pats);
+                        let meta = &self.metas[at as usize];
+                        if let Some(bit) = discriminating_bit(&pats, meta) {
+                            let (ones, zeros): (Vec<P>, Vec<P>) =
+                                pats.into_iter().partition(|q| q.bit(bit as usize));
+                            let zero_meta = meta_of(&zeros);
+                            let one_meta = meta_of(&ones);
+                            let zero = self.push(Node::Leaf(zeros), zero_meta);
+                            let one = self.push(Node::Leaf(ones), one_meta);
+                            self.nodes[at as usize] = Node::Branch { bit, zero, one };
+                        } else {
+                            self.nodes[at as usize] = Node::Leaf(pats);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Whether any stored pattern is a subset of `query` (equality counts).
+    pub fn contains_subset_of(&self, query: &P) -> bool {
+        !self.nodes.is_empty() && self.subset_search(0, query, query.count_bits(), false)
+    }
+
+    /// Whether any stored pattern is a **proper** subset of `query`
+    /// (subset and not equal).
+    pub fn contains_proper_subset_of(&self, query: &P) -> bool {
+        !self.nodes.is_empty() && self.subset_search(0, query, query.count_bits(), true)
+    }
+
+    fn subset_search(&self, at: u32, query: &P, qcount: u32, proper: bool) -> bool {
+        let meta = &self.metas[at as usize];
+        // A subset has popcount ≤ the query's (strictly less when proper),
+        // and every all-stored bit must appear in the query.
+        if meta.min_count + u32::from(proper) > qcount || !meta.and_mask.subset_of(query) {
+            return false;
+        }
+        match &self.nodes[at as usize] {
+            Node::Branch { bit, zero, one } => {
+                // Patterns under `one` all have `bit` set: they can only be
+                // subsets of queries that also have it. Patterns under
+                // `zero` are unconstrained — always searched.
+                if query.bit(*bit as usize) && self.subset_search(*one, query, qcount, proper) {
+                    return true;
+                }
+                self.subset_search(*zero, query, qcount, proper)
+            }
+            Node::Leaf(pats) => pats.iter().any(|p| p.subset_of(query) && (!proper || p != query)),
+        }
+    }
+
+    /// Whether `query` itself is stored (exact membership).
+    pub fn contains(&self, query: &P) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let qcount = query.count_bits();
+        let mut at = 0u32;
+        loop {
+            let meta = &self.metas[at as usize];
+            if qcount < meta.min_count
+                || qcount > meta.max_count
+                || !meta.and_mask.subset_of(query)
+                || !query.subset_of(&meta.or_mask)
+            {
+                return false;
+            }
+            match &self.nodes[at as usize] {
+                Node::Branch { bit, zero, one } => {
+                    at = if query.bit(*bit as usize) { *one } else { *zero };
+                }
+                Node::Leaf(pats) => return pats.iter().any(|p| p == query),
+            }
+        }
+    }
+
+    /// Whether any stored pattern is a superset of `query` (equality
+    /// counts). The pruning dual of [`PatternTree::contains_subset_of`].
+    pub fn contains_superset_of(&self, query: &P) -> bool {
+        !self.nodes.is_empty() && self.superset_search(0, query, query.count_bits())
+    }
+
+    fn superset_search(&self, at: u32, query: &P, qcount: u32) -> bool {
+        let meta = &self.metas[at as usize];
+        // A superset has popcount ≥ the query's and must cover every query
+        // bit, so the query must sit inside the subtree's union.
+        if meta.max_count < qcount || !query.subset_of(&meta.or_mask) {
+            return false;
+        }
+        match &self.nodes[at as usize] {
+            Node::Branch { bit, zero, one } => {
+                // Supersets must carry every query bit: the zero child can
+                // be skipped whenever the query has this node's bit.
+                if self.superset_search(*one, query, qcount) {
+                    return true;
+                }
+                !query.bit(*bit as usize) && self.superset_search(*zero, query, qcount)
+            }
+            Node::Leaf(pats) => pats.iter().any(|p| query.subset_of(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pattern1, Pattern2};
+
+    fn naive_subset<P: TreePattern>(pats: &[P], q: &P, proper: bool) -> bool {
+        pats.iter().any(|p| p.subset_of(q) && (!proper || p != q))
+    }
+
+    fn pat(bits: &[usize]) -> Pattern2 {
+        Pattern2::from_indices(bits.iter().copied())
+    }
+
+    #[test]
+    fn empty_tree_matches_nothing() {
+        let t = PatternTree::<Pattern1>::new();
+        assert!(t.is_empty());
+        assert!(!t.contains_subset_of(&Pattern1::from_indices([0, 1])));
+        assert!(!t.contains(&Pattern1::empty()));
+        assert!(!t.contains_superset_of(&Pattern1::empty()));
+    }
+
+    #[test]
+    fn subset_queries_match_naive_scan() {
+        // Deterministic pseudo-random population, wide enough to split.
+        let mut pats = Vec::new();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..300 {
+            let mut bits = Vec::new();
+            for _ in 0..5 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bits.push((x >> 33) as usize % 100);
+            }
+            pats.push(pat(&bits));
+        }
+        let tree = PatternTree::from_patterns(pats.clone());
+        assert_eq!(tree.len(), 300);
+        for q in &pats {
+            assert!(tree.contains_subset_of(q), "every stored pattern subsets itself");
+            assert!(tree.contains(q));
+            assert!(tree.contains_superset_of(q));
+        }
+        let mut probes = pats.clone();
+        probes.push(pat(&[1, 2, 3]));
+        probes.push(Pattern2::empty());
+        probes.push(pat(&(0..40).collect::<Vec<_>>()));
+        for q in &probes {
+            assert_eq!(tree.contains_subset_of(q), naive_subset(&pats, q, false));
+            assert_eq!(tree.contains_proper_subset_of(q), naive_subset(&pats, q, true));
+            assert_eq!(tree.contains_superset_of(q), pats.iter().any(|p| q.is_subset_of(p)));
+        }
+    }
+
+    #[test]
+    fn dense_populations_prune_by_masks_and_counts() {
+        // Dense patterns (most bits set) defeat single-bit pruning; the
+        // intersection-mask and popcount bounds must still give correct
+        // answers. Population: all-but-a-few-bits patterns over 60 bits.
+        let all: Vec<usize> = (0..60).collect();
+        let mut pats = Vec::new();
+        for i in 0..200usize {
+            let drop = [i % 60, (i * 7 + 3) % 60, (i * 13 + 11) % 60];
+            let bits: Vec<usize> = all.iter().copied().filter(|b| !drop.contains(b)).collect();
+            pats.push(pat(&bits));
+        }
+        let tree = PatternTree::from_patterns(pats.clone());
+        let mut probes = pats.clone();
+        probes.push(pat(&all)); // full set: everything subsets it
+        probes.push(pat(&all[..50]));
+        probes.push(Pattern2::empty());
+        for q in &probes {
+            assert_eq!(tree.contains_subset_of(q), naive_subset(&pats, q, false));
+            assert_eq!(tree.contains_proper_subset_of(q), naive_subset(&pats, q, true));
+            assert_eq!(tree.contains_superset_of(q), pats.iter().any(|p| q.is_subset_of(p)));
+            assert_eq!(tree.contains(q), pats.contains(q));
+        }
+    }
+
+    #[test]
+    fn proper_subset_excludes_equality() {
+        let stored = vec![pat(&[1, 2])];
+        let tree = PatternTree::from_patterns(stored);
+        assert!(tree.contains_subset_of(&pat(&[1, 2])));
+        assert!(!tree.contains_proper_subset_of(&pat(&[1, 2])));
+        assert!(tree.contains_proper_subset_of(&pat(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn incremental_insert_agrees_with_bulk_build() {
+        let pats: Vec<Pattern2> =
+            (0..120).map(|i| pat(&[i % 7, (i * 3) % 50, (i * 11) % 90])).collect();
+        let bulk = PatternTree::from_patterns(pats.clone());
+        let mut grown = PatternTree::new();
+        for p in &pats {
+            grown.insert(*p);
+        }
+        assert_eq!(grown.len(), bulk.len());
+        for i in 0..128 {
+            let q = pat(&[i % 7, (i * 3) % 50, (i * 11) % 90, (i * 13) % 100]);
+            assert_eq!(grown.contains_subset_of(&q), bulk.contains_subset_of(&q));
+            assert_eq!(grown.contains(&q), bulk.contains(&q));
+        }
+    }
+
+    #[test]
+    fn duplicate_patterns_build_an_oversized_leaf() {
+        // No discriminating bit exists: the tree must terminate with a
+        // single leaf instead of recursing forever.
+        let pats = vec![pat(&[4, 9]); 50];
+        let tree = PatternTree::from_patterns(pats);
+        assert_eq!(tree.len(), 50);
+        assert!(tree.contains_subset_of(&pat(&[4, 9, 12])));
+        assert!(!tree.contains_proper_subset_of(&pat(&[4, 9])));
+    }
+
+    #[test]
+    fn dyn_pattern_trees_work() {
+        let mk = |bits: &[usize]| {
+            let mut p = crate::DynPattern::with_capacity(256);
+            for &b in bits {
+                p.set(b);
+            }
+            p
+        };
+        let pats: Vec<crate::DynPattern> =
+            (0..60).map(|i| mk(&[i % 5, 100 + (i * 7) % 90, 200 + i % 3])).collect();
+        let tree = PatternTree::from_patterns(pats.clone());
+        for q in &pats {
+            assert!(tree.contains_subset_of(q));
+            assert!(!tree.contains_proper_subset_of(q) || naive_subset(&pats, q, true));
+        }
+        assert!(!tree.contains_subset_of(&mk(&[250])));
+    }
+
+    #[test]
+    fn empty_pattern_is_subset_of_everything() {
+        let mut tree = PatternTree::new();
+        tree.insert(Pattern1::empty());
+        assert!(tree.contains_subset_of(&Pattern1::from_indices([5])));
+        assert!(tree.contains_subset_of(&Pattern1::empty()));
+        assert!(!tree.contains_proper_subset_of(&Pattern1::empty()));
+    }
+}

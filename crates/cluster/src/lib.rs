@@ -247,9 +247,7 @@ impl<'a> NodeCtx<'a> {
     /// Sends a message to `dst` (FIFO per sender→receiver pair).
     pub fn send<M: Send + 'static>(&self, dst: usize, msg: M) {
         assert!(dst < self.size, "send to out-of-range rank");
-        self.fabric.senders[dst]
-            .send((self.rank, Box::new(msg)))
-            .expect("cluster fabric closed");
+        self.fabric.senders[dst].send((self.rank, Box::new(msg))).expect("cluster fabric closed");
     }
 
     /// Receives the next message of type `M` from rank `src`. Messages of
@@ -258,10 +256,7 @@ impl<'a> NodeCtx<'a> {
         // Check parked packets first.
         {
             let mut parked = self.parked.lock();
-            if let Some(pos) = parked
-                .iter()
-                .position(|(from, b)| *from == src && b.is::<M>())
-            {
+            if let Some(pos) = parked.iter().position(|(from, b)| *from == src && b.is::<M>()) {
                 let (_, b) = parked.remove(pos);
                 return *b.downcast::<M>().unwrap();
             }
@@ -286,9 +281,9 @@ impl<'a> NodeCtx<'a> {
         }
         let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
         out[self.rank] = Some(local);
-        for src in 0..self.size {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
-                out[src] = Some(self.recv::<M>(src));
+                *slot = Some(self.recv::<M>(src));
             }
         }
         out.into_iter().map(Option::unwrap).collect()
@@ -328,9 +323,9 @@ impl<'a> NodeCtx<'a> {
         if self.rank == root {
             let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
             out[self.rank] = Some(local);
-            for src in 0..self.size {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != self.rank {
-                    out[src] = Some(self.recv::<M>(src));
+                    *slot = Some(self.recv::<M>(src));
                 }
             }
             Some(out.into_iter().map(Option::unwrap).collect())
@@ -382,7 +377,10 @@ pub struct NodeReport<T> {
 /// The first error (memory exhaustion, panic) aborts the whole run; other
 /// nodes' channel operations unblock because the fabric closes. This mirrors
 /// an MPI job killed by one rank's failure.
-pub fn run_cluster<T, F>(config: &ClusterConfig, body: F) -> Result<Vec<NodeReport<T>>, ClusterError>
+pub fn run_cluster<T, F>(
+    config: &ClusterConfig,
+    body: F,
+) -> Result<Vec<NodeReport<T>>, ClusterError>
 where
     T: Send,
     F: Fn(&NodeCtx) -> Result<T, ClusterError> + Sync,
@@ -662,10 +660,9 @@ mod tests {
 
     #[test]
     fn gather_collects_on_root() {
-        let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
-            Ok(ctx.gather(1, ctx.rank() as u32 * 10))
-        })
-        .unwrap();
+        let reports =
+            run_cluster(&ClusterConfig::new(3), |ctx| Ok(ctx.gather(1, ctx.rank() as u32 * 10)))
+                .unwrap();
         assert_eq!(reports[0].value, None);
         assert_eq!(reports[1].value, Some(vec![0, 10, 20]));
         assert_eq!(reports[2].value, None);
@@ -691,11 +688,8 @@ mod tests {
             let mine = ctx.scatter(0, items);
             let squared = mine * mine;
             let gathered = ctx.gather(0, squared);
-            let total = if ctx.rank() == 0 {
-                Some(gathered.unwrap().iter().sum::<u64>())
-            } else {
-                None
-            };
+            let total =
+                if ctx.rank() == 0 { Some(gathered.unwrap().iter().sum::<u64>()) } else { None };
             Ok(ctx.broadcast(0, total))
         })
         .unwrap();

@@ -116,10 +116,10 @@ fn parse_args() -> Args {
             "--ordering" => args.ordering = val(&mut it),
             "--test" => args.test = val(&mut it),
             "--float" => args.float = true,
-            "--max-modes" => args.max_modes = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
-            "--print-modes" => {
-                args.print_modes = val(&mut it).parse().unwrap_or_else(|_| usage())
+            "--max-modes" => {
+                args.max_modes = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
             }
+            "--print-modes" => args.print_modes = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--coefficients" => args.coefficients = true,
             "--quiet" => args.quiet = true,
             "--stats" => args.stats = true,
@@ -153,11 +153,10 @@ fn load_network(args: &Args) -> Result<MetabolicNetwork, String> {
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     // Auto-detect Metatool .dat files by their section headers.
-    let is_metatool = text
-        .lines()
-        .map(str::trim)
-        .find(|l| !l.is_empty() && !l.starts_with('#'))
-        .is_some_and(|l| l.eq_ignore_ascii_case("-enzrev") || l.eq_ignore_ascii_case("-enzirrev"));
+    let is_metatool =
+        text.lines().map(str::trim).find(|l| !l.is_empty() && !l.starts_with('#')).is_some_and(
+            |l| l.eq_ignore_ascii_case("-enzrev") || l.eq_ignore_ascii_case("-enzirrev"),
+        );
     if is_metatool {
         parse_metatool(&text).map_err(|e| format!("metatool parse error in {path}: {e}"))
     } else {
@@ -299,7 +298,9 @@ fn main() -> ExitCode {
             }
         });
         match result {
-            Ok(()) => println!("wrote {} modes to {path} ({})", outcome.efms.len(), args.output_format),
+            Ok(()) => {
+                println!("wrote {} modes to {path} ({})", outcome.efms.len(), args.output_format)
+            }
             Err(e) => {
                 eprintln!("error: cannot write {path}: {e}");
                 return ExitCode::FAILURE;

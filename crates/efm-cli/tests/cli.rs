@@ -3,10 +3,8 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_efm-compute"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_efm-compute")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).to_string(),
         String::from_utf8_lossy(&out.stderr).to_string(),
@@ -23,8 +21,16 @@ fn toy_builtin_end_to_end() {
 
 #[test]
 fn divide_and_conquer_via_cli() {
-    let (stdout, _, ok) =
-        run(&["--builtin", "toy", "--partition", "r6r,r8r", "--backend", "cluster", "--nodes", "2"]);
+    let (stdout, _, ok) = run(&[
+        "--builtin",
+        "toy",
+        "--partition",
+        "r6r,r8r",
+        "--backend",
+        "cluster",
+        "--nodes",
+        "2",
+    ]);
     assert!(ok);
     assert!(stdout.contains("elementary flux modes: 8"), "{stdout}");
     assert!(stdout.contains("divide-and-conquer subsets:"), "{stdout}");
@@ -76,13 +82,8 @@ fn export_metatool_roundtrip() {
     let dir = std::env::temp_dir().join("efm_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
     let out_path = dir.join("toy_export.dat");
-    let (_, _, ok) = run(&[
-        "--builtin",
-        "toy",
-        "--quiet",
-        "--export-metatool",
-        out_path.to_str().unwrap(),
-    ]);
+    let (_, _, ok) =
+        run(&["--builtin", "toy", "--quiet", "--export-metatool", out_path.to_str().unwrap()]);
     assert!(ok);
     let (stdout, _, ok) = run(&[out_path.to_str().unwrap(), "--quiet"]);
     assert!(ok);
@@ -114,17 +115,18 @@ fn writes_mode_files() {
     std::fs::create_dir_all(&dir).unwrap();
     let text = dir.join("modes.txt");
     let packed = dir.join("modes.efms");
-    let (_, _, ok) = run(&[
-        "--builtin", "toy", "--quiet",
-        "--output", text.to_str().unwrap(),
-    ]);
+    let (_, _, ok) = run(&["--builtin", "toy", "--quiet", "--output", text.to_str().unwrap()]);
     assert!(ok);
     let contents = std::fs::read_to_string(&text).unwrap();
     assert_eq!(contents.lines().count(), 8);
     let (_, _, ok) = run(&[
-        "--builtin", "toy", "--quiet",
-        "--output", packed.to_str().unwrap(),
-        "--output-format", "packed",
+        "--builtin",
+        "toy",
+        "--quiet",
+        "--output",
+        packed.to_str().unwrap(),
+        "--output-format",
+        "packed",
     ]);
     assert!(ok);
     let bytes = std::fs::read(&packed).unwrap();

@@ -3,9 +3,13 @@ fn main() {
     let net = efm_metnet::yeast::network_i();
     let (red, _) = efm_metnet::compress(&net);
     let p = build_problem::<efm_numeric::DynInt>(&red, &EfmOptions::default()).unwrap();
-    println!("reduced={} problem_cols={} free={} twins={}",
-        red.num_reduced(), p.num_cols(), p.free_count,
-        p.twin_of.iter().filter(|t| t.is_some()).count());
+    println!(
+        "reduced={} problem_cols={} free={} twins={}",
+        red.num_reduced(),
+        p.num_cols(),
+        p.free_count,
+        p.twin_of.iter().filter(|t| t.is_some()).count()
+    );
     let names: Vec<&str> = p.row_order.iter().map(|&c| p.names[c].as_str()).collect();
     println!("last rows: {:?}", &names[names.len().saturating_sub(4)..]);
 }

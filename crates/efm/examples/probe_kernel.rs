@@ -4,7 +4,19 @@ use efm_metnet::yeast;
 fn main() {
     let net = yeast::network_i();
     let n = net.stoichiometry();
-    println!("original: {}x{} rank={} kernel_dim={}", n.rows(), n.cols(), rank(&n), kernel_basis(&n, &[]).k.cols());
+    println!(
+        "original: {}x{} rank={} kernel_dim={}",
+        n.rows(),
+        n.cols(),
+        rank(&n),
+        kernel_basis(&n, &[]).k.cols()
+    );
     let (red, _) = efm_metnet::compress(&net);
-    println!("reduced: {}x{} rank={} kernel_dim={}", red.stoich.rows(), red.num_reduced(), rank(&red.stoich), kernel_basis(&red.stoich, &[]).k.cols());
+    println!(
+        "reduced: {}x{} rank={} kernel_dim={}",
+        red.stoich.rows(),
+        red.num_reduced(),
+        rank(&red.stoich),
+        kernel_basis(&red.stoich, &[]).k.cols()
+    );
 }

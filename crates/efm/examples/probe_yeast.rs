@@ -9,11 +9,17 @@ fn main() {
     let (red, stats) = efm_metnet::compress(&net);
     println!(
         "network {which}: original {}x{}, reduced {}x{} (paper: I=35x55, II=40x61); stats {:?}",
-        net.num_internal(), net.num_reactions(), red.stoich.rows(), red.num_reduced(), stats
+        net.num_internal(),
+        net.num_reactions(),
+        red.stoich.rows(),
+        red.num_reduced(),
+        stats
     );
     let nrev = red.reversible.iter().filter(|&&r| r).count();
     println!("reduced reversible: {nrev}");
-    if cap == 0 { return; }
+    if cap == 0 {
+        return;
+    }
     let opts = EfmOptions { max_modes: Some(cap), ..Default::default() };
     let scalar = std::env::args().nth(3).unwrap_or_else(|| "exact".into());
     if scalar == "float" {
@@ -32,8 +38,13 @@ fn run_traced<S: efm_core::EfmScalar>(red: &efm_metnet::ReducedNetwork, opts: &E
     });
     match run {
         Ok((sups, stats)) => {
-            println!("EFMs (reduced supports): {} candidates: {} peak: {} time: {:?}",
-                sups.len(), stats.candidates_generated, stats.peak_modes, t0.elapsed());
+            println!(
+                "EFMs (reduced supports): {} candidates: {} peak: {} time: {:?}",
+                sups.len(),
+                stats.candidates_generated,
+                stats.peak_modes,
+                t0.elapsed()
+            );
         }
         Err(e) => println!("failed after {:?}: {e}", t0.elapsed()),
     }

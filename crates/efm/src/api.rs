@@ -1,9 +1,9 @@
 //! High-level entry points: network in, EFM set out.
 
 use crate::bridge::EfmScalar;
+use crate::cluster_algo::cluster_supports;
 use crate::divide::{divide_conquer_supports, Backend, SubsetReport};
 use crate::drivers::{rayon_supports, serial_supports, SupportsAndStats};
-use crate::cluster_algo::cluster_supports;
 use crate::problem::build_problem;
 use crate::types::{EfmError, EfmOptions, EfmSet, RunStats};
 use efm_metnet::{compress_with, CompressionStats, MetabolicNetwork, ReducedNetwork};

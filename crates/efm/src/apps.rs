@@ -16,7 +16,6 @@
 use crate::types::EfmSet;
 use efm_metnet::{MetabolicNetwork, ReducedNetwork};
 
-
 /// Fraction of modes each reaction participates in, descending.
 pub fn reaction_participation(efms: &EfmSet) -> Vec<(usize, f64)> {
     let n = efms.len().max(1);
@@ -126,11 +125,7 @@ pub fn mode_yields(
 /// which are exactly the rows whose pos×neg grids dominate the candidate
 /// count. Returns original-network reaction names (one representative per
 /// reduced reaction), most-preferred first.
-pub fn suggest_partition(
-    net: &MetabolicNetwork,
-    red: &ReducedNetwork,
-    qsub: usize,
-) -> Vec<String> {
+pub fn suggest_partition(net: &MetabolicNetwork, red: &ReducedNetwork, qsub: usize) -> Vec<String> {
     // Build the problem once to get the paper ordering.
     let opts = crate::types::EfmOptions::default();
     let Ok(problem) = crate::problem::build_problem::<efm_numeric::DynInt>(red, &opts) else {
@@ -228,9 +223,8 @@ mod tests {
         let suggestion = suggest_partition(&net, &out.reduced, 2);
         assert_eq!(suggestion.len(), 2, "toy network has two reversible reactions");
         let refs: Vec<&str> = suggestion.iter().map(String::as_str).collect();
-        let dc =
-            enumerate_divide_conquer(&net, &EfmOptions::default(), &refs, &Backend::Serial)
-                .unwrap();
+        let dc = enumerate_divide_conquer(&net, &EfmOptions::default(), &refs, &Backend::Serial)
+            .unwrap();
         assert_eq!(dc.efms, out.efms);
         // (Candidate-count reduction is a large-network effect — the paper
         // says the split "usually" lowers the cumulative count; at toy

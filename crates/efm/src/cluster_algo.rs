@@ -34,6 +34,8 @@ pub mod phases {
     pub const GENERATE: &str = "gen cand";
     /// Local sort + duplicate removal.
     pub const DEDUP: &str = "sort/dedup";
+    /// Pattern-tree filtering against existing zero-row modes.
+    pub const TREE: &str = "tree filter";
     /// Local rank tests.
     pub const RANK: &str = "rank test";
     /// Allgather of candidate buffers.
@@ -99,22 +101,15 @@ pub fn cluster_supports<P: BitPattern, S: EfmScalar>(
     stats.iterations = iterations;
     // Bulk-synchronous wall-time model: each phase costs its slowest rank.
     let phase_max = |label: &str| {
-        reports
-            .iter()
-            .filter_map(|r| r.phase_times.get(label).copied())
-            .max()
-            .unwrap_or_default()
+        reports.iter().filter_map(|r| r.phase_times.get(label).copied()).max().unwrap_or_default()
     };
     stats.phases.generate = phase_max(phases::GENERATE);
     stats.phases.dedup = phase_max(phases::DEDUP);
+    stats.phases.tree_filter = phase_max(phases::TREE);
     stats.phases.rank_test = phase_max(phases::RANK);
     stats.phases.communicate = phase_max(phases::COMMUNICATE);
     stats.phases.merge = phase_max(phases::MERGE);
-    stats.total_time = reports
-        .iter()
-        .map(|r| r.value.stats.total_time)
-        .max()
-        .unwrap_or_default();
+    stats.total_time = reports.iter().map(|r| r.value.stats.total_time).max().unwrap_or_default();
     stats.final_modes = reports[0].value.supports.len();
     let supports = reports[0].value.supports.clone();
     let _ = nranks;
@@ -127,8 +122,8 @@ fn node_body<P: BitPattern, S: EfmScalar>(
     opts: &EfmOptions,
 ) -> Result<ClusterNodeOutcome, ClusterError> {
     let t_run = Instant::now();
-    let mut eng = Engine::<P, S>::new(problem, opts)
-        .map_err(|e| ClusterError::Protocol(e.to_string()))?;
+    let mut eng =
+        Engine::<P, S>::new(problem, opts).map_err(|e| ClusterError::Protocol(e.to_string()))?;
     let rank = ctx.rank() as u64;
     let nodes = ctx.size() as u64;
     let mut accounted: u64 = 0;
@@ -168,14 +163,30 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         {
             let _t = ctx.timed(phases::DEDUP);
             local.sort_dedup();
-            eng.drop_duplicates_of_existing(&mut local, &part);
-            rec.deduped = local.len() as u64;
         }
+        // --- Tree filter: drop candidates duplicating existing rays. The
+        // zero-mode support tree is built once and reused by the
+        // elementarity test below.
+        let zero_tree = {
+            let _t = ctx.timed(phases::TREE);
+            let zero_tree =
+                (eng.pattern_trees && !part.zero.is_empty()).then(|| eng.zero_support_tree(&part));
+            match &zero_tree {
+                Some(tree) => {
+                    eng.drop_duplicates_with_tree(&mut local, tree);
+                }
+                None => {
+                    eng.drop_duplicates_of_existing(&mut local, &part);
+                }
+            }
+            rec.deduped = local.len() as u64;
+            zero_tree
+        };
         // --- RankTests (local).
         let local_buf = {
             let _t = ctx.timed(phases::RANK);
             ctx.add_work(phases::RANK, local.len() as u64);
-            rec.accepted = eng.elementarity_filter(&mut local, &part);
+            rec.accepted = eng.elementarity_filter_with(&mut local, &part, zero_tree.as_ref());
             eng.materialize(&local)
         };
         // --- Communicate.
@@ -189,13 +200,12 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         // --- Merge: identical on every rank.
         {
             let _t = ctx.timed(phases::MERGE);
-            let mut merged = CandidateBuf::<P, S>::new(new_stride);
-            for mut b in all {
-                merged.append(&mut b);
-            }
-            merged.sort_dedup();
+            // Every rank's buffer arrives sorted (the local sort is
+            // order-preserved by all later gather passes), so the global
+            // combine is a pairwise merge of sorted runs — no re-sort.
+            let merged = CandidateBuf::<P, S>::merge_sorted_many(all, new_stride);
             // Cross-rank duplicates may pass the test on two ranks; the
-            // global dedup above removes them. The merged buffer plus the
+            // merge drops them on key collision. The merged buffer plus the
             // mode matrix is the per-node memory high-water mark.
             track(ctx, &mut accounted, eng.modes.approx_bytes() + merged.approx_bytes())?;
             eng.advance(&part, merged);

@@ -73,9 +73,8 @@ pub fn resolve_partition(
     let mut reduced_indices = Vec::with_capacity(partition_names.len());
     let mut names: Vec<String> = Vec::with_capacity(partition_names.len());
     for &name in partition_names {
-        let orig = net
-            .reaction_index(name)
-            .ok_or_else(|| EfmError::UnknownReaction(name.to_string()))?;
+        let orig =
+            net.reaction_index(name).ok_or_else(|| EfmError::UnknownReaction(name.to_string()))?;
         let redi = red
             .reduced_index_of(orig)
             .ok_or_else(|| EfmError::PartitionBlocked(name.to_string()))?;
@@ -133,13 +132,7 @@ pub fn subset_pattern(partition: &Partition, subset_id: usize) -> String {
         .names
         .iter()
         .enumerate()
-        .map(|(i, n)| {
-            if subset_id >> i & 1 == 1 {
-                format!("{n}≠0")
-            } else {
-                format!("{n}=0")
-            }
-        })
+        .map(|(i, n)| if subset_id >> i & 1 == 1 { format!("{n}≠0") } else { format!("{n}=0") })
         .collect::<Vec<_>>()
         .join(" ")
 }

@@ -36,9 +36,9 @@ pub(crate) fn map_final_supports<P: BitPattern, S: EfmScalar>(
         .iter()
         .filter_map(|p| {
             let cols = eng.support_to_cols(p);
-            let twin_pair = cols.iter().any(|&c| {
-                problem.twin_of[c].is_some_and(|t| cols.binary_search(&t).is_ok())
-            });
+            let twin_pair = cols
+                .iter()
+                .any(|&c| problem.twin_of[c].is_some_and(|t| cols.binary_search(&t).is_ok()));
             if twin_pair {
                 return None;
             }
@@ -112,7 +112,58 @@ pub fn rayon_supports<P: BitPattern, S: EfmScalar>(
     Ok(finalize(problem, eng, t0))
 }
 
+/// Block size for parallel per-candidate work: small enough that uneven
+/// per-candidate cost cannot strand one worker with all the hard cases,
+/// large enough to amortize scheduling overhead.
+fn rank_block_size(n: usize) -> usize {
+    let target = 8 * rayon::current_num_threads().max(1);
+    n.div_ceil(target.max(1)).clamp(1, 64)
+}
+
+/// Merges sorted candidate runs by parallel pairwise rounds: each round
+/// halves the number of runs, with every pair merged on its own worker.
+/// `log2(runs)` rounds replace the serial whole-set sort the runs came
+/// from; the final round is a single two-way merge, but by then each
+/// element has been touched only `log2(runs)` times instead of the
+/// `log(n)` comparisons of a full re-sort.
+fn merge_runs_parallel<P: BitPattern>(mut runs: Vec<CandidateSet<P>>) -> CandidateSet<P> {
+    while runs.len() > 1 {
+        let mut pairs = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        runs = pairs
+            .into_par_iter()
+            .map(|(a, b)| match b {
+                Some(b) => CandidateSet::merge_sorted(a, b),
+                None => a,
+            })
+            .collect();
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Splits `0..n` into fine-grained blocks, runs `f` on each block in
+/// parallel, and concatenates the per-block index lists in order.
+fn par_blocks<F>(n: usize, f: F) -> Vec<u32>
+where
+    F: Fn(std::ops::Range<usize>) -> Vec<u32> + Sync,
+{
+    let block = rank_block_size(n);
+    let keeps: Vec<Vec<u32>> = (0..n.div_ceil(block))
+        .into_par_iter()
+        .map(|b| f(b * block..((b + 1) * block).min(n)))
+        .collect();
+    keeps.into_iter().flatten().collect()
+}
+
 /// One parallel iteration (exposed for tests).
+///
+/// Pipeline: chunked pair generation with per-chunk local sorts, parallel
+/// pairwise merge of the sorted runs (no serial whole-set sort barrier),
+/// tree-backed duplicate drop, then the elementarity test on fine-grained
+/// parallel blocks.
 pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     let mut rec = crate::types::IterationStats {
         position: eng.cursor,
@@ -142,30 +193,72 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
             } else {
                 0
             };
+            // Local sort while the chunk is still cache-resident: the
+            // runs leave this map already sorted, so the join below is a
+            // merge, not a re-sort.
+            set.sort_dedup();
             (set, survivors)
         })
         .collect();
-    let mut set = CandidateSet::default();
-    for (mut b, s) in results {
+    let mut runs = Vec::with_capacity(results.len());
+    for (b, s) in results {
         rec.prefiltered += s;
-        set.append(&mut b);
+        runs.push(b);
     }
     let t1 = Instant::now();
-    set.sort_dedup();
-    eng.drop_duplicates_of_existing(&mut set, &part);
-    rec.deduped = set.len() as u64;
+    let mut set = merge_runs_parallel(runs);
+    rec.numeric_pass = set.numeric_pass;
     let t2 = Instant::now();
+
+    // One shared tree over the zero-row mode supports, built once per
+    // iteration and queried from all workers concurrently — first for the
+    // duplicate drop, then again by the adjacency test below.
+    let zero_tree =
+        (eng.pattern_trees && !part.zero.is_empty()).then(|| eng.zero_support_tree(&part));
+    if !set.is_empty() && !part.zero.is_empty() {
+        if let Some(tree) = &zero_tree {
+            let keep = par_blocks(set.len(), |range| {
+                range
+                    .filter(|&i| !tree.contains(&eng.candidate_support(&set, i)))
+                    .map(|i| i as u32)
+                    .collect()
+            });
+            if keep.len() < set.len() {
+                set.gather(&keep);
+            }
+        } else {
+            eng.drop_duplicates_of_existing(&mut set, &part);
+        }
+    }
+    rec.deduped = set.len() as u64;
+    let t3 = Instant::now();
 
     match eng.test {
         CandidateTest::Rank => {
+            // Fine-grained blocks (not one coarse chunk per thread): rank
+            // tests have highly variable cost per candidate, so small blocks
+            // claimed dynamically keep every worker busy until the end.
+            let keep = par_blocks(set.len(), |range| eng.rank_filter_range(&set, range));
+            rec.accepted = keep.len() as u64;
+            set.gather(&keep);
+        }
+        CandidateTest::Adjacency if eng.pattern_trees => {
             let n = set.len();
-            let rchunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
-            let keeps: Vec<Vec<u32>> = (0..n)
+            let zero_tree = zero_tree.unwrap_or_default();
+            let block = rank_block_size(n);
+            let sup_blocks: Vec<Vec<P>> = (0..n.div_ceil(block))
                 .into_par_iter()
-                .step_by(rchunk)
-                .map(|s| eng.rank_filter_range(&set, s..(s + rchunk).min(n)))
+                .map(|b| {
+                    (b * block..((b + 1) * block).min(n))
+                        .map(|i| eng.candidate_support(&set, i))
+                        .collect()
+                })
                 .collect();
-            let keep: Vec<u32> = keeps.into_iter().flatten().collect();
+            let cand_sups: Vec<P> = sup_blocks.into_iter().flatten().collect();
+            let cand_tree = efm_bitset::PatternTree::from_patterns(cand_sups.clone());
+            let keep = par_blocks(n, |range| {
+                eng.adjacency_keep_range(&zero_tree, &cand_tree, &cand_sups, range)
+            });
             rec.accepted = keep.len() as u64;
             set.gather(&keep);
         }
@@ -173,13 +266,20 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
             rec.accepted = eng.elementarity_filter(&mut set, &part);
         }
     }
-    let t3 = Instant::now();
+    let t4 = Instant::now();
     let buf = eng.materialize(&set);
     eng.advance(&part, buf);
+    let t5 = Instant::now();
     rec.modes_after = eng.modes.len();
+    rec.t_generate = t1 - t0;
+    rec.t_merge = t2 - t1;
+    rec.t_tree_filter = t3 - t2;
+    rec.t_dedup = t3 - t1;
+    rec.t_test = t5 - t3;
     eng.stats.phases.generate += t1 - t0;
     eng.stats.phases.dedup += t2 - t1;
-    eng.stats.phases.rank_test += t3 - t2;
+    eng.stats.phases.tree_filter += t3 - t2;
+    eng.stats.phases.rank_test += t4 - t3;
     eng.stats.candidates_generated += rec.pairs;
     eng.stats.iterations.push(rec);
 }

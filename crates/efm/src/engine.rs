@@ -31,7 +31,7 @@
 use crate::bridge::EfmScalar;
 use crate::problem::EfmProblem;
 use crate::types::{CandidateTest, EfmError, EfmOptions, IterationStats, RunStats};
-use efm_bitset::BitPattern;
+use efm_bitset::{BitPattern, PatternTree};
 use efm_linalg::{nullity_of_cols, Mat};
 
 /// Absolute tolerance of the floating-point rank test (columns are
@@ -154,9 +154,29 @@ impl<P: BitPattern, S: Scalar> CandidateBuf<P, S> {
         self.gather(&order);
     }
 
-    /// Keeps only the candidates at the given indices, in order.
+    /// Keeps only the candidates at the given indices, in order. Filter
+    /// passes produce strictly ascending index lists, which compact the
+    /// buffers in place without allocating; arbitrary permutations (the
+    /// sort path) fall back to a rebuild.
     pub fn gather(&mut self, keep: &[u32]) {
         let stride = self.stride;
+        if is_strictly_ascending(keep) {
+            for (dst, &src) in keep.iter().enumerate() {
+                let src = src as usize;
+                if src != dst {
+                    self.patterns[dst] = self.patterns[src];
+                    self.val_sups[dst] = self.val_sups[src];
+                    for t in 0..stride {
+                        let v = self.vals[src * stride + t].clone();
+                        self.vals[dst * stride + t] = v;
+                    }
+                }
+            }
+            self.patterns.truncate(keep.len());
+            self.val_sups.truncate(keep.len());
+            self.vals.truncate(keep.len() * stride);
+            return;
+        }
         let mut patterns = Vec::with_capacity(keep.len());
         let mut val_sups = Vec::with_capacity(keep.len());
         let mut vals = Vec::with_capacity(keep.len() * stride);
@@ -171,11 +191,92 @@ impl<P: BitPattern, S: Scalar> CandidateBuf<P, S> {
         self.vals = vals;
     }
 
+    /// Merges two buffers sorted by `(pattern, value support)` into one,
+    /// dropping key duplicates (keeping `a`'s copy — equal keys describe
+    /// the same ray). Linear in the combined length.
+    pub fn merge_sorted(a: CandidateBuf<P, S>, b: CandidateBuf<P, S>) -> CandidateBuf<P, S> {
+        assert_eq!(a.stride, b.stride, "stride mismatch");
+        debug_assert!(is_sorted_by_key(&a.patterns, &a.val_sups));
+        debug_assert!(is_sorted_by_key(&b.patterns, &b.val_sups));
+        if a.is_empty() {
+            return b;
+        }
+        if b.is_empty() {
+            return a;
+        }
+        let stride = a.stride;
+        let mut out = CandidateBuf::new(stride);
+        out.patterns.reserve(a.len() + b.len());
+        out.val_sups.reserve(a.len() + b.len());
+        out.vals.reserve(a.vals.len() + b.vals.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let take_a = if i == a.len() {
+                false
+            } else if j == b.len() {
+                true
+            } else {
+                match a.patterns[i]
+                    .cmp(&b.patterns[j])
+                    .then_with(|| a.val_sups[i].cmp(&b.val_sups[j]))
+                {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        j += 1; // duplicate key: skip b's copy
+                        true
+                    }
+                }
+            };
+            let (src, k) = if take_a { (&a, i) } else { (&b, j) };
+            out.patterns.push(src.patterns[k]);
+            out.val_sups.push(src.val_sups[k]);
+            out.vals.extend_from_slice(src.vals(k));
+            if take_a {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Merges any number of sorted buffers by pairwise rounds.
+    pub fn merge_sorted_many(bufs: Vec<CandidateBuf<P, S>>, stride: usize) -> CandidateBuf<P, S> {
+        let mut runs = bufs;
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(CandidateBuf::merge_sorted(a, b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        runs.pop().unwrap_or_else(|| CandidateBuf::new(stride))
+    }
+
     /// Approximate resident bytes.
     pub fn approx_bytes(&self) -> u64 {
         (self.patterns.len() * 2 * std::mem::size_of::<P>()
             + self.vals.len() * std::mem::size_of::<S>()) as u64
     }
+}
+
+/// Whether `keep` is a strictly ascending index list (the shape every
+/// filter pass produces) — the trigger for allocation-free compaction.
+#[inline]
+fn is_strictly_ascending(keep: &[u32]) -> bool {
+    keep.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Debug check: the `(pattern, val_sup)` keys are sorted ascending.
+fn is_sorted_by_key<P: BitPattern>(patterns: &[P], val_sups: &[P]) -> bool {
+    (1..patterns.len()).all(|i| {
+        patterns[i - 1].cmp(&patterns[i]).then_with(|| val_sups[i - 1].cmp(&val_sups[i])).is_le()
+    })
 }
 
 /// Lightweight candidate records produced by the generation pass: support
@@ -235,8 +336,24 @@ impl<P: BitPattern> CandidateSet<P> {
         self.gather(&order);
     }
 
-    /// Keeps only the candidates at the given indices, in order.
+    /// Keeps only the candidates at the given indices, in order. Strictly
+    /// ascending index lists (every filter pass) compact in place without
+    /// allocating; permutations (the sort path) rebuild.
     pub fn gather(&mut self, keep: &[u32]) {
+        if is_strictly_ascending(keep) {
+            for (dst, &src) in keep.iter().enumerate() {
+                let src = src as usize;
+                if src != dst {
+                    self.patterns[dst] = self.patterns[src];
+                    self.val_sups[dst] = self.val_sups[src];
+                    self.parents[dst] = self.parents[src];
+                }
+            }
+            self.patterns.truncate(keep.len());
+            self.val_sups.truncate(keep.len());
+            self.parents.truncate(keep.len());
+            return;
+        }
         let mut patterns = Vec::with_capacity(keep.len());
         let mut val_sups = Vec::with_capacity(keep.len());
         let mut parents = Vec::with_capacity(keep.len());
@@ -249,6 +366,59 @@ impl<P: BitPattern> CandidateSet<P> {
         self.patterns = patterns;
         self.val_sups = val_sups;
         self.parents = parents;
+    }
+
+    /// Merges two sets sorted by `(pattern, value support)` into one,
+    /// dropping key duplicates (keeping `a`'s copy). Linear in the combined
+    /// length — the building block of the parallel run-merge that replaced
+    /// the post-generation global sort.
+    pub fn merge_sorted(a: CandidateSet<P>, b: CandidateSet<P>) -> CandidateSet<P> {
+        debug_assert!(is_sorted_by_key(&a.patterns, &a.val_sups));
+        debug_assert!(is_sorted_by_key(&b.patterns, &b.val_sups));
+        let numeric_pass = a.numeric_pass + b.numeric_pass;
+        if a.is_empty() {
+            return CandidateSet { numeric_pass, ..b };
+        }
+        if b.is_empty() {
+            return CandidateSet { numeric_pass, ..a };
+        }
+        let cap = a.len() + b.len();
+        let mut out = CandidateSet {
+            patterns: Vec::with_capacity(cap),
+            val_sups: Vec::with_capacity(cap),
+            parents: Vec::with_capacity(cap),
+            numeric_pass,
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let take_a = if i == a.len() {
+                false
+            } else if j == b.len() {
+                true
+            } else {
+                match a.patterns[i]
+                    .cmp(&b.patterns[j])
+                    .then_with(|| a.val_sups[i].cmp(&b.val_sups[j]))
+                {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        j += 1; // duplicate key: skip b's copy
+                        true
+                    }
+                }
+            };
+            let (src, k) = if take_a { (&a, i) } else { (&b, j) };
+            out.patterns.push(src.patterns[k]);
+            out.val_sups.push(src.val_sups[k]);
+            out.parents.push(src.parents[k]);
+            if take_a {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
     }
 
     /// Approximate resident bytes.
@@ -313,6 +483,9 @@ pub struct Engine<P: BitPattern, S: EfmScalar> {
     /// Whether rank tests run in exact arithmetic (see
     /// [`EfmOptions::exact_rank_test`]).
     pub exact_rank_test: bool,
+    /// Whether subset/duplicate scans use bit-pattern trees (see
+    /// [`EfmOptions::pattern_trees`]).
+    pub pattern_trees: bool,
     /// Run statistics.
     pub stats: RunStats,
     /// Column-major, column-max-scaled f64 copy of `stoich` for the
@@ -393,6 +566,7 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
             modes: ModeMatrix { patterns, vals, rev_len: 0, tail_len },
             test: opts.test,
             exact_rank_test: opts.exact_rank_test,
+            pattern_trees: opts.pattern_trees,
             stats: RunStats::default(),
             stoich_f64,
             row_masks,
@@ -618,7 +792,7 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     }
 
     /// Full support (positions) of a live mode.
-    fn mode_support(&self, i: usize) -> P {
+    pub(crate) fn mode_support(&self, i: usize) -> P {
         let head = self.modes.rev_len;
         let mut s = self.modes.patterns[i];
         for (slot, v) in self.modes.vals(i).iter().enumerate() {
@@ -635,7 +809,7 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     }
 
     /// Full support (positions) of a candidate.
-    fn candidate_support(&self, buf: &CandidateSet<P>, i: usize) -> P {
+    pub(crate) fn candidate_support(&self, buf: &CandidateSet<P>, i: usize) -> P {
         let head = self.modes.rev_len;
         let mut s = buf.patterns[i];
         for slot in buf.val_sups[i].ones() {
@@ -665,6 +839,10 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         if buf.is_empty() || part.zero.is_empty() {
             return 0;
         }
+        if self.pattern_trees {
+            let tree = self.zero_support_tree(part);
+            return self.drop_duplicates_with_tree(buf, &tree);
+        }
         let zero_sups: std::collections::HashSet<P> =
             part.zero.iter().map(|&i| self.mode_support(i as usize)).collect();
         let keep: Vec<u32> = (0..buf.len())
@@ -678,9 +856,53 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         dropped
     }
 
+    /// [`Engine::drop_duplicates_of_existing`] against a prebuilt zero-mode
+    /// support tree, so one tree serves both this drop and the adjacency
+    /// test within an iteration.
+    pub fn drop_duplicates_with_tree(
+        &self,
+        buf: &mut CandidateSet<P>,
+        tree: &PatternTree<P>,
+    ) -> u64 {
+        if buf.is_empty() || tree.is_empty() {
+            return 0;
+        }
+        let keep: Vec<u32> = (0..buf.len())
+            .filter(|&i| !tree.contains(&self.candidate_support(buf, i)))
+            .map(|i| i as u32)
+            .collect();
+        let dropped = buf.len() as u64 - keep.len() as u64;
+        if dropped > 0 {
+            buf.gather(&keep);
+        }
+        dropped
+    }
+
+    /// Builds the bit-pattern tree over the zero-row modes' full supports.
+    /// Built once per iteration and shared between the duplicate drop
+    /// (exact-membership queries) and the adjacency test (subset queries);
+    /// parallel drivers query it concurrently.
+    pub fn zero_support_tree(&self, part: &SignPartition<P>) -> PatternTree<P> {
+        PatternTree::from_patterns(
+            part.zero.iter().map(|&i| self.mode_support(i as usize)).collect(),
+        )
+    }
+
     /// Applies the elementarity test, keeping only accepted candidates.
     /// Returns the number accepted.
     pub fn elementarity_filter(&self, buf: &mut CandidateSet<P>, part: &SignPartition<P>) -> u64 {
+        self.elementarity_filter_with(buf, part, None)
+    }
+
+    /// [`Engine::elementarity_filter`] with an optional prebuilt zero-mode
+    /// support tree (built once per iteration by the drivers and shared
+    /// with the duplicate drop).
+    pub fn elementarity_filter_with(
+        &self,
+        buf: &mut CandidateSet<P>,
+        part: &SignPartition<P>,
+        zero_tree: Option<&PatternTree<P>>,
+    ) -> u64 {
         match self.test {
             CandidateTest::Rank => {
                 let keep = self.rank_filter_range(buf, 0..buf.len());
@@ -688,7 +910,14 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
                 buf.gather(&keep);
                 n
             }
-            CandidateTest::Adjacency => self.adjacency_filter(buf, part),
+            CandidateTest::Adjacency if self.pattern_trees => match zero_tree {
+                Some(tree) => self.adjacency_filter_tree(buf, tree),
+                None => {
+                    let tree = self.zero_support_tree(part);
+                    self.adjacency_filter_tree(buf, &tree)
+                }
+            },
+            CandidateTest::Adjacency => self.adjacency_filter_naive(buf, part),
         }
     }
 
@@ -779,9 +1008,11 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     /// while candidates never do, so they cannot be subsets; only zero-row
     /// modes and the other candidates can reject. Candidates are
     /// deduplicated beforehand, so subset means strict subset.
-    fn adjacency_filter(&self, buf: &mut CandidateSet<P>, part: &SignPartition<P>) -> u64 {
-        let zero_sups: Vec<P> =
-            part.zero.iter().map(|&i| self.mode_support(i as usize)).collect();
+    ///
+    /// Classical linear-scan adjacency test: `O(|zero|·|cand| + |cand|²)`
+    /// subset checks. The oracle the tree variant is verified against.
+    fn adjacency_filter_naive(&self, buf: &mut CandidateSet<P>, part: &SignPartition<P>) -> u64 {
+        let zero_sups: Vec<P> = part.zero.iter().map(|&i| self.mode_support(i as usize)).collect();
         let cand_sups: Vec<P> = (0..buf.len()).map(|i| self.candidate_support(buf, i)).collect();
         let mut keep = Vec::new();
         'cand: for (i, cs) in cand_sups.iter().enumerate() {
@@ -800,6 +1031,40 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         let n = keep.len() as u64;
         buf.gather(&keep);
         n
+    }
+
+    /// Tree-backed adjacency test: one pattern tree over the zero-row
+    /// supports, one over the candidate supports, then one pruned subset
+    /// query per candidate against each. Candidate supports are pairwise
+    /// distinct after dedup (the `(pattern, val_sup)` key decomposes the
+    /// support injectively), so "another candidate's support ⊆ mine"
+    /// is exactly a proper-subset hit in the candidate tree.
+    fn adjacency_filter_tree(&self, buf: &mut CandidateSet<P>, zero_tree: &PatternTree<P>) -> u64 {
+        let cand_sups: Vec<P> = (0..buf.len()).map(|i| self.candidate_support(buf, i)).collect();
+        let cand_tree = PatternTree::from_patterns(cand_sups.clone());
+        let keep = self.adjacency_keep_range(zero_tree, &cand_tree, &cand_sups, 0..cand_sups.len());
+        let n = keep.len() as u64;
+        buf.gather(&keep);
+        n
+    }
+
+    /// Adjacency verdicts for a sub-range of candidates given prebuilt
+    /// trees: returns the passing indices. Used by parallel drivers to
+    /// query one shared tree pair from many workers.
+    pub fn adjacency_keep_range(
+        &self,
+        zero_tree: &PatternTree<P>,
+        cand_tree: &PatternTree<P>,
+        cand_sups: &[P],
+        range: std::ops::Range<usize>,
+    ) -> Vec<u32> {
+        range
+            .filter(|&i| {
+                let cs = &cand_sups[i];
+                !zero_tree.contains_subset_of(cs) && !cand_tree.contains_proper_subset_of(cs)
+            })
+            .map(|i| i as u32)
+            .collect()
     }
 
     /// Completes the iteration: installs the survivor set and advances the
@@ -874,21 +1139,37 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         rec.numeric_pass = set.numeric_pass;
         let t1 = Instant::now();
         set.sort_dedup();
-        self.drop_duplicates_of_existing(&mut set, &part);
-        rec.deduped = set.len() as u64;
         let t2 = Instant::now();
-        rec.accepted = self.elementarity_filter(&mut set, &part);
+        // One zero-mode support tree per iteration, shared between the
+        // duplicate drop (exact membership) and the adjacency test (subset
+        // queries).
+        let zero_tree =
+            (self.pattern_trees && !part.zero.is_empty()).then(|| self.zero_support_tree(&part));
+        match &zero_tree {
+            Some(tree) => {
+                self.drop_duplicates_with_tree(&mut set, tree);
+            }
+            None => {
+                self.drop_duplicates_of_existing(&mut set, &part);
+            }
+        }
+        rec.deduped = set.len() as u64;
         let t3 = Instant::now();
+        rec.accepted = self.elementarity_filter_with(&mut set, &part, zero_tree.as_ref());
+        let t4 = Instant::now();
         let buf = self.materialize(&set);
         self.advance(&part, buf);
-        let t4 = Instant::now();
+        let t5 = Instant::now();
         rec.modes_after = self.modes.len();
         rec.t_generate = t1 - t0;
-        rec.t_dedup = t2 - t1;
-        rec.t_test = (t3 - t2) + (t4 - t3);
+        rec.t_merge = t2 - t1;
+        rec.t_tree_filter = t3 - t2;
+        rec.t_dedup = t3 - t1;
+        rec.t_test = (t4 - t3) + (t5 - t4);
         self.stats.phases.generate += t1 - t0;
         self.stats.phases.dedup += t2 - t1;
-        self.stats.phases.rank_test += t3 - t2;
+        self.stats.phases.tree_filter += t3 - t2;
+        self.stats.phases.rank_test += t4 - t3;
         self.stats.candidates_generated += rec.pairs;
         self.stats.iterations.push(rec.clone());
         rec
@@ -1022,7 +1303,7 @@ mod tests {
         let rev_before = eng.modes.rev_len;
         eng.step();
         assert_eq!(eng.modes.rev_len, rev_before + 1);
-        assert!(eng.modes.len() >= before.min(before - 0), "negatives kept");
+        assert!(eng.modes.len() >= before.min(before), "negatives kept");
         let _ = negs;
         assert_eq!(eng.rev_positions.last().copied(), Some(eng.cursor - 1));
     }
@@ -1081,18 +1362,20 @@ mod tests {
 
     #[test]
     fn candidate_set_sort_dedup_keeps_distinct_supports() {
-        let mut s = CandidateSet::<Pattern1>::default();
-        s.patterns = vec![
-            Pattern1::from_indices([0]),
-            Pattern1::from_indices([0]),
-            Pattern1::from_indices([1]),
-        ];
-        s.val_sups = vec![
-            Pattern1::from_indices([2]),
-            Pattern1::from_indices([2]),
-            Pattern1::from_indices([2]),
-        ];
-        s.parents = vec![(0, 1), (2, 3), (4, 5)];
+        let mut s = CandidateSet::<Pattern1> {
+            patterns: vec![
+                Pattern1::from_indices([0]),
+                Pattern1::from_indices([0]),
+                Pattern1::from_indices([1]),
+            ],
+            val_sups: vec![
+                Pattern1::from_indices([2]),
+                Pattern1::from_indices([2]),
+                Pattern1::from_indices([2]),
+            ],
+            parents: vec![(0, 1), (2, 3), (4, 5)],
+            ..Default::default()
+        };
         s.sort_dedup();
         assert_eq!(s.len(), 2, "equal (pattern, val_sup) keys collapse");
     }

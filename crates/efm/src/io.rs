@@ -103,9 +103,11 @@ pub fn read_packed<R: Read>(mut r: R) -> io::Result<EfmSet> {
         let len = get_u32(&mut r)? as usize;
         let mut buf = vec![0u8; len];
         r.read_exact(&mut buf)?;
-        names.push(String::from_utf8(buf).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 reaction name")
-        })?);
+        names.push(
+            String::from_utf8(buf).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 reaction name")
+            })?,
+        );
     }
     let words_per_mode = nreactions.div_ceil(64).max(1);
     let mut words = vec![0u64; nmodes * words_per_mode];
@@ -114,8 +116,7 @@ pub fn read_packed<R: Read>(mut r: R) -> io::Result<EfmSet> {
         r.read_exact(&mut b)?;
         *w = u64::from_le_bytes(b);
     }
-    EfmSet::from_raw_words(names, words)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    EfmSet::from_raw_words(names, words).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

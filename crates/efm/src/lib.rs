@@ -48,11 +48,11 @@ mod problem;
 mod recover;
 mod types;
 
-pub use apps::{minimal_cut_sets, mode_yields, reaction_participation, suggest_partition};
 pub use api::{
     enumerate, enumerate_divide_conquer, enumerate_divide_conquer_with_scalar, enumerate_with,
     enumerate_with_scalar, EfmOutcome, MAX_REDUCED_REACTIONS,
 };
+pub use apps::{minimal_cut_sets, mode_yields, reaction_participation, suggest_partition};
 pub use bridge::EfmScalar;
 pub use cluster_algo::{cluster_supports, phases, ClusterNodeOutcome, ClusterOutcome};
 pub use divide::{
@@ -96,12 +96,9 @@ mod tests {
         let opts = EfmOptions::default();
         let serial = enumerate_with(&net, &opts, &Backend::Serial).unwrap();
         let rayon = enumerate_with(&net, &opts, &Backend::Rayon).unwrap();
-        let cluster = enumerate_with(
-            &net,
-            &opts,
-            &Backend::Cluster(efm_cluster::ClusterConfig::new(3)),
-        )
-        .unwrap();
+        let cluster =
+            enumerate_with(&net, &opts, &Backend::Cluster(efm_cluster::ClusterConfig::new(3)))
+                .unwrap();
         assert_eq!(serial.efms, rayon.efms);
         assert_eq!(serial.efms, cluster.efms);
     }
@@ -111,8 +108,7 @@ mod tests {
         // The paper's §III.A example: partition across {r6r, r8r}.
         let net = examples::toy_network();
         let opts = EfmOptions::default();
-        let out =
-            enumerate_divide_conquer(&net, &opts, &["r6r", "r8r"], &Backend::Serial).unwrap();
+        let out = enumerate_divide_conquer(&net, &opts, &["r6r", "r8r"], &Backend::Serial).unwrap();
         assert_eq!(out.efms.len(), 8);
         assert_eq!(out.subsets.len(), 4);
         // Each of the four subsets contributes exactly two EFMs (§III.A).
@@ -127,11 +123,9 @@ mod tests {
     fn adjacency_test_agrees_with_rank_test() {
         let net = examples::toy_network();
         let rank = enumerate(&net, &EfmOptions::default()).unwrap();
-        let adj = enumerate(
-            &net,
-            &EfmOptions { test: CandidateTest::Adjacency, ..Default::default() },
-        )
-        .unwrap();
+        let adj =
+            enumerate(&net, &EfmOptions { test: CandidateTest::Adjacency, ..Default::default() })
+                .unwrap();
         assert_eq!(rank.efms, adj.efms);
     }
 

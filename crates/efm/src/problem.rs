@@ -149,10 +149,8 @@ fn build_sub<S: EfmScalar>(
     let mut col_to_reduced: Vec<usize> = keep_cols.to_vec();
     let mut twin_of: Vec<Option<usize>> = vec![None; keep_cols.len()];
 
-    let force_last_cols: Vec<usize> = force_last
-        .iter()
-        .map(|&r| col_of_reduced(r).expect("force_last not kept"))
-        .collect();
+    let force_last_cols: Vec<usize> =
+        force_last.iter().map(|&r| col_of_reduced(r).expect("force_last not kept")).collect();
 
     // Pivot preference. Correctness requires every reversible reaction to
     // land in the pivot block `R(2)`: the identity block is never
@@ -250,12 +248,8 @@ fn build_sub<S: EfmScalar>(
 
     // Row order: identity block first, then pivots by heuristic with the
     // forced columns last.
-    let other_pivots: Vec<usize> = kb
-        .pivot_cols
-        .iter()
-        .copied()
-        .filter(|c| !force_last_cols.contains(c))
-        .collect();
+    let other_pivots: Vec<usize> =
+        kb.pivot_cols.iter().copied().filter(|c| !force_last_cols.contains(c)).collect();
     let mut row_order: Vec<usize> = kb.free_cols.clone();
     row_order.extend(order_pivot_positions(&kb.k, &other_pivots, &reversible, &opts.ordering));
     // Forced columns at the very bottom, in the caller's order.
@@ -322,16 +316,13 @@ mod tests {
         let net = examples::toy_network();
         let (red, _) = compress(&net);
         // The paper's worked example uses r2, r4, r5, r7 as the identity.
-        let force: Vec<usize> = ["r2", "r4", "r5", "r7"]
-            .iter()
-            .map(|n| net.reaction_index(n).unwrap())
-            .collect();
+        let force: Vec<usize> =
+            ["r2", "r4", "r5", "r7"].iter().map(|n| net.reaction_index(n).unwrap()).collect();
         let opts = EfmOptions { force_free: Some(force.clone()), ..Default::default() };
         let p: EfmProblem<DynInt> = build_problem(&red, &opts).unwrap();
         let free_reduced: Vec<usize> =
             p.row_order[..p.free_count].iter().map(|&c| p.col_to_reduced[c]).collect();
-        let want: Vec<usize> =
-            force.iter().map(|&o| red.reduced_index_of(o).unwrap()).collect();
+        let want: Vec<usize> = force.iter().map(|&o| red.reduced_index_of(o).unwrap()).collect();
         let mut a = free_reduced.clone();
         a.sort_unstable();
         let mut b = want.clone();

@@ -52,9 +52,7 @@ pub fn recover_flux(
 
     // Fix the sign.
     let violates = |f: &[Rational]| {
-        f.iter()
-            .enumerate()
-            .any(|(i, v)| !reversible_original[i] && v.signum() < 0)
+        f.iter().enumerate().any(|(i, v)| !reversible_original[i] && v.signum() < 0)
     };
     if violates(&flux) {
         for v in &mut flux {
@@ -68,10 +66,7 @@ pub fn recover_flux(
     } else {
         // All-reversible supports admit both directions; canonicalize so
         // the first nonzero entry is positive.
-        let all_rev = flux
-            .iter()
-            .enumerate()
-            .all(|(i, v)| v.is_zero() || reversible_original[i]);
+        let all_rev = flux.iter().enumerate().all(|(i, v)| v.is_zero() || reversible_original[i]);
         if all_rev {
             if let Some(first) = flux.iter().position(|v| !v.is_zero()) {
                 if flux[first].signum() < 0 {
@@ -87,10 +82,7 @@ pub fn recover_flux(
 
 /// Verifies that `flux` is a steady-state flux mode of the original
 /// network: `N·v = 0` exactly and irreversible entries nonnegative.
-pub fn verify_flux(
-    net: &efm_metnet::MetabolicNetwork,
-    flux: &[Rational],
-) -> Result<(), String> {
+pub fn verify_flux(net: &efm_metnet::MetabolicNetwork, flux: &[Rational]) -> Result<(), String> {
     let n = net.stoichiometry();
     assert_eq!(flux.len(), n.cols(), "flux length mismatch");
     let residual = n.matvec(flux);

@@ -50,6 +50,11 @@ pub struct EfmOptions {
     /// Which network-reduction stages run before enumeration (ablation
     /// hook; the default is the paper's full preprocessing).
     pub compression: efm_metnet::CompressionOptions,
+    /// Use bit-pattern trees (Terzer & Stelling-style) for the subset and
+    /// duplicate scans of each iteration. Disabling falls back to the
+    /// classical linear scans — the A/B baseline for benchmarks and the
+    /// oracle for property tests.
+    pub pattern_trees: bool,
 }
 
 impl Default for EfmOptions {
@@ -61,6 +66,7 @@ impl Default for EfmOptions {
             force_free: None,
             exact_rank_test: false,
             compression: efm_metnet::CompressionOptions::default(),
+            pattern_trees: true,
         }
     }
 }
@@ -95,8 +101,15 @@ pub struct IterationStats {
     pub modes_after: usize,
     /// Wall time of the generation phase (serial driver).
     pub t_generate: std::time::Duration,
-    /// Wall time of the dedup phase (serial driver).
+    /// Wall time of the dedup phase (serial driver: sort + dedup; parallel
+    /// drivers: merging the per-chunk sorted runs).
     pub t_dedup: std::time::Duration,
+    /// Wall time of merging per-chunk sorted candidate runs (parallel
+    /// drivers only; equals `t_dedup` there).
+    pub t_merge: std::time::Duration,
+    /// Wall time of the pattern-tree filters (duplicate-of-existing drop
+    /// and, under the adjacency test, the subset queries).
+    pub t_tree_filter: std::time::Duration,
     /// Wall time of the elementarity + materialize phase (serial driver).
     pub t_test: std::time::Duration,
 }
@@ -106,8 +119,12 @@ pub struct IterationStats {
 pub struct PhaseBreakdown {
     /// Candidate generation (pairing + summary rejection).
     pub generate: Duration,
-    /// Sorting and duplicate removal.
+    /// Sorting and duplicate removal (parallel drivers: merging per-chunk
+    /// sorted runs — no longer a serial barrier).
     pub dedup: Duration,
+    /// Pattern-tree filtering: duplicate-of-existing drops and, under the
+    /// adjacency test, the subset queries.
+    pub tree_filter: Duration,
     /// Rank (or adjacency) tests.
     pub rank_test: Duration,
     /// Inter-node communication (cluster backend only).
@@ -119,13 +136,19 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Sum of all phases.
     pub fn total(&self) -> Duration {
-        self.generate + self.dedup + self.rank_test + self.communicate + self.merge
+        self.generate
+            + self.dedup
+            + self.tree_filter
+            + self.rank_test
+            + self.communicate
+            + self.merge
     }
 
     /// Element-wise accumulation.
     pub fn accumulate(&mut self, other: &PhaseBreakdown) {
         self.generate += other.generate;
         self.dedup += other.dedup;
+        self.tree_filter += other.tree_filter;
         self.rank_test += other.rank_test;
         self.communicate += other.communicate;
         self.merge += other.merge;
@@ -276,7 +299,7 @@ impl EfmSet {
     pub fn from_raw_words(reaction_names: Vec<String>, bits: Vec<u64>) -> Result<Self, String> {
         let num_reactions = reaction_names.len();
         let words = num_reactions.div_ceil(64).max(1);
-        if bits.len() % words != 0 {
+        if !bits.len().is_multiple_of(words) {
             return Err(format!(
                 "{} words is not a multiple of the {}-word mode width",
                 bits.len(),
@@ -419,19 +442,30 @@ mod tests {
 
     #[test]
     fn phase_breakdown_totals() {
-        let mut p = PhaseBreakdown::default();
-        p.generate = Duration::from_millis(10);
-        p.rank_test = Duration::from_millis(5);
-        let mut q = PhaseBreakdown::default();
-        q.merge = Duration::from_millis(1);
+        let mut p = PhaseBreakdown {
+            generate: Duration::from_millis(10),
+            rank_test: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let q = PhaseBreakdown { merge: Duration::from_millis(1), ..Default::default() };
         p.accumulate(&q);
         assert_eq!(p.total(), Duration::from_millis(16));
     }
 
     #[test]
     fn runstats_accumulate() {
-        let mut a = RunStats { candidates_generated: 10, peak_modes: 5, final_modes: 2, ..Default::default() };
-        let b = RunStats { candidates_generated: 7, peak_modes: 9, final_modes: 3, ..Default::default() };
+        let mut a = RunStats {
+            candidates_generated: 10,
+            peak_modes: 5,
+            final_modes: 2,
+            ..Default::default()
+        };
+        let b = RunStats {
+            candidates_generated: 7,
+            peak_modes: 9,
+            final_modes: 3,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.candidates_generated, 17);
         assert_eq!(a.peak_modes, 9);

@@ -66,7 +66,7 @@ pub fn bareiss_rank_in_place<S: Scalar>(a: &mut [S], nr: usize, nc: usize) -> us
                 let v = &a[idx(r, c)];
                 if !v.is_zero() {
                     let score = v.pivot_score();
-                    if best.map_or(true, |(_, _, s)| score > s) {
+                    if best.is_none_or(|(_, _, s)| score > s) {
                         best = Some((r, c, score));
                     }
                 }
@@ -242,11 +242,7 @@ mod tests {
     #[test]
     fn bareiss_stays_exact_with_awkward_pivots() {
         // Hilbert-like integer matrix with large entries: determinant nonzero.
-        let m = M::from_i64_rows(&[
-            &[60, 30, 20],
-            &[30, 20, 15],
-            &[20, 15, 12],
-        ]);
+        let m = M::from_i64_rows(&[&[60, 30, 20], &[30, 20, 15], &[20, 15, 12]]);
         assert_eq!(rank(&m), 3);
     }
 
@@ -261,11 +257,7 @@ mod tests {
 
     #[test]
     fn f64_rank_of_cols_matches_exact() {
-        let m = M::from_i64_rows(&[
-            &[40141, 2, 3, 40141],
-            &[0, 1, -1, 0],
-            &[40141, 3, 2, 40141],
-        ]);
+        let m = M::from_i64_rows(&[&[40141, 2, 3, 40141], &[0, 1, -1, 0], &[40141, 3, 2, 40141]]);
         let mut fs = Vec::new();
         let mut es = Vec::new();
         for cols in [vec![0, 3], vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 2]] {

@@ -41,7 +41,7 @@ pub fn rref_with_col_order<S: Scalar>(m: &Mat<S>, col_order: &[usize]) -> Rref<S
             let v = a.get(r, c);
             if !v.is_zero() {
                 let s = v.pivot_score();
-                if best.map_or(true, |(_, bs)| s > bs) {
+                if best.is_none_or(|(_, bs)| s > bs) {
                     best = Some((r, s));
                 }
             }
@@ -74,8 +74,7 @@ pub fn rref_with_col_order<S: Scalar>(m: &Mat<S>, col_order: &[usize]) -> Rref<S
         pivot_cols.push(c);
         next_row += 1;
     }
-    let free_cols: Vec<usize> =
-        (0..m.cols()).filter(|c| !pivot_cols.contains(c)).collect();
+    let free_cols: Vec<usize> = (0..m.cols()).filter(|c| !pivot_cols.contains(c)).collect();
     Rref { mat: a, pivot_cols, free_cols }
 }
 
@@ -236,11 +235,8 @@ mod tests {
         assert_eq!(ki.cols(), 1);
         let col = ki.col(0);
         let as_i64: Vec<i64> = col.iter().map(|v| v.to_i128().unwrap() as i64).collect();
-        let canonical = if as_i64[0] < 0 {
-            as_i64.iter().map(|v| -v).collect::<Vec<_>>()
-        } else {
-            as_i64
-        };
+        let canonical =
+            if as_i64[0] < 0 { as_i64.iter().map(|v| -v).collect::<Vec<_>>() } else { as_i64 };
         assert_eq!(canonical, vec![4, -2, 1]);
     }
 }

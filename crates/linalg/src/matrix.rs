@@ -40,11 +40,7 @@ impl<S: Scalar> Mat<S> {
 
     /// Builds from integer literals (test / dataset convenience).
     pub fn from_i64_rows(rows: &[&[i64]]) -> Self {
-        Self::from_rows(
-            rows.iter()
-                .map(|r| r.iter().map(|&v| S::from_i64(v)).collect())
-                .collect(),
-        )
+        Self::from_rows(rows.iter().map(|r| r.iter().map(|&v| S::from_i64(v)).collect()).collect())
     }
 
     /// Number of rows.
@@ -147,10 +143,10 @@ impl<S: Scalar> Mat<S> {
         (0..self.rows)
             .map(|r| {
                 let mut acc = S::zero();
-                for c in 0..self.cols {
+                for (c, vc) in v.iter().enumerate() {
                     let a = self.get(r, c);
                     if !a.is_zero() {
-                        acc = acc.add(&a.mul(&v[c]));
+                        acc = acc.add(&a.mul(vc));
                     }
                 }
                 acc

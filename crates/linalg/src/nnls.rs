@@ -130,10 +130,8 @@ pub fn nnls(a: &[f64], rows: usize, cols: usize, b: &[f64]) -> NnlsSolution {
         let w = mat_t_vec(a, rows, cols, &r);
         let mut best: Option<(usize, f64)> = None;
         for c in 0..cols {
-            if !passive[c] && w[c] > tol {
-                if best.map_or(true, |(_, bw)| w[c] > bw) {
-                    best = Some((c, w[c]));
-                }
+            if !passive[c] && w[c] > tol && best.is_none_or(|(_, bw)| w[c] > bw) {
+                best = Some((c, w[c]));
             }
         }
         let Some((enter, _)) = best else {
@@ -247,9 +245,7 @@ mod tests {
             1.0, 0.0, 1.0, //
         ];
         let truth = [1.0, 2.0, 3.0];
-        let b: Vec<f64> = (0..3)
-            .map(|r| (0..3).map(|c| a[r * 3 + c] * truth[c]).sum())
-            .collect();
+        let b: Vec<f64> = (0..3).map(|r| (0..3).map(|c| a[r * 3 + c] * truth[c]).sum()).collect();
         let sol = nnls(&a, 3, 3, &b);
         for (got, want) in sol.x.iter().zip(truth.iter()) {
             assert!((got - want).abs() < 1e-8, "{got} vs {want}");

@@ -157,9 +157,16 @@ fn eliminate_free(p: &LpProblem) -> (Vec<Vec<Rational>>, Vec<Rational>, Vec<usiz
                 continue;
             }
             let f = rows[i][var].div(&pivot);
-            for j in 0..n {
-                let delta = f.mul(&rows[r][j]);
-                rows[i][j] = rows[i][j].sub(&delta);
+            let (row_i, row_r) = if i < r {
+                let (a, b) = rows.split_at_mut(r);
+                (&mut a[i], &b[0])
+            } else {
+                let (a, b) = rows.split_at_mut(i);
+                (&mut b[0], &a[r])
+            };
+            for (cell, pv) in row_i.iter_mut().zip(row_r.iter()).take(n) {
+                let delta = f.mul(pv);
+                *cell = cell.sub(&delta);
             }
             let delta = f.mul(&rhs[r]);
             rhs[i] = rhs[i].sub(&delta);
@@ -208,16 +215,11 @@ pub fn lp_feasible(p: &LpProblem) -> Option<Vec<Rational>> {
             *cell = cell.add(&row[j]);
         }
     }
-    for j in n..n + m {
-        obj[j] = Rational::zero();
+    for cell in obj.iter_mut().take(n + m).skip(n) {
+        *cell = Rational::zero();
     }
-    let mut tab = Tableau {
-        rows: trows,
-        obj,
-        basis: (n..n + m).collect(),
-        n: n + m,
-        enter_limit: n + m,
-    };
+    let mut tab =
+        Tableau { rows: trows, obj, basis: (n..n + m).collect(), n: n + m, enter_limit: n + m };
     let bounded = tab.solve();
     debug_assert!(bounded, "phase-1 objective is bounded by construction");
     if !tab.obj[tab.n].is_zero() {
@@ -269,8 +271,8 @@ pub fn lp_maximize(p: &LpProblem, c: &[Rational]) -> LpOutcome {
     }
     // Any remaining free variable with nonzero objective and no constraint
     // row: unbounded.
-    for j in 0..n_all {
-        if !p.nonneg[j] && !eff_c[j].is_zero() && !elims.iter().any(|e| e.var == j) {
+    for (j, c) in eff_c.iter().enumerate().take(n_all) {
+        if !p.nonneg[j] && !c.is_zero() && !elims.iter().any(|e| e.var == j) {
             return LpOutcome::Unbounded;
         }
     }
@@ -296,8 +298,8 @@ pub fn lp_maximize(p: &LpProblem, c: &[Rational]) -> LpOutcome {
             *cell = cell.add(&row[j]);
         }
     }
-    for j in n..n + m {
-        obj[j] = Rational::zero();
+    for cell in obj.iter_mut().take(n + m).skip(n) {
+        *cell = Rational::zero();
     }
     let mut tab =
         Tableau { rows: trows, obj, basis: (n..n + m).collect(), n: n + m, enter_limit: n + m };
@@ -325,9 +327,9 @@ pub fn lp_maximize(p: &LpProblem, c: &[Rational]) -> LpOutcome {
     for (i, &b) in tab.basis.iter().enumerate() {
         if b < tab.n && !obj2[b].is_zero() {
             let f = obj2[b].clone();
-            for j in 0..=tab.n {
-                let delta = f.mul(&tab.rows[i][j]);
-                obj2[j] = obj2[j].sub(&delta);
+            for (o, cell) in obj2.iter_mut().zip(&tab.rows[i]).take(tab.n + 1) {
+                let delta = f.mul(cell);
+                *o = o.sub(&delta);
             }
         }
     }
@@ -457,9 +459,15 @@ mod tests {
         let p = prob(a, vec![0, 0], vec![true, true, true, true]);
         let x = lp_feasible(&p).unwrap();
         assert!(x.iter().all(|v| v.signum() >= 0));
-        assert_eq!(lp_maximize(&{
-            let a = rational_mat(&[&[1, 1, 1, 0], &[1, -1, 0, 1]]);
-            prob(a, vec![0, 0], vec![true, true, true, true])
-        }, &[r(1), r(0), r(0), r(0)]), LpOutcome::Optimal(r(0)));
+        assert_eq!(
+            lp_maximize(
+                &{
+                    let a = rational_mat(&[&[1, 1, 1, 0], &[1, -1, 0, 1]]);
+                    prob(a, vec![0, 0], vec![true, true, true, true])
+                },
+                &[r(1), r(0), r(0), r(0)]
+            ),
+            LpOutcome::Optimal(r(0))
+        );
     }
 }

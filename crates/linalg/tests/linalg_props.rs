@@ -5,7 +5,7 @@ use efm_linalg::{
     kernel_basis, lp_feasible, lp_maximize, nullity, rank, rank_of_cols_f64, rref, LpOutcome,
     LpProblem, Mat,
 };
-use efm_numeric::{DynInt, Rational, Scalar};
+use efm_numeric::{DynInt, Rational};
 use proptest::prelude::*;
 
 fn small_mat() -> impl Strategy<Value = Vec<Vec<i64>>> {

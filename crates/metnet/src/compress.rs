@@ -127,10 +127,8 @@ impl ReducedNetwork {
     /// Expands a reduced support (indices of nonzero reduced reactions) to
     /// the set of original reaction indices, ascending.
     pub fn expand_support(&self, reduced_support: &[usize]) -> Vec<usize> {
-        let mut out: Vec<usize> = reduced_support
-            .iter()
-            .flat_map(|&j| self.members[j].iter().map(|(o, _)| *o))
-            .collect();
+        let mut out: Vec<usize> =
+            reduced_support.iter().flat_map(|&j| self.members[j].iter().map(|(o, _)| *o)).collect();
         out.sort_unstable();
         out
     }
@@ -166,9 +164,13 @@ fn independent_rows(m: &Mat<Rational>) -> Vec<usize> {
     kept
 }
 
+/// One group of proportional kernel rows: `(row indices, ratios relative
+/// to the first row)`.
+type RowGroup = (Vec<usize>, Vec<Rational>);
+
 /// Groups proportional nonzero kernel rows; returns `(groups, blocked)`
-/// where each group is `(row indices, ratios relative to the first)`.
-fn proportional_groups(k: &Mat<Rational>) -> (Vec<(Vec<usize>, Vec<Rational>)>, Vec<usize>) {
+/// where each group is a [`RowGroup`].
+fn proportional_groups(k: &Mat<Rational>) -> (Vec<RowGroup>, Vec<usize>) {
     let q = k.rows();
     let d = k.cols();
     let mut blocked = Vec::new();
@@ -187,8 +189,8 @@ fn proportional_groups(k: &Mat<Rational>) -> (Vec<(Vec<usize>, Vec<Rational>)>, 
         assigned[i] = true;
         let mut rows = vec![i];
         let mut ratios = vec![Rational::one()];
-        'candidate: for j in i + 1..q {
-            if assigned[j] {
+        'candidate: for (j, slot) in assigned.iter_mut().enumerate().skip(i + 1) {
+            if *slot {
                 continue;
             }
             if k.get(j, pivot_col).is_zero() {
@@ -202,7 +204,7 @@ fn proportional_groups(k: &Mat<Rational>) -> (Vec<(Vec<usize>, Vec<Rational>)>, 
                     continue 'candidate;
                 }
             }
-            assigned[j] = true;
+            *slot = true;
             rows.push(j);
             ratios.push(ratio);
         }
@@ -247,10 +249,11 @@ pub fn compress_with(
         }
 
         // (2) + (3) Kernel-based blocked removal and enzyme subset merging.
-        if !options.kernel_blocked && !options.enzyme_subsets {
-            if !options.sign_analysis || stoich.rows() == 0 {
-                break;
-            }
+        if !options.kernel_blocked
+            && !options.enzyme_subsets
+            && (!options.sign_analysis || stoich.rows() == 0)
+        {
+            break;
         }
         let kb = kernel_basis(&stoich, &[]);
         let (groups, blocked) = if options.kernel_blocked || options.enzyme_subsets {

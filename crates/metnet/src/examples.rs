@@ -67,12 +67,8 @@ mod tests {
         let net = toy_network();
         assert_eq!(net.num_internal(), 5);
         assert_eq!(net.num_reactions(), 9);
-        let rev: Vec<&str> = net
-            .reactions
-            .iter()
-            .filter(|r| r.reversible)
-            .map(|r| r.name.as_str())
-            .collect();
+        let rev: Vec<&str> =
+            net.reactions.iter().filter(|r| r.reversible).map(|r| r.name.as_str()).collect();
         assert_eq!(rev, vec!["r6r", "r8r"]);
     }
 
@@ -90,11 +86,7 @@ mod tests {
         };
         let col_of = |name: &str| net.reaction_index(name).unwrap();
         let check = |met: &str, rxn: &str, v: i64| {
-            assert_eq!(
-                n.get(row_of(met), col_of(rxn)).to_f64(),
-                v as f64,
-                "N[{met},{rxn}]"
-            );
+            assert_eq!(n.get(row_of(met), col_of(rxn)).to_f64(), v as f64, "N[{met},{rxn}]");
         };
         check("A", "r1", 1);
         check("A", "r2", -1);

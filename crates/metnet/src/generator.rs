@@ -51,9 +51,8 @@ impl Default for RandomNetworkParams {
 pub fn random_network(params: &RandomNetworkParams, seed: u64) -> MetabolicNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = MetabolicNetwork::new();
-    let mets: Vec<usize> = (0..params.metabolites)
-        .map(|i| net.add_metabolite(&format!("M{i}"), false))
-        .collect();
+    let mets: Vec<usize> =
+        (0..params.metabolites).map(|i| net.add_metabolite(&format!("M{i}"), false)).collect();
     let ext_in = net.add_metabolite("Sext", true);
     let ext_out = net.add_metabolite("Pext", true);
 
@@ -117,7 +116,11 @@ pub fn linear_chain(n: usize) -> MetabolicNetwork {
     let sext = net.add_metabolite("Sext", true);
     let pext = net.add_metabolite("Pext", true);
     let mets: Vec<usize> = (0..n).map(|i| net.add_metabolite(&format!("M{i}"), false)).collect();
-    net.add_reaction("in", false, vec![(sext, Rational::from_i64(-1)), (mets[0], Rational::from_i64(1))]);
+    net.add_reaction(
+        "in",
+        false,
+        vec![(sext, Rational::from_i64(-1)), (mets[0], Rational::from_i64(1))],
+    );
     for i in 0..n - 1 {
         net.add_reaction(
             &format!("s{i}"),
@@ -125,7 +128,11 @@ pub fn linear_chain(n: usize) -> MetabolicNetwork {
             vec![(mets[i], Rational::from_i64(-1)), (mets[i + 1], Rational::from_i64(1))],
         );
     }
-    net.add_reaction("out", false, vec![(mets[n - 1], Rational::from_i64(-1)), (pext, Rational::from_i64(1))]);
+    net.add_reaction(
+        "out",
+        false,
+        vec![(mets[n - 1], Rational::from_i64(-1)), (pext, Rational::from_i64(1))],
+    );
     net
 }
 
@@ -146,7 +153,11 @@ pub fn parallel_branches(k: usize) -> MetabolicNetwork {
             vec![(a, Rational::from_i64(-1)), (b, Rational::from_i64(1))],
         );
     }
-    net.add_reaction("out", false, vec![(b, Rational::from_i64(-1)), (pext, Rational::from_i64(1))]);
+    net.add_reaction(
+        "out",
+        false,
+        vec![(b, Rational::from_i64(-1)), (pext, Rational::from_i64(1))],
+    );
     net
 }
 
@@ -161,7 +172,11 @@ pub fn layered_branches(stages: usize, k: usize) -> MetabolicNetwork {
     let pext = net.add_metabolite("Pext", true);
     let nodes: Vec<usize> =
         (0..=stages).map(|i| net.add_metabolite(&format!("L{i}"), false)).collect();
-    net.add_reaction("in", false, vec![(sext, Rational::from_i64(-1)), (nodes[0], Rational::from_i64(1))]);
+    net.add_reaction(
+        "in",
+        false,
+        vec![(sext, Rational::from_i64(-1)), (nodes[0], Rational::from_i64(1))],
+    );
     for s in 0..stages {
         for b in 0..k {
             net.add_reaction(

@@ -120,17 +120,15 @@ pub fn parse_metatool(text: &str) -> Result<MetabolicNetwork, ParseError> {
     }
 
     for (line_no, line) in &cat_lines {
-        let (name, eqn) = line
-            .split_once(':')
-            .ok_or_else(|| err(*line_no, "missing ':' in CAT line"))?;
+        let (name, eqn) =
+            line.split_once(':').ok_or_else(|| err(*line_no, "missing ':' in CAT line"))?;
         let name = name.trim();
         let Some(&reversible) = reversibility.get(name) else {
             return Err(err(*line_no, format!("reaction {name} not declared in ENZREV/ENZIRREV")));
         };
         let eqn = eqn.trim().trim_end_matches('.').trim();
-        let (lhs, rhs) = eqn
-            .split_once('=')
-            .ok_or_else(|| err(*line_no, "missing '=' in CAT equation"))?;
+        let (lhs, rhs) =
+            eqn.split_once('=').ok_or_else(|| err(*line_no, "missing '=' in CAT equation"))?;
         let mut stoich: Vec<(usize, Rational)> = Vec::new();
         for (side, sign) in [(lhs, -1i64), (rhs, 1i64)] {
             let side = side.trim();
@@ -166,7 +164,7 @@ pub fn parse_metatool(text: &str) -> Result<MetabolicNetwork, ParseError> {
 
     // Declared reactions without a CAT entry are an error (they would be
     // silently blocked otherwise).
-    for (r, _) in &reversibility {
+    for r in reversibility.keys() {
         if net.reaction_index(r).is_none() {
             return Err(err(0, format!("reaction {r} declared but has no CAT equation")));
         }
@@ -178,30 +176,14 @@ pub fn parse_metatool(text: &str) -> Result<MetabolicNetwork, ParseError> {
 /// scaled per reaction to integers (Metatool only accepts integers).
 pub fn to_metatool(net: &MetabolicNetwork) -> String {
     let mut out = String::new();
-    let rev: Vec<&str> = net
-        .reactions
-        .iter()
-        .filter(|r| r.reversible)
-        .map(|r| r.name.as_str())
-        .collect();
-    let irrev: Vec<&str> = net
-        .reactions
-        .iter()
-        .filter(|r| !r.reversible)
-        .map(|r| r.name.as_str())
-        .collect();
-    let internal: Vec<&str> = net
-        .metabolites
-        .iter()
-        .filter(|m| !m.external)
-        .map(|m| m.name.as_str())
-        .collect();
-    let external: Vec<&str> = net
-        .metabolites
-        .iter()
-        .filter(|m| m.external)
-        .map(|m| m.name.as_str())
-        .collect();
+    let rev: Vec<&str> =
+        net.reactions.iter().filter(|r| r.reversible).map(|r| r.name.as_str()).collect();
+    let irrev: Vec<&str> =
+        net.reactions.iter().filter(|r| !r.reversible).map(|r| r.name.as_str()).collect();
+    let internal: Vec<&str> =
+        net.metabolites.iter().filter(|m| !m.external).map(|m| m.name.as_str()).collect();
+    let external: Vec<&str> =
+        net.metabolites.iter().filter(|m| m.external).map(|m| m.name.as_str()).collect();
     out.push_str("-ENZREV\n");
     out.push_str(&rev.join(" "));
     out.push_str("\n\n-ENZIRREV\n");

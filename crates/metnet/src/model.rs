@@ -36,10 +36,7 @@ pub struct Reaction {
 impl Reaction {
     /// Coefficient of the given metabolite (zero if absent).
     pub fn coefficient(&self, met: usize) -> Rational {
-        self.stoich
-            .iter()
-            .find(|(m, _)| *m == met)
-            .map_or_else(Rational::zero, |(_, c)| c.clone())
+        self.stoich.iter().find(|(m, _)| *m == met).map_or_else(Rational::zero, |(_, c)| c.clone())
     }
 }
 
@@ -77,11 +74,13 @@ impl MetabolicNetwork {
 
     /// Adds a reaction; stoichiometry refers to metabolite indices.
     /// Panics on duplicate reaction names.
-    pub fn add_reaction(&mut self, name: &str, reversible: bool, stoich: Vec<(usize, Rational)>) -> usize {
-        assert!(
-            !self.name_to_rxn.contains_key(name),
-            "duplicate reaction name {name}"
-        );
+    pub fn add_reaction(
+        &mut self,
+        name: &str,
+        reversible: bool,
+        stoich: Vec<(usize, Rational)>,
+    ) -> usize {
+        assert!(!self.name_to_rxn.contains_key(name), "duplicate reaction name {name}");
         let i = self.reactions.len();
         self.reactions.push(Reaction { name: name.to_string(), reversible, stoich });
         self.name_to_rxn.insert(name.to_string(), i);

@@ -59,7 +59,8 @@ pub fn parse_coefficient(tok: &str) -> Option<Rational> {
         let scale = 10i64.checked_pow(frac_part.len() as u32)?;
         let int_v: i64 = if int_part.is_empty() { 0 } else { int_part.parse().ok()? };
         let frac_v: i64 = frac_part.parse().ok()?;
-        let num = int_v.checked_mul(scale)?.checked_add(if int_v < 0 { -frac_v } else { frac_v })?;
+        let num =
+            int_v.checked_mul(scale)?.checked_add(if int_v < 0 { -frac_v } else { frac_v })?;
         return Some(Rational::new(DynInt::from_i64(num), DynInt::from_i64(scale)));
     }
     let v: i64 = tok.parse().ok()?;
@@ -67,8 +68,7 @@ pub fn parse_coefficient(tok: &str) -> Option<Rational> {
 }
 
 fn is_coefficient(tok: &str) -> bool {
-    tok.bytes().next().is_some_and(|b| b.is_ascii_digit())
-        && parse_coefficient(tok).is_some()
+    tok.bytes().next().is_some_and(|b| b.is_ascii_digit()) && parse_coefficient(tok).is_some()
 }
 
 /// One side of a reaction equation → `(name, coefficient)` terms.
@@ -286,10 +286,9 @@ mod tests {
 
     #[test]
     fn paper_style_line() {
-        let net = parse_network(
-            "R24 : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit\n",
-        )
-        .unwrap();
+        let net =
+            parse_network("R24 : AKG_mit + NAD_mit + COA_mit => CO2 + NADH_mit + SUCCOA_mit\n")
+                .unwrap();
         assert_eq!(net.num_internal(), 6);
         assert_eq!(net.reactions[0].stoich.len(), 6);
     }

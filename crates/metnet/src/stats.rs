@@ -111,7 +111,7 @@ pub fn reaction_components(net: &MetabolicNetwork) -> Vec<usize> {
     let q = net.num_reactions();
     // Union-find over m metabolite nodes + q reaction nodes.
     let mut parent: Vec<usize> = (0..m + q).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];

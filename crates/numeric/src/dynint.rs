@@ -181,7 +181,9 @@ impl DynInt {
                     magnitude: BigUint::from_u128(v.unsigned_abs()),
                 }),
             },
-            DynInt::Big(b) => DynInt::from_big(BigInt { negative: false, magnitude: b.magnitude.clone() }),
+            DynInt::Big(b) => {
+                DynInt::from_big(BigInt { negative: false, magnitude: b.magnitude.clone() })
+            }
         }
     }
 
@@ -195,7 +197,9 @@ impl DynInt {
                     magnitude: BigUint::from_u128(v.unsigned_abs()),
                 }),
             },
-            DynInt::Big(b) => DynInt::from_big(BigInt { negative: !b.negative, magnitude: b.magnitude.clone() }),
+            DynInt::Big(b) => {
+                DynInt::from_big(BigInt { negative: !b.negative, magnitude: b.magnitude.clone() })
+            }
         }
     }
 
@@ -213,8 +217,12 @@ impl DynInt {
         } else {
             match a.magnitude.cmp_mag(&b.magnitude) {
                 Ordering::Equal => BigInt { negative: false, magnitude: BigUint::zero() },
-                Ordering::Greater => BigInt { negative: a.negative, magnitude: a.magnitude.sub(&b.magnitude) },
-                Ordering::Less => BigInt { negative: b.negative, magnitude: b.magnitude.sub(&a.magnitude) },
+                Ordering::Greater => {
+                    BigInt { negative: a.negative, magnitude: a.magnitude.sub(&b.magnitude) }
+                }
+                Ordering::Less => {
+                    BigInt { negative: b.negative, magnitude: b.magnitude.sub(&a.magnitude) }
+                }
             }
         };
         DynInt::from_big(out)
@@ -259,7 +267,10 @@ impl DynInt {
         let b = rhs.as_big();
         let (q, r) = a.magnitude.divrem(&b.magnitude);
         assert!(r.is_zero(), "exact_div with remainder");
-        DynInt::from_big(BigInt { negative: a.negative != b.negative && !q.is_zero(), magnitude: q })
+        DynInt::from_big(BigInt {
+            negative: a.negative != b.negative && !q.is_zero(),
+            magnitude: q,
+        })
     }
 
     /// Quotient and remainder (truncated toward zero, like `i128`).
@@ -274,7 +285,10 @@ impl DynInt {
         let b = rhs.as_big();
         let (q, r) = a.magnitude.divrem(&b.magnitude);
         (
-            DynInt::from_big(BigInt { negative: a.negative != b.negative && !q.is_zero(), magnitude: q }),
+            DynInt::from_big(BigInt {
+                negative: a.negative != b.negative && !q.is_zero(),
+                magnitude: q,
+            }),
             DynInt::from_big(BigInt { negative: a.negative && !r.is_zero(), magnitude: r }),
         )
     }
@@ -308,7 +322,9 @@ impl DynInt {
     /// generation. Stays entirely on the small path when everything fits.
     #[inline]
     pub fn fused_comb(a: &Self, x: &Self, b: &Self, y: &Self) -> Self {
-        if let (DynInt::Small(a), DynInt::Small(x), DynInt::Small(b), DynInt::Small(y)) = (a, x, b, y) {
+        if let (DynInt::Small(a), DynInt::Small(x), DynInt::Small(b), DynInt::Small(y)) =
+            (a, x, b, y)
+        {
             if let (Some(p1), Some(p2)) = (a.checked_mul(*x), b.checked_mul(*y)) {
                 if let Some(d) = p1.checked_sub(p2) {
                     return DynInt::Small(d);
@@ -514,8 +530,13 @@ mod tests {
 
     #[test]
     fn from_str_roundtrips() {
-        for v in ["0", "-1", "42", "170141183460469231731687303715884105728",
-                  "-99999999999999999999999999999999999999999999"] {
+        for v in [
+            "0",
+            "-1",
+            "42",
+            "170141183460469231731687303715884105728",
+            "-99999999999999999999999999999999999999999999",
+        ] {
             let parsed: DynInt = v.parse().unwrap();
             assert_eq!(parsed.to_string(), v);
         }

@@ -83,18 +83,12 @@ impl Rational {
 
     /// Addition.
     pub fn add(&self, rhs: &Self) -> Self {
-        Rational::new(
-            self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den)),
-            self.den.mul(&rhs.den),
-        )
+        Rational::new(self.num.mul(&rhs.den).add(&rhs.num.mul(&self.den)), self.den.mul(&rhs.den))
     }
 
     /// Subtraction.
     pub fn sub(&self, rhs: &Self) -> Self {
-        Rational::new(
-            self.num.mul(&rhs.den).sub(&rhs.num.mul(&self.den)),
-            self.den.mul(&rhs.den),
-        )
+        Rational::new(self.num.mul(&rhs.den).sub(&rhs.num.mul(&self.den)), self.den.mul(&rhs.den))
     }
 
     /// Multiplication.
@@ -162,8 +156,11 @@ impl std::str::FromStr for Rational {
                 return Err(format!("invalid decimal literal '{s}'"));
             }
             let negative = int_part.trim_start().starts_with('-');
-            let int_v: DynInt =
-                if int_part.is_empty() || int_part == "-" { DynInt::zero() } else { int_part.parse()? };
+            let int_v: DynInt = if int_part.is_empty() || int_part == "-" {
+                DynInt::zero()
+            } else {
+                int_part.parse()?
+            };
             let frac_v: DynInt = frac_part.parse()?;
             let mut scale = DynInt::one();
             let ten = DynInt::from_i64(10);
@@ -205,10 +202,8 @@ pub fn to_primitive_integer_vec(vals: &[Rational]) -> Vec<DynInt> {
         let g = lcm.gcd(v.denom());
         lcm = lcm.exact_div(&g).mul(v.denom());
     }
-    let mut ints: Vec<DynInt> = vals
-        .iter()
-        .map(|v| v.numer().mul(&lcm.exact_div(v.denom())))
-        .collect();
+    let mut ints: Vec<DynInt> =
+        vals.iter().map(|v| v.numer().mul(&lcm.exact_div(v.denom()))).collect();
     let mut g = DynInt::zero();
     for v in &ints {
         g = g.gcd(v);
@@ -271,8 +266,7 @@ mod tests {
     fn primitive_integer_vec() {
         let v = vec![r(1, 2), r(-2, 3), r(0, 1), r(5, 6)];
         let ints = to_primitive_integer_vec(&v);
-        let expect: Vec<DynInt> =
-            [3i64, -4, 0, 5].iter().map(|&x| DynInt::from_i64(x)).collect();
+        let expect: Vec<DynInt> = [3i64, -4, 0, 5].iter().map(|&x| DynInt::from_i64(x)).collect();
         assert_eq!(ints, expect);
     }
 
@@ -280,8 +274,7 @@ mod tests {
     fn primitive_integer_vec_reduces_content() {
         let v = vec![r(2, 1), r(4, 1), r(-6, 1)];
         let ints = to_primitive_integer_vec(&v);
-        let expect: Vec<DynInt> =
-            [1i64, 2, -3].iter().map(|&x| DynInt::from_i64(x)).collect();
+        let expect: Vec<DynInt> = [1i64, 2, -3].iter().map(|&x| DynInt::from_i64(x)).collect();
         assert_eq!(ints, expect);
     }
 

@@ -37,9 +37,8 @@ fn main() {
     truth[0] = 2.0;
     truth[3 % n_modes] = 0.5;
     truth[5 % n_modes] = 1.0;
-    let measured: Vec<f64> = (0..q)
-        .map(|j| (0..n_modes).map(|m| e[j * n_modes + m] * truth[m]).sum())
-        .collect();
+    let measured: Vec<f64> =
+        (0..q).map(|j| (0..n_modes).map(|m| e[j * n_modes + m] * truth[m]).sum()).collect();
     println!("synthetic measured flux (per reaction):");
     for (j, v) in measured.iter().enumerate() {
         if v.abs() > 1e-12 {
@@ -48,28 +47,22 @@ fn main() {
     }
 
     let sol = nnls(&e, q, n_modes, &measured);
-    println!("\nNNLS decomposition (residual {:.2e}, {} iterations):", sol.residual, sol.iterations);
+    println!(
+        "\nNNLS decomposition (residual {:.2e}, {} iterations):",
+        sol.residual, sol.iterations
+    );
     for (m, w) in sol.x.iter().enumerate() {
         if *w > 1e-9 {
-            let names: Vec<&str> = out
-                .efms
-                .support(m)
-                .iter()
-                .map(|&j| net.reactions[j].name.as_str())
-                .collect();
+            let names: Vec<&str> =
+                out.efms.support(m).iter().map(|&j| net.reactions[j].name.as_str()).collect();
             println!("  weight {w:.3} on EFM {m} {{{}}}", names.join(", "));
         }
     }
     // The reconstruction must explain the measurement.
     assert!(sol.residual < 1e-6, "decomposition must be exact for a synthetic mixture");
-    let reconstructed: Vec<f64> = (0..q)
-        .map(|j| (0..n_modes).map(|m| e[j * n_modes + m] * sol.x[m]).sum())
-        .collect();
-    let err: f64 = measured
-        .iter()
-        .zip(&reconstructed)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let reconstructed: Vec<f64> =
+        (0..q).map(|j| (0..n_modes).map(|m| e[j * n_modes + m] * sol.x[m]).sum()).collect();
+    let err: f64 =
+        measured.iter().zip(&reconstructed).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     println!("\nreconstruction error ‖E·w − v‖ = {err:.2e}");
 }

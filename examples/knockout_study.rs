@@ -17,9 +17,7 @@ use efm_suite::metnet::examples::toy_network;
 
 /// EFMs of `set` that survive deleting all reactions in `knockout`.
 fn surviving(set: &EfmSet, knockout: &[usize]) -> Vec<usize> {
-    (0..set.len())
-        .filter(|&i| knockout.iter().all(|&r| !set.uses(i, r)))
-        .collect()
+    (0..set.len()).filter(|&i| knockout.iter().all(|&r| !set.uses(i, r))).collect()
 }
 
 fn main() {
@@ -37,8 +35,7 @@ fn main() {
     println!("single-reaction knockout screen:");
     for (j, rxn) in net.reactions.iter().enumerate() {
         let alive = surviving(efms, &[j]);
-        let alive_producing =
-            alive.iter().filter(|&&i| efms.uses(i, target)).count();
+        let alive_producing = alive.iter().filter(|&&i| efms.uses(i, target)).count();
         let verdict = if j == target {
             "target itself"
         } else if alive_producing == 0 {

@@ -33,10 +33,8 @@ fn main() {
         let flux = recover_flux(&outcome.reduced, &reversibility, &support)
             .expect("every reported mode has an exact flux vector");
         verify_flux(&net, &flux).expect("N·v = 0 and irreversibility hold");
-        let terms: Vec<String> = support
-            .iter()
-            .map(|&j| format!("{}={}", net.reactions[j].name, flux[j]))
-            .collect();
+        let terms: Vec<String> =
+            support.iter().map(|&j| format!("{}={}", net.reactions[j].name, flux[j])).collect();
         println!("EFM {:>2}: {}", i + 1, terms.join("  "));
     }
 }

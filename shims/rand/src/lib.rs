@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate (see `crates/shims/README.md`).
+//!
+//! Implements the `Rng`/`SeedableRng` subset the workspace uses over a
+//! SplitMix64 generator. Streams are deterministic per seed (which is all the
+//! property tests and workload generators rely on) but do **not** reproduce
+//! the upstream `StdRng` byte streams.
+
+/// Uniform sampling support for `Rng::gen_range` argument types.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample from the range using `next` as entropy source.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (((next)() as u128) << 64 | (next)() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (((next)() as u128) << 64 | (next)() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws a value using `next` as entropy source.
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(next: &mut dyn FnMut() -> u64) -> $t {
+                (next)() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> u128 {
+        ((next)() as u128) << 64 | (next)() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> i128 {
+        u128::draw(next) as i128
+    }
+}
+
+impl Standard for bool {
+    fn draw(next: &mut dyn FnMut() -> u64) -> bool {
+        (next)() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(next: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        ((next)() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The user-facing random number generator interface.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of [0,1]");
+        let mut f = || self.next_u64();
+        f64::draw(&mut f) < p
+    }
+
+    /// Uniform sample of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::draw(&mut f)
+    }
+}
+
+/// Seedable construction interface.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64). Stand-in for rand's
+    /// `StdRng`; same trait surface, different (but stable) stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 rate was {hits}/10000");
+    }
+
+    #[test]
+    fn gen_primitives() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u128 = rng.gen();
+        let _: i128 = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for the `rayon` crate (see `crates/shims/README.md`).
+//!
+//! Implements the parallel-iterator subset the workspace uses with *real*
+//! parallelism: `collect` fans work out over scoped OS threads that pull item
+//! indices from a shared atomic counter, so a skewed item cannot serialize
+//! the batch (self-balancing, like rayon's work stealing at item
+//! granularity). There is no persistent pool; threads are scoped per
+//! `collect`/`join` call, which is cheap relative to the coarse tasks the
+//! drivers submit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel call fans out to.
+pub fn current_num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon::join closure panicked"), rb)
+    })
+}
+
+/// An indexable, thread-shareable work source: the internal engine behind
+/// every parallel iterator below.
+pub trait ParSource: Sync {
+    /// Produced item type.
+    type Item: Send;
+    /// Number of items.
+    fn length(&self) -> usize;
+    /// Computes item `idx` (called from worker threads).
+    fn item(&self, idx: usize) -> Self::Item;
+}
+
+fn run_source<S: ParSource>(src: &S) -> Vec<S::Item> {
+    let n = src.length();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(|i| src.item(i)).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut slots: Vec<Option<S::Item>> = (0..n).map(|_| None).collect();
+    let parts: Vec<Vec<(usize, S::Item)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let counter = &counter;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = counter.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, src.item(idx)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    for part in parts {
+        for (idx, item) in part {
+            slots[idx] = Some(item);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
+/// A parallel iterator over an indexable source.
+pub struct ParIter<S> {
+    src: S,
+}
+
+/// Range source: items are the range values themselves.
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+            fn length(&self) -> usize {
+                self.len
+            }
+            fn item(&self, idx: usize) -> $t {
+                self.start + idx as $t
+            }
+        }
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeSource<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start { (self.end - self.start) as usize } else { 0 };
+                ParIter { src: RangeSource { start: self.start, len } }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u32, u64);
+
+/// Slice source for `par_iter()` on slices and vectors.
+pub struct SliceSource<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn length(&self) -> usize {
+        self.items.len()
+    }
+    fn item(&self, idx: usize) -> &'a T {
+        &self.items[idx]
+    }
+}
+
+/// Chunked slice source for `par_chunks`.
+pub struct ChunkSource<'a, T> {
+    items: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParSource for ChunkSource<'a, T> {
+    type Item = &'a [T];
+    fn length(&self) -> usize {
+        self.items.len().div_ceil(self.chunk)
+    }
+    fn item(&self, idx: usize) -> &'a [T] {
+        let start = idx * self.chunk;
+        &self.items[start..(start + self.chunk).min(self.items.len())]
+    }
+}
+
+/// Mapped source.
+pub struct MapSource<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, R> ParSource for MapSource<S, F>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn length(&self) -> usize {
+        self.src.length()
+    }
+    fn item(&self, idx: usize) -> R {
+        (self.f)(self.src.item(idx))
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecSource<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            src: VecSource {
+                items: self.into_iter().map(|v| std::cell::UnsafeCell::new(Some(v))).collect(),
+            },
+        }
+    }
+}
+
+/// Owned-vector source. Items are taken by index through interior
+/// mutability; the executor's atomic counter hands each index to exactly one
+/// worker, so the slots are never aliased mutably.
+pub struct VecSource<T> {
+    items: Vec<std::cell::UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: each UnsafeCell slot is accessed by exactly one worker thread (the
+// one that claimed its index from the atomic counter), and T is Send.
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+impl<T: Send> ParSource for VecSource<T> {
+    type Item = T;
+    fn length(&self) -> usize {
+        self.items.len()
+    }
+    fn item(&self, idx: usize) -> T {
+        // SAFETY: idx is claimed exactly once (see Sync impl note).
+        unsafe { (*self.items[idx].get()).take().expect("index visited once") }
+    }
+}
+
+/// Borrowing conversions (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>>;
+    /// Parallel iterator over `chunk`-sized sub-slices.
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunkSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>> {
+        ParIter { src: SliceSource { items: self } }
+    }
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunkSource<'_, T>> {
+        assert!(chunk > 0, "par_chunks chunk size must be nonzero");
+        ParIter { src: ChunkSource { items: self, chunk } }
+    }
+}
+
+/// Collection from a parallel iterator.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the produced items (in index order).
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<S: ParSource> ParIter<S> {
+    /// Maps each item through `f`.
+    pub fn map<F, R>(self, f: F) -> ParIter<MapSource<S, F>>
+    where
+        F: Fn(S::Item) -> R + Sync,
+        R: Send,
+    {
+        ParIter { src: MapSource { src: self.src, f } }
+    }
+
+    /// Executes the pipeline across worker threads and collects results in
+    /// index order.
+    pub fn collect<C: FromParallelIterator<S::Item>>(self) -> C {
+        C::from_ordered_items(run_source(&self.src))
+    }
+
+    /// Executes the pipeline for its side effects.
+    pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
+        let mapped = MapSource { src: self.src, f: |item| f(item) };
+        run_source(&mapped);
+    }
+}
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let strings: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let out: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[99], 3);
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items() {
+        let data: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = data.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn skewed_items_do_not_serialize() {
+        // One heavy item among many light ones: dynamic index pulling means
+        // total wall time ≈ heavy item, not heavy + light in one chunk.
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

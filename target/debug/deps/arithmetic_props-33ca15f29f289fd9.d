@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arithmetic_props-33ca15f29f289fd9.d: crates/numeric/tests/arithmetic_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarithmetic_props-33ca15f29f289fd9.rmeta: crates/numeric/tests/arithmetic_props.rs Cargo.toml
+
+crates/numeric/tests/arithmetic_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arithmetic_props-3c382a9c68f1c42d.d: crates/numeric/tests/arithmetic_props.rs
+
+/root/repo/target/debug/deps/arithmetic_props-3c382a9c68f1c42d: crates/numeric/tests/arithmetic_props.rs
+
+crates/numeric/tests/arithmetic_props.rs:

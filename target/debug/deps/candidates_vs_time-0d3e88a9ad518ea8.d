@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/candidates_vs_time-0d3e88a9ad518ea8.d: crates/bench/src/bin/candidates_vs_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcandidates_vs_time-0d3e88a9ad518ea8.rmeta: crates/bench/src/bin/candidates_vs_time.rs Cargo.toml
+
+crates/bench/src/bin/candidates_vs_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

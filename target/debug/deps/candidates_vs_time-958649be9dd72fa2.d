@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/candidates_vs_time-958649be9dd72fa2.d: crates/bench/src/bin/candidates_vs_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcandidates_vs_time-958649be9dd72fa2.rmeta: crates/bench/src/bin/candidates_vs_time.rs Cargo.toml
+
+crates/bench/src/bin/candidates_vs_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/candidates_vs_time-b1e0d01f05f6c5ee.d: crates/bench/src/bin/candidates_vs_time.rs
+
+/root/repo/target/debug/deps/candidates_vs_time-b1e0d01f05f6c5ee: crates/bench/src/bin/candidates_vs_time.rs
+
+crates/bench/src/bin/candidates_vs_time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-29660e222e451045.d: crates/efm-cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-29660e222e451045.rmeta: crates/efm-cli/tests/cli.rs Cargo.toml
+
+crates/efm-cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_efm-compute=placeholder:efm-compute
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-5e00d696b0217320.d: crates/efm-cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-5e00d696b0217320: crates/efm-cli/tests/cli.rs
+
+crates/efm-cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_efm-compute=/root/repo/target/debug/efm-compute

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_behavior-1b8e09ed0fb29871.d: tests/cluster_behavior.rs
+
+/root/repo/target/debug/deps/cluster_behavior-1b8e09ed0fb29871: tests/cluster_behavior.rs
+
+tests/cluster_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_behavior-f3a82c6d30e15cad.d: tests/cluster_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_behavior-f3a82c6d30e15cad.rmeta: tests/cluster_behavior.rs Cargo.toml
+
+tests/cluster_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

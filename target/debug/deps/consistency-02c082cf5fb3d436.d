@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-02c082cf5fb3d436.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-02c082cf5fb3d436: tests/consistency.rs
+
+tests/consistency.rs:

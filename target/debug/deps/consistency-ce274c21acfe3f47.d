@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-ce274c21acfe3f47.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-ce274c21acfe3f47.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

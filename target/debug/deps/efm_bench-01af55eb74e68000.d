@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efm_bench-01af55eb74e68000.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_bench-01af55eb74e68000.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

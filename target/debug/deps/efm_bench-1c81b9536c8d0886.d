@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efm_bench-1c81b9536c8d0886.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/efm_bench-1c81b9536c8d0886: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efm_bench-b10565eff001765f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefm_bench-b10565eff001765f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefm_bench-b10565eff001765f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

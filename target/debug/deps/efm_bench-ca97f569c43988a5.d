@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efm_bench-ca97f569c43988a5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_bench-ca97f569c43988a5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efm_bitset-044f7c5870408d6e.d: crates/bitset/src/lib.rs crates/bitset/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_bitset-044f7c5870408d6e.rmeta: crates/bitset/src/lib.rs crates/bitset/src/tree.rs Cargo.toml
+
+crates/bitset/src/lib.rs:
+crates/bitset/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

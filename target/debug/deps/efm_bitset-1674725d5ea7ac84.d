@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/efm_bitset-1674725d5ea7ac84.d: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+/root/repo/target/debug/deps/libefm_bitset-1674725d5ea7ac84.rlib: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+/root/repo/target/debug/deps/libefm_bitset-1674725d5ea7ac84.rmeta: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+crates/bitset/src/lib.rs:
+crates/bitset/src/tree.rs:

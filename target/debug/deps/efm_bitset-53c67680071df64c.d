@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/efm_bitset-53c67680071df64c.d: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+/root/repo/target/debug/deps/efm_bitset-53c67680071df64c: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+crates/bitset/src/lib.rs:
+crates/bitset/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efm_bitset-ba2415fa8553b822.d: crates/bitset/src/lib.rs crates/bitset/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_bitset-ba2415fa8553b822.rmeta: crates/bitset/src/lib.rs crates/bitset/src/tree.rs Cargo.toml
+
+crates/bitset/src/lib.rs:
+crates/bitset/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

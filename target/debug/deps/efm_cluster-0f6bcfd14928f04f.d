@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efm_cluster-0f6bcfd14928f04f.d: crates/cluster/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_cluster-0f6bcfd14928f04f.rmeta: crates/cluster/src/lib.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efm_cluster-1d4b94547acc95be.d: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/efm_cluster-1d4b94547acc95be: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efm_cluster-57fd9436e0bbce24.d: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/libefm_cluster-57fd9436e0bbce24.rlib: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/libefm_cluster-57fd9436e0bbce24.rmeta: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efm_cluster-8a5ed83fc0f731f3.d: crates/cluster/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_cluster-8a5ed83fc0f731f3.rmeta: crates/cluster/src/lib.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efm_compute-185f4a156c42d602.d: crates/efm-cli/src/main.rs
+
+/root/repo/target/debug/deps/efm_compute-185f4a156c42d602: crates/efm-cli/src/main.rs
+
+crates/efm-cli/src/main.rs:

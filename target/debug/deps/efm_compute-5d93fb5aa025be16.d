@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efm_compute-5d93fb5aa025be16.d: crates/efm-cli/src/main.rs
+
+/root/repo/target/debug/deps/efm_compute-5d93fb5aa025be16: crates/efm-cli/src/main.rs
+
+crates/efm-cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efm_compute-eb21a0f9ac6008b1.d: crates/efm-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_compute-eb21a0f9ac6008b1.rmeta: crates/efm-cli/src/main.rs Cargo.toml
+
+crates/efm-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/efm_core-1b85a089035652b4.d: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs
+
+/root/repo/target/debug/deps/efm_core-1b85a089035652b4: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs
+
+crates/efm/src/lib.rs:
+crates/efm/src/api.rs:
+crates/efm/src/apps.rs:
+crates/efm/src/bridge.rs:
+crates/efm/src/cluster_algo.rs:
+crates/efm/src/divide.rs:
+crates/efm/src/drivers.rs:
+crates/efm/src/engine.rs:
+crates/efm/src/io.rs:
+crates/efm/src/oracle.rs:
+crates/efm/src/problem.rs:
+crates/efm/src/recover.rs:
+crates/efm/src/types.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/efm_core-592d4191c711ee91.d: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_core-592d4191c711ee91.rmeta: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs Cargo.toml
+
+crates/efm/src/lib.rs:
+crates/efm/src/api.rs:
+crates/efm/src/apps.rs:
+crates/efm/src/bridge.rs:
+crates/efm/src/cluster_algo.rs:
+crates/efm/src/divide.rs:
+crates/efm/src/drivers.rs:
+crates/efm/src/engine.rs:
+crates/efm/src/io.rs:
+crates/efm/src/oracle.rs:
+crates/efm/src/problem.rs:
+crates/efm/src/recover.rs:
+crates/efm/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/efm_linalg-128a30e297b43c1e.d: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_linalg-128a30e297b43c1e.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elim.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/nnls.rs:
+crates/linalg/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efm_linalg-28577e4faab10b55.d: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+/root/repo/target/debug/deps/efm_linalg-28577e4faab10b55: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elim.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/nnls.rs:
+crates/linalg/src/simplex.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/efm_linalg-3c74f5e1e00ba29e.d: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_linalg-3c74f5e1e00ba29e.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elim.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/nnls.rs:
+crates/linalg/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

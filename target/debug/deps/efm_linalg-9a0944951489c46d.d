@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/efm_linalg-9a0944951489c46d.d: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+/root/repo/target/debug/deps/libefm_linalg-9a0944951489c46d.rlib: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+/root/repo/target/debug/deps/libefm_linalg-9a0944951489c46d.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elim.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/nnls.rs:
+crates/linalg/src/simplex.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/efm_metnet-03f5fbf5cb77dff4.d: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+/root/repo/target/debug/deps/libefm_metnet-03f5fbf5cb77dff4.rlib: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+/root/repo/target/debug/deps/libefm_metnet-03f5fbf5cb77dff4.rmeta: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+crates/metnet/src/lib.rs:
+crates/metnet/src/compress.rs:
+crates/metnet/src/examples.rs:
+crates/metnet/src/generator.rs:
+crates/metnet/src/metatool.rs:
+crates/metnet/src/model.rs:
+crates/metnet/src/parser.rs:
+crates/metnet/src/stats.rs:
+crates/metnet/src/yeast.rs:

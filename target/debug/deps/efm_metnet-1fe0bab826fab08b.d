@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/efm_metnet-1fe0bab826fab08b.d: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+/root/repo/target/debug/deps/efm_metnet-1fe0bab826fab08b: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+crates/metnet/src/lib.rs:
+crates/metnet/src/compress.rs:
+crates/metnet/src/examples.rs:
+crates/metnet/src/generator.rs:
+crates/metnet/src/metatool.rs:
+crates/metnet/src/model.rs:
+crates/metnet/src/parser.rs:
+crates/metnet/src/stats.rs:
+crates/metnet/src/yeast.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/efm_metnet-c276d265c8694bb8.d: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_metnet-c276d265c8694bb8.rmeta: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs Cargo.toml
+
+crates/metnet/src/lib.rs:
+crates/metnet/src/compress.rs:
+crates/metnet/src/examples.rs:
+crates/metnet/src/generator.rs:
+crates/metnet/src/metatool.rs:
+crates/metnet/src/model.rs:
+crates/metnet/src/parser.rs:
+crates/metnet/src/stats.rs:
+crates/metnet/src/yeast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/efm_numeric-9e7175b35b1ebc0b.d: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+/root/repo/target/debug/deps/libefm_numeric-9e7175b35b1ebc0b.rlib: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+/root/repo/target/debug/deps/libefm_numeric-9e7175b35b1ebc0b.rmeta: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/biguint.rs:
+crates/numeric/src/dynint.rs:
+crates/numeric/src/f64tol.rs:
+crates/numeric/src/rational.rs:
+crates/numeric/src/scalar.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/efm_numeric-a6569a9eccb8be25.d: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_numeric-a6569a9eccb8be25.rmeta: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs Cargo.toml
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/biguint.rs:
+crates/numeric/src/dynint.rs:
+crates/numeric/src/f64tol.rs:
+crates/numeric/src/rational.rs:
+crates/numeric/src/scalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

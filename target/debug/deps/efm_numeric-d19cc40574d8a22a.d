@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efm_numeric-d19cc40574d8a22a.d: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+/root/repo/target/debug/deps/efm_numeric-d19cc40574d8a22a: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/biguint.rs:
+crates/numeric/src/dynint.rs:
+crates/numeric/src/f64tol.rs:
+crates/numeric/src/rational.rs:
+crates/numeric/src/scalar.rs:

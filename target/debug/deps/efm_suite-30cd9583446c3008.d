@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efm_suite-30cd9583446c3008.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefm_suite-30cd9583446c3008.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

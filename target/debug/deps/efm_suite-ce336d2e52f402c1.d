@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efm_suite-ce336d2e52f402c1.d: src/lib.rs
+
+/root/repo/target/debug/deps/efm_suite-ce336d2e52f402c1: src/lib.rs
+
+src/lib.rs:

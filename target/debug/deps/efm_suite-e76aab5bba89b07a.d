@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efm_suite-e76aab5bba89b07a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libefm_suite-e76aab5bba89b07a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libefm_suite-e76aab5bba89b07a.rmeta: src/lib.rs
+
+src/lib.rs:

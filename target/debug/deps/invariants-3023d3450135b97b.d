@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-3023d3450135b97b.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-3023d3450135b97b.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-e446d59b004100f2.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-e446d59b004100f2: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linalg_props-894f3688d2864fd1.d: crates/linalg/tests/linalg_props.rs
+
+/root/repo/target/debug/deps/linalg_props-894f3688d2864fd1: crates/linalg/tests/linalg_props.rs
+
+crates/linalg/tests/linalg_props.rs:

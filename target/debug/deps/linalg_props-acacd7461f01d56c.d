@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linalg_props-acacd7461f01d56c.d: crates/linalg/tests/linalg_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinalg_props-acacd7461f01d56c.rmeta: crates/linalg/tests/linalg_props.rs Cargo.toml
+
+crates/linalg/tests/linalg_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_wall-be23a5bb9d8510e3.d: crates/bench/src/bin/memory_wall.rs
+
+/root/repo/target/debug/deps/memory_wall-be23a5bb9d8510e3: crates/bench/src/bin/memory_wall.rs
+
+crates/bench/src/bin/memory_wall.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_wall-d7f0861445625af0.d: crates/bench/src/bin/memory_wall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_wall-d7f0861445625af0.rmeta: crates/bench/src/bin/memory_wall.rs Cargo.toml
+
+crates/bench/src/bin/memory_wall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_worked_example-6d815cc5d84f6bc3.d: tests/paper_worked_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_worked_example-6d815cc5d84f6bc3.rmeta: tests/paper_worked_example.rs Cargo.toml
+
+tests/paper_worked_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_worked_example-9250475f15319677.d: tests/paper_worked_example.rs
+
+/root/repo/target/debug/deps/paper_worked_example-9250475f15319677: tests/paper_worked_example.rs
+
+tests/paper_worked_example.rs:

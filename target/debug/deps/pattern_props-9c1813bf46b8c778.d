@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pattern_props-9c1813bf46b8c778.d: crates/bitset/tests/pattern_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpattern_props-9c1813bf46b8c778.rmeta: crates/bitset/tests/pattern_props.rs Cargo.toml
+
+crates/bitset/tests/pattern_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

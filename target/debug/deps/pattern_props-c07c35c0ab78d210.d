@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pattern_props-c07c35c0ab78d210.d: crates/bitset/tests/pattern_props.rs
+
+/root/repo/target/debug/deps/pattern_props-c07c35c0ab78d210: crates/bitset/tests/pattern_props.rs
+
+crates/bitset/tests/pattern_props.rs:

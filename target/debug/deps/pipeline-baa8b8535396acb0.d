@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-baa8b8535396acb0.d: crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-baa8b8535396acb0.rmeta: crates/bench/benches/pipeline.rs Cargo.toml
+
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-39f17aa0223bbaea.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-39f17aa0223bbaea: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-56f6f025758a96af.d: crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-56f6f025758a96af.rmeta: crates/bench/src/bin/table2.rs Cargo.toml
+
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

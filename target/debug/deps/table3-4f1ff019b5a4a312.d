@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4f1ff019b5a4a312.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4f1ff019b5a4a312: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-ca8269f6fcb328cc.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-ca8269f6fcb328cc.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

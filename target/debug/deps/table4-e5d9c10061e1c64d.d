@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e5d9c10061e1c64d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-e5d9c10061e1c64d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

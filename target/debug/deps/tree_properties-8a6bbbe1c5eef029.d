@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tree_properties-8a6bbbe1c5eef029.d: tests/tree_properties.rs
+
+/root/repo/target/debug/deps/tree_properties-8a6bbbe1c5eef029: tests/tree_properties.rs
+
+tests/tree_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tree_properties-e18c57a94423fb0f.d: tests/tree_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtree_properties-e18c57a94423fb0f.rmeta: tests/tree_properties.rs Cargo.toml
+
+tests/tree_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

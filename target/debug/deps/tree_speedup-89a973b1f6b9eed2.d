@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tree_speedup-89a973b1f6b9eed2.d: crates/bench/src/bin/tree_speedup.rs
+
+/root/repo/target/debug/deps/tree_speedup-89a973b1f6b9eed2: crates/bench/src/bin/tree_speedup.rs
+
+crates/bench/src/bin/tree_speedup.rs:

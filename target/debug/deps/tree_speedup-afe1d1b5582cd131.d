@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tree_speedup-afe1d1b5582cd131.d: crates/bench/src/bin/tree_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtree_speedup-afe1d1b5582cd131.rmeta: crates/bench/src/bin/tree_speedup.rs Cargo.toml
+
+crates/bench/src/bin/tree_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

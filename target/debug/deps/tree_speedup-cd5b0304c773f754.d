@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tree_speedup-cd5b0304c773f754.d: crates/bench/src/bin/tree_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtree_speedup-cd5b0304c773f754.rmeta: crates/bench/src/bin/tree_speedup.rs Cargo.toml
+
+crates/bench/src/bin/tree_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yeast_lite-179ba39eafe5b1e6.d: tests/yeast_lite.rs
+
+/root/repo/target/debug/deps/yeast_lite-179ba39eafe5b1e6: tests/yeast_lite.rs
+
+tests/yeast_lite.rs:

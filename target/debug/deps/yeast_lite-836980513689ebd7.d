@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yeast_lite-836980513689ebd7.d: tests/yeast_lite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyeast_lite-836980513689ebd7.rmeta: tests/yeast_lite.rs Cargo.toml
+
+tests/yeast_lite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/count_promoted-40d5da1cec997135.d: crates/efm/examples/count_promoted.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcount_promoted-40d5da1cec997135.rmeta: crates/efm/examples/count_promoted.rs Cargo.toml
+
+crates/efm/examples/count_promoted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/count_promoted-5985a6335c8f23a9.d: crates/efm/examples/count_promoted.rs
+
+/root/repo/target/debug/examples/count_promoted-5985a6335c8f23a9: crates/efm/examples/count_promoted.rs
+
+crates/efm/examples/count_promoted.rs:

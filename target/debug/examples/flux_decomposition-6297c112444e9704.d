@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flux_decomposition-6297c112444e9704.d: examples/flux_decomposition.rs
+
+/root/repo/target/debug/examples/flux_decomposition-6297c112444e9704: examples/flux_decomposition.rs
+
+examples/flux_decomposition.rs:

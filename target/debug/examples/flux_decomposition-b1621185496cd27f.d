@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flux_decomposition-b1621185496cd27f.d: examples/flux_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflux_decomposition-b1621185496cd27f.rmeta: examples/flux_decomposition.rs Cargo.toml
+
+examples/flux_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flux_variability-0ea0a352c0a76988.d: examples/flux_variability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflux_variability-0ea0a352c0a76988.rmeta: examples/flux_variability.rs Cargo.toml
+
+examples/flux_variability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

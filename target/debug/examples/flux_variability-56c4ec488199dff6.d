@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flux_variability-56c4ec488199dff6.d: examples/flux_variability.rs
+
+/root/repo/target/debug/examples/flux_variability-56c4ec488199dff6: examples/flux_variability.rs
+
+examples/flux_variability.rs:

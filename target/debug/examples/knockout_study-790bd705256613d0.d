@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knockout_study-790bd705256613d0.d: examples/knockout_study.rs
+
+/root/repo/target/debug/examples/knockout_study-790bd705256613d0: examples/knockout_study.rs
+
+examples/knockout_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/knockout_study-b9daa8fdcd825ca9.d: examples/knockout_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libknockout_study-b9daa8fdcd825ca9.rmeta: examples/knockout_study.rs Cargo.toml
+
+examples/knockout_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

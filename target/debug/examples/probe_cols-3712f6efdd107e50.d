@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_cols-3712f6efdd107e50.d: crates/efm/examples/probe_cols.rs
+
+/root/repo/target/debug/examples/probe_cols-3712f6efdd107e50: crates/efm/examples/probe_cols.rs
+
+crates/efm/examples/probe_cols.rs:

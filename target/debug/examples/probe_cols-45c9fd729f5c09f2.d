@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe_cols-45c9fd729f5c09f2.d: crates/efm/examples/probe_cols.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe_cols-45c9fd729f5c09f2.rmeta: crates/efm/examples/probe_cols.rs Cargo.toml
+
+crates/efm/examples/probe_cols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

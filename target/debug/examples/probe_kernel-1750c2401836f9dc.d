@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_kernel-1750c2401836f9dc.d: crates/efm/examples/probe_kernel.rs
+
+/root/repo/target/debug/examples/probe_kernel-1750c2401836f9dc: crates/efm/examples/probe_kernel.rs
+
+crates/efm/examples/probe_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe_kernel-8e4079ef8ad38379.d: crates/efm/examples/probe_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe_kernel-8e4079ef8ad38379.rmeta: crates/efm/examples/probe_kernel.rs Cargo.toml
+
+crates/efm/examples/probe_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe_yeast-66cc34610cba0952.d: crates/efm/examples/probe_yeast.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe_yeast-66cc34610cba0952.rmeta: crates/efm/examples/probe_yeast.rs Cargo.toml
+
+crates/efm/examples/probe_yeast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

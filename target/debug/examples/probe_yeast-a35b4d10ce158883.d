@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_yeast-a35b4d10ce158883.d: crates/efm/examples/probe_yeast.rs
+
+/root/repo/target/debug/examples/probe_yeast-a35b4d10ce158883: crates/efm/examples/probe_yeast.rs
+
+crates/efm/examples/probe_yeast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6722ba76314c0669.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6722ba76314c0669: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/yeast_divide_and_conquer-7bfdc1bf24133570.d: examples/yeast_divide_and_conquer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libyeast_divide_and_conquer-7bfdc1bf24133570.rmeta: examples/yeast_divide_and_conquer.rs Cargo.toml
+
+examples/yeast_divide_and_conquer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

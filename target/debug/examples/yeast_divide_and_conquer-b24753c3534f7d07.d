@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/yeast_divide_and_conquer-b24753c3534f7d07.d: examples/yeast_divide_and_conquer.rs
+
+/root/repo/target/debug/examples/yeast_divide_and_conquer-b24753c3534f7d07: examples/yeast_divide_and_conquer.rs
+
+examples/yeast_divide_and_conquer.rs:

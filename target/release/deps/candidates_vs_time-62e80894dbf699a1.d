@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/candidates_vs_time-62e80894dbf699a1.d: crates/bench/src/bin/candidates_vs_time.rs
+
+/root/repo/target/release/deps/candidates_vs_time-62e80894dbf699a1: crates/bench/src/bin/candidates_vs_time.rs
+
+crates/bench/src/bin/candidates_vs_time.rs:

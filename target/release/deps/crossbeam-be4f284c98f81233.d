@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-be4f284c98f81233.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-be4f284c98f81233.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-be4f284c98f81233.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

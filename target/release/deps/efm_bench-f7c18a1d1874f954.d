@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efm_bench-f7c18a1d1874f954.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libefm_bench-f7c18a1d1874f954.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libefm_bench-f7c18a1d1874f954.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

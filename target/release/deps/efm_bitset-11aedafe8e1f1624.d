@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/efm_bitset-11aedafe8e1f1624.d: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+/root/repo/target/release/deps/libefm_bitset-11aedafe8e1f1624.rlib: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+/root/repo/target/release/deps/libefm_bitset-11aedafe8e1f1624.rmeta: crates/bitset/src/lib.rs crates/bitset/src/tree.rs
+
+crates/bitset/src/lib.rs:
+crates/bitset/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efm_cluster-f27942bdf1237bff.d: crates/cluster/src/lib.rs
+
+/root/repo/target/release/deps/libefm_cluster-f27942bdf1237bff.rlib: crates/cluster/src/lib.rs
+
+/root/repo/target/release/deps/libefm_cluster-f27942bdf1237bff.rmeta: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/efm_compute-a1583095a4aa8753.d: crates/efm-cli/src/main.rs
+
+/root/repo/target/release/deps/efm_compute-a1583095a4aa8753: crates/efm-cli/src/main.rs
+
+crates/efm-cli/src/main.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/efm_core-59054cd261b6318f.d: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs
+
+/root/repo/target/release/deps/libefm_core-59054cd261b6318f.rlib: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs
+
+/root/repo/target/release/deps/libefm_core-59054cd261b6318f.rmeta: crates/efm/src/lib.rs crates/efm/src/api.rs crates/efm/src/apps.rs crates/efm/src/bridge.rs crates/efm/src/cluster_algo.rs crates/efm/src/divide.rs crates/efm/src/drivers.rs crates/efm/src/engine.rs crates/efm/src/io.rs crates/efm/src/oracle.rs crates/efm/src/problem.rs crates/efm/src/recover.rs crates/efm/src/types.rs
+
+crates/efm/src/lib.rs:
+crates/efm/src/api.rs:
+crates/efm/src/apps.rs:
+crates/efm/src/bridge.rs:
+crates/efm/src/cluster_algo.rs:
+crates/efm/src/divide.rs:
+crates/efm/src/drivers.rs:
+crates/efm/src/engine.rs:
+crates/efm/src/io.rs:
+crates/efm/src/oracle.rs:
+crates/efm/src/problem.rs:
+crates/efm/src/recover.rs:
+crates/efm/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/efm_linalg-f962c5f6640c9419.d: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+/root/repo/target/release/deps/libefm_linalg-f962c5f6640c9419.rlib: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+/root/repo/target/release/deps/libefm_linalg-f962c5f6640c9419.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elim.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/nnls.rs crates/linalg/src/simplex.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elim.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/nnls.rs:
+crates/linalg/src/simplex.rs:

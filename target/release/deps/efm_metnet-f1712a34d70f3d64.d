@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/efm_metnet-f1712a34d70f3d64.d: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+/root/repo/target/release/deps/libefm_metnet-f1712a34d70f3d64.rlib: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+/root/repo/target/release/deps/libefm_metnet-f1712a34d70f3d64.rmeta: crates/metnet/src/lib.rs crates/metnet/src/compress.rs crates/metnet/src/examples.rs crates/metnet/src/generator.rs crates/metnet/src/metatool.rs crates/metnet/src/model.rs crates/metnet/src/parser.rs crates/metnet/src/stats.rs crates/metnet/src/yeast.rs
+
+crates/metnet/src/lib.rs:
+crates/metnet/src/compress.rs:
+crates/metnet/src/examples.rs:
+crates/metnet/src/generator.rs:
+crates/metnet/src/metatool.rs:
+crates/metnet/src/model.rs:
+crates/metnet/src/parser.rs:
+crates/metnet/src/stats.rs:
+crates/metnet/src/yeast.rs:

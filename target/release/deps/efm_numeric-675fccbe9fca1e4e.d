@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/efm_numeric-675fccbe9fca1e4e.d: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+/root/repo/target/release/deps/libefm_numeric-675fccbe9fca1e4e.rlib: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+/root/repo/target/release/deps/libefm_numeric-675fccbe9fca1e4e.rmeta: crates/numeric/src/lib.rs crates/numeric/src/biguint.rs crates/numeric/src/dynint.rs crates/numeric/src/f64tol.rs crates/numeric/src/rational.rs crates/numeric/src/scalar.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/biguint.rs:
+crates/numeric/src/dynint.rs:
+crates/numeric/src/f64tol.rs:
+crates/numeric/src/rational.rs:
+crates/numeric/src/scalar.rs:

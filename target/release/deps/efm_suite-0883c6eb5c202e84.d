@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efm_suite-0883c6eb5c202e84.d: src/lib.rs
+
+/root/repo/target/release/deps/libefm_suite-0883c6eb5c202e84.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libefm_suite-0883c6eb5c202e84.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memory_wall-68796ff183cf2db5.d: crates/bench/src/bin/memory_wall.rs
+
+/root/repo/target/release/deps/memory_wall-68796ff183cf2db5: crates/bench/src/bin/memory_wall.rs
+
+crates/bench/src/bin/memory_wall.rs:

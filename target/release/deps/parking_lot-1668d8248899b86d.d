@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1668d8248899b86d.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1668d8248899b86d.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1668d8248899b86d.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

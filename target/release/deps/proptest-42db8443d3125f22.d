@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-42db8443d3125f22.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-42db8443d3125f22.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-42db8443d3125f22.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

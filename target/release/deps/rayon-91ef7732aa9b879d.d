@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-91ef7732aa9b879d.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-91ef7732aa9b879d.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-91ef7732aa9b879d.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

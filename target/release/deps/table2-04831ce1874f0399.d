@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-04831ce1874f0399.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-04831ce1874f0399: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-6cf63979557770d7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-6cf63979557770d7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-d7a4d65f1cfb29dd.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-d7a4d65f1cfb29dd: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tree_speedup-27694f094232e1dd.d: crates/bench/src/bin/tree_speedup.rs
+
+/root/repo/target/release/deps/tree_speedup-27694f094232e1dd: crates/bench/src/bin/tree_speedup.rs
+
+crates/bench/src/bin/tree_speedup.rs:

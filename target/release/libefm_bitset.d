@@ -1,0 +1,1 @@
+/root/repo/target/release/libefm_bitset.rlib: /root/repo/crates/bitset/src/lib.rs /root/repo/crates/bitset/src/tree.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libefm_cluster.rlib: /root/repo/crates/cluster/src/lib.rs /root/repo/shims/crossbeam/src/lib.rs /root/repo/shims/parking_lot/src/lib.rs

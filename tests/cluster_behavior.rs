@@ -2,11 +2,10 @@
 //! simulated cluster: balanced work split, identical per-rank results,
 //! phase instrumentation, and the memory-capacity failure mode.
 
-use efm_core::{
-    build_problem, cluster_supports, enumerate_with_scalar, phases, Backend, EfmError,
-    EfmOptions,
-};
 use efm_cluster::{ClusterConfig, ClusterError};
+use efm_core::{
+    build_problem, cluster_supports, enumerate_with_scalar, phases, Backend, EfmError, EfmOptions,
+};
 use efm_metnet::generator::layered_branches;
 use efm_metnet::{compress, examples::toy_network};
 use efm_numeric::DynInt;
@@ -19,12 +18,9 @@ fn pair_grid_split_is_balanced() {
     let (red, _) = compress(&net);
     let opts = EfmOptions::default();
     let problem = build_problem::<DynInt>(&red, &opts).unwrap();
-    let out = cluster_supports::<efm_bitset::Pattern1, DynInt>(
-        &problem,
-        &opts,
-        &ClusterConfig::new(5),
-    )
-    .unwrap();
+    let out =
+        cluster_supports::<efm_bitset::Pattern1, DynInt>(&problem, &opts, &ClusterConfig::new(5))
+            .unwrap();
     let iters = out.per_rank[0].value.stats.iterations.len() as u64;
     let counts: Vec<u64> =
         out.per_rank.iter().map(|r| r.value.stats.candidates_generated).collect();
@@ -44,12 +40,9 @@ fn every_rank_reaches_identical_results() {
     let (red, _) = compress(&net);
     let opts = EfmOptions::default();
     let problem = build_problem::<DynInt>(&red, &opts).unwrap();
-    let out = cluster_supports::<efm_bitset::Pattern1, DynInt>(
-        &problem,
-        &opts,
-        &ClusterConfig::new(4),
-    )
-    .unwrap();
+    let out =
+        cluster_supports::<efm_bitset::Pattern1, DynInt>(&problem, &opts, &ClusterConfig::new(4))
+            .unwrap();
     let reference = &out.per_rank[0].value.supports;
     for rank in &out.per_rank[1..] {
         assert_eq!(&rank.value.supports, reference, "rank {} diverged", rank.rank);
@@ -63,12 +56,9 @@ fn phase_clocks_are_recorded() {
     let (red, _) = compress(&net);
     let opts = EfmOptions::default();
     let problem = build_problem::<DynInt>(&red, &opts).unwrap();
-    let out = cluster_supports::<efm_bitset::Pattern1, DynInt>(
-        &problem,
-        &opts,
-        &ClusterConfig::new(2),
-    )
-    .unwrap();
+    let out =
+        cluster_supports::<efm_bitset::Pattern1, DynInt>(&problem, &opts, &ClusterConfig::new(2))
+            .unwrap();
     for rank in &out.per_rank {
         for label in
             [phases::GENERATE, phases::DEDUP, phases::RANK, phases::COMMUNICATE, phases::MERGE]
@@ -104,17 +94,13 @@ fn memory_cap_aborts_cluster_run() {
 fn single_rank_cluster_equals_serial() {
     let net = layered_branches(4, 2);
     let opts = EfmOptions::default();
-    let cluster = enumerate_with_scalar::<DynInt>(
-        &net,
-        &opts,
-        &Backend::Cluster(ClusterConfig::new(1)),
-    )
-    .unwrap();
+    let cluster =
+        enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Cluster(ClusterConfig::new(1)))
+            .unwrap();
     let serial = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap();
     assert_eq!(cluster.efms, serial.efms);
     assert_eq!(
-        cluster.stats.candidates_generated,
-        serial.stats.candidates_generated,
+        cluster.stats.candidates_generated, serial.stats.candidates_generated,
         "a single rank owns the whole pair grid"
     );
 }

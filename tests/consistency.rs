@@ -3,8 +3,8 @@
 //! must match the independent brute-force oracle.
 
 use efm_core::{
-    brute_force_efms, enumerate, enumerate_divide_conquer, enumerate_with,
-    enumerate_with_scalar, Backend, CandidateTest, EfmOptions, RowOrdering,
+    brute_force_efms, enumerate, enumerate_divide_conquer, enumerate_with, enumerate_with_scalar,
+    Backend, CandidateTest, EfmOptions, RowOrdering,
 };
 use efm_metnet::generator::{random_network, RandomNetworkParams};
 use efm_metnet::MetabolicNetwork;
@@ -106,6 +106,27 @@ proptest! {
         ] {
             let out = enumerate(&net, &EfmOptions { compression, ..opts() }).unwrap();
             prop_assert_eq!(full.efms.as_support_sets(), out.efms.as_support_sets());
+        }
+    }
+
+    #[test]
+    fn pattern_trees_agree_with_linear_scans(seed in 0u64..5000) {
+        // The tree-backed filters (default) and the classical linear-scan
+        // filters must enumerate identical EFM sets on every backend,
+        // including the simulated cluster's merge path.
+        let net = oracle_net(seed);
+        let off = EfmOptions { pattern_trees: false, ..opts() };
+        for backend in [
+            Backend::Serial,
+            Backend::Rayon,
+            Backend::Cluster(efm_cluster::ClusterConfig::new(3)),
+        ] {
+            let with_trees = enumerate_with(&net, &opts(), &backend).unwrap();
+            let without = enumerate_with(&net, &off, &backend).unwrap();
+            prop_assert_eq!(
+                with_trees.efms.as_support_sets(),
+                without.efms.as_support_sets()
+            );
         }
     }
 

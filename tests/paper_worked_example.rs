@@ -59,10 +59,8 @@ fn fig2_iteration_trace() {
     // per-iteration mode counts follow Fig. 2: 4 → 4 → 4 → 5 → 8.
     let net = toy_network();
     let (red, _) = compress(&net);
-    let force: Vec<usize> = ["r2", "r4", "r5", "r7"]
-        .iter()
-        .map(|n| net.reaction_index(n).unwrap())
-        .collect();
+    let force: Vec<usize> =
+        ["r2", "r4", "r5", "r7"].iter().map(|n| net.reaction_index(n).unwrap()).collect();
     let opts = EfmOptions { force_free: Some(force), ..Default::default() };
     let problem = build_problem::<DynInt>(&red, &opts).unwrap();
     assert_eq!(problem.free_count, 4);
@@ -102,17 +100,29 @@ fn fig2_iteration_trace() {
 }
 
 #[test]
+fn tree_and_naive_filters_agree_on_worked_example() {
+    // The pattern-tree pipeline (default) must reproduce the classical
+    // linear-scan pipeline byte for byte on the paper's worked example,
+    // for both elementarity tests.
+    let net = toy_network();
+    for test in [efm_core::CandidateTest::Rank, efm_core::CandidateTest::Adjacency] {
+        let on = EfmOptions { test, pattern_trees: true, ..Default::default() };
+        let off = EfmOptions { pattern_trees: false, ..on.clone() };
+        let with_trees = enumerate(&net, &on).unwrap();
+        let without = enumerate(&net, &off).unwrap();
+        assert_eq!(with_trees.efms, without.efms, "tree/naive divergence under {test:?}");
+        assert_eq!(with_trees.efms.len(), 8);
+    }
+}
+
+#[test]
 fn section_3a_divide_and_conquer_subsets() {
     // §III.A: partitioning across {r6r, r8r} gives four subproblems with
     // exactly two EFMs each.
     let net = toy_network();
-    let out = enumerate_divide_conquer(
-        &net,
-        &EfmOptions::default(),
-        &["r6r", "r8r"],
-        &Backend::Serial,
-    )
-    .unwrap();
+    let out =
+        enumerate_divide_conquer(&net, &EfmOptions::default(), &["r6r", "r8r"], &Backend::Serial)
+            .unwrap();
     assert_eq!(out.subsets.len(), 4);
     for s in &out.subsets {
         assert_eq!(s.efm_count, 2, "subset {} ({}) (paper finds two EFMs each)", s.id, s.pattern);

@@ -4,9 +4,7 @@
 //! disjoint and complete, and the candidate-count reduction the paper
 //! reports for the split shows up.
 
-use efm_core::{
-    enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmOptions,
-};
+use efm_core::{enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmOptions};
 use efm_metnet::{parse_network, MetabolicNetwork};
 use efm_numeric::{DynInt, F64Tol};
 
@@ -31,8 +29,7 @@ fn exact_and_float_agree_on_yeast_lite() {
     assert_eq!(exact.efms.len(), float.efms.len());
     assert_eq!(exact.efms, float.efms, "exact and f64 EFM sets must coincide");
     assert_eq!(
-        exact.stats.candidates_generated,
-        float.stats.candidates_generated,
+        exact.stats.candidates_generated, float.stats.candidates_generated,
         "identical pipelines must generate identical candidate counts"
     );
 }
@@ -50,9 +47,8 @@ fn divide_and_conquer_reduces_candidates_on_yeast_lite() {
         if names.len() == 2 {
             break;
         }
-        if let Some(r) = net
-            .reaction_index(&rxn.name)
-            .and_then(|o| unsplit.reduced.reduced_index_of(o))
+        if let Some(r) =
+            net.reaction_index(&rxn.name).and_then(|o| unsplit.reduced.reduced_index_of(o))
         {
             if unsplit.reduced.reversible[r] && !used.contains(&r) {
                 used.push(r);
@@ -62,13 +58,9 @@ fn divide_and_conquer_reduces_candidates_on_yeast_lite() {
     }
     assert_eq!(names.len(), 2, "lite network must retain two reversible reactions");
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let split = enumerate_divide_conquer_with_scalar::<F64Tol>(
-        &net,
-        &opts,
-        &refs,
-        &Backend::Serial,
-    )
-    .unwrap();
+    let split =
+        enumerate_divide_conquer_with_scalar::<F64Tol>(&net, &opts, &refs, &Backend::Serial)
+            .unwrap();
     // Same EFM set.
     assert_eq!(unsplit.efms, split.efms);
     // Disjoint subsets covering the union.
