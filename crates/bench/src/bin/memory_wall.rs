@@ -11,10 +11,24 @@
 //!
 //! Without `--limit`, the harness first measures the unsplit run's peak
 //! per-node footprint and then re-runs with a cap set between the split and
-//! unsplit peaks, demonstrating the failure and the fix.
+//! unsplit peaks, demonstrating the failure and the fix — three ways:
+//!
+//! 1. the manual recovery of the paper (re-run as Algorithm 3 over a given
+//!    partition);
+//! 2. checkpoint/resume: the capped run snapshots every iteration, aborts
+//!    with a typed `MemoryExceeded`, and is resumed from the last completed
+//!    iteration on an uncapped cluster — the recovered EFM set is asserted
+//!    identical to the uninterrupted run;
+//! 3. automatic escalation: `enumerate_with_escalation` turns the abort
+//!    into a divide-and-conquer re-launch over suggested splits without
+//!    operator intervention.
 
 use efm_bench::{flag, harness_options, network_ii, parse_cli, pick_partition, Scale};
-use efm_core::{enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, EfmError};
+use efm_core::{
+    enumerate_divide_conquer_with_scalar, enumerate_resumable_with_scalar,
+    enumerate_with_escalation_scalar, enumerate_with_scalar, Backend, CheckpointConfig, EfmError,
+    EngineCheckpoint,
+};
 use efm_numeric::F64Tol;
 
 fn main() {
@@ -45,9 +59,10 @@ fn main() {
     )
     .expect("unsplit run failed");
     println!(
-        "unsplit: {} EFMs, peak {} intermediate modes",
+        "unsplit: {} EFMs, peak {} intermediate modes, peak {} accounted bytes/node",
         unsplit.efms.len(),
-        unsplit.stats.peak_modes
+        unsplit.stats.peak_modes,
+        unsplit.stats.peak_bytes
     );
     let split = enumerate_divide_conquer_with_scalar::<F64Tol>(
         &net,
@@ -57,35 +72,51 @@ fn main() {
     )
     .expect("split run failed");
     let split_peak = split.subsets.iter().map(|s| s.stats.peak_modes).max().unwrap_or(0);
+    let split_bytes = split.subsets.iter().map(|s| s.stats.peak_bytes).max().unwrap_or(0);
     println!(
-        "split {{{}}}: {} EFMs, worst subset peak {} intermediate modes",
+        "split {{{}}}: {} EFMs, worst subset peak {} intermediate modes, \
+         peak {} accounted bytes/node",
         partition.join(","),
         split.efms.len(),
-        split_peak
+        split_peak,
+        split_bytes
     );
 
-    // Phase 2: cap between the two peaks (or user-provided).
+    // Phase 2: cap between the two measured byte peaks (or user-provided):
+    // roomy enough for every subset of the split, too tight for the
+    // unsplit run.
     let limit: u64 = match flag(&flags, "limit") {
         Some(v) => v.parse().expect("bad --limit"),
-        None => {
-            // Modes dominate the accounted bytes; scale the cap from the
-            // observed peak mode counts.
-            let per_mode = 64u64; // conservative bytes/mode estimate
-            (split_peak as u64).max(1) * per_mode * 4
+        None if unsplit.stats.peak_bytes > split_bytes => {
+            split_bytes + (unsplit.stats.peak_bytes - split_bytes) / 2
         }
+        None => split_bytes.max(1) * 2,
     };
     println!("\n== phase 2: per-node capacity {limit} bytes ==");
     let capped = efm_cluster::ClusterConfig::new(nodes).with_memory_limit(limit);
-    match enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Cluster(capped.clone())) {
+    let ck_path = std::env::temp_dir().join("memory_wall.efck");
+    let _ = std::fs::remove_file(&ck_path);
+    let ck_cfg = CheckpointConfig::new(&ck_path);
+    let t0 = std::time::Instant::now();
+    let mut aborted = false;
+    match enumerate_resumable_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &Backend::Cluster(capped.clone()),
+        None,
+        Some(&ck_cfg),
+    ) {
         Err(EfmError::Cluster(efm_cluster::ClusterError::MemoryExceeded {
             rank,
             in_use,
             limit,
             ..
         })) => {
+            aborted = true;
             println!(
-                "unsplit Algorithm 2: ABORTED — rank {rank} exceeded {limit} B (had {in_use} B) \
-                 [reproduces the paper's abandoned run]"
+                "unsplit Algorithm 2: ABORTED in {:.2}s — rank {rank} exceeded {limit} B \
+                 (had {in_use} B) [reproduces the paper's abandoned run]",
+                t0.elapsed().as_secs_f64()
             );
         }
         Ok(out) => println!(
@@ -98,7 +129,7 @@ fn main() {
         &net,
         &opts,
         &names,
-        &Backend::Cluster(capped),
+        &Backend::Cluster(capped.clone()),
     ) {
         Ok(out) => println!(
             "combined Algorithm 3: completed under the same cap ({} EFMs across {} subsets) \
@@ -110,4 +141,74 @@ fn main() {
             println!("combined Algorithm 3: failed: {e} — refine the partition (paper adds R22r)")
         }
     }
+
+    // Phase 3: resume the aborted run from its last checkpoint.
+    println!("\n== phase 3: checkpoint/resume of the aborted run ==");
+    if aborted {
+        match EngineCheckpoint::load(&ck_path) {
+            Ok(ck) => {
+                println!(
+                    "checkpoint at {} holds {} completed iterations",
+                    ck_path.display(),
+                    ck.iterations_completed()
+                );
+                let resumed = enumerate_resumable_with_scalar::<F64Tol>(
+                    &net,
+                    &opts,
+                    &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
+                    Some(&ck),
+                    None,
+                )
+                .expect("resumed run failed");
+                assert_eq!(
+                    resumed.efms, unsplit.efms,
+                    "resume-from-checkpoint diverged from the uninterrupted run"
+                );
+                println!(
+                    "resumed run: {} EFMs — identical to the uninterrupted enumeration",
+                    resumed.efms.len()
+                );
+            }
+            Err(e) => println!("no usable checkpoint ({e}) — the cap tripped before iteration 1"),
+        }
+    } else {
+        println!("skipped: the capped run did not abort");
+    }
+
+    // Phase 4: automatic escalation — abort -> suggested split -> complete.
+    println!("\n== phase 4: automatic divide-and-conquer escalation ==");
+    let t1 = std::time::Instant::now();
+    match enumerate_with_escalation_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &Backend::Cluster(capped),
+        partition.len().max(2),
+    ) {
+        Ok(out) => {
+            for a in &out.attempts {
+                let what = if a.qsub == 0 {
+                    "direct run".to_string()
+                } else {
+                    format!("2^{} subsets over {{{}}}", a.qsub, a.partition.join(","))
+                };
+                match &a.error {
+                    Some(e) => println!("  attempt {what}: {e}"),
+                    None => println!("  attempt {what}: completed"),
+                }
+            }
+            assert_eq!(
+                out.outcome.efms, unsplit.efms,
+                "escalated enumeration diverged from the uninterrupted run"
+            );
+            println!(
+                "escalation recovered {} EFMs in {:.2}s (escalated: {}) — identical to the \
+                 uninterrupted enumeration",
+                out.outcome.efms.len(),
+                t1.elapsed().as_secs_f64(),
+                out.escalated()
+            );
+        }
+        Err(e) => println!("escalation exhausted: {e} — raise --limit or deepen the ladder"),
+    }
+    let _ = std::fs::remove_file(&ck_path);
 }

@@ -21,6 +21,22 @@
 //! * **per-node phase clocks and work counters**, which the table harnesses
 //!   use to report the paper's `gen cand / rank test / communicate / merge`
 //!   rows even on a single physical core.
+//!
+//! ## Abort safety
+//!
+//! A rank that fails — memory cap, protocol error, or panic — must not
+//! strand its peers inside a collective (the MPI analogue: the job
+//! scheduler kills every rank when one aborts). The runtime therefore
+//! carries a **control plane** next to the data fabric:
+//!
+//! * the barrier is *poisonable*: the first failure wakes every current and
+//!   future waiter with an error instead of blocking forever;
+//! * an abort packet is broadcast to every mailbox, so ranks blocked in
+//!   [`NodeCtx::recv`] (and every collective built on it) wake up;
+//! * every communication primitive returns `Result`, surfacing
+//!   [`ClusterError::Aborted`] with the originating rank;
+//! * [`run_cluster`] returns the *originating* error — peers' secondary
+//!   `Aborted` errors are discarded.
 
 #![warn(missing_docs)]
 
@@ -28,8 +44,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 /// Cluster-level configuration.
@@ -78,6 +94,24 @@ pub enum ClusterError {
     },
     /// A communication primitive was used inconsistently.
     Protocol(String),
+    /// The run was aborted by a failure on another rank: a communication
+    /// primitive was woken out of its wait instead of blocking forever.
+    /// `run_cluster` reports the *originating* error; this variant is what
+    /// the surviving ranks' own collectives return on the way out.
+    Aborted {
+        /// Rank whose failure triggered the abort.
+        origin: usize,
+        /// Display form of the originating error.
+        reason: String,
+    },
+}
+
+impl ClusterError {
+    /// Whether this error is (or propagates) a memory-capacity failure —
+    /// the trigger for divide-and-conquer escalation.
+    pub fn is_memory_exceeded(&self) -> bool {
+        matches!(self, ClusterError::MemoryExceeded { .. })
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -91,6 +125,9 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "rank {rank} panicked: {message}")
             }
             ClusterError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClusterError::Aborted { origin, reason } => {
+                write!(f, "aborted by rank {origin}: {reason}")
+            }
         }
     }
 }
@@ -98,22 +135,47 @@ impl std::fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {}
 
 /// Per-node accounted memory meter.
+///
+/// Release-safe: an over-free (double free / stale size) cannot wrap the
+/// counter. The balance saturates at zero, the meter is marked poisoned,
+/// and the next [`MemoryMeter::alloc`]/[`MemoryMeter::realloc`] surfaces a
+/// [`ClusterError::Protocol`] instead of silently disabling (or spuriously
+/// tripping) the capacity check.
 #[derive(Debug)]
 pub struct MemoryMeter {
     current: AtomicU64,
     peak: AtomicU64,
     limit: Option<u64>,
     rank: usize,
+    poisoned: AtomicBool,
 }
 
 impl MemoryMeter {
     fn new(rank: usize, limit: Option<u64>) -> Self {
-        MemoryMeter { current: AtomicU64::new(0), peak: AtomicU64::new(0), limit, rank }
+        MemoryMeter {
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            limit,
+            rank,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn check_poisoned(&self) -> Result<(), ClusterError> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(ClusterError::Protocol(format!(
+                "rank {}: memory meter poisoned by an over-free (free exceeded accounted bytes)",
+                self.rank
+            )));
+        }
+        Ok(())
     }
 
     /// Accounts an allocation of `bytes`. Fails when the capacity would be
-    /// exceeded (the allocation is then *not* accounted).
+    /// exceeded (the allocation is then *not* accounted) or when the meter
+    /// was poisoned by an earlier over-free.
     pub fn alloc(&self, bytes: u64) -> Result<(), ClusterError> {
+        self.check_poisoned()?;
         let prev = self.current.fetch_add(bytes, Ordering::Relaxed);
         let now = prev + bytes;
         if let Some(limit) = self.limit {
@@ -131,10 +193,28 @@ impl MemoryMeter {
         Ok(())
     }
 
-    /// Releases `bytes` previously accounted.
+    /// Releases `bytes` previously accounted. Over-freeing saturates the
+    /// balance at zero and poisons the meter; the violation is surfaced as
+    /// a [`ClusterError::Protocol`] by the next `alloc`/`realloc`.
     pub fn free(&self, bytes: u64) {
-        let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
-        debug_assert!(prev >= bytes, "MemoryMeter::free underflow");
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if cur < bytes {
+                        self.poisoned.store(true, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                Err(observed) => cur = observed,
+            }
+        }
     }
 
     /// Adjusts the accounted size from `old` to `new` in one step.
@@ -143,7 +223,7 @@ impl MemoryMeter {
             self.alloc(new - old)
         } else {
             self.free(old - new);
-            Ok(())
+            self.check_poisoned()
         }
     }
 
@@ -156,13 +236,133 @@ impl MemoryMeter {
     pub fn peak(&self) -> u64 {
         self.peak.load(Ordering::Relaxed)
     }
+
+    /// Whether an over-free has poisoned this meter.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
 }
 
 type Packet = (usize, Box<dyn Any + Send>);
 
+/// Control-plane marker delivered to every mailbox when a rank aborts; it
+/// wakes ranks blocked in `recv` so they can observe the abort flag.
+struct AbortPacket;
+
 struct Fabric {
     /// `senders[dst]` delivers into `dst`'s mailbox.
     senders: Vec<Sender<Packet>>,
+}
+
+/// First-failure latch shared by every rank of a run. The winning failure
+/// is recorded once; everything after observes it.
+struct AbortState {
+    flagged: AtomicBool,
+    info: Mutex<Option<(usize, ClusterError)>>,
+}
+
+impl AbortState {
+    fn new() -> Self {
+        AbortState { flagged: AtomicBool::new(false), info: Mutex::new(None) }
+    }
+
+    /// Whether an abort has been triggered (fast path, no lock).
+    fn is_flagged(&self) -> bool {
+        self.flagged.load(Ordering::Acquire)
+    }
+
+    /// Records the first failure, poisons the barrier, and wakes every
+    /// mailbox with an [`AbortPacket`]. Later failures only keep their own
+    /// slot result; the latch is first-writer-wins.
+    fn trigger(&self, origin: usize, err: ClusterError, barrier: &PoisonBarrier, fabric: &Fabric) {
+        {
+            let mut info = self.info.lock();
+            if info.is_none() {
+                *info = Some((origin, err));
+            }
+        }
+        self.flagged.store(true, Ordering::Release);
+        barrier.poison();
+        for dst in 0..fabric.senders.len() {
+            // A closed mailbox just means that rank already exited.
+            let _ = fabric.senders[dst].send((origin, Box::new(AbortPacket)));
+        }
+    }
+
+    /// The secondary error surviving ranks observe.
+    fn aborted_error(&self) -> ClusterError {
+        match &*self.info.lock() {
+            Some((origin, err)) => {
+                ClusterError::Aborted { origin: *origin, reason: err.to_string() }
+            }
+            // The flag is only ever raised after the latch is filled, but
+            // stay defensive rather than panicking inside error handling.
+            None => ClusterError::Aborted { origin: usize::MAX, reason: "unknown".into() },
+        }
+    }
+
+    /// The originating failure, if any.
+    fn take_origin_error(&self) -> Option<ClusterError> {
+        self.info.lock().take().map(|(_, e)| e)
+    }
+}
+
+/// A counting barrier whose waiters can be released early ("poisoned") by
+/// an aborting rank. Poisoning is permanent: current waiters wake with an
+/// error and future waiters fail immediately.
+struct PoisonBarrier {
+    total: usize,
+    state: StdMutex<BarrierState>,
+    cvar: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(total: usize) -> Self {
+        PoisonBarrier {
+            total,
+            state: StdMutex::new(BarrierState { arrived: 0, generation: 0, poisoned: false }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all ranks arrive; `Err(())` when the barrier was
+    /// poisoned before the round completed.
+    fn wait(&self) -> Result<(), ()> {
+        let mut s = self.state.lock().expect("barrier lock");
+        if s.poisoned {
+            return Err(());
+        }
+        s.arrived += 1;
+        if s.arrived == self.total {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.poisoned {
+            s = self.cvar.wait(s).expect("barrier wait");
+        }
+        // A round that completed before the poison still counts as passed.
+        if s.generation == gen {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        let mut s = self.state.lock().expect("barrier lock");
+        s.poisoned = true;
+        drop(s);
+        self.cvar.notify_all();
+    }
 }
 
 /// Per-node phase instrumentation: wall-clock per phase plus abstract work
@@ -208,7 +408,8 @@ pub struct NodeCtx<'a> {
     mailbox: Receiver<Packet>,
     /// Out-of-order packets parked until a matching `recv`.
     parked: Mutex<Vec<Packet>>,
-    barrier: &'a std::sync::Barrier,
+    barrier: &'a PoisonBarrier,
+    abort: &'a AbortState,
     meter: &'a MemoryMeter,
     stats: &'a PhaseStats,
 }
@@ -239,32 +440,66 @@ impl<'a> NodeCtx<'a> {
         *self.stats.work.lock().entry(phase).or_default() += units;
     }
 
-    /// Blocks until every rank reaches the barrier.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// The secondary error reported after another rank's abort.
+    fn aborted(&self) -> ClusterError {
+        self.abort.aborted_error()
     }
 
-    /// Sends a message to `dst` (FIFO per sender→receiver pair).
-    pub fn send<M: Send + 'static>(&self, dst: usize, msg: M) {
+    /// Blocks until every rank reaches the barrier, or until the run is
+    /// aborted by a failing rank (the barrier is then poisoned and every
+    /// waiter — current and future — returns [`ClusterError::Aborted`]).
+    pub fn barrier(&self) -> Result<(), ClusterError> {
+        self.barrier.wait().map_err(|()| self.aborted())
+    }
+
+    /// Sends a message to `dst` (FIFO per sender→receiver pair). Fails with
+    /// [`ClusterError::Aborted`] when the run is aborting, and with
+    /// [`ClusterError::Protocol`] when `dst` has already exited and dropped
+    /// its mailbox — senders observe the failure instead of crashing.
+    pub fn send<M: Send + 'static>(&self, dst: usize, msg: M) -> Result<(), ClusterError> {
         assert!(dst < self.size, "send to out-of-range rank");
-        self.fabric.senders[dst].send((self.rank, Box::new(msg))).expect("cluster fabric closed");
+        if self.abort.is_flagged() {
+            return Err(self.aborted());
+        }
+        self.fabric.senders[dst].send((self.rank, Box::new(msg))).map_err(|_| {
+            if self.abort.is_flagged() {
+                self.aborted()
+            } else {
+                ClusterError::Protocol(format!(
+                    "rank {}: send to rank {dst} failed (mailbox closed — peer already exited)",
+                    self.rank
+                ))
+            }
+        })
     }
 
     /// Receives the next message of type `M` from rank `src`. Messages of
     /// other types or sources are parked, preserving per-sender order.
-    pub fn recv<M: Send + 'static>(&self, src: usize) -> M {
+    /// Wakes with [`ClusterError::Aborted`] when a failing rank aborts the
+    /// run while this rank is blocked.
+    pub fn recv<M: Send + 'static>(&self, src: usize) -> Result<M, ClusterError> {
         // Check parked packets first.
         {
             let mut parked = self.parked.lock();
             if let Some(pos) = parked.iter().position(|(from, b)| *from == src && b.is::<M>()) {
                 let (_, b) = parked.remove(pos);
-                return *b.downcast::<M>().unwrap();
+                return Ok(*b.downcast::<M>().unwrap());
             }
         }
         loop {
-            let (from, boxed) = self.mailbox.recv().expect("cluster fabric closed");
+            if self.abort.is_flagged() {
+                return Err(self.aborted());
+            }
+            let (from, boxed) = self.mailbox.recv().map_err(|_| {
+                // All senders gone: only possible when the run is tearing
+                // down, which implies an abort is in flight.
+                self.aborted()
+            })?;
+            if boxed.is::<AbortPacket>() {
+                return Err(self.aborted());
+            }
             if from == src && boxed.is::<M>() {
-                return *boxed.downcast::<M>().unwrap();
+                return Ok(*boxed.downcast::<M>().unwrap());
             }
             self.parked.lock().push((from, boxed));
         }
@@ -273,44 +508,52 @@ impl<'a> NodeCtx<'a> {
     /// All-to-all collective: every rank contributes `local`; returns the
     /// contributions of all ranks indexed by rank. Every rank must call
     /// this the same number of times in the same order.
-    pub fn allgather<M: Clone + Send + 'static>(&self, local: M) -> Vec<M> {
+    pub fn allgather<M: Clone + Send + 'static>(&self, local: M) -> Result<Vec<M>, ClusterError> {
         for dst in 0..self.size {
             if dst != self.rank {
-                self.send(dst, local.clone());
+                self.send(dst, local.clone())?;
             }
         }
         let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
         out[self.rank] = Some(local);
         for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
-                *slot = Some(self.recv::<M>(src));
+                *slot = Some(self.recv::<M>(src)?);
             }
         }
-        out.into_iter().map(Option::unwrap).collect()
+        Ok(out.into_iter().map(Option::unwrap).collect())
     }
 
     /// Reduction collective: combines every rank's `local` with `op` (the
     /// result is identical on every rank).
-    pub fn allreduce<M: Clone + Send + 'static>(&self, local: M, op: impl Fn(M, M) -> M) -> M {
-        let all = self.allgather(local);
+    pub fn allreduce<M: Clone + Send + 'static>(
+        &self,
+        local: M,
+        op: impl Fn(M, M) -> M,
+    ) -> Result<M, ClusterError> {
+        let all = self.allgather(local)?;
         let mut it = all.into_iter();
         let first = it.next().expect("cluster has at least one rank");
-        it.fold(first, op)
+        Ok(it.fold(first, op))
     }
 
     /// One-to-all broadcast: rank `root` supplies the value (others pass
     /// anything, conventionally `None`); every rank returns the root's
     /// value.
-    pub fn broadcast<M: Clone + Send + 'static>(&self, root: usize, local: Option<M>) -> M {
+    pub fn broadcast<M: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        local: Option<M>,
+    ) -> Result<M, ClusterError> {
         assert!(root < self.size, "broadcast root out of range");
         if self.rank == root {
             let v = local.expect("root must supply the broadcast value");
             for dst in 0..self.size {
                 if dst != self.rank {
-                    self.send(dst, v.clone());
+                    self.send(dst, v.clone())?;
                 }
             }
-            v
+            Ok(v)
         } else {
             self.recv::<M>(root)
         }
@@ -318,26 +561,34 @@ impl<'a> NodeCtx<'a> {
 
     /// All-to-one gather: returns `Some(values by rank)` on `root`, `None`
     /// elsewhere.
-    pub fn gather<M: Clone + Send + 'static>(&self, root: usize, local: M) -> Option<Vec<M>> {
+    pub fn gather<M: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        local: M,
+    ) -> Result<Option<Vec<M>>, ClusterError> {
         assert!(root < self.size, "gather root out of range");
         if self.rank == root {
             let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
             out[self.rank] = Some(local);
             for (src, slot) in out.iter_mut().enumerate() {
                 if src != self.rank {
-                    *slot = Some(self.recv::<M>(src));
+                    *slot = Some(self.recv::<M>(src)?);
                 }
             }
-            Some(out.into_iter().map(Option::unwrap).collect())
+            Ok(Some(out.into_iter().map(Option::unwrap).collect()))
         } else {
-            self.send(root, local);
-            None
+            self.send(root, local)?;
+            Ok(None)
         }
     }
 
     /// One-to-all scatter: `root` supplies one value per rank; every rank
     /// returns its slot.
-    pub fn scatter<M: Clone + Send + 'static>(&self, root: usize, items: Option<Vec<M>>) -> M {
+    pub fn scatter<M: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        items: Option<Vec<M>>,
+    ) -> Result<M, ClusterError> {
         assert!(root < self.size, "scatter root out of range");
         if self.rank == root {
             let items = items.expect("root must supply the scatter items");
@@ -347,10 +598,10 @@ impl<'a> NodeCtx<'a> {
                 if dst == self.rank {
                     mine = Some(item);
                 } else {
-                    self.send(dst, item);
+                    self.send(dst, item)?;
                 }
             }
-            mine.expect("root keeps its own slot")
+            Ok(mine.expect("root keeps its own slot"))
         } else {
             self.recv::<M>(root)
         }
@@ -374,9 +625,12 @@ pub struct NodeReport<T> {
 
 /// Runs `body` on every rank of a simulated cluster and collects reports.
 ///
-/// The first error (memory exhaustion, panic) aborts the whole run; other
-/// nodes' channel operations unblock because the fabric closes. This mirrors
-/// an MPI job killed by one rank's failure.
+/// The first failure (memory exhaustion, protocol error, panic) aborts the
+/// whole run *promptly*: the failing rank poisons the barrier and wakes
+/// every mailbox, so peers blocked in any collective return
+/// [`ClusterError::Aborted`] instead of hanging, the thread scope joins,
+/// and the originating error is returned. This mirrors an MPI job killed
+/// by one rank's failure.
 pub fn run_cluster<T, F>(
     config: &ClusterConfig,
     body: F,
@@ -395,7 +649,8 @@ where
         receivers.push(r);
     }
     let fabric = Fabric { senders };
-    let barrier = std::sync::Barrier::new(n);
+    let barrier = PoisonBarrier::new(n);
+    let abort = AbortState::new();
     let meters: Vec<MemoryMeter> =
         (0..n).map(|r| MemoryMeter::new(r, config.memory_limit)).collect();
     let stats: Vec<PhaseStats> = (0..n).map(|_| PhaseStats::default()).collect();
@@ -404,18 +659,16 @@ where
     let receivers: Vec<Mutex<Option<Receiver<Packet>>>> =
         receivers.into_iter().map(|r| Mutex::new(Some(r))).collect();
 
-    let panic_info: Arc<Mutex<Option<(usize, String)>>> = Arc::new(Mutex::new(None));
-
     std::thread::scope(|scope| {
         for rank in 0..n {
             let fabric = &fabric;
             let barrier = &barrier;
+            let abort = &abort;
             let meter = &meters[rank];
             let stat = &stats[rank];
             let slot = &results[rank];
             let mailbox = receivers[rank].lock().take().expect("mailbox taken once");
             let body = &body;
-            let panic_info = Arc::clone(&panic_info);
             scope.spawn(move || {
                 let ctx = NodeCtx {
                     rank,
@@ -424,27 +677,38 @@ where
                     mailbox,
                     parked: Mutex::new(Vec::new()),
                     barrier,
+                    abort,
                     meter,
                     stats: stat,
                 };
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
-                match out {
-                    Ok(r) => *slot.lock() = Some(r),
+                let failure = match &out {
+                    Ok(Err(e)) => Some(e.clone()),
                     Err(payload) => {
-                        let msg = payload
+                        let message = payload
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
                             .or_else(|| payload.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "<non-string panic>".to_string());
-                        panic_info.lock().get_or_insert((rank, msg));
+                        Some(ClusterError::NodePanicked { rank, message })
                     }
+                    Ok(Ok(_)) => None,
+                };
+                if let Some(err) = failure {
+                    // Secondary Aborted errors never displace the original
+                    // failure: the latch is first-writer-wins, and a rank
+                    // woken by someone else's abort reports Aborted here.
+                    abort.trigger(rank, err, barrier, fabric);
+                }
+                if let Ok(r) = out {
+                    *slot.lock() = Some(r);
                 }
             });
         }
     });
 
-    if let Some((rank, message)) = panic_info.lock().take() {
-        return Err(ClusterError::NodePanicked { rank, message });
+    if let Some(err) = abort.take_origin_error() {
+        return Err(err);
     }
 
     let mut reports = Vec::with_capacity(n);
@@ -483,7 +747,7 @@ mod tests {
     #[test]
     fn allgather_orders_by_rank() {
         let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
-            let all = ctx.allgather(ctx.rank() as u64 * 100);
+            let all = ctx.allgather(ctx.rank() as u64 * 100)?;
             Ok(all)
         })
         .unwrap();
@@ -497,7 +761,7 @@ mod tests {
         let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
             let mut sums = Vec::new();
             for round in 0..10u64 {
-                let all = ctx.allgather(round * 10 + ctx.rank() as u64);
+                let all = ctx.allgather(round * 10 + ctx.rank() as u64)?;
                 sums.push(all.iter().sum::<u64>());
             }
             Ok(sums)
@@ -513,11 +777,11 @@ mod tests {
     fn point_to_point_roundtrip() {
         let reports = run_cluster(&ClusterConfig::new(2), |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, String::from("ping"));
-                Ok(ctx.recv::<String>(1))
+                ctx.send(1, String::from("ping"))?;
+                ctx.recv::<String>(1)
             } else {
-                let m = ctx.recv::<String>(0);
-                ctx.send(0, format!("{m}-pong"));
+                let m = ctx.recv::<String>(0)?;
+                ctx.send(0, format!("{m}-pong"))?;
                 Ok(m)
             }
         })
@@ -532,18 +796,18 @@ mod tests {
             match ctx.rank() {
                 0 => {
                     // Receive u32 from 2 first even though 1 may arrive first.
-                    let a = ctx.recv::<u32>(2);
-                    let b = ctx.recv::<u32>(1);
-                    let s = ctx.recv::<String>(1);
+                    let a = ctx.recv::<u32>(2)?;
+                    let b = ctx.recv::<u32>(1)?;
+                    let s = ctx.recv::<String>(1)?;
                     Ok(format!("{a}-{b}-{s}"))
                 }
                 1 => {
-                    ctx.send(0, 11u32);
-                    ctx.send(0, String::from("x"));
+                    ctx.send(0, 11u32)?;
+                    ctx.send(0, String::from("x"))?;
                     Ok(String::new())
                 }
                 _ => {
-                    ctx.send(0, 22u32);
+                    ctx.send(0, 22u32)?;
                     Ok(String::new())
                 }
             }
@@ -555,7 +819,7 @@ mod tests {
     #[test]
     fn allreduce_sums() {
         let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
-            Ok(ctx.allreduce(ctx.rank() as u64 + 1, |a, b| a + b))
+            ctx.allreduce(ctx.rank() as u64 + 1, |a, b| a + b)
         })
         .unwrap();
         for rep in reports {
@@ -599,6 +863,24 @@ mod tests {
     }
 
     #[test]
+    fn over_free_saturates_and_poisons() {
+        let meter = MemoryMeter::new(0, Some(1000));
+        meter.alloc(100).unwrap();
+        meter.free(100);
+        meter.free(100); // double free: saturates instead of wrapping
+        assert_eq!(meter.current(), 0, "no u64 wrap-around");
+        assert!(meter.is_poisoned());
+        match meter.alloc(1) {
+            Err(ClusterError::Protocol(m)) => assert!(m.contains("over-free"), "{m}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        match meter.realloc(0, 1) {
+            Err(ClusterError::Protocol(_)) => {}
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn realloc_shrink_and_grow() {
         let meter = MemoryMeter::new(0, Some(100));
         meter.alloc(50).unwrap();
@@ -629,7 +911,6 @@ mod tests {
 
     #[test]
     fn node_panic_is_reported() {
-        // A panicking rank must not hang the others: use no collectives.
         let err = run_cluster(&ClusterConfig::new(2), |ctx| {
             if ctx.rank() == 0 {
                 panic!("boom");
@@ -647,10 +928,116 @@ mod tests {
     }
 
     #[test]
+    fn panicking_rank_releases_peers_blocked_in_collectives() {
+        // Before abort propagation this deadlocked: the panicking rank
+        // exited while its peers waited in allgather's recv forever.
+        let err = run_cluster(&ClusterConfig::new(4), |ctx| {
+            if ctx.rank() == 2 {
+                panic!("mid-collective failure");
+            }
+            let all = ctx.allgather(ctx.rank())?; // blocks on rank 2
+            Ok(all.len())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::NodePanicked { rank: 2, message } => {
+                assert!(message.contains("mid-collective"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_memory_abort_releases_barrier_waiters() {
+        // Exactly one rank trips its cap; the others are blocked in the
+        // barrier and must be woken with the typed originating error.
+        let cfg = ClusterConfig::new(3).with_memory_limit(1000);
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.memory().alloc(2000)?; // asymmetric: only rank 1 allocates
+            }
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::MemoryExceeded { rank: 1, requested: 2000, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_memory_abort_releases_recv_waiters() {
+        let cfg = ClusterConfig::new(2).with_memory_limit(100);
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.memory().alloc(500)?;
+                ctx.send(1, 7u32)?;
+            }
+            let v = ctx.recv::<u32>(1 - ctx.rank())?; // rank 1 blocks here
+            Ok(v)
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::MemoryExceeded { rank: 0, requested: 500, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_exited_rank_is_an_error_not_a_panic() {
+        // Rank 0 exits immediately; rank 1 keeps sending until the mailbox
+        // closes. The send must fail with a typed error (never panic).
+        let reports = run_cluster(&ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                return Ok(0u64);
+            }
+            let mut sent = 0u64;
+            for _ in 0..1_000_000 {
+                match ctx.send(0, 1u8) {
+                    Ok(()) => sent += 1,
+                    Err(ClusterError::Protocol(_)) | Err(ClusterError::Aborted { .. }) => break,
+                    Err(other) => panic!("unexpected send error {other:?}"),
+                }
+                std::thread::yield_now();
+            }
+            Ok(sent)
+        })
+        .unwrap();
+        assert_eq!(reports[0].value, 0);
+    }
+
+    #[test]
+    fn aborted_error_names_origin() {
+        // A peer woken out of a collective observes Aborted{origin}.
+        let observed = Mutex::new(None);
+        let cfg = ClusterConfig::new(2).with_memory_limit(10);
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.memory().alloc(64)?;
+            }
+            let r = ctx.barrier();
+            if let Err(e) = &r {
+                *observed.lock() = Some(e.clone());
+            }
+            r.map(|_| ())
+        })
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::MemoryExceeded { rank: 1, .. }));
+        let seen = observed.lock().take();
+        match seen {
+            Some(ClusterError::Aborted { origin: 1, reason }) => {
+                assert!(reason.contains("memory capacity exceeded"), "{reason}");
+            }
+            other => panic!("peer saw {other:?}"),
+        }
+    }
+
+    #[test]
     fn broadcast_reaches_everyone() {
         let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
             let v = if ctx.rank() == 2 { Some(String::from("hello")) } else { None };
-            Ok(ctx.broadcast(2, v))
+            ctx.broadcast(2, v)
         })
         .unwrap();
         for rep in reports {
@@ -661,7 +1048,7 @@ mod tests {
     #[test]
     fn gather_collects_on_root() {
         let reports =
-            run_cluster(&ClusterConfig::new(3), |ctx| Ok(ctx.gather(1, ctx.rank() as u32 * 10)))
+            run_cluster(&ClusterConfig::new(3), |ctx| ctx.gather(1, ctx.rank() as u32 * 10))
                 .unwrap();
         assert_eq!(reports[0].value, None);
         assert_eq!(reports[1].value, Some(vec![0, 10, 20]));
@@ -672,7 +1059,7 @@ mod tests {
     fn scatter_distributes_slots() {
         let reports = run_cluster(&ClusterConfig::new(3), |ctx| {
             let items = if ctx.rank() == 0 { Some(vec![100u64, 200, 300]) } else { None };
-            Ok(ctx.scatter(0, items))
+            ctx.scatter(0, items)
         })
         .unwrap();
         assert_eq!(reports[0].value, 100);
@@ -685,12 +1072,12 @@ mod tests {
         // scatter → local work → gather → broadcast in one program.
         let reports = run_cluster(&ClusterConfig::new(4), |ctx| {
             let items = if ctx.rank() == 0 { Some(vec![1u64, 2, 3, 4]) } else { None };
-            let mine = ctx.scatter(0, items);
+            let mine = ctx.scatter(0, items)?;
             let squared = mine * mine;
-            let gathered = ctx.gather(0, squared);
+            let gathered = ctx.gather(0, squared)?;
             let total =
                 if ctx.rank() == 0 { Some(gathered.unwrap().iter().sum::<u64>()) } else { None };
-            Ok(ctx.broadcast(0, total))
+            ctx.broadcast(0, total)
         })
         .unwrap();
         for rep in reports {
@@ -704,7 +1091,7 @@ mod tests {
         let counter = AtomicUsize::new(0);
         run_cluster(&ClusterConfig::new(4), |ctx| {
             counter.fetch_add(1, Ordering::SeqCst);
-            ctx.barrier();
+            ctx.barrier()?;
             // After the barrier every rank must observe all increments.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
             Ok(())

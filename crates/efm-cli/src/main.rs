@@ -27,6 +27,11 @@
 //!   --export-metatool <FILE>        write the network in Metatool .dat format
 //!   --output <FILE>                 write the computed modes to FILE
 //!   --output-format <text|packed>   mode file format        [default: text]
+//!   --checkpoint <FILE>             snapshot engine state to FILE at iteration boundaries
+//!   --checkpoint-every <N>          snapshot every N iterations [default: 1]
+//!   --resume <FILE>                 resume an aborted run from a checkpoint FILE
+//!   --auto-escalate <K>             on memory abort, retry as divide-and-conquer
+//!                                   over suggested splits up to 2^K subsets
 //!
 //! Network files may be in the reaction-per-line format of the paper's
 //! figures or in Metatool `.dat` format (auto-detected by the leading
@@ -34,8 +39,9 @@
 //! ```
 
 use efm_core::{
-    enumerate_divide_conquer_with_scalar, enumerate_with_scalar, Backend, CandidateTest,
-    EfmOptions, EfmOutcome, RowOrdering,
+    enumerate_divide_conquer_with_scalar, enumerate_resumable_with_scalar,
+    enumerate_with_escalation_scalar, Backend, CandidateTest, CheckpointConfig, EfmOptions,
+    EfmOutcome, EngineCheckpoint, RowOrdering,
 };
 use efm_metnet::{examples, parse_metatool, parse_network, to_metatool, yeast, MetabolicNetwork};
 use efm_numeric::{DynInt, F64Tol};
@@ -62,6 +68,10 @@ struct Args {
     export_metatool: Option<String>,
     output: Option<String>,
     output_format: String,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    resume: Option<String>,
+    auto_escalate: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -70,7 +80,8 @@ fn usage() -> ! {
          \x20                 [--nodes N] [--memory-limit BYTES] [--partition R1,R2,...]\n\
          \x20                 [--ordering paper|nnz|asis|random] [--test rank|adjacency]\n\
          \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
-         \x20                 [--quiet] [NETWORK-FILE]"
+         \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
+         \x20                 [--auto-escalate K] [--quiet] [NETWORK-FILE]"
     );
     std::process::exit(2);
 }
@@ -97,6 +108,10 @@ fn parse_args() -> Args {
         export_metatool: None,
         output: None,
         output_format: "text".into(),
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        auto_escalate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -131,6 +146,14 @@ fn parse_args() -> Args {
             "--export-metatool" => args.export_metatool = Some(val(&mut it)),
             "--output" => args.output = Some(val(&mut it)),
             "--output-format" => args.output_format = val(&mut it),
+            "--checkpoint" => args.checkpoint = Some(val(&mut it)),
+            "--checkpoint-every" => {
+                args.checkpoint_every = val(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--resume" => args.resume = Some(val(&mut it)),
+            "--auto-escalate" => {
+                args.auto_escalate = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => args.network = Some(other.to_string()),
             _ => usage(),
@@ -193,9 +216,58 @@ fn run<S: efm_core::EfmScalar>(
         }
         _ => usage(),
     };
+    if let Some(max_qsub) = args.auto_escalate {
+        if !args.partition.is_empty() || args.checkpoint.is_some() || args.resume.is_some() {
+            eprintln!("error: --auto-escalate excludes --partition, --checkpoint and --resume");
+            usage();
+        }
+        let out = enumerate_with_escalation_scalar::<S>(net, &opts, &backend, max_qsub)?;
+        if !args.quiet {
+            for a in &out.attempts {
+                let what = if a.qsub == 0 {
+                    "direct".to_string()
+                } else {
+                    format!("divide-and-conquer over {{{}}}", a.partition.join(","))
+                };
+                match &a.error {
+                    Some(e) => println!("escalation: {what} failed: {e}"),
+                    None => println!("escalation: {what} succeeded"),
+                }
+            }
+        }
+        return Ok(out.outcome);
+    }
     if args.partition.is_empty() {
-        enumerate_with_scalar::<S>(net, &opts, &backend)
+        let resume = match &args.resume {
+            Some(path) => {
+                let ck = EngineCheckpoint::load(std::path::Path::new(path))?;
+                if !args.quiet {
+                    println!(
+                        "resuming from {path}: {} iterations already completed",
+                        ck.iterations_completed()
+                    );
+                }
+                Some(ck)
+            }
+            None => None,
+        };
+        let checkpoint =
+            args.checkpoint.as_ref().map(|p| CheckpointConfig::new(p).every(args.checkpoint_every));
+        enumerate_resumable_with_scalar::<S>(
+            net,
+            &opts,
+            &backend,
+            resume.as_ref(),
+            checkpoint.as_ref(),
+        )
     } else {
+        if args.checkpoint.is_some() || args.resume.is_some() {
+            eprintln!(
+                "error: --checkpoint/--resume apply to unsplit runs; \
+                 divide-and-conquer subsets restart cheaply"
+            );
+            usage();
+        }
         let names: Vec<&str> = args.partition.iter().map(String::as_str).collect();
         enumerate_divide_conquer_with_scalar::<S>(net, &opts, &names, &backend)
     }

@@ -1,9 +1,10 @@
 //! High-level entry points: network in, EFM set out.
 
 use crate::bridge::EfmScalar;
-use crate::cluster_algo::cluster_supports;
+use crate::checkpoint::{CheckpointConfig, EngineCheckpoint};
+use crate::cluster_algo::cluster_supports_resumable;
 use crate::divide::{divide_conquer_supports, Backend, SubsetReport};
-use crate::drivers::{rayon_supports, serial_supports, SupportsAndStats};
+use crate::drivers::{rayon_supports_resumable, serial_supports_resumable, SupportsAndStats};
 use crate::problem::build_problem;
 use crate::types::{EfmError, EfmOptions, EfmSet, RunStats};
 use efm_metnet::{compress_with, CompressionStats, MetabolicNetwork, ReducedNetwork};
@@ -66,6 +67,20 @@ pub fn enumerate_with_scalar<S: EfmScalar>(
     opts: &EfmOptions,
     backend: &Backend,
 ) -> Result<EfmOutcome, EfmError> {
+    enumerate_resumable_with_scalar::<S>(net, opts, backend, None, None)
+}
+
+/// Enumerates all EFMs with optional checkpoint/resume: `resume` replays a
+/// previously captured iteration-boundary snapshot (validated against the
+/// problem before any work starts), `checkpoint` makes the run snapshot its
+/// state after iterations so a later abort loses at most one iteration.
+pub fn enumerate_resumable_with_scalar<S: EfmScalar>(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    backend: &Backend,
+    resume: Option<&EngineCheckpoint>,
+    checkpoint: Option<&CheckpointConfig>,
+) -> Result<EfmOutcome, EfmError> {
     let (red, comp) = compress_with(net, &opts.compression);
     if red.num_reduced() == 0 {
         return Ok(assemble(net, &red, comp, Vec::new(), RunStats::default(), Vec::new()));
@@ -73,18 +88,24 @@ pub fn enumerate_with_scalar<S: EfmScalar>(
     let problem = build_problem::<S>(&red, opts)?;
     let q = problem.num_cols();
     let (sups, stats): SupportsAndStats = match backend {
-        Backend::Serial => dispatch_width!(q, serial_supports(&problem, opts))?,
-        Backend::Rayon => dispatch_width!(q, rayon_supports(&problem, opts))?,
+        Backend::Serial => {
+            dispatch_width!(q, serial_supports_resumable(&problem, opts, resume, checkpoint))?
+        }
+        Backend::Rayon => {
+            dispatch_width!(q, rayon_supports_resumable(&problem, opts, resume, checkpoint))?
+        }
         Backend::Cluster(cfg) => {
             fn run_cluster_backend<P: efm_bitset::BitPattern, S: EfmScalar>(
                 problem: &crate::problem::EfmProblem<S>,
                 opts: &EfmOptions,
                 cfg: &efm_cluster::ClusterConfig,
+                resume: Option<&EngineCheckpoint>,
+                checkpoint: Option<&CheckpointConfig>,
             ) -> Result<SupportsAndStats, EfmError> {
-                let o = cluster_supports::<P, S>(problem, opts, cfg)?;
+                let o = cluster_supports_resumable::<P, S>(problem, opts, cfg, resume, checkpoint)?;
                 Ok((o.supports, o.stats))
             }
-            dispatch_width!(q, run_cluster_backend(&problem, opts, cfg))?
+            dispatch_width!(q, run_cluster_backend(&problem, opts, cfg, resume, checkpoint))?
         }
     };
     Ok(assemble(net, &red, comp, sups, stats, Vec::new()))

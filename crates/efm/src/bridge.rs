@@ -15,13 +15,25 @@ use efm_numeric::{to_primitive_integer_vec, DynInt, F64Tol, Rational, Scalar};
 
 /// Scalars usable by the EFM enumeration core.
 pub trait EfmScalar: Scalar {
+    /// Tag identifying this scalar type inside checkpoint files; resuming
+    /// with a different scalar than the one that wrote the checkpoint is a
+    /// validation error, not a silent reinterpretation.
+    const CHECKPOINT_TAG: &'static str;
     /// Imports a stoichiometry matrix (row-wise canonicalization allowed).
     fn import_stoich(n: &Mat<Rational>) -> Mat<Self>;
     /// Imports a kernel basis (column-wise canonicalization allowed).
     fn import_kernel(k: &Mat<Rational>) -> Mat<Self>;
+    /// Encodes one value for a checkpoint. Must round-trip exactly through
+    /// [`EfmScalar::decode_checkpoint`] — bit-for-bit for floats, digit-for-
+    /// digit for integers — so a resumed run replays the identical state.
+    fn encode_checkpoint(&self) -> String;
+    /// Decodes a value written by [`EfmScalar::encode_checkpoint`].
+    fn decode_checkpoint(s: &str) -> Result<Self, String>;
 }
 
 impl EfmScalar for DynInt {
+    const CHECKPOINT_TAG: &'static str = "dynint";
+
     fn import_stoich(n: &Mat<Rational>) -> Mat<Self> {
         let mut out = Mat::<DynInt>::zeros(n.rows(), n.cols());
         for r in 0..n.rows() {
@@ -43,9 +55,20 @@ impl EfmScalar for DynInt {
         }
         out
     }
+
+    fn encode_checkpoint(&self) -> String {
+        // Decimal digits round-trip arbitrary-precision integers exactly.
+        self.to_string()
+    }
+
+    fn decode_checkpoint(s: &str) -> Result<Self, String> {
+        s.parse::<DynInt>().map_err(|e| format!("bad integer {s:?}: {e}"))
+    }
 }
 
 impl EfmScalar for F64Tol {
+    const CHECKPOINT_TAG: &'static str = "f64tol";
+
     fn import_stoich(n: &Mat<Rational>) -> Mat<Self> {
         n.map(|v| F64Tol(v.to_f64()))
     }
@@ -61,6 +84,18 @@ impl EfmScalar for F64Tol {
             }
         }
         out
+    }
+
+    fn encode_checkpoint(&self) -> String {
+        // Raw IEEE-754 bits in hex: exact even where decimal formatting
+        // would round (and total — NaN payloads and signed zeros survive).
+        format!("{:016x}", self.0.to_bits())
+    }
+
+    fn decode_checkpoint(s: &str) -> Result<Self, String> {
+        u64::from_str_radix(s, 16)
+            .map(|bits| F64Tol(f64::from_bits(bits)))
+            .map_err(|e| format!("bad f64 bits {s:?}: {e}"))
     }
 }
 
@@ -87,6 +122,26 @@ mod tests {
         let m = DynInt::import_kernel(&k);
         assert_eq!(m.get(0, 0), &DynInt::from_i64(3));
         assert_eq!(m.get(1, 0), &DynInt::from_i64(-2));
+    }
+
+    #[test]
+    fn dynint_checkpoint_roundtrip() {
+        // Exercise both the inline and the promoted (big) representation.
+        let big: DynInt = "123456789012345678901234567890123456789".parse().unwrap();
+        for v in [DynInt::from_i64(0), DynInt::from_i64(-17), big] {
+            let enc = v.encode_checkpoint();
+            assert_eq!(DynInt::decode_checkpoint(&enc).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn f64_checkpoint_roundtrip_is_bit_exact() {
+        for v in [0.0f64, -0.0, 1.0 / 3.0, -2.5e-300, f64::MAX] {
+            let enc = F64Tol(v).encode_checkpoint();
+            let back = F64Tol::decode_checkpoint(&enc).unwrap();
+            assert_eq!(back.0.to_bits(), v.to_bits());
+        }
+        assert!(F64Tol::decode_checkpoint("xyz").is_err());
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! Iteration-boundary checkpointing of the Nullspace Algorithm.
+//!
+//! The engine state between two iterations is exactly `(cursor,
+//! rev_positions, mode matrix, statistics)` — everything else is derived
+//! from the problem. A checkpoint captures that state at a row boundary so
+//! an aborted run (memory cap, crash, Ctrl-C) can resume from the last
+//! completed iteration instead of restarting the enumeration, the paper's
+//! multi-hour Network II scenario.
+//!
+//! The file format is a hand-rolled little-endian binary layout in the
+//! style of [`crate::io`]'s packed EFM format (`EFCK` magic, u32/u64
+//! fields). Numeric values travel as text produced by
+//! [`EfmScalar::encode_checkpoint`], which round-trips exactly for both
+//! scalar backends (decimal digits for arbitrary-precision integers, raw
+//! IEEE-754 bits for floats), so a resumed run replays *identical* state.
+//! Bit patterns travel as set-bit index lists, making the file independent
+//! of the pattern width the writer happened to monomorphize.
+//!
+//! A checkpoint is bound to its problem by a structural fingerprint
+//! (dimensions, row order, reversibility, reaction names) plus the scalar
+//! tag; [`EngineCheckpoint::restore`] rejects any mismatch instead of
+//! resuming into a different enumeration.
+
+use crate::bridge::EfmScalar;
+use crate::engine::{Engine, ModeMatrix};
+use crate::problem::EfmProblem;
+use crate::types::{EfmError, EfmOptions, IterationStats, RunStats};
+use efm_bitset::BitPattern;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::time::Duration;
+
+const MAGIC: &[u8; 4] = b"EFCK";
+const VERSION: u32 = 1;
+
+/// Checkpoint-writing policy for a resumable run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Where snapshots are written (atomically, replacing the previous one).
+    pub path: std::path::PathBuf,
+    /// Snapshot every `every` completed iterations.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` after every iteration.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointConfig { path: path.into(), every: 1 }
+    }
+
+    /// Sets the snapshot interval in iterations.
+    pub fn every(mut self, n: usize) -> Self {
+        self.every = n.max(1);
+        self
+    }
+
+    /// Whether a snapshot is due after `iterations_done` iterations.
+    pub(crate) fn due(&self, iterations_done: usize) -> bool {
+        iterations_done.is_multiple_of(self.every)
+    }
+}
+
+/// A width- and scalar-erased snapshot of an [`Engine`] at an iteration
+/// boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineCheckpoint {
+    /// Scalar backend that wrote the snapshot ([`EfmScalar::CHECKPOINT_TAG`]).
+    pub scalar_tag: String,
+    /// Bit capacity of the pattern width that wrote the snapshot.
+    pub pattern_bits: u32,
+    /// Structural fingerprint of the problem (see [`problem_fingerprint`]).
+    pub fingerprint: u64,
+    /// First processed position (identity block size).
+    pub free_count: u64,
+    /// One past the last position to process.
+    pub stop_at: u64,
+    /// Next row to process.
+    pub cursor: u64,
+    /// Positions of the processed reversible rows, in processing order.
+    pub rev_positions: Vec<u64>,
+    /// Number of processed reversible rows per mode.
+    pub rev_len: u64,
+    /// Number of unprocessed rows per mode.
+    pub tail_len: u64,
+    /// Per-mode set-bit indices of the fixed-row pattern.
+    pub mode_patterns: Vec<Vec<u32>>,
+    /// Encoded numeric sections, flattened with stride `rev_len + tail_len`.
+    pub vals: Vec<String>,
+    /// Run statistics accumulated up to the snapshot.
+    pub stats: RunStats,
+}
+
+/// Structural fingerprint binding a checkpoint to its problem: FNV-1a over
+/// the dimensions, processing order, reversibility flags, and reaction
+/// names. Scalar *values* are deliberately excluded — the scalar tag covers
+/// the arithmetic, and the same network imports to different matrices under
+/// different scalars.
+pub fn problem_fingerprint<S: EfmScalar>(problem: &EfmProblem<S>) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(problem.num_rows() as u64);
+    h.write_u64(problem.num_cols() as u64);
+    h.write_u64(problem.free_count as u64);
+    h.write_u64(problem.stop_before as u64);
+    for &c in &problem.row_order {
+        h.write_u64(c as u64);
+    }
+    for &r in &problem.reversible {
+        h.write_u64(r as u64);
+    }
+    for n in &problem.names {
+        h.write_bytes(n.as_bytes());
+        h.write_u64(0xff); // name separator
+    }
+    h.finish()
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl EngineCheckpoint {
+    /// Snapshots an engine at an iteration boundary.
+    pub fn capture<P: BitPattern, S: EfmScalar>(eng: &Engine<P, S>, fingerprint: u64) -> Self {
+        EngineCheckpoint {
+            scalar_tag: S::CHECKPOINT_TAG.to_string(),
+            pattern_bits: P::capacity() as u32,
+            fingerprint,
+            free_count: eng.free_count as u64,
+            stop_at: eng.stop_at as u64,
+            cursor: eng.cursor as u64,
+            rev_positions: eng.rev_positions.iter().map(|&p| p as u64).collect(),
+            rev_len: eng.modes.rev_len as u64,
+            tail_len: eng.modes.tail_len as u64,
+            mode_patterns: eng
+                .modes
+                .patterns
+                .iter()
+                .map(|p| p.ones().into_iter().map(|b| b as u32).collect())
+                .collect(),
+            vals: eng.modes.vals.iter().map(EfmScalar::encode_checkpoint).collect(),
+            stats: eng.stats.clone(),
+        }
+    }
+
+    /// Number of iterations the snapshot has completed.
+    pub fn iterations_completed(&self) -> u64 {
+        self.cursor - self.free_count
+    }
+
+    /// Rebuilds an engine from the snapshot, validating that the snapshot
+    /// belongs to `problem`, the scalar backend, and the pattern width the
+    /// caller is resuming with.
+    pub fn restore<P: BitPattern, S: EfmScalar>(
+        &self,
+        problem: &EfmProblem<S>,
+        opts: &EfmOptions,
+    ) -> Result<Engine<P, S>, EfmError> {
+        let bad = |m: String| EfmError::Checkpoint(m);
+        if self.scalar_tag != S::CHECKPOINT_TAG {
+            return Err(bad(format!(
+                "scalar mismatch: checkpoint written with {:?}, resuming with {:?}",
+                self.scalar_tag,
+                S::CHECKPOINT_TAG
+            )));
+        }
+        if self.pattern_bits as usize != P::capacity() {
+            return Err(bad(format!(
+                "pattern width mismatch: checkpoint uses {} bits, resume dispatched {}",
+                self.pattern_bits,
+                P::capacity()
+            )));
+        }
+        let fp = problem_fingerprint(problem);
+        if self.fingerprint != fp {
+            return Err(bad(format!(
+                "problem fingerprint mismatch ({:#018x} vs {:#018x}): the checkpoint \
+                 was written for a different network, ordering, or compression",
+                self.fingerprint, fp
+            )));
+        }
+        let mut eng = Engine::<P, S>::new(problem, opts)?;
+        if self.free_count != eng.free_count as u64 || self.stop_at != eng.stop_at as u64 {
+            return Err(bad(format!(
+                "processing bounds mismatch: checkpoint [{}, {}) vs problem [{}, {})",
+                self.free_count, self.stop_at, eng.free_count, eng.stop_at
+            )));
+        }
+        if self.cursor < self.free_count || self.cursor > self.stop_at {
+            return Err(bad(format!(
+                "cursor {} outside processing range [{}, {}]",
+                self.cursor, self.free_count, self.stop_at
+            )));
+        }
+        if self.rev_positions.len() as u64 != self.rev_len {
+            return Err(bad(format!(
+                "{} reversible positions recorded but rev_len is {}",
+                self.rev_positions.len(),
+                self.rev_len
+            )));
+        }
+        let stride = (self.rev_len + self.tail_len) as usize;
+        let nmodes = self.mode_patterns.len();
+        if self.vals.len() != nmodes * stride {
+            return Err(bad(format!(
+                "{} values do not fill {} modes of stride {}",
+                self.vals.len(),
+                nmodes,
+                stride
+            )));
+        }
+        let mut patterns = Vec::with_capacity(nmodes);
+        for bits in &self.mode_patterns {
+            let mut pat = P::empty();
+            for &b in bits {
+                if b as usize >= P::capacity() {
+                    return Err(bad(format!("pattern bit {b} out of range")));
+                }
+                pat.set(b as usize);
+            }
+            patterns.push(pat);
+        }
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for v in &self.vals {
+            vals.push(S::decode_checkpoint(v).map_err(&bad)?);
+        }
+        eng.cursor = self.cursor as usize;
+        eng.rev_positions = self.rev_positions.iter().map(|&p| p as usize).collect();
+        eng.modes = ModeMatrix {
+            patterns,
+            vals,
+            rev_len: self.rev_len as usize,
+            tail_len: self.tail_len as usize,
+        };
+        eng.stats = self.stats.clone();
+        Ok(eng)
+    }
+
+    /// Writes the binary checkpoint format.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, VERSION)?;
+        put_str(&mut w, &self.scalar_tag)?;
+        put_u32(&mut w, self.pattern_bits)?;
+        put_u64(&mut w, self.fingerprint)?;
+        put_u64(&mut w, self.free_count)?;
+        put_u64(&mut w, self.stop_at)?;
+        put_u64(&mut w, self.cursor)?;
+        put_u64(&mut w, self.rev_positions.len() as u64)?;
+        for &p in &self.rev_positions {
+            put_u64(&mut w, p)?;
+        }
+        put_u64(&mut w, self.rev_len)?;
+        put_u64(&mut w, self.tail_len)?;
+        put_u64(&mut w, self.mode_patterns.len() as u64)?;
+        for bits in &self.mode_patterns {
+            put_u32(&mut w, bits.len() as u32)?;
+            for &b in bits {
+                put_u32(&mut w, b)?;
+            }
+        }
+        put_u64(&mut w, self.vals.len() as u64)?;
+        for v in &self.vals {
+            put_str(&mut w, v)?;
+        }
+        put_stats(&mut w, &self.stats)?;
+        Ok(())
+    }
+
+    /// Reads the binary checkpoint format.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad_data("not an EFCK checkpoint file"));
+        }
+        let version = get_u32(&mut r)?;
+        if version != VERSION {
+            return Err(bad_data(format!("unsupported checkpoint version {version}")));
+        }
+        let scalar_tag = get_str(&mut r)?;
+        let pattern_bits = get_u32(&mut r)?;
+        let fingerprint = get_u64(&mut r)?;
+        let free_count = get_u64(&mut r)?;
+        let stop_at = get_u64(&mut r)?;
+        let cursor = get_u64(&mut r)?;
+        let nrev = checked_len(get_u64(&mut r)?)?;
+        let mut rev_positions = Vec::with_capacity(nrev);
+        for _ in 0..nrev {
+            rev_positions.push(get_u64(&mut r)?);
+        }
+        let rev_len = get_u64(&mut r)?;
+        let tail_len = get_u64(&mut r)?;
+        let nmodes = checked_len(get_u64(&mut r)?)?;
+        let mut mode_patterns = Vec::with_capacity(nmodes);
+        for _ in 0..nmodes {
+            let nbits = get_u32(&mut r)? as usize;
+            let mut bits = Vec::with_capacity(nbits);
+            for _ in 0..nbits {
+                bits.push(get_u32(&mut r)?);
+            }
+            mode_patterns.push(bits);
+        }
+        let nvals = checked_len(get_u64(&mut r)?)?;
+        let mut vals = Vec::with_capacity(nvals.min(1 << 20));
+        for _ in 0..nvals {
+            vals.push(get_str(&mut r)?);
+        }
+        let stats = get_stats(&mut r)?;
+        Ok(EngineCheckpoint {
+            scalar_tag,
+            pattern_bits,
+            fingerprint,
+            free_count,
+            stop_at,
+            cursor,
+            rev_positions,
+            rev_len,
+            tail_len,
+            mode_patterns,
+            vals,
+            stats,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename), so
+    /// a crash mid-write never corrupts the previous checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), EfmError> {
+        let tmp = path.with_extension("tmp");
+        let write = || -> io::Result<()> {
+            let f = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::new(f);
+            self.write_to(&mut w)?;
+            use std::io::Write as _;
+            w.flush()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            EfmError::Checkpoint(format!("cannot write {}: {e}", path.display()))
+        })
+    }
+
+    /// Loads a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, EfmError> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| EfmError::Checkpoint(format!("cannot open {}: {e}", path.display())))?;
+        Self::read_from(std::io::BufReader::new(f))
+            .map_err(|e| EfmError::Checkpoint(format!("cannot read {}: {e}", path.display())))
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Guards length prefixes against absurd values from corrupt files so a
+/// flipped byte cannot request an exabyte allocation.
+fn checked_len(v: u64) -> io::Result<usize> {
+    if v > (1 << 40) {
+        return Err(bad_data(format!("implausible length {v}")));
+    }
+    Ok(v as usize)
+}
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_str(r: &mut impl Read) -> io::Result<String> {
+    let len = get_u32(r)? as usize;
+    if len > (1 << 30) {
+        return Err(bad_data(format!("implausible string length {len}")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad_data("non-UTF8 string"))
+}
+
+fn put_duration(w: &mut impl Write, d: Duration) -> io::Result<()> {
+    put_u64(w, d.as_nanos().min(u64::MAX as u128) as u64)
+}
+
+fn get_duration(r: &mut impl Read) -> io::Result<Duration> {
+    Ok(Duration::from_nanos(get_u64(r)?))
+}
+
+fn put_stats(w: &mut impl Write, s: &RunStats) -> io::Result<()> {
+    put_u64(w, s.candidates_generated)?;
+    put_u64(w, s.peak_modes as u64)?;
+    put_u64(w, s.peak_bytes)?;
+    put_u64(w, s.final_modes as u64)?;
+    for d in [
+        s.phases.generate,
+        s.phases.dedup,
+        s.phases.tree_filter,
+        s.phases.rank_test,
+        s.phases.communicate,
+        s.phases.merge,
+        s.total_time,
+    ] {
+        put_duration(w, d)?;
+    }
+    put_u64(w, s.iterations.len() as u64)?;
+    for it in &s.iterations {
+        put_u64(w, it.position as u64)?;
+        put_str(w, &it.reaction)?;
+        put_u32(w, it.reversible as u32)?;
+        for v in [
+            it.pos as u64,
+            it.neg as u64,
+            it.zero as u64,
+            it.pairs,
+            it.numeric_pass,
+            it.prefiltered,
+            it.deduped,
+            it.accepted,
+            it.modes_after as u64,
+        ] {
+            put_u64(w, v)?;
+        }
+        for d in [it.t_generate, it.t_dedup, it.t_merge, it.t_tree_filter, it.t_test] {
+            put_duration(w, d)?;
+        }
+    }
+    Ok(())
+}
+
+fn get_stats(r: &mut impl Read) -> io::Result<RunStats> {
+    let mut s = RunStats {
+        candidates_generated: get_u64(r)?,
+        peak_modes: get_u64(r)? as usize,
+        peak_bytes: get_u64(r)?,
+        final_modes: get_u64(r)? as usize,
+        ..Default::default()
+    };
+    s.phases.generate = get_duration(r)?;
+    s.phases.dedup = get_duration(r)?;
+    s.phases.tree_filter = get_duration(r)?;
+    s.phases.rank_test = get_duration(r)?;
+    s.phases.communicate = get_duration(r)?;
+    s.phases.merge = get_duration(r)?;
+    s.total_time = get_duration(r)?;
+    let niter = checked_len(get_u64(r)?)?;
+    for _ in 0..niter {
+        let mut it = IterationStats {
+            position: get_u64(r)? as usize,
+            reaction: get_str(r)?,
+            reversible: get_u32(r)? != 0,
+            ..Default::default()
+        };
+        it.pos = get_u64(r)? as usize;
+        it.neg = get_u64(r)? as usize;
+        it.zero = get_u64(r)? as usize;
+        it.pairs = get_u64(r)?;
+        it.numeric_pass = get_u64(r)?;
+        it.prefiltered = get_u64(r)?;
+        it.deduped = get_u64(r)?;
+        it.accepted = get_u64(r)?;
+        it.modes_after = get_u64(r)? as usize;
+        it.t_generate = get_duration(r)?;
+        it.t_dedup = get_duration(r)?;
+        it.t_merge = get_duration(r)?;
+        it.t_tree_filter = get_duration(r)?;
+        it.t_test = get_duration(r)?;
+        s.iterations.push(it);
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::build_problem;
+    use efm_bitset::{Pattern1, Pattern2};
+    use efm_metnet::compress;
+    use efm_numeric::{DynInt, F64Tol};
+
+    fn toy_problem() -> EfmProblem<DynInt> {
+        let net = efm_metnet::examples::toy_network();
+        let (red, _) = compress(&net);
+        build_problem::<DynInt>(&red, &EfmOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn capture_restore_resumes_identically() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let fp = problem_fingerprint(&problem);
+
+        // Run halfway, snapshot, and compare a resumed finish against an
+        // uninterrupted run.
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        let halfway = eng.remaining() / 2;
+        for _ in 0..halfway {
+            eng.step();
+        }
+        let ck = EngineCheckpoint::capture(&eng, fp);
+        assert_eq!(ck.iterations_completed(), halfway as u64);
+
+        let mut resumed = ck.restore::<Pattern1, DynInt>(&problem, &opts).unwrap();
+        assert_eq!(resumed.cursor, eng.cursor);
+        assert_eq!(resumed.modes.len(), eng.modes.len());
+        while !eng.done() {
+            eng.step();
+            resumed.step();
+        }
+        let direct: Vec<_> = eng.final_supports();
+        let from_ck: Vec<_> = resumed.final_supports();
+        assert_eq!(direct, from_ck);
+        assert_eq!(eng.stats.candidates_generated, resumed.stats.candidates_generated);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        eng.step();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn rejects_mismatches() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+
+        // Wrong scalar backend.
+        let fproblem = {
+            let net = efm_metnet::examples::toy_network();
+            let (red, _) = compress(&net);
+            build_problem::<F64Tol>(&red, &opts).unwrap()
+        };
+        match ck.restore::<Pattern1, F64Tol>(&fproblem, &opts).err() {
+            Some(EfmError::Checkpoint(m)) => assert!(m.contains("scalar"), "{m}"),
+            other => panic!("expected scalar mismatch, got {other:?}"),
+        }
+
+        // Wrong pattern width.
+        match ck.restore::<Pattern2, DynInt>(&problem, &opts).err() {
+            Some(EfmError::Checkpoint(m)) => assert!(m.contains("width"), "{m}"),
+            other => panic!("expected width mismatch, got {other:?}"),
+        }
+
+        // Wrong problem (perturbed fingerprint).
+        let mut wrong = ck.clone();
+        wrong.fingerprint ^= 1;
+        match wrong.restore::<Pattern1, DynInt>(&problem, &opts).err() {
+            Some(EfmError::Checkpoint(m)) => assert!(m.contains("fingerprint"), "{m}"),
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(EngineCheckpoint::read_from(&buf[..]).is_err());
+        let mut buf2 = Vec::new();
+        ck.write_to(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 5);
+        assert!(EngineCheckpoint::read_from(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let dir = std::env::temp_dir().join(format!("efm-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.efck");
+        ck.save(&path).unwrap();
+        let back = EngineCheckpoint::load(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_problems() {
+        let problem = toy_problem();
+        let other = {
+            let net = efm_metnet::generator::parallel_branches(4);
+            let (red, _) = compress(&net);
+            build_problem::<DynInt>(&red, &EfmOptions::default()).unwrap()
+        };
+        assert_ne!(problem_fingerprint(&problem), problem_fingerprint(&other));
+    }
+}

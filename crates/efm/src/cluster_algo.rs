@@ -15,12 +15,21 @@
 //!    next state.
 //!
 //! Phase wall-times and per-phase work counters are recorded through the
-//! cluster's instrumentation; the per-node mode matrix and the merged
-//! candidate buffer are charged against the per-node memory meter (these
-//! two quantities are identical on every rank, so a memory failure is
-//! symmetric and cannot deadlock a collective).
+//! cluster's instrumentation. The memory meter charges the replicated mode
+//! matrix, the rank's **local stripe buffers** (whose size varies across
+//! ranks), and the merged candidate buffer; a failing charge on any single
+//! rank aborts the whole run through the cluster's cooperative abort
+//! propagation — peers blocked in the allgather are woken with
+//! [`ClusterError::Aborted`] and `run_cluster` reports the originating
+//! `MemoryExceeded`.
+//!
+//! Rank 0 can additionally write an iteration-boundary
+//! [`EngineCheckpoint`](crate::checkpoint::EngineCheckpoint) after each
+//! state advance (the state is identical on every rank at that point), so
+//! an aborted run resumes from the last completed iteration.
 
 use crate::bridge::EfmScalar;
+use crate::checkpoint::{problem_fingerprint, CheckpointConfig, EngineCheckpoint};
 use crate::engine::{CandidateBuf, CandidateSet, Engine};
 use crate::problem::EfmProblem;
 use crate::types::{EfmError, EfmOptions, IterationStats, RunStats};
@@ -75,23 +84,51 @@ pub fn cluster_supports<P: BitPattern, S: EfmScalar>(
     opts: &EfmOptions,
     cfg: &ClusterConfig,
 ) -> Result<ClusterOutcome, EfmError> {
-    // Surface width errors before spawning the cluster.
-    Engine::<P, S>::new(problem, opts)?;
+    cluster_supports_resumable::<P, S>(problem, opts, cfg, None, None)
+}
 
-    let reports = run_cluster(cfg, |ctx| node_body::<P, S>(ctx, problem, opts))?;
+/// Runs Algorithm 2 with optional resume-from-checkpoint and optional
+/// iteration-boundary checkpoint writes (performed by rank 0; the state is
+/// replicated, so one rank's snapshot is everyone's).
+pub fn cluster_supports_resumable<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    cfg: &ClusterConfig,
+    resume: Option<&EngineCheckpoint>,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<ClusterOutcome, EfmError> {
+    // Surface width/checkpoint errors before spawning the cluster.
+    match resume {
+        Some(ck) => drop(ck.restore::<P, S>(problem, opts)?),
+        None => drop(Engine::<P, S>::new(problem, opts)?),
+    }
 
-    // Aggregate: supports from rank 0; totals across ranks.
+    let reports = run_cluster(cfg, |ctx| node_body::<P, S>(ctx, problem, opts, resume, ckpt))?;
+
+    // Aggregate: supports from rank 0; totals across ranks. Iterations
+    // replayed from a checkpoint are already totals, so only count their
+    // candidates once (not once per rank).
     let mut stats = RunStats::default();
-    let nranks = reports.len();
     for rep in &reports {
         stats.candidates_generated += rep.value.stats.candidates_generated;
         stats.peak_modes = stats.peak_modes.max(rep.value.stats.peak_modes);
+        stats.peak_bytes = stats.peak_bytes.max(rep.peak_memory);
+    }
+    if let Some(ck) = resume {
+        stats.candidates_generated -= ck.stats.candidates_generated * (reports.len() as u64 - 1);
     }
     // Iteration records: take rank 0's skeleton, with pair counts summed
-    // across ranks (each rank recorded only its stripe).
+    // across ranks (each rank recorded only its stripe). On a resumed run
+    // the records before the resume point came from the checkpoint and are
+    // identical on every rank; sum only the records produced live.
+    let resumed_iters = resume.map_or(0, |ck| ck.stats.iterations.len());
     let mut iterations = reports[0].value.stats.iterations.clone();
     for rep in &reports[1..] {
-        for (acc, it) in iterations.iter_mut().zip(&rep.value.stats.iterations) {
+        for (acc, it) in iterations
+            .iter_mut()
+            .skip(resumed_iters)
+            .zip(rep.value.stats.iterations.iter().skip(resumed_iters))
+        {
             acc.pairs += it.pairs;
             acc.prefiltered += it.prefiltered;
             acc.deduped += it.deduped;
@@ -112,7 +149,6 @@ pub fn cluster_supports<P: BitPattern, S: EfmScalar>(
     stats.total_time = reports.iter().map(|r| r.value.stats.total_time).max().unwrap_or_default();
     stats.final_modes = reports[0].value.supports.len();
     let supports = reports[0].value.supports.clone();
-    let _ = nranks;
     Ok(ClusterOutcome { supports, stats, per_rank: reports })
 }
 
@@ -120,10 +156,16 @@ fn node_body<P: BitPattern, S: EfmScalar>(
     ctx: &NodeCtx,
     problem: &EfmProblem<S>,
     opts: &EfmOptions,
+    resume: Option<&EngineCheckpoint>,
+    ckpt: Option<&CheckpointConfig>,
 ) -> Result<ClusterNodeOutcome, ClusterError> {
     let t_run = Instant::now();
-    let mut eng =
-        Engine::<P, S>::new(problem, opts).map_err(|e| ClusterError::Protocol(e.to_string()))?;
+    let as_protocol = |e: EfmError| ClusterError::Protocol(e.to_string());
+    let mut eng = match resume {
+        Some(ck) => ck.restore::<P, S>(problem, opts).map_err(as_protocol)?,
+        None => Engine::<P, S>::new(problem, opts).map_err(as_protocol)?,
+    };
+    let fingerprint = problem_fingerprint(problem);
     let rank = ctx.rank() as u64;
     let nodes = ctx.size() as u64;
     let mut accounted: u64 = 0;
@@ -159,6 +201,10 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             rec.prefiltered = eng.generate_range(&part, start, end, &mut set, &mut scratch);
             (part, set)
         };
+        // The raw generation output is transient (a streaming generator
+        // would never hold it) and is deliberately not charged against the
+        // node capacity; the *surviving* stripe is charged after the rank
+        // tests below.
         // --- Sort&RemoveDuplicates (local).
         {
             let _t = ctx.timed(phases::DEDUP);
@@ -189,13 +235,18 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             rec.accepted = eng.elementarity_filter_with(&mut local, &part, zero_tree.as_ref());
             eng.materialize(&local)
         };
+        // The materialized survivor stripe is this rank's private memory
+        // load — it differs across ranks, so a capacity failure here is
+        // *asymmetric* and relies on the abort propagation to release the
+        // peers from the collectives below.
+        track(ctx, &mut accounted, eng.modes.approx_bytes() + local_buf.approx_bytes())?;
         // --- Communicate.
         let all = {
             let _t = ctx.timed(phases::COMMUNICATE);
             // Under an α/β network model every rank ships its survivor
             // buffer to all peers; record the outgoing volume.
             ctx.add_work(phases::COMM_BYTES, local_buf.approx_bytes() * (nodes - 1));
-            ctx.allgather(local_buf)
+            ctx.allgather(local_buf)?
         };
         // --- Merge: identical on every rank.
         {
@@ -214,6 +265,13 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         rec.modes_after = eng.modes.len();
         eng.stats.candidates_generated += rec.pairs;
         eng.stats.iterations.push(rec);
+        // --- Iteration boundary: the state is again identical on every
+        // rank, so rank 0's snapshot stands for all.
+        if let Some(c) = ckpt {
+            if ctx.rank() == 0 && c.due(eng.cursor - eng.free_count) {
+                EngineCheckpoint::capture(&eng, fingerprint).save(&c.path).map_err(as_protocol)?;
+            }
+        }
     }
 
     let supports: Vec<Vec<usize>> = crate::drivers::map_final_supports(problem, &eng);

@@ -2,6 +2,7 @@
 //! the EFMTools-style multithreaded variant it cites as prior work.
 
 use crate::bridge::EfmScalar;
+use crate::checkpoint::{problem_fingerprint, CheckpointConfig, EngineCheckpoint};
 use crate::engine::{CandidateSet, Engine};
 use crate::problem::EfmProblem;
 use crate::types::{CandidateTest, EfmError, EfmOptions, RunStats};
@@ -66,18 +67,54 @@ fn finalize<P: BitPattern, S: EfmScalar>(
     (sups, eng.stats)
 }
 
+/// Shared resumable loop: builds the engine (fresh or from a checkpoint),
+/// runs `step` until done, snapshotting at iteration boundaries per `ckpt`.
+fn run_resumable<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    resume: Option<&EngineCheckpoint>,
+    ckpt: Option<&CheckpointConfig>,
+    mut step: impl FnMut(&mut Engine<P, S>),
+) -> Result<SupportsAndStats, EfmError> {
+    let t0 = Instant::now();
+    let fingerprint = problem_fingerprint(problem);
+    let mut eng = match resume {
+        Some(ck) => ck.restore::<P, S>(problem, opts)?,
+        None => Engine::<P, S>::new(problem, opts)?,
+    };
+    while !eng.done() {
+        check_limit(&eng, opts)?;
+        step(&mut eng);
+        if let Some(c) = ckpt {
+            if c.due(eng.cursor - eng.free_count) {
+                EngineCheckpoint::capture(&eng, fingerprint).save(&c.path)?;
+            }
+        }
+    }
+    Ok(finalize(problem, eng, t0))
+}
+
 /// Runs the serial Nullspace Algorithm (Algorithm 1 of the paper).
 pub fn serial_supports<P: BitPattern, S: EfmScalar>(
     problem: &EfmProblem<S>,
     opts: &EfmOptions,
 ) -> Result<SupportsAndStats, EfmError> {
-    let t0 = Instant::now();
-    let mut eng = Engine::<P, S>::new(problem, opts)?;
-    while !eng.done() {
-        check_limit(&eng, opts)?;
+    run_resumable::<P, S>(problem, opts, None, None, |eng| {
         eng.step();
-    }
-    Ok(finalize(problem, eng, t0))
+    })
+}
+
+/// Serial Algorithm 1 with optional resume-from-checkpoint and optional
+/// iteration-boundary checkpoint writes.
+pub fn serial_supports_resumable<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    resume: Option<&EngineCheckpoint>,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<SupportsAndStats, EfmError> {
+    run_resumable::<P, S>(problem, opts, resume, ckpt, |eng| {
+        eng.step();
+    })
 }
 
 /// Runs the serial algorithm, invoking `on_iteration` after every step —
@@ -103,13 +140,18 @@ pub fn rayon_supports<P: BitPattern, S: EfmScalar>(
     problem: &EfmProblem<S>,
     opts: &EfmOptions,
 ) -> Result<SupportsAndStats, EfmError> {
-    let t0 = Instant::now();
-    let mut eng = Engine::<P, S>::new(problem, opts)?;
-    while !eng.done() {
-        check_limit(&eng, opts)?;
-        rayon_step(&mut eng);
-    }
-    Ok(finalize(problem, eng, t0))
+    run_resumable::<P, S>(problem, opts, None, None, rayon_step::<P, S>)
+}
+
+/// Shared-memory parallel variant with optional resume-from-checkpoint and
+/// optional iteration-boundary checkpoint writes.
+pub fn rayon_supports_resumable<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    resume: Option<&EngineCheckpoint>,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<SupportsAndStats, EfmError> {
+    run_resumable::<P, S>(problem, opts, resume, ckpt, rayon_step::<P, S>)
 }
 
 /// Block size for parallel per-candidate work: small enough that uneven

@@ -38,10 +38,12 @@
 mod api;
 pub mod apps;
 mod bridge;
+pub mod checkpoint;
 mod cluster_algo;
 mod divide;
 mod drivers;
 mod engine;
+mod escalate;
 pub mod io;
 mod oracle;
 mod problem;
@@ -49,18 +51,29 @@ mod recover;
 mod types;
 
 pub use api::{
-    enumerate, enumerate_divide_conquer, enumerate_divide_conquer_with_scalar, enumerate_with,
-    enumerate_with_scalar, EfmOutcome, MAX_REDUCED_REACTIONS,
+    enumerate, enumerate_divide_conquer, enumerate_divide_conquer_with_scalar,
+    enumerate_resumable_with_scalar, enumerate_with, enumerate_with_scalar, EfmOutcome,
+    MAX_REDUCED_REACTIONS,
 };
 pub use apps::{minimal_cut_sets, mode_yields, reaction_participation, suggest_partition};
 pub use bridge::EfmScalar;
-pub use cluster_algo::{cluster_supports, phases, ClusterNodeOutcome, ClusterOutcome};
+pub use checkpoint::{problem_fingerprint, CheckpointConfig, EngineCheckpoint};
+pub use cluster_algo::{
+    cluster_supports, cluster_supports_resumable, phases, ClusterNodeOutcome, ClusterOutcome,
+};
 pub use divide::{
     divide_conquer_supports, resolve_partition, run_subset, subset_pattern, Backend, Partition,
     SubsetReport,
 };
-pub use drivers::{rayon_supports, serial_supports, serial_supports_traced, SupportsAndStats};
+pub use drivers::{
+    rayon_supports, rayon_supports_resumable, serial_supports, serial_supports_resumable,
+    serial_supports_traced, SupportsAndStats,
+};
 pub use engine::{CandidateBuf, CandidateSet, Engine, ModeMatrix, SignPartition, RANK_TOL};
+pub use escalate::{
+    enumerate_with_escalation, enumerate_with_escalation_scalar, EscalationAttempt,
+    EscalationOutcome,
+};
 pub use oracle::brute_force_efms;
 pub use problem::{build_problem, build_subproblem, EfmProblem};
 pub use recover::{recover_flux, verify_flux};

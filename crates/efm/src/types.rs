@@ -72,7 +72,7 @@ impl Default for EfmOptions {
 }
 
 /// Statistics for one iteration of the Nullspace Algorithm.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IterationStats {
     /// Position of the processed row within the ordered kernel matrix.
     pub position: usize,
@@ -115,7 +115,7 @@ pub struct IterationStats {
 }
 
 /// Wall-clock time spent per algorithm phase (the paper's Table II rows).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// Candidate generation (pairing + summary rejection).
     pub generate: Duration,
@@ -156,7 +156,7 @@ impl PhaseBreakdown {
 }
 
 /// Statistics of a whole run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Per-iteration records, in processing order.
     pub iterations: Vec<IterationStats>,
@@ -164,6 +164,9 @@ pub struct RunStats {
     pub candidates_generated: u64,
     /// Peak number of intermediate modes.
     pub peak_modes: usize,
+    /// Peak accounted memory in bytes, maximised over cluster ranks
+    /// (`0` for backends without memory accounting).
+    pub peak_bytes: u64,
     /// Final mode count.
     pub final_modes: usize,
     /// Phase time breakdown.
@@ -178,6 +181,7 @@ impl RunStats {
     pub fn accumulate(&mut self, other: &RunStats) {
         self.candidates_generated += other.candidates_generated;
         self.peak_modes = self.peak_modes.max(other.peak_modes);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.final_modes += other.final_modes;
         self.phases.accumulate(&other.phases);
         self.total_time += other.total_time;
@@ -349,6 +353,9 @@ pub enum EfmError {
     },
     /// The simulated cluster failed (memory exhaustion, node panic).
     Cluster(efm_cluster::ClusterError),
+    /// A checkpoint file could not be written, read, or does not match the
+    /// problem being resumed.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for EfmError {
@@ -374,6 +381,7 @@ impl std::fmt::Display for EfmError {
                 write!(f, "mode limit {limit} exceeded at iteration {at_iteration}")
             }
             EfmError::Cluster(e) => write!(f, "cluster failure: {e}"),
+            EfmError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }

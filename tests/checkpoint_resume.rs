@@ -1,0 +1,104 @@
+//! Checkpoint/resume fidelity: a run interrupted at an arbitrary iteration
+//! boundary and resumed from its last snapshot must reproduce the
+//! uninterrupted enumeration byte-for-byte (identical `EfmSet` bit
+//! matrices), across backends.
+
+use efm_core::{
+    enumerate_resumable_with_scalar, enumerate_with_scalar, Backend, CheckpointConfig, EfmOptions,
+    EngineCheckpoint,
+};
+use efm_metnet::generator::{random_network, RandomNetworkParams};
+use efm_metnet::MetabolicNetwork;
+use efm_numeric::DynInt;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn small_params() -> RandomNetworkParams {
+    RandomNetworkParams {
+        metabolites: 5,
+        reactions: 9,
+        reversible_prob: 0.35,
+        mean_degree: 2.5,
+        exchange_prob: 0.4,
+        max_coeff: 2,
+    }
+}
+
+fn net_for(seed: u64) -> MetabolicNetwork {
+    random_network(&small_params(), seed)
+}
+
+/// Runs capped so the enumeration aborts partway (mode limit), leaving a
+/// snapshot at the last completed iteration; returns the snapshot, if the
+/// run got far enough to write one.
+fn interrupted_checkpoint(
+    net: &MetabolicNetwork,
+    cap: usize,
+    path: &PathBuf,
+) -> Option<EngineCheckpoint> {
+    let _ = std::fs::remove_file(path);
+    let capped = EfmOptions { max_modes: Some(cap), ..Default::default() };
+    let cfg = CheckpointConfig::new(path);
+    // Err(ModeLimitExceeded) is the expected interruption; Ok means the
+    // network fit under the cap and the snapshot is simply the final state.
+    let _ =
+        enumerate_resumable_with_scalar::<DynInt>(net, &capped, &Backend::Serial, None, Some(&cfg));
+    EngineCheckpoint::load(path).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn resume_reproduces_uninterrupted_set(seed in 0u64..5000, cap in 2usize..40) {
+        let net = net_for(seed);
+        let opts = EfmOptions::default();
+        let full = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap();
+        let path = std::env::temp_dir().join(format!("efm_resume_{seed}_{cap}.efck"));
+        let resume = interrupted_checkpoint(&net, cap, &path);
+        let resumed = enumerate_resumable_with_scalar::<DynInt>(
+            &net,
+            &opts,
+            &Backend::Serial,
+            resume.as_ref(),
+            None,
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        // Byte-for-byte: EfmSet equality compares the packed bit matrices.
+        prop_assert_eq!(resumed.efms, full.efms);
+    }
+
+    #[test]
+    fn serial_checkpoint_resumes_on_cluster(seed in 0u64..2000) {
+        let net = net_for(seed);
+        let opts = EfmOptions::default();
+        let full = enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap();
+        let path = std::env::temp_dir().join(format!("efm_xresume_{seed}.efck"));
+        let resume = interrupted_checkpoint(&net, 6, &path);
+        let cluster = Backend::Cluster(efm_cluster::ClusterConfig::new(3));
+        let resumed = enumerate_resumable_with_scalar::<DynInt>(
+            &net,
+            &opts,
+            &cluster,
+            resume.as_ref(),
+            None,
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(resumed.efms, full.efms);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_is_lossless(seed in 0u64..2000) {
+        let net = net_for(seed);
+        let path = std::env::temp_dir().join(format!("efm_rt_{seed}.efck"));
+        if let Some(ck) = interrupted_checkpoint(&net, 8, &path) {
+            let reloaded = EngineCheckpoint::load(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            prop_assert_eq!(ck, reloaded);
+        } else {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

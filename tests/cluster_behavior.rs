@@ -104,3 +104,75 @@ fn single_rank_cluster_equals_serial() {
         "a single rank owns the whole pair grid"
     );
 }
+
+/// Runs `f` on a watchdog thread; panics if it has not finished within
+/// `secs` (the pre-fix deadlock would otherwise hang the test runner).
+fn within_seconds<R: Send + 'static>(secs: u64, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(secs))
+        .expect("cluster run deadlocked instead of aborting")
+}
+
+#[test]
+fn one_rank_memory_abort_is_a_typed_error_not_a_hang() {
+    // Regression: exactly one rank trips its cap on an asymmetric
+    // allocation while its peers are already committed to collectives.
+    // Pre-fix this deadlocked in `barrier()`/`allgather` forever.
+    let err = within_seconds(30, || {
+        let cfg = ClusterConfig::new(4).with_memory_limit(1024);
+        efm_cluster::run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 2 {
+                ctx.memory().alloc(4096)?; // only rank 2 exceeds the cap
+            }
+            ctx.barrier()?;
+            let _ = ctx.allgather(vec![ctx.rank()])?;
+            Ok(())
+        })
+        .unwrap_err()
+    });
+    match err {
+        ClusterError::MemoryExceeded { rank: 2, limit: 1024, .. } => {}
+        other => panic!("expected rank 2 memory abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_rank_yields_node_panicked_with_peers_released() {
+    let err = within_seconds(30, || {
+        let cfg = ClusterConfig::new(3);
+        efm_cluster::run_cluster::<(), _>(&cfg, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected fault");
+            }
+            ctx.barrier()?; // peers must be woken, not stranded
+            Ok(())
+        })
+        .unwrap_err()
+    });
+    match err {
+        ClusterError::NodePanicked { rank: 1, message } => {
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected NodePanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn asymmetric_stripe_abort_during_enumeration_returns_promptly() {
+    // End-to-end: a capacity chosen so the cap trips mid-enumeration on a
+    // real workload must surface as an error from the public API within
+    // the watchdog window.
+    let err = within_seconds(60, || {
+        let net = layered_branches(5, 3);
+        let opts = EfmOptions::default();
+        let tiny = ClusterConfig::new(3).with_memory_limit(2048);
+        enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Cluster(tiny)).unwrap_err()
+    });
+    match err {
+        EfmError::Cluster(ClusterError::MemoryExceeded { .. }) => {}
+        other => panic!("expected memory abort, got {other:?}"),
+    }
+}
