@@ -1,0 +1,452 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! Real MPI deployments of the paper's Algorithm 2 lose nodes: hardware
+//! dies mid-iteration, links drop or duplicate packets, and stragglers
+//! stall collectives. The simulated fabric is too reliable to exercise any
+//! of the recovery machinery, so this module injects those failures *on
+//! purpose* — deterministically, from a seeded [`FaultPlan`] — making every
+//! chaos run exactly reproducible.
+//!
+//! A plan is a list of [`FaultSpec`]s. Point faults (crash, drop,
+//! duplicate, delay, flaky send) fire **at most once per plan instance**,
+//! even across supervised restarts: the [`FaultInjector`] carries the
+//! fired-latches, and the supervisor reuses one injector for the whole
+//! recovery session, so a node that "crashed" stays healthy after the
+//! restart — the same model as a replaced physical node. Stragglers are
+//! persistent by design.
+//!
+//! Fault addressing:
+//!
+//! * crashes fire at *fault points* — labelled `(phase, iteration)` hooks
+//!   the engine calls at every phase boundary (see
+//!   [`NodeCtx::fault_point`](crate::NodeCtx::fault_point));
+//! * send faults address the `nth` send a rank performs (0-based, counting
+//!   every point-to-point send, including those inside collectives).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// The rank fails at the given fault point, as if the process died.
+    /// Fires when `fault_point(phase, iteration)` matches.
+    Crash {
+        /// Rank that crashes.
+        rank: usize,
+        /// Fault-point label (e.g. `"iteration"`, `"communicate"`).
+        phase: String,
+        /// Iteration index the crash fires at.
+        iteration: u64,
+    },
+    /// The rank's `nth` send vanishes in the fabric: the sender believes it
+    /// succeeded, the receiver never sees it (detected downstream by the
+    /// sequence-gap check or a receive deadline).
+    DropSend {
+        /// Sending rank.
+        rank: usize,
+        /// 0-based send index on that rank.
+        nth: u64,
+    },
+    /// The rank's `nth` send is delivered twice (the duplicate is discarded
+    /// by the receiver's sequence check).
+    DuplicateSend {
+        /// Sending rank.
+        rank: usize,
+        /// 0-based send index on that rank.
+        nth: u64,
+    },
+    /// The rank's `nth` send is delayed by `millis` before delivery.
+    DelaySend {
+        /// Sending rank.
+        rank: usize,
+        /// 0-based send index on that rank.
+        nth: u64,
+        /// Delay in milliseconds.
+        millis: u64,
+    },
+    /// The rank's `nth` send fails transiently `failures` times before
+    /// succeeding (exercises the send retry/backoff path; if `failures`
+    /// exceeds the retry budget the send surfaces
+    /// [`ClusterError::SendFailed`](crate::ClusterError::SendFailed)).
+    FlakySend {
+        /// Sending rank.
+        rank: usize,
+        /// 0-based send index on that rank.
+        nth: u64,
+        /// Consecutive attempts that fail before one succeeds.
+        failures: u32,
+    },
+    /// The rank sleeps `millis` at every fault point — a persistent slow
+    /// node stretching every collective it participates in.
+    Straggler {
+        /// Straggling rank.
+        rank: usize,
+        /// Sleep per fault point in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A seeded, deterministic set of faults to inject into a cluster run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed identifying the plan (used by [`FaultPlan::scatter`] and
+    /// recorded so chaos runs are reproducible from logs).
+    pub seed: u64,
+    /// The faults, in no particular order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Adds a crash at `(phase, iteration)` on `rank`.
+    pub fn crash(mut self, rank: usize, phase: &str, iteration: u64) -> Self {
+        self.faults.push(FaultSpec::Crash { rank, phase: phase.to_string(), iteration });
+        self
+    }
+
+    /// Adds a dropped send.
+    pub fn drop_send(mut self, rank: usize, nth: u64) -> Self {
+        self.faults.push(FaultSpec::DropSend { rank, nth });
+        self
+    }
+
+    /// Adds a duplicated send.
+    pub fn duplicate_send(mut self, rank: usize, nth: u64) -> Self {
+        self.faults.push(FaultSpec::DuplicateSend { rank, nth });
+        self
+    }
+
+    /// Adds a delayed send.
+    pub fn delay_send(mut self, rank: usize, nth: u64, millis: u64) -> Self {
+        self.faults.push(FaultSpec::DelaySend { rank, nth, millis });
+        self
+    }
+
+    /// Adds a transiently failing send.
+    pub fn flaky_send(mut self, rank: usize, nth: u64, failures: u32) -> Self {
+        self.faults.push(FaultSpec::FlakySend { rank, nth, failures });
+        self
+    }
+
+    /// Marks a rank as a persistent straggler.
+    pub fn straggler(mut self, rank: usize, millis: u64) -> Self {
+        self.faults.push(FaultSpec::Straggler { rank, millis });
+        self
+    }
+
+    /// Generates `count` pseudo-random faults over `nodes` ranks from the
+    /// plan seed (SplitMix64) — the soak-test workhorse: same seed, same
+    /// plan, forever.
+    pub fn scatter(seed: u64, nodes: usize, count: usize) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        const PHASES: [&str; 6] =
+            ["iteration", "generate", "dedup", "rank", "communicate", "merge"];
+        for _ in 0..count {
+            let rank = (next() % nodes.max(1) as u64) as usize;
+            match next() % 5 {
+                0 => {
+                    let phase = PHASES[(next() % PHASES.len() as u64) as usize];
+                    plan = plan.crash(rank, phase, next() % 6);
+                }
+                1 => plan = plan.drop_send(rank, next() % 16),
+                2 => plan = plan.duplicate_send(rank, next() % 16),
+                3 => plan = plan.delay_send(rank, next() % 16, 1 + next() % 20),
+                _ => plan = plan.flaky_send(rank, next() % 16, 1 + (next() % 3) as u32),
+            }
+        }
+        plan
+    }
+
+    /// Parses the CLI spec grammar: `;`-separated clauses of
+    ///
+    /// ```text
+    /// seed=N
+    /// crash@RANK:phase=PHASE,iter=K
+    /// drop@RANK:nth=N
+    /// dup@RANK:nth=N
+    /// delay@RANK:nth=N,ms=M
+    /// flaky@RANK:nth=N,fails=F
+    /// straggle@RANK:ms=M
+    /// ```
+    ///
+    /// e.g. `seed=42;crash@1:phase=communicate,iter=3;drop@0:nth=5`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed.parse().map_err(|_| format!("bad seed in {clause:?}"))?;
+                continue;
+            }
+            let (kind, rest) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("clause {clause:?} is not KIND@RANK:ARGS"))?;
+            let (rank_s, args_s) = match rest.split_once(':') {
+                Some((r, a)) => (r, a),
+                None => (rest, ""),
+            };
+            let rank: usize = rank_s.parse().map_err(|_| format!("bad rank in {clause:?}"))?;
+            let mut args = std::collections::HashMap::new();
+            for kv in args_s.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+                let (k, v) =
+                    kv.split_once('=').ok_or_else(|| format!("bad arg {kv:?} in {clause:?}"))?;
+                args.insert(k.trim(), v.trim());
+            }
+            let num = |key: &str| -> Result<u64, String> {
+                args.get(key)
+                    .ok_or_else(|| format!("{clause:?} is missing {key}="))?
+                    .parse()
+                    .map_err(|_| format!("bad {key}= in {clause:?}"))
+            };
+            plan.faults.push(match kind {
+                "crash" => FaultSpec::Crash {
+                    rank,
+                    phase: args.get("phase").unwrap_or(&"iteration").to_string(),
+                    iteration: num("iter")?,
+                },
+                "drop" => FaultSpec::DropSend { rank, nth: num("nth")? },
+                "dup" => FaultSpec::DuplicateSend { rank, nth: num("nth")? },
+                "delay" => FaultSpec::DelaySend { rank, nth: num("nth")?, millis: num("ms")? },
+                "flaky" => {
+                    FaultSpec::FlakySend { rank, nth: num("nth")?, failures: num("fails")? as u32 }
+                }
+                "straggle" => FaultSpec::Straggler { rank, millis: num("ms")? },
+                other => return Err(format!("unknown fault kind {other:?} in {clause:?}")),
+            });
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpec::Crash { rank, phase, iteration } => {
+                write!(f, "crash@{rank}:phase={phase},iter={iteration}")
+            }
+            FaultSpec::DropSend { rank, nth } => write!(f, "drop@{rank}:nth={nth}"),
+            FaultSpec::DuplicateSend { rank, nth } => write!(f, "dup@{rank}:nth={nth}"),
+            FaultSpec::DelaySend { rank, nth, millis } => {
+                write!(f, "delay@{rank}:nth={nth},ms={millis}")
+            }
+            FaultSpec::FlakySend { rank, nth, failures } => {
+                write!(f, "flaky@{rank}:nth={nth},fails={failures}")
+            }
+            FaultSpec::Straggler { rank, millis } => write!(f, "straggle@{rank}:ms={millis}"),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for spec in &self.faults {
+            write!(f, ";{spec}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What the fabric does with one send *attempt*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// Deliver normally.
+    Deliver,
+    /// Pretend success, never deliver.
+    Drop,
+    /// Deliver twice (same sequence number).
+    Duplicate,
+    /// Sleep this many milliseconds, then deliver.
+    DelayMs(u64),
+    /// Fail this attempt transiently (the caller should back off and retry).
+    Transient,
+}
+
+/// Shared, restart-surviving runtime state of a [`FaultPlan`].
+///
+/// One injector instance is threaded (via `Arc` in
+/// [`ClusterConfig`](crate::ClusterConfig)) through every rank of a run —
+/// and, under supervision, through every *restart* of the run — so each
+/// point fault fires exactly once per recovery session.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// One latch per fault; point faults set it when they fire.
+    fired: Vec<AtomicBool>,
+    /// Remaining failures per fault (used by `FlakySend` only).
+    flaky_left: Vec<AtomicU32>,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = plan.faults.iter().map(|_| AtomicBool::new(false)).collect();
+        let flaky_left = plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                FaultSpec::FlakySend { failures, .. } => AtomicU32::new(*failures),
+                _ => AtomicU32::new(0),
+            })
+            .collect();
+        FaultInjector { plan, fired, flaky_left }
+    }
+
+    /// The plan the injector was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether every one-shot fault has already fired.
+    pub fn exhausted(&self) -> bool {
+        self.plan.faults.iter().zip(&self.fired).all(|(f, fired)| {
+            matches!(f, FaultSpec::Straggler { .. }) || fired.load(Ordering::Relaxed)
+        })
+    }
+
+    /// Claims a not-yet-fired fault slot; returns whether this caller won.
+    fn claim(&self, idx: usize) -> bool {
+        !self.fired[idx].swap(true, Ordering::Relaxed)
+    }
+
+    /// If a crash is planted at this rank/phase/iteration and has not fired
+    /// yet, fires it and returns its description.
+    pub fn crash_at(&self, rank: usize, phase: &str, iteration: u64) -> Option<String> {
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            if let FaultSpec::Crash { rank: r, phase: p, iteration: k } = f {
+                if *r == rank && p == phase && *k == iteration && self.claim(i) {
+                    return Some(format!("injected crash at {phase}[{iteration}]"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Milliseconds this rank must straggle at every fault point.
+    pub fn straggle_millis(&self, rank: usize) -> u64 {
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultSpec::Straggler { rank: r, millis } if *r == rank => Some(*millis),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Decides the fate of one attempt of the `nth` send on `rank`.
+    pub fn on_send_attempt(&self, rank: usize, nth: u64) -> SendFate {
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            match f {
+                FaultSpec::DropSend { rank: r, nth: n }
+                    if *r == rank && *n == nth && self.claim(i) =>
+                {
+                    return SendFate::Drop;
+                }
+                FaultSpec::DuplicateSend { rank: r, nth: n }
+                    if *r == rank && *n == nth && self.claim(i) =>
+                {
+                    return SendFate::Duplicate;
+                }
+                FaultSpec::DelaySend { rank: r, nth: n, millis }
+                    if *r == rank && *n == nth && self.claim(i) =>
+                {
+                    return SendFate::DelayMs(*millis);
+                }
+                FaultSpec::FlakySend { rank: r, nth: n, .. } if *r == rank && *n == nth => {
+                    if self.fired[i].load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let left = &self.flaky_left[i];
+                    let mut cur = left.load(Ordering::Relaxed);
+                    loop {
+                        if cur == 0 {
+                            self.fired[i].store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        match left.compare_exchange_weak(
+                            cur,
+                            cur - 1,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => return SendFate::Transient,
+                            Err(seen) => cur = seen,
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        SendFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_display() {
+        let plan = FaultPlan::new(42)
+            .crash(1, "communicate", 3)
+            .drop_send(0, 5)
+            .duplicate_send(2, 1)
+            .delay_send(1, 4, 50)
+            .flaky_send(1, 2, 3)
+            .straggler(3, 10);
+        let spec = plan.to_string();
+        let back = FaultPlan::parse(&spec).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("kaboom@1:nth=2").is_err());
+        assert!(FaultPlan::parse("crash@x:iter=1").is_err());
+        assert!(FaultPlan::parse("drop@0").is_err()); // missing nth
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+    }
+
+    #[test]
+    fn crash_fires_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan::new(0).crash(1, "iteration", 2));
+        assert!(inj.crash_at(0, "iteration", 2).is_none(), "wrong rank");
+        assert!(inj.crash_at(1, "merge", 2).is_none(), "wrong phase");
+        assert!(inj.crash_at(1, "iteration", 1).is_none(), "wrong iteration");
+        assert!(inj.crash_at(1, "iteration", 2).is_some());
+        assert!(inj.crash_at(1, "iteration", 2).is_none(), "one-shot latch");
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn flaky_send_fails_then_succeeds() {
+        let inj = FaultInjector::new(FaultPlan::new(0).flaky_send(0, 3, 2));
+        assert_eq!(inj.on_send_attempt(0, 2), SendFate::Deliver, "different nth");
+        assert_eq!(inj.on_send_attempt(0, 3), SendFate::Transient);
+        assert_eq!(inj.on_send_attempt(0, 3), SendFate::Transient);
+        assert_eq!(inj.on_send_attempt(0, 3), SendFate::Deliver, "failures exhausted");
+        assert_eq!(inj.on_send_attempt(0, 3), SendFate::Deliver);
+    }
+
+    #[test]
+    fn scatter_is_deterministic() {
+        let a = FaultPlan::scatter(7, 4, 6);
+        let b = FaultPlan::scatter(7, 4, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 6);
+        let c = FaultPlan::scatter(8, 4, 6);
+        assert_ne!(a, c, "different seeds should give different plans");
+    }
+}

@@ -40,13 +40,58 @@
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+pub mod fault;
+
+pub use fault::{FaultInjector, FaultPlan, FaultSpec, SendFate};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
+
+/// Deadlines and retry budgets for the communication primitives.
+///
+/// Every wait in the runtime is bounded: a silent peer death can stall a
+/// rank for at most the configured deadline before it surfaces a typed
+/// [`ClusterError::Timeout`] instead of hanging the run (previously only a
+/// CI-level `timeout 900` caught such hangs). The defaults are generous —
+/// 300 s — so legitimate long collectives never trip them; chaos tests
+/// tighten them to seconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTimeouts {
+    /// Deadline for a blocking [`NodeCtx::recv`] (and every collective
+    /// built on it).
+    pub recv: Duration,
+    /// Deadline for [`NodeCtx::barrier`].
+    pub barrier: Duration,
+    /// Retry attempts for a transiently failing send before giving up with
+    /// [`ClusterError::SendFailed`].
+    pub send_retries: u32,
+    /// Base backoff between send retries; doubles per attempt
+    /// (exponential backoff).
+    pub send_retry_base: Duration,
+}
+
+impl Default for ClusterTimeouts {
+    fn default() -> Self {
+        ClusterTimeouts {
+            recv: Duration::from_secs(300),
+            barrier: Duration::from_secs(300),
+            send_retries: 8,
+            send_retry_base: Duration::from_millis(1),
+        }
+    }
+}
+
+impl ClusterTimeouts {
+    /// A uniform deadline for both `recv` and `barrier`.
+    pub fn uniform(deadline: Duration) -> Self {
+        ClusterTimeouts { recv: deadline, barrier: deadline, ..Default::default() }
+    }
+}
 
 /// Cluster-level configuration.
 #[derive(Debug, Clone)]
@@ -56,17 +101,47 @@ pub struct ClusterConfig {
     /// Optional per-node memory capacity in bytes. Accounted allocations
     /// beyond this abort the node with [`ClusterError::MemoryExceeded`].
     pub memory_limit: Option<u64>,
+    /// Deadlines for blocking primitives and the send retry budget.
+    pub timeouts: ClusterTimeouts,
+    /// Optional fault injector. Shared (`Arc`) so a supervisor can reuse
+    /// one injector across restarts — point faults then fire exactly once
+    /// per recovery session, not once per attempt.
+    pub injector: Option<Arc<FaultInjector>>,
 }
 
 impl ClusterConfig {
-    /// A cluster of `nodes` ranks with unlimited memory.
+    /// A cluster of `nodes` ranks with unlimited memory, default deadlines,
+    /// and no injected faults.
     pub fn new(nodes: usize) -> Self {
-        ClusterConfig { nodes, memory_limit: None }
+        ClusterConfig {
+            nodes,
+            memory_limit: None,
+            timeouts: ClusterTimeouts::default(),
+            injector: None,
+        }
     }
 
     /// Sets the per-node memory capacity.
     pub fn with_memory_limit(mut self, bytes: u64) -> Self {
         self.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Sets the communication deadlines and retry budget.
+    pub fn with_timeouts(mut self, timeouts: ClusterTimeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Installs a fault plan (a fresh injector is built from it).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(Arc::new(FaultInjector::new(plan)));
+        self
+    }
+
+    /// Installs an existing (possibly partially fired) injector.
+    pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
         self
     }
 }
@@ -94,6 +169,42 @@ pub enum ClusterError {
     },
     /// A communication primitive was used inconsistently.
     Protocol(String),
+    /// A blocking primitive exceeded its deadline — the failure-detector
+    /// signal for a dead or wedged peer (see [`ClusterTimeouts`]).
+    Timeout {
+        /// Rank whose wait expired.
+        rank: usize,
+        /// What was being waited on (e.g. `"recv from 2"`, `"barrier"`).
+        phase: String,
+    },
+    /// A planted fault from a [`FaultPlan`] killed this rank.
+    InjectedCrash {
+        /// Rank that crashed.
+        rank: usize,
+        /// Fault-point description (phase and iteration).
+        at: String,
+    },
+    /// A send kept failing transiently past the retry budget.
+    SendFailed {
+        /// Sending rank.
+        rank: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Attempts made (including retries).
+        attempts: u32,
+    },
+    /// A sequence gap was observed in the per-sender FIFO stream: at least
+    /// one earlier message from `src` was lost in the fabric.
+    MessageLost {
+        /// Receiving rank that detected the gap.
+        rank: usize,
+        /// Sender whose stream has the gap.
+        src: usize,
+        /// Sequence number the receiver expected next.
+        expected: u64,
+        /// Sequence number that actually arrived.
+        got: u64,
+    },
     /// The run was aborted by a failure on another rank: a communication
     /// primitive was woken out of its wait instead of blocking forever.
     /// `run_cluster` reports the *originating* error; this variant is what
@@ -112,6 +223,24 @@ impl ClusterError {
     pub fn is_memory_exceeded(&self) -> bool {
         matches!(self, ClusterError::MemoryExceeded { .. })
     }
+
+    /// Whether this error models a transient infrastructure failure — a
+    /// crashed, wedged, or unlucky node rather than a broken program — and
+    /// a restart of the run can reasonably succeed. Memory exhaustion is
+    /// *not* retryable (a restart hits the same wall; it needs
+    /// divide-and-conquer escalation), and protocol errors are programming
+    /// bugs.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::Timeout { .. }
+                | ClusterError::InjectedCrash { .. }
+                | ClusterError::SendFailed { .. }
+                | ClusterError::MessageLost { .. }
+                | ClusterError::NodePanicked { .. }
+                | ClusterError::Aborted { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -125,6 +254,19 @@ impl std::fmt::Display for ClusterError {
                 write!(f, "rank {rank} panicked: {message}")
             }
             ClusterError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClusterError::Timeout { rank, phase } => {
+                write!(f, "rank {rank}: deadline exceeded in {phase}")
+            }
+            ClusterError::InjectedCrash { rank, at } => {
+                write!(f, "rank {rank}: {at}")
+            }
+            ClusterError::SendFailed { rank, dst, attempts } => {
+                write!(f, "rank {rank}: send to rank {dst} failed after {attempts} attempts")
+            }
+            ClusterError::MessageLost { rank, src, expected, got } => write!(
+                f,
+                "rank {rank}: message from rank {src} lost (expected seq {expected}, got {got})"
+            ),
             ClusterError::Aborted { origin, reason } => {
                 write!(f, "aborted by rank {origin}: {reason}")
             }
@@ -243,7 +385,15 @@ impl MemoryMeter {
     }
 }
 
-type Packet = (usize, Box<dyn Any + Send>);
+/// One fabric message. Data packets carry a per-(sender→receiver) FIFO
+/// sequence number so the receiver can discard duplicated deliveries and
+/// detect lost ones (a gap in the stream); control packets (aborts) travel
+/// outside the numbered stream.
+struct Packet {
+    from: usize,
+    seq: Option<u64>,
+    payload: Box<dyn Any + Send>,
+}
 
 /// Control-plane marker delivered to every mailbox when a rank aborts; it
 /// wakes ranks blocked in `recv` so they can observe the abort flag.
@@ -285,7 +435,11 @@ impl AbortState {
         barrier.poison();
         for dst in 0..fabric.senders.len() {
             // A closed mailbox just means that rank already exited.
-            let _ = fabric.senders[dst].send((origin, Box::new(AbortPacket)));
+            let _ = fabric.senders[dst].send(Packet {
+                from: origin,
+                seq: None,
+                payload: Box::new(AbortPacket),
+            });
         }
     }
 
@@ -322,6 +476,12 @@ struct BarrierState {
     poisoned: bool,
 }
 
+/// Why a barrier wait returned early.
+enum BarrierFailure {
+    Poisoned,
+    TimedOut,
+}
+
 impl PoisonBarrier {
     fn new(total: usize) -> Self {
         PoisonBarrier {
@@ -331,12 +491,15 @@ impl PoisonBarrier {
         }
     }
 
-    /// Blocks until all ranks arrive; `Err(())` when the barrier was
-    /// poisoned before the round completed.
-    fn wait(&self) -> Result<(), ()> {
+    /// Blocks until all ranks arrive, the barrier is poisoned, or the
+    /// deadline passes. A timed-out waiter withdraws its arrival so the
+    /// round stays consistent for the remaining ranks (its own failure then
+    /// aborts the run through the usual propagation).
+    fn wait_deadline(&self, timeout: Duration) -> Result<(), BarrierFailure> {
+        let deadline = Instant::now() + timeout;
         let mut s = self.state.lock().expect("barrier lock");
         if s.poisoned {
-            return Err(());
+            return Err(BarrierFailure::Poisoned);
         }
         s.arrived += 1;
         if s.arrived == self.total {
@@ -347,11 +510,16 @@ impl PoisonBarrier {
         }
         let gen = s.generation;
         while s.generation == gen && !s.poisoned {
-            s = self.cvar.wait(s).expect("barrier wait");
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                s.arrived -= 1;
+                return Err(BarrierFailure::TimedOut);
+            }
+            (s, _) = self.cvar.wait_timeout(s, remaining).expect("barrier wait");
         }
         // A round that completed before the poison still counts as passed.
         if s.generation == gen {
-            Err(())
+            Err(BarrierFailure::Poisoned)
         } else {
             Ok(())
         }
@@ -406,12 +574,23 @@ pub struct NodeCtx<'a> {
     size: usize,
     fabric: &'a Fabric,
     mailbox: Receiver<Packet>,
-    /// Out-of-order packets parked until a matching `recv`.
-    parked: Mutex<Vec<Packet>>,
+    /// Out-of-order packets parked until a matching `recv` (sequence
+    /// numbers already validated and consumed at mailbox-pull time).
+    parked: Mutex<Vec<(usize, Box<dyn Any + Send>)>>,
     barrier: &'a PoisonBarrier,
     abort: &'a AbortState,
     meter: &'a MemoryMeter,
     stats: &'a PhaseStats,
+    timeouts: &'a ClusterTimeouts,
+    injector: Option<&'a FaultInjector>,
+    /// Total sends performed by this rank (fault addressing).
+    send_count: AtomicU64,
+    /// Next sequence number per destination (sender side).
+    send_seq: Vec<AtomicU64>,
+    /// Next expected sequence number per source (receiver side).
+    recv_expect: Vec<AtomicU64>,
+    /// Duplicate deliveries discarded by the sequence check.
+    dups_dropped: AtomicU64,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -445,39 +624,162 @@ impl<'a> NodeCtx<'a> {
         self.abort.aborted_error()
     }
 
-    /// Blocks until every rank reaches the barrier, or until the run is
+    /// Blocks until every rank reaches the barrier, until the run is
     /// aborted by a failing rank (the barrier is then poisoned and every
-    /// waiter — current and future — returns [`ClusterError::Aborted`]).
+    /// waiter — current and future — returns [`ClusterError::Aborted`]),
+    /// or until the default deadline ([`ClusterTimeouts::barrier`]) passes
+    /// and [`ClusterError::Timeout`] reports the wedged collective.
     pub fn barrier(&self) -> Result<(), ClusterError> {
-        self.barrier.wait().map_err(|()| self.aborted())
+        self.barrier_deadline(self.timeouts.barrier)
+    }
+
+    /// [`NodeCtx::barrier`] with an explicit deadline.
+    pub fn barrier_deadline(&self, timeout: Duration) -> Result<(), ClusterError> {
+        match self.barrier.wait_deadline(timeout) {
+            Ok(()) => Ok(()),
+            Err(BarrierFailure::Poisoned) => Err(self.aborted()),
+            Err(BarrierFailure::TimedOut) => {
+                Err(ClusterError::Timeout { rank: self.rank, phase: "barrier".to_string() })
+            }
+        }
+    }
+
+    /// A fault-injection hook: engines call this at phase boundaries with a
+    /// label and iteration index. With no injector installed it is a no-op;
+    /// otherwise planted stragglers sleep here and planted crashes fire as
+    /// [`ClusterError::InjectedCrash`].
+    pub fn fault_point(&self, phase: &str, iteration: u64) -> Result<(), ClusterError> {
+        let Some(inj) = self.injector else {
+            return Ok(());
+        };
+        let straggle = inj.straggle_millis(self.rank);
+        if straggle > 0 {
+            std::thread::sleep(Duration::from_millis(straggle));
+        }
+        if let Some(at) = inj.crash_at(self.rank, phase, iteration) {
+            return Err(ClusterError::InjectedCrash { rank: self.rank, at });
+        }
+        Ok(())
+    }
+
+    /// Delivers an already-numbered packet into `dst`'s mailbox.
+    fn deliver<M: Send + 'static>(&self, dst: usize, seq: u64, msg: M) -> Result<(), ClusterError> {
+        self.fabric.senders[dst]
+            .send(Packet { from: self.rank, seq: Some(seq), payload: Box::new(msg) })
+            .map_err(|_| {
+                if self.abort.is_flagged() {
+                    self.aborted()
+                } else {
+                    ClusterError::Protocol(format!(
+                        "rank {}: send to rank {dst} failed (mailbox closed — peer already exited)",
+                        self.rank
+                    ))
+                }
+            })
     }
 
     /// Sends a message to `dst` (FIFO per sender→receiver pair). Fails with
     /// [`ClusterError::Aborted`] when the run is aborting, and with
     /// [`ClusterError::Protocol`] when `dst` has already exited and dropped
     /// its mailbox — senders observe the failure instead of crashing.
-    pub fn send<M: Send + 'static>(&self, dst: usize, msg: M) -> Result<(), ClusterError> {
+    ///
+    /// Under fault injection the send may be dropped, duplicated, delayed,
+    /// or fail transiently; transient failures are retried with exponential
+    /// backoff up to [`ClusterTimeouts::send_retries`] attempts before
+    /// surfacing [`ClusterError::SendFailed`].
+    pub fn send<M: Clone + Send + 'static>(&self, dst: usize, msg: M) -> Result<(), ClusterError> {
         assert!(dst < self.size, "send to out-of-range rank");
-        if self.abort.is_flagged() {
-            return Err(self.aborted());
-        }
-        self.fabric.senders[dst].send((self.rank, Box::new(msg))).map_err(|_| {
+        let nth = self.send_count.fetch_add(1, Ordering::Relaxed);
+        let mut attempts: u32 = 0;
+        loop {
             if self.abort.is_flagged() {
-                self.aborted()
-            } else {
-                ClusterError::Protocol(format!(
-                    "rank {}: send to rank {dst} failed (mailbox closed — peer already exited)",
-                    self.rank
-                ))
+                return Err(self.aborted());
             }
-        })
+            attempts += 1;
+            let fate = match self.injector {
+                Some(inj) => inj.on_send_attempt(self.rank, nth),
+                None => SendFate::Deliver,
+            };
+            match fate {
+                SendFate::Transient => {
+                    if attempts > self.timeouts.send_retries {
+                        return Err(ClusterError::SendFailed { rank: self.rank, dst, attempts });
+                    }
+                    // Exponential backoff: base × 2^(attempt-1), capped so a
+                    // large retry budget cannot sleep for minutes.
+                    let backoff = self
+                        .timeouts
+                        .send_retry_base
+                        .saturating_mul(1u32 << (attempts - 1).min(16));
+                    std::thread::sleep(backoff.min(Duration::from_secs(1)));
+                }
+                SendFate::Drop => {
+                    // The fabric swallows the message: consume the sequence
+                    // number so the receiver can detect the gap.
+                    self.send_seq[dst].fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                SendFate::Duplicate => {
+                    let seq = self.send_seq[dst].fetch_add(1, Ordering::Relaxed);
+                    self.deliver(dst, seq, msg.clone())?;
+                    return self.deliver(dst, seq, msg);
+                }
+                SendFate::DelayMs(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    let seq = self.send_seq[dst].fetch_add(1, Ordering::Relaxed);
+                    return self.deliver(dst, seq, msg);
+                }
+                SendFate::Deliver => {
+                    let seq = self.send_seq[dst].fetch_add(1, Ordering::Relaxed);
+                    return self.deliver(dst, seq, msg);
+                }
+            }
+        }
     }
 
-    /// Receives the next message of type `M` from rank `src`. Messages of
-    /// other types or sources are parked, preserving per-sender order.
-    /// Wakes with [`ClusterError::Aborted`] when a failing rank aborts the
-    /// run while this rank is blocked.
+    /// Validates a pulled packet's sequence number. Returns `Ok(false)` for
+    /// a duplicate (discard silently), `Ok(true)` for an in-order packet,
+    /// and [`ClusterError::MessageLost`] on a gap (an earlier message from
+    /// this sender was dropped by the fabric).
+    fn check_seq(&self, from: usize, seq: u64) -> Result<bool, ClusterError> {
+        let expected = self.recv_expect[from].load(Ordering::Relaxed);
+        if seq < expected {
+            self.dups_dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        if seq > expected {
+            return Err(ClusterError::MessageLost {
+                rank: self.rank,
+                src: from,
+                expected,
+                got: seq,
+            });
+        }
+        self.recv_expect[from].store(expected + 1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Duplicate deliveries the sequence check has discarded on this rank.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.dups_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Receives the next message of type `M` from rank `src` within the
+    /// default deadline ([`ClusterTimeouts::recv`]). Messages of other
+    /// types or sources are parked, preserving per-sender order. Wakes with
+    /// [`ClusterError::Aborted`] when a failing rank aborts the run while
+    /// this rank is blocked, and with [`ClusterError::Timeout`] when the
+    /// deadline passes — a silent peer death can no longer hang a run.
     pub fn recv<M: Send + 'static>(&self, src: usize) -> Result<M, ClusterError> {
+        self.recv_deadline(src, self.timeouts.recv)
+    }
+
+    /// [`NodeCtx::recv`] with an explicit deadline.
+    pub fn recv_deadline<M: Send + 'static>(
+        &self,
+        src: usize,
+        timeout: Duration,
+    ) -> Result<M, ClusterError> {
         // Check parked packets first.
         {
             let mut parked = self.parked.lock();
@@ -486,22 +788,36 @@ impl<'a> NodeCtx<'a> {
                 return Ok(*b.downcast::<M>().unwrap());
             }
         }
+        let deadline = Instant::now() + timeout;
         loop {
             if self.abort.is_flagged() {
                 return Err(self.aborted());
             }
-            let (from, boxed) = self.mailbox.recv().map_err(|_| {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let timeout_err =
+                || ClusterError::Timeout { rank: self.rank, phase: format!("recv from {src}") };
+            if remaining.is_zero() {
+                return Err(timeout_err());
+            }
+            let packet = match self.mailbox.recv_timeout(remaining) {
+                Ok(p) => p,
+                Err(RecvTimeoutError::Timeout) => return Err(timeout_err()),
                 // All senders gone: only possible when the run is tearing
                 // down, which implies an abort is in flight.
-                self.aborted()
-            })?;
-            if boxed.is::<AbortPacket>() {
+                Err(RecvTimeoutError::Disconnected) => return Err(self.aborted()),
+            };
+            if packet.payload.is::<AbortPacket>() {
                 return Err(self.aborted());
             }
-            if from == src && boxed.is::<M>() {
-                return Ok(*boxed.downcast::<M>().unwrap());
+            if let Some(seq) = packet.seq {
+                if !self.check_seq(packet.from, seq)? {
+                    continue; // duplicate delivery, discard
+                }
             }
-            self.parked.lock().push((from, boxed));
+            if packet.from == src && packet.payload.is::<M>() {
+                return Ok(*packet.payload.downcast::<M>().unwrap());
+            }
+            self.parked.lock().push((packet.from, packet.payload));
         }
     }
 
@@ -680,6 +996,12 @@ where
                     abort,
                     meter,
                     stats: stat,
+                    timeouts: &config.timeouts,
+                    injector: config.injector.as_deref(),
+                    send_count: AtomicU64::new(0),
+                    send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                    recv_expect: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                    dups_dropped: AtomicU64::new(0),
                 };
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                 let failure = match &out {
@@ -1083,6 +1405,181 @@ mod tests {
         for rep in reports {
             assert_eq!(rep.value, 1 + 4 + 9 + 16);
         }
+    }
+
+    #[test]
+    fn injected_crash_aborts_run_with_typed_error() {
+        let plan = FaultPlan::new(1).crash(1, "iteration", 0);
+        let cfg = ClusterConfig::new(3).with_fault_plan(plan);
+        let err = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("iteration", 0)?;
+            ctx.barrier()?; // peers must be released, not hang
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::InjectedCrash { rank: 1, at } => {
+                assert!(at.contains("iteration"), "{at}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_fires_once_across_runs_with_shared_injector() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::new(2).crash(0, "iteration", 0)));
+        let cfg = ClusterConfig::new(2).with_injector(Arc::clone(&injector));
+        let body = |ctx: &NodeCtx| {
+            ctx.fault_point("iteration", 0)?;
+            ctx.allgather(ctx.rank())
+        };
+        assert!(run_cluster(&cfg, body).is_err());
+        // Second run with the same injector: the one-shot already fired.
+        let reports = run_cluster(&cfg, body).unwrap();
+        assert_eq!(reports[0].value, vec![0, 1]);
+        assert!(injector.exhausted());
+    }
+
+    #[test]
+    fn dropped_message_is_detected_not_hung() {
+        // Rank 0's first send is swallowed; its second send carries seq 1,
+        // so rank 1 observes the gap as MessageLost (fail-fast, no timeout).
+        let plan = FaultPlan::new(3).drop_send(0, 0);
+        let cfg = ClusterConfig::new(2)
+            .with_fault_plan(plan)
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(5)));
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10u32)?; // dropped by the fabric
+                ctx.send(1, 20u32)?;
+                Ok(0)
+            } else {
+                let a = ctx.recv::<u32>(0)?;
+                let b = ctx.recv::<u32>(0)?;
+                Ok(a + b)
+            }
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::MessageLost { rank: 1, src: 0, expected: 0, got: 1 } => {}
+            ClusterError::Timeout { rank: 1, .. } => {} // only one send observed
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_final_message_times_out() {
+        // The dropped message is the only one: no gap is ever observable, so
+        // the recv deadline is the backstop.
+        let plan = FaultPlan::new(4).drop_send(0, 0);
+        let cfg = ClusterConfig::new(2)
+            .with_fault_plan(plan)
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_millis(200)));
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10u32)?;
+                Ok(0)
+            } else {
+                ctx.recv::<u32>(0)
+            }
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::Timeout { rank: 1, phase } => assert!(phase.contains("recv"), "{phase}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicated_message_is_discarded() {
+        let plan = FaultPlan::new(5).duplicate_send(0, 0);
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan);
+        let observed = Mutex::new(0u64);
+        let reports = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10u32)?;
+                ctx.send(1, 20u32)?;
+                Ok(0)
+            } else {
+                let a = ctx.recv::<u32>(0)?;
+                let b = ctx.recv::<u32>(0)?;
+                *observed.lock() = ctx.duplicates_dropped();
+                Ok(a + b)
+            }
+        })
+        .unwrap();
+        assert_eq!(reports[1].value, 30, "duplicate must not displace the second message");
+        assert_eq!(*observed.lock(), 1, "exactly one duplicate discarded");
+    }
+
+    #[test]
+    fn flaky_send_retries_transparently() {
+        let plan = FaultPlan::new(6).flaky_send(0, 0, 3);
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan);
+        let reports = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7u32)?;
+                Ok(0)
+            } else {
+                ctx.recv::<u32>(0)
+            }
+        })
+        .unwrap();
+        assert_eq!(reports[1].value, 7);
+    }
+
+    #[test]
+    fn flaky_send_past_retry_budget_fails_typed() {
+        let plan = FaultPlan::new(7).flaky_send(0, 0, 100);
+        let timeouts = ClusterTimeouts { send_retries: 3, ..Default::default() };
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan).with_timeouts(timeouts);
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7u32)?;
+                Ok(0)
+            } else {
+                ctx.recv::<u32>(0)
+            }
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::SendFailed { rank: 0, dst: 1, attempts: 4 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_deadline_surfaces_timeout() {
+        // Rank 1 never reaches the barrier within the deadline.
+        let cfg = ClusterConfig::new(2)
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_millis(100)));
+        let err = run_cluster(&cfg, |ctx| {
+            if ctx.rank() == 1 {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::Timeout { rank: 0, phase } => assert_eq!(phase, "barrier"),
+            // The late rank may instead observe the abort in its barrier.
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_slows_but_does_not_fail() {
+        let plan = FaultPlan::new(8).straggler(1, 30);
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan);
+        let start = Instant::now();
+        let reports = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("iteration", 0)?;
+            ctx.allgather(ctx.rank() as u64)
+        })
+        .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(reports[0].value, vec![0, 1]);
     }
 
     #[test]

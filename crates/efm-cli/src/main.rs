@@ -32,6 +32,12 @@
 //!   --resume <FILE>                 resume an aborted run from a checkpoint FILE
 //!   --auto-escalate <K>             on memory abort, retry as divide-and-conquer
 //!                                   over suggested splits up to 2^K subsets
+//!   --supervise                     run the cluster backend under the self-healing
+//!                                   supervisor: restart from the newest checkpoint on
+//!                                   transient failures, escalate on memory aborts
+//!   --max-restarts <N>              supervisor restart budget [default: 3]
+//!   --fault-plan <SPEC>             inject deterministic faults, e.g.
+//!                                   "seed=42;crash@1:phase=communicate,iter=3"
 //!
 //! Network files may be in the reaction-per-line format of the paper's
 //! figures or in Metatool `.dat` format (auto-detected by the leading
@@ -40,8 +46,8 @@
 
 use efm_core::{
     enumerate_divide_conquer_with_scalar, enumerate_resumable_with_scalar,
-    enumerate_with_escalation_scalar, Backend, CandidateTest, CheckpointConfig, EfmOptions,
-    EfmOutcome, EngineCheckpoint, RowOrdering,
+    enumerate_supervised_with_scalar, enumerate_with_escalation_scalar, Backend, CandidateTest,
+    CheckpointConfig, EfmOptions, EfmOutcome, EngineCheckpoint, RowOrdering, SuperviseConfig,
 };
 use efm_metnet::{examples, parse_metatool, parse_network, to_metatool, yeast, MetabolicNetwork};
 use efm_numeric::{DynInt, F64Tol};
@@ -72,6 +78,9 @@ struct Args {
     checkpoint_every: usize,
     resume: Option<String>,
     auto_escalate: Option<usize>,
+    supervise: bool,
+    max_restarts: u32,
+    fault_plan: Option<String>,
 }
 
 fn usage() -> ! {
@@ -81,7 +90,8 @@ fn usage() -> ! {
          \x20                 [--ordering paper|nnz|asis|random] [--test rank|adjacency]\n\
          \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
          \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
-         \x20                 [--auto-escalate K] [--quiet] [NETWORK-FILE]"
+         \x20                 [--auto-escalate K] [--supervise] [--max-restarts N]\n\
+         \x20                 [--fault-plan SPEC] [--quiet] [NETWORK-FILE]"
     );
     std::process::exit(2);
 }
@@ -112,6 +122,9 @@ fn parse_args() -> Args {
         checkpoint_every: 1,
         resume: None,
         auto_escalate: None,
+        supervise: false,
+        max_restarts: 3,
+        fault_plan: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -154,6 +167,11 @@ fn parse_args() -> Args {
             "--auto-escalate" => {
                 args.auto_escalate = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
             }
+            "--supervise" => args.supervise = true,
+            "--max-restarts" => {
+                args.max_restarts = val(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-plan" => args.fault_plan = Some(val(&mut it)),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => args.network = Some(other.to_string()),
             _ => usage(),
@@ -216,6 +234,53 @@ fn run<S: efm_core::EfmScalar>(
         }
         _ => usage(),
     };
+    if args.supervise {
+        if !args.partition.is_empty() || args.resume.is_some() {
+            eprintln!(
+                "error: --supervise excludes --partition and --resume (it manages resume itself)"
+            );
+            usage();
+        }
+        // Supervision is a cluster-backend policy; the serial/rayon
+        // backends have no ranks to lose.
+        let cluster = match &backend {
+            Backend::Cluster(cfg) => cfg.clone(),
+            _ => {
+                eprintln!("error: --supervise requires --backend cluster");
+                usage();
+            }
+        };
+        let ckpt_path = args.checkpoint.clone().unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("efm-supervise-{}.efck", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+        let mut sup = SuperviseConfig::new(&ckpt_path)
+            .max_restarts(args.max_restarts)
+            .max_qsub(args.auto_escalate.unwrap_or(4));
+        sup.checkpoint = sup.checkpoint.every(args.checkpoint_every);
+        if let Some(spec) = &args.fault_plan {
+            let plan = efm_cluster::FaultPlan::parse(spec).unwrap_or_else(|e| {
+                eprintln!("error: bad --fault-plan: {e}");
+                usage();
+            });
+            sup = sup.with_fault_plan(plan);
+        }
+        let out = enumerate_supervised_with_scalar::<S>(net, &opts, &cluster, &sup)?;
+        if args.checkpoint.is_none() {
+            // The supervisor owned a temporary checkpoint; clean it up.
+            let _ = std::fs::remove_file(&ckpt_path);
+        }
+        if !args.quiet && !out.stats.recovery.is_empty() {
+            println!("recovery log:\n{}", out.stats.recovery);
+        }
+        return Ok(out);
+    }
+    if args.fault_plan.is_some() {
+        eprintln!("error: --fault-plan requires --supervise");
+        usage();
+    }
     if let Some(max_qsub) = args.auto_escalate {
         if !args.partition.is_empty() || args.checkpoint.is_some() || args.resume.is_some() {
             eprintln!("error: --auto-escalate excludes --partition, --checkpoint and --resume");

@@ -91,6 +91,65 @@ fn export_metatool_roundtrip() {
 }
 
 #[test]
+fn supervised_run_recovers_from_injected_crash() {
+    let (stdout, _, ok) = run(&[
+        "--builtin",
+        "toy",
+        "--backend",
+        "cluster",
+        "--nodes",
+        "3",
+        "--supervise",
+        "--max-restarts",
+        "2",
+        "--fault-plan",
+        "seed=7;crash@1:phase=communicate,iter=2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("elementary flux modes: 8"), "{stdout}");
+    assert!(stdout.contains("recovery log:"), "{stdout}");
+    assert!(stdout.contains("injected crash"), "{stdout}");
+}
+
+#[test]
+fn supervised_run_exhausts_restart_budget() {
+    // Crash rank 0 at every iteration: no restart budget can outrun it.
+    let plan = "seed=1;crash@0:phase=iteration,iter=0;crash@0:phase=iteration,iter=1;\
+                crash@0:phase=iteration,iter=2;crash@0:phase=iteration,iter=3;\
+                crash@0:phase=iteration,iter=4;crash@0:phase=iteration,iter=5;\
+                crash@0:phase=iteration,iter=6;crash@0:phase=iteration,iter=7";
+    let (_, stderr, ok) = run(&[
+        "--builtin",
+        "toy",
+        "--backend",
+        "cluster",
+        "--nodes",
+        "2",
+        "--supervise",
+        "--max-restarts",
+        "1",
+        "--fault-plan",
+        plan,
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("exhausted"), "{stderr}");
+}
+
+#[test]
+fn fault_plan_requires_supervise() {
+    let (_, stderr, ok) = run(&[
+        "--builtin",
+        "toy",
+        "--backend",
+        "cluster",
+        "--fault-plan",
+        "seed=1;crash@0:phase=iteration,iter=0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--supervise"), "{stderr}");
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let (_, stderr, ok) = run(&["--builtin", "nonexistent"]);
     assert!(!ok);

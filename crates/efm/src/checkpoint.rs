@@ -24,14 +24,24 @@
 use crate::bridge::EfmScalar;
 use crate::engine::{Engine, ModeMatrix};
 use crate::problem::EfmProblem;
-use crate::types::{EfmError, EfmOptions, IterationStats, RunStats};
+use crate::types::{
+    EfmError, EfmOptions, FailureClass, IterationStats, RecoveryAction, RecoveryEvent, RunStats,
+};
 use efm_bitset::BitPattern;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use std::time::Duration;
 
 const MAGIC: &[u8; 4] = b"EFCK";
-const VERSION: u32 = 1;
+/// Current write version. Version 2 adds (a) the supervisor's recovery log
+/// to the serialized statistics and (b) a trailing footer — body length
+/// (u64) + CRC-32 (u32) — so a file truncated *exactly* on a record
+/// boundary (which field-level `read_exact` cannot notice) or silently
+/// bit-flipped is rejected with a typed error instead of restoring garbage
+/// state. Version-1 files (no footer, no recovery log) remain readable.
+const VERSION: u32 = 2;
+
+type SnapshotJob = Box<dyn FnOnce() -> EngineCheckpoint + Send>;
 
 /// Checkpoint-writing policy for a resumable run.
 #[derive(Debug, Clone)]
@@ -40,17 +50,31 @@ pub struct CheckpointConfig {
     pub path: std::path::PathBuf,
     /// Snapshot every `every` completed iterations.
     pub every: usize,
+    /// Skip a due snapshot while the previous one is still being written.
+    /// The cadence then self-tunes to what the background writer can
+    /// absorb: every iteration while states are small, as fast as the
+    /// disk allows once they grow — bounding checkpoint overhead instead
+    /// of the recovery replay distance. Off by default (an explicitly
+    /// requested `--checkpoint` keeps strict every-`every` semantics);
+    /// the supervisor turns it on.
+    pub lazy: bool,
 }
 
 impl CheckpointConfig {
     /// Checkpoints to `path` after every iteration.
     pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
-        CheckpointConfig { path: path.into(), every: 1 }
+        CheckpointConfig { path: path.into(), every: 1, lazy: false }
     }
 
     /// Sets the snapshot interval in iterations.
     pub fn every(mut self, n: usize) -> Self {
         self.every = n.max(1);
+        self
+    }
+
+    /// Enables or disables backpressure-throttled (lazy) snapshots.
+    pub fn lazy(mut self, on: bool) -> Self {
+        self.lazy = on;
         self
     }
 
@@ -159,6 +183,44 @@ impl EngineCheckpoint {
         }
     }
 
+    /// Like [`EngineCheckpoint::capture`], but splits the work: the
+    /// synchronous part is a plain clone of the engine state (memcpy-class
+    /// for the hot vectors), and the returned closure finishes the
+    /// per-value text encoding — the expensive half — wherever it is
+    /// called, e.g. on the [`CheckpointWriter`]'s thread instead of the
+    /// collective-synchronized iteration loop.
+    pub fn capture_deferred<P: BitPattern, S: EfmScalar>(
+        eng: &Engine<P, S>,
+        fingerprint: u64,
+    ) -> impl FnOnce() -> EngineCheckpoint + Send + 'static {
+        let free_count = eng.free_count as u64;
+        let stop_at = eng.stop_at as u64;
+        let cursor = eng.cursor as u64;
+        let rev_positions: Vec<u64> = eng.rev_positions.iter().map(|&p| p as u64).collect();
+        let rev_len = eng.modes.rev_len as u64;
+        let tail_len = eng.modes.tail_len as u64;
+        let patterns: Vec<P> = eng.modes.patterns.clone();
+        let vals: Vec<S> = eng.modes.vals.clone();
+        let stats = eng.stats.clone();
+        move || EngineCheckpoint {
+            scalar_tag: S::CHECKPOINT_TAG.to_string(),
+            pattern_bits: P::capacity() as u32,
+            fingerprint,
+            free_count,
+            stop_at,
+            cursor,
+            rev_positions,
+            rev_len,
+            tail_len,
+            mode_patterns: patterns
+                .iter()
+                .map(|p| p.ones().into_iter().map(|b| b as u32).collect())
+                .collect(),
+            vals: vals.iter().map(EfmScalar::encode_checkpoint).collect(),
+            stats,
+        }
+    }
+
     /// Number of iterations the snapshot has completed.
     pub fn iterations_completed(&self) -> u64 {
         self.cursor - self.free_count
@@ -252,77 +314,118 @@ impl EngineCheckpoint {
         Ok(eng)
     }
 
-    /// Writes the binary checkpoint format.
-    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        put_u32(&mut w, VERSION)?;
-        put_str(&mut w, &self.scalar_tag)?;
-        put_u32(&mut w, self.pattern_bits)?;
-        put_u64(&mut w, self.fingerprint)?;
-        put_u64(&mut w, self.free_count)?;
-        put_u64(&mut w, self.stop_at)?;
-        put_u64(&mut w, self.cursor)?;
-        put_u64(&mut w, self.rev_positions.len() as u64)?;
-        for &p in &self.rev_positions {
-            put_u64(&mut w, p)?;
-        }
-        put_u64(&mut w, self.rev_len)?;
-        put_u64(&mut w, self.tail_len)?;
-        put_u64(&mut w, self.mode_patterns.len() as u64)?;
-        for bits in &self.mode_patterns {
-            put_u32(&mut w, bits.len() as u32)?;
-            for &b in bits {
-                put_u32(&mut w, b)?;
-            }
-        }
-        put_u64(&mut w, self.vals.len() as u64)?;
-        for v in &self.vals {
-            put_str(&mut w, v)?;
-        }
-        put_stats(&mut w, &self.stats)?;
+    /// Writes the binary checkpoint format (current version, with the
+    /// trailing length/CRC footer).
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut cw = CrcWriter::new(w);
+        self.write_body(&mut cw, VERSION)?;
+        let (len, crc) = (cw.len, cw.crc.finish());
+        let mut w = cw.into_inner();
+        // The footer travels outside the checksummed region.
+        put_u64(&mut w, len)?;
+        put_u32(&mut w, crc)?;
         Ok(())
     }
 
-    /// Reads the binary checkpoint format.
-    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+    /// Writes the versioned body (everything the footer covers).
+    fn write_body<W: Write>(&self, w: &mut W, version: u32) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(w, version)?;
+        put_str(w, &self.scalar_tag)?;
+        put_u32(w, self.pattern_bits)?;
+        put_u64(w, self.fingerprint)?;
+        put_u64(w, self.free_count)?;
+        put_u64(w, self.stop_at)?;
+        put_u64(w, self.cursor)?;
+        put_u64(w, self.rev_positions.len() as u64)?;
+        for &p in &self.rev_positions {
+            put_u64(w, p)?;
+        }
+        put_u64(w, self.rev_len)?;
+        put_u64(w, self.tail_len)?;
+        put_u64(w, self.mode_patterns.len() as u64)?;
+        for bits in &self.mode_patterns {
+            put_u32(w, bits.len() as u32)?;
+            for &b in bits {
+                put_u32(w, b)?;
+            }
+        }
+        put_u64(w, self.vals.len() as u64)?;
+        for v in &self.vals {
+            put_str(w, v)?;
+        }
+        put_stats(w, &self.stats, version)?;
+        Ok(())
+    }
+
+    /// Writes the legacy version-1 body (no footer, no recovery log) —
+    /// compatibility-test helper.
+    #[cfg(test)]
+    pub(crate) fn write_to_v1<W: Write>(&self, mut w: W) -> io::Result<()> {
+        self.write_body(&mut w, 1)
+    }
+
+    /// Reads the binary checkpoint format (versions 1 and 2).
+    pub fn read_from<R: Read>(r: R) -> io::Result<Self> {
+        let mut cr = CrcReader::new(r);
+        let r = &mut cr;
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(bad_data("not an EFCK checkpoint file"));
         }
-        let version = get_u32(&mut r)?;
-        if version != VERSION {
+        let version = get_u32(r)?;
+        if version == 0 || version > VERSION {
             return Err(bad_data(format!("unsupported checkpoint version {version}")));
         }
-        let scalar_tag = get_str(&mut r)?;
-        let pattern_bits = get_u32(&mut r)?;
-        let fingerprint = get_u64(&mut r)?;
-        let free_count = get_u64(&mut r)?;
-        let stop_at = get_u64(&mut r)?;
-        let cursor = get_u64(&mut r)?;
-        let nrev = checked_len(get_u64(&mut r)?)?;
+        let scalar_tag = get_str(r)?;
+        let pattern_bits = get_u32(r)?;
+        let fingerprint = get_u64(r)?;
+        let free_count = get_u64(r)?;
+        let stop_at = get_u64(r)?;
+        let cursor = get_u64(r)?;
+        let nrev = checked_len(get_u64(r)?)?;
         let mut rev_positions = Vec::with_capacity(nrev);
         for _ in 0..nrev {
-            rev_positions.push(get_u64(&mut r)?);
+            rev_positions.push(get_u64(r)?);
         }
-        let rev_len = get_u64(&mut r)?;
-        let tail_len = get_u64(&mut r)?;
-        let nmodes = checked_len(get_u64(&mut r)?)?;
+        let rev_len = get_u64(r)?;
+        let tail_len = get_u64(r)?;
+        let nmodes = checked_len(get_u64(r)?)?;
         let mut mode_patterns = Vec::with_capacity(nmodes);
         for _ in 0..nmodes {
-            let nbits = get_u32(&mut r)? as usize;
+            let nbits = get_u32(r)? as usize;
             let mut bits = Vec::with_capacity(nbits);
             for _ in 0..nbits {
-                bits.push(get_u32(&mut r)?);
+                bits.push(get_u32(r)?);
             }
             mode_patterns.push(bits);
         }
-        let nvals = checked_len(get_u64(&mut r)?)?;
+        let nvals = checked_len(get_u64(r)?)?;
         let mut vals = Vec::with_capacity(nvals.min(1 << 20));
         for _ in 0..nvals {
-            vals.push(get_str(&mut r)?);
+            vals.push(get_str(r)?);
         }
-        let stats = get_stats(&mut r)?;
+        let stats = get_stats(r, version)?;
+        if version >= 2 {
+            // Validate the footer against what was actually read: a file
+            // truncated exactly on a record boundary parses cleanly up to
+            // here but has no (or a short) footer; a bit flip fails the CRC.
+            let (body_len, body_crc) = (cr.len, cr.crc.finish());
+            let inner = cr.inner_mut();
+            let footer_err =
+                |what: &str| bad_data(format!("checkpoint {what} (truncated or corrupt file)"));
+            let mut footer = [0u8; 12];
+            inner.read_exact(&mut footer).map_err(|_| footer_err("footer missing"))?;
+            let want_len = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+            let want_crc = u32::from_le_bytes(footer[8..12].try_into().unwrap());
+            if want_len != body_len {
+                return Err(footer_err("length mismatch"));
+            }
+            if want_crc != body_crc {
+                return Err(footer_err("CRC mismatch"));
+            }
+        }
         Ok(EngineCheckpoint {
             scalar_tag,
             pattern_bits,
@@ -345,7 +448,10 @@ impl EngineCheckpoint {
         let tmp = path.with_extension("tmp");
         let write = || -> io::Result<()> {
             let f = std::fs::File::create(&tmp)?;
-            let mut w = std::io::BufWriter::new(f);
+            // Megabyte-scale bodies: a large buffer keeps the syscall
+            // count low enough that the write disappears into the
+            // background thread's schedule.
+            let mut w = std::io::BufWriter::with_capacity(256 << 10, f);
             self.write_to(&mut w)?;
             use std::io::Write as _;
             w.flush()?;
@@ -367,8 +473,216 @@ impl EngineCheckpoint {
     }
 }
 
+/// Background checkpoint writer: snapshots are handed to a worker thread
+/// so serialization, CRC computation, and disk I/O leave the iteration
+/// critical path (the capture itself — a state clone — stays on it).
+/// When the worker falls behind, a backlog collapses to the newest
+/// snapshot; [`CheckpointWriter::finish`] and `Drop` drain the queue, so
+/// the last submitted snapshot is always durable before the run returns —
+/// including the error return the supervisor resumes from. The widened
+/// crash window costs at most one extra iteration of replay beyond the
+/// synchronous policy.
+pub struct CheckpointWriter {
+    tx: Option<std::sync::mpsc::Sender<SnapshotJob>>,
+    worker: Option<std::thread::JoinHandle<Result<(), EfmError>>>,
+    pending: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    busy_nanos: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    path: std::path::PathBuf,
+}
+
+impl CheckpointWriter {
+    /// Fraction of run wall time lazy mode lets checkpointing consume.
+    /// Snapshots are shed while the writer's cumulative busy time is above
+    /// this share, so on a saturated machine (where "background" CPU is
+    /// not free) the fault-free overhead of supervision stays bounded by
+    /// construction rather than by luck.
+    pub const LAZY_BUDGET: f64 = 0.03;
+    /// Spawns the writer thread for `path`.
+    pub fn spawn(path: impl Into<std::path::PathBuf>) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path: std::path::PathBuf = path.into();
+        let (tx, rx) = std::sync::mpsc::channel::<SnapshotJob>();
+        let pending = std::sync::Arc::new(AtomicUsize::new(0));
+        let busy_nanos = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let dest = path.clone();
+        let inflight = std::sync::Arc::clone(&pending);
+        let busy = std::sync::Arc::clone(&busy_nanos);
+        let worker = std::thread::Builder::new()
+            .name("efck-writer".into())
+            .spawn(move || -> Result<(), EfmError> {
+                while let Ok(mut job) = rx.recv() {
+                    while let Ok(newer) = rx.try_recv() {
+                        job = newer; // collapse a backlog: older snapshots
+                        inflight.fetch_sub(1, Ordering::Release); // never encode
+                    }
+                    let t = std::time::Instant::now();
+                    let r = job().save(&dest);
+                    busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    inflight.fetch_sub(1, Ordering::Release);
+                    r?;
+                }
+                Ok(())
+            })
+            .expect("spawn checkpoint writer thread");
+        CheckpointWriter { tx: Some(tx), worker: Some(worker), pending, busy_nanos, path }
+    }
+
+    /// Whether no snapshot is queued or being written right now.
+    pub fn is_idle(&self) -> bool {
+        self.pending.load(std::sync::atomic::Ordering::Acquire) == 0
+    }
+
+    /// Whether lazy mode may submit another snapshot: the writer is idle
+    /// and its cumulative busy time is within [`Self::LAZY_BUDGET`] of the
+    /// run's elapsed wall time.
+    pub fn within_budget(&self, elapsed: Duration) -> bool {
+        self.is_idle()
+            && self.busy_nanos.load(std::sync::atomic::Ordering::Relaxed) as f64
+                <= Self::LAZY_BUDGET * elapsed.as_nanos() as f64
+    }
+
+    /// Queues a snapshot job (see [`EngineCheckpoint::capture_deferred`])
+    /// for encoding and writing. Surfaces the worker's error if a previous
+    /// save already failed (the snapshot is then lost, exactly as a failed
+    /// synchronous save would have lost it).
+    pub fn submit(
+        &mut self,
+        job: impl FnOnce() -> EngineCheckpoint + Send + 'static,
+    ) -> Result<(), EfmError> {
+        self.pending.fetch_add(1, std::sync::atomic::Ordering::Release);
+        if self.tx.as_ref().is_some_and(|tx| tx.send(Box::new(job)).is_ok()) {
+            Ok(())
+        } else {
+            self.pending.fetch_sub(1, std::sync::atomic::Ordering::Release);
+            self.join()
+        }
+    }
+
+    /// Waits for every queued snapshot to reach disk.
+    pub fn finish(mut self) -> Result<(), EfmError> {
+        self.join()
+    }
+
+    fn join(&mut self) -> Result<(), EfmError> {
+        self.tx = None; // close the channel: the worker drains and exits
+        match self.worker.take() {
+            Some(h) => h.join().unwrap_or_else(|_| {
+                Err(EfmError::Checkpoint(format!(
+                    "checkpoint writer panicked for {}",
+                    self.path.display()
+                )))
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for CheckpointWriter {
+    fn drop(&mut self) {
+        let _ = self.join();
+    }
+}
+
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise — checkpoint files are small
+/// enough that a lookup table buys nothing).
+struct Crc32(u32);
+
+/// Byte-at-a-time lookup table, built at compile time. Checkpoints run to
+/// megabytes and are checksummed once per write *and* read, so the 8×
+/// win over the bitwise loop is worth 1 KB of table.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC32_TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
+/// Writer wrapper accumulating the running CRC and byte count of the body.
+struct CrcWriter<W> {
+    inner: W,
+    crc: Crc32,
+    len: u64,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        CrcWriter { inner, crc: Crc32::new(), len: 0 }
+    }
+
+    fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        self.len += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader wrapper accumulating the running CRC and byte count of the body.
+struct CrcReader<R> {
+    inner: R,
+    crc: Crc32,
+    len: u64,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        CrcReader { inner, crc: Crc32::new(), len: 0 }
+    }
+
+    /// Direct access to the underlying reader (footer bytes must not enter
+    /// the checksum).
+    fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        self.len += n as u64;
+        Ok(n)
+    }
 }
 
 /// Guards length prefixes against absurd values from corrupt files so a
@@ -423,7 +737,43 @@ fn get_duration(r: &mut impl Read) -> io::Result<Duration> {
     Ok(Duration::from_nanos(get_u64(r)?))
 }
 
-fn put_stats(w: &mut impl Write, s: &RunStats) -> io::Result<()> {
+fn put_class(c: FailureClass) -> u32 {
+    match c {
+        FailureClass::Fatal => 0,
+        FailureClass::Retryable => 1,
+        FailureClass::Memory => 2,
+    }
+}
+
+fn get_class(v: u32) -> io::Result<FailureClass> {
+    Ok(match v {
+        0 => FailureClass::Fatal,
+        1 => FailureClass::Retryable,
+        2 => FailureClass::Memory,
+        other => return Err(bad_data(format!("unknown failure class {other}"))),
+    })
+}
+
+fn put_action(a: RecoveryAction) -> u32 {
+    match a {
+        RecoveryAction::Restarted => 0,
+        RecoveryAction::Escalated => 1,
+        RecoveryAction::DiscardedCheckpoint => 2,
+        RecoveryAction::GaveUp => 3,
+    }
+}
+
+fn get_action(v: u32) -> io::Result<RecoveryAction> {
+    Ok(match v {
+        0 => RecoveryAction::Restarted,
+        1 => RecoveryAction::Escalated,
+        2 => RecoveryAction::DiscardedCheckpoint,
+        3 => RecoveryAction::GaveUp,
+        other => return Err(bad_data(format!("unknown recovery action {other}"))),
+    })
+}
+
+fn put_stats(w: &mut impl Write, s: &RunStats, version: u32) -> io::Result<()> {
     put_u64(w, s.candidates_generated)?;
     put_u64(w, s.peak_modes as u64)?;
     put_u64(w, s.peak_bytes)?;
@@ -461,10 +811,26 @@ fn put_stats(w: &mut impl Write, s: &RunStats) -> io::Result<()> {
             put_duration(w, d)?;
         }
     }
+    if version >= 2 {
+        put_u64(w, s.recovery.events.len() as u64)?;
+        for e in &s.recovery.events {
+            put_u32(w, e.attempt)?;
+            put_str(w, &e.error)?;
+            put_u32(w, put_class(e.class))?;
+            put_u32(w, put_action(e.action))?;
+            match e.resumed_from {
+                Some(it) => {
+                    put_u32(w, 1)?;
+                    put_u64(w, it)?;
+                }
+                None => put_u32(w, 0)?,
+            }
+        }
+    }
     Ok(())
 }
 
-fn get_stats(r: &mut impl Read) -> io::Result<RunStats> {
+fn get_stats(r: &mut impl Read, version: u32) -> io::Result<RunStats> {
     let mut s = RunStats {
         candidates_generated: get_u64(r)?,
         peak_modes: get_u64(r)? as usize,
@@ -502,6 +868,17 @@ fn get_stats(r: &mut impl Read) -> io::Result<RunStats> {
         it.t_tree_filter = get_duration(r)?;
         it.t_test = get_duration(r)?;
         s.iterations.push(it);
+    }
+    if version >= 2 {
+        let nevents = checked_len(get_u64(r)?)?;
+        for _ in 0..nevents {
+            let attempt = get_u32(r)?;
+            let error = get_str(r)?;
+            let class = get_class(get_u32(r)?)?;
+            let action = get_action(get_u32(r)?)?;
+            let resumed_from = if get_u32(r)? != 0 { Some(get_u64(r)?) } else { None };
+            s.recovery.events.push(RecoveryEvent { attempt, error, class, action, resumed_from });
+        }
     }
     Ok(s)
 }
@@ -610,6 +987,113 @@ mod tests {
         ck.write_to(&mut buf2).unwrap();
         buf2.truncate(buf2.len() - 5);
         assert!(EngineCheckpoint::read_from(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_at_any_point_yields_typed_error() {
+        // Every prefix of a valid file — including prefixes landing exactly
+        // on record boundaries, which field-level read_exact alone cannot
+        // notice — must fail to parse, never panic or restore garbage.
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                EngineCheckpoint::read_from(&buf[..cut]).is_err(),
+                "prefix of {cut}/{} bytes parsed as a valid checkpoint",
+                buf.len()
+            );
+        }
+        assert!(EngineCheckpoint::read_from(&buf[..]).is_ok());
+    }
+
+    #[test]
+    fn truncated_file_on_disk_yields_typed_checkpoint_error() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let dir = std::env::temp_dir().join(format!("efm-ckpt-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.efck");
+        ck.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut right before the footer: the body parses, the footer is gone.
+        std::fs::write(&path, &full[..full.len() - 12]).unwrap();
+        match EngineCheckpoint::load(&path) {
+            Err(EfmError::Checkpoint(m)) => {
+                assert!(m.contains("footer") || m.contains("truncat"), "{m}")
+            }
+            other => panic!("expected typed checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fails_the_crc() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        // Flip a bit inside a numeric payload (past the header) — the field
+        // parses fine, only the CRC notices.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        let err = EngineCheckpoint::read_from(&buf[..]).unwrap_err();
+        let msg = err.to_string();
+        // Either an earlier length/utf8 check or the CRC must reject it.
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn reads_legacy_v1_files() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let mut v1 = Vec::new();
+        ck.write_to_v1(&mut v1).unwrap();
+        let back = EngineCheckpoint::read_from(&v1[..]).unwrap();
+        assert_eq!(back, ck);
+        // And a resumed engine from the legacy file finishes identically.
+        let mut resumed = back.restore::<Pattern1, DynInt>(&problem, &opts).unwrap();
+        let mut direct = ck.restore::<Pattern1, DynInt>(&problem, &opts).unwrap();
+        while !direct.done() {
+            direct.step();
+            resumed.step();
+        }
+        assert_eq!(direct.final_supports(), resumed.final_supports());
+    }
+
+    #[test]
+    fn recovery_log_roundtrips_in_v2() {
+        use crate::types::{FailureClass, RecoveryAction, RecoveryEvent};
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        ck.stats.recovery.events.push(RecoveryEvent {
+            attempt: 2,
+            error: "rank 1: injected crash at communicate[3]".to_string(),
+            class: FailureClass::Retryable,
+            action: RecoveryAction::Restarted,
+            resumed_from: Some(3),
+        });
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.stats.recovery.events.len(), 1);
     }
 
     #[test]

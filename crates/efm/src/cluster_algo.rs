@@ -166,6 +166,14 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         None => Engine::<P, S>::new(problem, opts).map_err(as_protocol)?,
     };
     let fingerprint = problem_fingerprint(problem);
+    // Rank 0 snapshots for everyone; the writes happen on a background
+    // thread so the collective-synchronized iteration loop never waits on
+    // disk. Dropping the writer (success *or* error return) drains it, so
+    // the newest snapshot is durable before run_cluster reports back.
+    let mut writer = match ckpt {
+        Some(c) if ctx.rank() == 0 => Some(crate::checkpoint::CheckpointWriter::spawn(&c.path)),
+        _ => None,
+    };
     let rank = ctx.rank() as u64;
     let nodes = ctx.size() as u64;
     let mut accounted: u64 = 0;
@@ -177,6 +185,11 @@ fn node_body<P: BitPattern, S: EfmScalar>(
     track(ctx, &mut accounted, eng.modes.approx_bytes())?;
 
     while !eng.done() {
+        // Absolute iteration index (checkpoint-stable): a resumed run
+        // continues the numbering, so a fault planted at iteration k fires
+        // at the same global point whether or not a restart happened.
+        let iter_no = (eng.cursor - eng.free_count) as u64;
+        ctx.fault_point("iteration", iter_no)?;
         let mut rec = IterationStats {
             position: eng.cursor,
             reaction: eng.name_at[eng.cursor].clone(),
@@ -205,11 +218,13 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         // would never hold it) and is deliberately not charged against the
         // node capacity; the *surviving* stripe is charged after the rank
         // tests below.
+        ctx.fault_point("generate", iter_no)?;
         // --- Sort&RemoveDuplicates (local).
         {
             let _t = ctx.timed(phases::DEDUP);
             local.sort_dedup();
         }
+        ctx.fault_point("dedup", iter_no)?;
         // --- Tree filter: drop candidates duplicating existing rays. The
         // zero-mode support tree is built once and reused by the
         // elementarity test below.
@@ -240,6 +255,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         // *asymmetric* and relies on the abort propagation to release the
         // peers from the collectives below.
         track(ctx, &mut accounted, eng.modes.approx_bytes() + local_buf.approx_bytes())?;
+        ctx.fault_point("rank", iter_no)?;
         // --- Communicate.
         let all = {
             let _t = ctx.timed(phases::COMMUNICATE);
@@ -248,6 +264,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             ctx.add_work(phases::COMM_BYTES, local_buf.approx_bytes() * (nodes - 1));
             ctx.allgather(local_buf)?
         };
+        ctx.fault_point("communicate", iter_no)?;
         // --- Merge: identical on every rank.
         {
             let _t = ctx.timed(phases::MERGE);
@@ -262,16 +279,25 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             eng.advance(&part, merged);
             track(ctx, &mut accounted, eng.modes.approx_bytes())?;
         }
+        ctx.fault_point("merge", iter_no)?;
         rec.modes_after = eng.modes.len();
         eng.stats.candidates_generated += rec.pairs;
         eng.stats.iterations.push(rec);
         // --- Iteration boundary: the state is again identical on every
         // rank, so rank 0's snapshot stands for all.
-        if let Some(c) = ckpt {
-            if ctx.rank() == 0 && c.due(eng.cursor - eng.free_count) {
-                EngineCheckpoint::capture(&eng, fingerprint).save(&c.path).map_err(as_protocol)?;
+        if let (Some(c), Some(w)) = (ckpt, writer.as_mut()) {
+            // Lazy mode sheds a due snapshot while the writer is busy or
+            // over its time budget — the collective-synchronized loop
+            // never waits on serialization, and checkpoint overhead stays
+            // a bounded fraction of the run.
+            if c.due(eng.cursor - eng.free_count) && (!c.lazy || w.within_budget(t_run.elapsed())) {
+                w.submit(EngineCheckpoint::capture_deferred(&eng, fingerprint))
+                    .map_err(as_protocol)?;
             }
         }
+    }
+    if let Some(w) = writer.take() {
+        w.finish().map_err(as_protocol)?;
     }
 
     let supports: Vec<Vec<usize>> = crate::drivers::map_final_supports(problem, &eng);

@@ -48,6 +48,7 @@ pub mod io;
 mod oracle;
 mod problem;
 mod recover;
+mod supervise;
 mod types;
 
 pub use api::{
@@ -77,9 +78,12 @@ pub use escalate::{
 pub use oracle::brute_force_efms;
 pub use problem::{build_problem, build_subproblem, EfmProblem};
 pub use recover::{recover_flux, verify_flux};
+pub use supervise::{
+    classify_failure, enumerate_supervised, enumerate_supervised_with_scalar, SuperviseConfig,
+};
 pub use types::{
-    CandidateTest, EfmError, EfmOptions, EfmSet, IterationStats, PhaseBreakdown, RowOrdering,
-    RunStats,
+    CandidateTest, EfmError, EfmOptions, EfmSet, FailureClass, IterationStats, PhaseBreakdown,
+    RecoveryAction, RecoveryEvent, RecoveryLog, RowOrdering, RunStats,
 };
 
 #[cfg(test)]

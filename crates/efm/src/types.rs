@@ -155,6 +155,108 @@ impl PhaseBreakdown {
     }
 }
 
+/// How the supervisor classified an observed failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A programming or configuration error no restart can fix.
+    Fatal,
+    /// A transient infrastructure failure (crash, timeout, lost message) —
+    /// a restart from the newest checkpoint can reasonably succeed.
+    Retryable,
+    /// Memory exhaustion — a restart hits the same wall; the recovery is
+    /// divide-and-conquer escalation (a deeper `2^qsub` split).
+    Memory,
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureClass::Fatal => write!(f, "fatal"),
+            FailureClass::Retryable => write!(f, "retryable"),
+            FailureClass::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+/// What the supervisor did in response to a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Relaunched the run (from a checkpoint when one was valid).
+    Restarted,
+    /// Rerouted to divide-and-conquer escalation.
+    Escalated,
+    /// Discarded an unreadable or mismatched checkpoint before retrying.
+    DiscardedCheckpoint,
+    /// Exhausted the retry budget and surfaced the error.
+    GaveUp,
+}
+
+impl std::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryAction::Restarted => write!(f, "restarted"),
+            RecoveryAction::Escalated => write!(f, "escalated"),
+            RecoveryAction::DiscardedCheckpoint => write!(f, "discarded checkpoint"),
+            RecoveryAction::GaveUp => write!(f, "gave up"),
+        }
+    }
+}
+
+/// One failure the supervisor observed and the action it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// Display form of the observed error.
+    pub error: String,
+    /// How the failure was classified.
+    pub class: FailureClass,
+    /// What the supervisor did.
+    pub action: RecoveryAction,
+    /// Iteration the next attempt resumed from (`None` = fresh start or no
+    /// further attempt).
+    pub resumed_from: Option<u64>,
+}
+
+/// The supervisor's audit trail: every fault observed and action taken, in
+/// order. Carried in [`RunStats`] on success and in
+/// [`EfmError::RestartsExhausted`] on failure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryLog {
+    /// Events in observation order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryLog {
+    /// Number of restarts performed (excludes checkpoint discards).
+    pub fn restarts(&self) -> u32 {
+        self.events.iter().filter(|e| e.action == RecoveryAction::Restarted).count() as u32
+    }
+
+    /// Whether any fault was observed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl std::fmt::Display for RecoveryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "no faults observed");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "attempt {}: [{}] {} -> {}", e.attempt, e.class, e.error, e.action)?;
+            if let Some(it) = e.resumed_from {
+                write!(f, " (resumed from iteration {it})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Statistics of a whole run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
@@ -173,6 +275,9 @@ pub struct RunStats {
     pub phases: PhaseBreakdown,
     /// Total wall time of the enumeration core.
     pub total_time: Duration,
+    /// Faults observed and recovery actions taken by the supervisor
+    /// (empty for unsupervised or fault-free runs).
+    pub recovery: RecoveryLog,
 }
 
 impl RunStats {
@@ -185,6 +290,7 @@ impl RunStats {
         self.final_modes += other.final_modes;
         self.phases.accumulate(&other.phases);
         self.total_time += other.total_time;
+        self.recovery.events.extend(other.recovery.events.iter().cloned());
     }
 }
 
@@ -356,6 +462,16 @@ pub enum EfmError {
     /// A checkpoint file could not be written, read, or does not match the
     /// problem being resumed.
     Checkpoint(String),
+    /// The supervisor exhausted its restart budget; carries the last
+    /// failure and the full recovery log.
+    RestartsExhausted {
+        /// The configured restart budget.
+        max_restarts: u32,
+        /// The failure that ended the run.
+        last: Box<EfmError>,
+        /// Every fault observed and action taken.
+        log: RecoveryLog,
+    },
 }
 
 impl std::fmt::Display for EfmError {
@@ -382,6 +498,9 @@ impl std::fmt::Display for EfmError {
             }
             EfmError::Cluster(e) => write!(f, "cluster failure: {e}"),
             EfmError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            EfmError::RestartsExhausted { max_restarts, last, log } => {
+                write!(f, "supervisor exhausted {max_restarts} restarts; last error: {last}; recovery log:\n{log}")
+            }
         }
     }
 }

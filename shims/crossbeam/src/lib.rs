@@ -11,6 +11,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
@@ -43,6 +44,28 @@ pub mod channel {
         /// The channel is empty and all senders are gone.
         Disconnected,
     }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// Error returned by [`Sender::send`] when all receivers are gone; carries
     /// the rejected message back to the caller.
@@ -116,6 +139,26 @@ pub mod channel {
             }
         }
 
+        /// Dequeues the next message, blocking at most `timeout` while the
+        /// channel is empty and at least one sender remains.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                (state, _) = self.shared.ready.wait_timeout(state, remaining).unwrap();
+            }
+        }
+
         /// Dequeues the next message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.queue.lock().unwrap();
@@ -173,6 +216,17 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         drop(s);
         assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (s, r) = unbounded();
+        assert_eq!(r.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        s.send(5).unwrap();
+        assert_eq!(r.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(s);
+        assert_eq!(r.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

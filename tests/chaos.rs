@@ -1,0 +1,151 @@
+//! Chaos soak: sweep seeded fault plans over the supervised cluster and
+//! assert every run converges to the exact fault-free EFM set.
+//!
+//! The matrix crosses crash faults at each instrumented collective phase
+//! (`iteration`, `generate`, `dedup`, `rank`, `communicate`, `merge`) with
+//! 2–4 ranks, plus a soft-fault sweep (stragglers, flaky and delayed
+//! sends) that must finish with *zero* restarts. Every run executes under
+//! a watchdog so a recovery bug shows up as a test failure, never a hang.
+
+use efm_cluster::{ClusterConfig, ClusterTimeouts, FaultPlan};
+use efm_core::{enumerate, enumerate_supervised, EfmError, EfmOptions, SuperviseConfig};
+use efm_metnet::examples::toy_network;
+use std::time::Duration;
+
+const PHASES: [&str; 6] = ["iteration", "generate", "dedup", "rank", "communicate", "merge"];
+
+/// Runs `f` on a watchdog thread; panics if it has not finished within
+/// `secs` (a recovery bug must fail the suite, not hang the runner).
+fn within_seconds<R: Send + 'static>(secs: u64, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(secs)).expect("supervised run hung instead of recovering")
+}
+
+fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("efm-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.efck"))
+}
+
+/// One supervised run under `plan`; returns the outcome within the
+/// watchdog window and removes its checkpoint.
+fn supervised(
+    tag: &str,
+    nodes: usize,
+    plan: FaultPlan,
+    max_restarts: u32,
+) -> Result<efm_core::EfmOutcome, EfmError> {
+    let path = temp_ckpt(tag);
+    let _ = std::fs::remove_file(&path);
+    let p = path.clone();
+    let out = within_seconds(120, move || {
+        let net = toy_network();
+        let opts = EfmOptions::default();
+        // Short deadlines keep a (hypothetical) stuck collective from
+        // eating the watchdog budget: detection is the product's job.
+        let cluster = ClusterConfig::new(nodes)
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let sup = SuperviseConfig::new(&p).max_restarts(max_restarts).with_fault_plan(plan);
+        enumerate_supervised(&net, &opts, &cluster, &sup)
+    });
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+#[test]
+fn crash_sweep_over_every_phase_and_rank_count_recovers_exactly() {
+    let direct = enumerate(&toy_network(), &EfmOptions::default()).unwrap();
+    for (pi, phase) in PHASES.iter().enumerate() {
+        for nodes in 2..=4usize {
+            // Deterministic but varied placement: which rank dies and at
+            // which iteration depend on the matrix cell, seeded per cell.
+            let victim = (pi + nodes) % nodes;
+            let iter = (pi % 3) as u64;
+            let seed = (pi as u64) * 100 + nodes as u64;
+            let plan = FaultPlan::new(seed).crash(victim, phase, iter);
+            let tag = format!("crash-{phase}-{nodes}");
+            let out = supervised(&tag, nodes, plan, 3).unwrap_or_else(|e| {
+                panic!("phase={phase} nodes={nodes} victim={victim} iter={iter}: {e}")
+            });
+            assert_eq!(
+                out.efms, direct.efms,
+                "EFM set diverged after crash at {phase}[{iter}] on rank {victim}/{nodes}"
+            );
+            assert_eq!(
+                out.stats.recovery.restarts(),
+                1,
+                "one crash must cost exactly one restart ({phase}, {nodes} ranks): {}",
+                out.stats.recovery
+            );
+        }
+    }
+}
+
+#[test]
+fn double_crash_within_budget_still_recovers() {
+    let direct = enumerate(&toy_network(), &EfmOptions::default()).unwrap();
+    for nodes in 2..=4usize {
+        let plan =
+            FaultPlan::new(40 + nodes as u64).crash(0, "generate", 1).crash(nodes - 1, "merge", 3);
+        let out = supervised(&format!("double-{nodes}"), nodes, plan, 3).unwrap();
+        assert_eq!(out.efms, direct.efms, "{nodes} ranks");
+        assert_eq!(out.stats.recovery.restarts(), 2, "{}", out.stats.recovery);
+    }
+}
+
+#[test]
+fn soft_fault_sweep_finishes_with_zero_restarts() {
+    // Stragglers, dropped/duplicated/delayed/flaky sends: the runtime must
+    // absorb all of these without the supervisor ever restarting. A
+    // dropped data packet *is* fatal to that attempt (detected, not hung),
+    // so drops are exercised in the restart sweep below instead.
+    let direct = enumerate(&toy_network(), &EfmOptions::default()).unwrap();
+    for nodes in 2..=4usize {
+        let plan = FaultPlan::new(70 + nodes as u64)
+            .straggler(nodes - 1, 2)
+            .flaky_send(0, 2, 3)
+            .delay_send(nodes / 2, 1, 5)
+            .duplicate_send(0, 4);
+        let out = supervised(&format!("soft-{nodes}"), nodes, plan, 0).unwrap();
+        assert_eq!(out.efms, direct.efms, "{nodes} ranks");
+        assert!(
+            out.stats.recovery.is_empty(),
+            "soft faults must not consume the restart budget ({nodes} ranks): {}",
+            out.stats.recovery
+        );
+    }
+}
+
+#[test]
+fn dropped_message_is_detected_and_survived_by_restart() {
+    let direct = enumerate(&toy_network(), &EfmOptions::default()).unwrap();
+    for nodes in 2..=3usize {
+        let plan = FaultPlan::new(90 + nodes as u64).drop_send(0, 2);
+        let out = supervised(&format!("drop-{nodes}"), nodes, plan, 3).unwrap();
+        assert_eq!(out.efms, direct.efms, "{nodes} ranks");
+        assert_eq!(
+            out.stats.recovery.restarts(),
+            1,
+            "a lost packet costs one restart ({nodes} ranks): {}",
+            out.stats.recovery
+        );
+    }
+}
+
+#[test]
+fn overwhelming_crash_plan_exhausts_budget_with_full_log() {
+    let mut plan = FaultPlan::new(99);
+    for it in 0..10 {
+        plan = plan.crash(0, "iteration", it);
+    }
+    let err = supervised("overwhelm", 2, plan, 2).unwrap_err();
+    match err {
+        EfmError::RestartsExhausted { max_restarts: 2, log, .. } => {
+            assert_eq!(log.events.len(), 3, "2 restarts + 1 give-up: {log}");
+        }
+        other => panic!("expected RestartsExhausted, got {other:?}"),
+    }
+}
