@@ -24,12 +24,14 @@ use efm_numeric::{DynInt, F64Tol};
 const ALPHA_SECS: f64 = 2e-6;
 const BETA_SECS_PER_BYTE: f64 = 1e-9;
 
-/// Total allgather bytes recorded by the cluster instrumentation.
-fn comm_bytes_estimate(out: &EfmOutcome) -> u64 {
+/// Total allgather bytes for the α/β model: the measured traffic counter
+/// when the cluster backend recorded one, else the old accepted-volume
+/// approximation (serial runs ship nothing but still need a model input).
+fn comm_bytes(out: &EfmOutcome) -> u64 {
     let _ = phases::COMM_BYTES;
-    // The per-rank reports are not exposed through EfmOutcome; approximate
-    // from the accepted-mode volume (the survivor buffers that were
-    // shipped): 64 bytes per accepted candidate per receiving rank.
+    if out.stats.comm_bytes > 0 {
+        return out.stats.comm_bytes;
+    }
     out.stats.iterations.iter().map(|it| it.accepted * 64).sum()
 }
 
@@ -59,6 +61,10 @@ fn main() {
         "nodes",
         "EFMs",
         "candidates",
+        "pruned",
+        "dedup hits",
+        "rank tests",
+        "comm MB",
         "gen(s)",
         "dedup(s)",
         "tree(s)",
@@ -91,7 +97,7 @@ fn main() {
             .as_secs_f64();
         let base_compute = *serial_model.get_or_insert(compute_this);
         let rounds = out.stats.iterations.len() as f64;
-        let bytes = comm_bytes_estimate(&out);
+        let bytes = comm_bytes(&out);
         let comm_model =
             rounds * ALPHA_SECS * (n as f64 - 1.0).max(0.0) + bytes as f64 * BETA_SECS_PER_BYTE;
         let model = base_compute / n as f64 + comm_model;
@@ -100,6 +106,10 @@ fn main() {
             n.to_string(),
             out.efms.len().to_string(),
             out.stats.candidates_generated.to_string(),
+            out.stats.tree_pruned.to_string(),
+            out.stats.dedup_hits.to_string(),
+            out.stats.rank_tests.to_string(),
+            format!("{:.1}", bytes as f64 / 1e6),
             secs(out.stats.phases.generate),
             secs(out.stats.phases.dedup),
             secs(out.stats.phases.tree_filter),

@@ -425,6 +425,9 @@ impl AbortState {
     /// mailbox with an [`AbortPacket`]. Later failures only keep their own
     /// slot result; the latch is first-writer-wins.
     fn trigger(&self, origin: usize, err: ClusterError, barrier: &PoisonBarrier, fabric: &Fabric) {
+        if efm_obs::enabled() {
+            efm_obs::instant_dyn(format!("abort: {err}"));
+        }
         {
             let mut info = self.info.lock();
             if info.is_none() {
@@ -554,11 +557,14 @@ impl PhaseStats {
     }
 }
 
-/// RAII guard accumulating elapsed time into a phase on drop.
+/// RAII guard accumulating elapsed time into a phase on drop. Also holds
+/// an [`efm_obs`] span so every timed phase shows up as a slice on the
+/// rank's trace track (inert unless tracing is enabled).
 pub struct PhaseTimer<'a> {
     stats: &'a PhaseStats,
     phase: &'static str,
     start: Instant,
+    _span: efm_obs::Span,
 }
 
 impl Drop for PhaseTimer<'_> {
@@ -611,7 +617,7 @@ impl<'a> NodeCtx<'a> {
 
     /// Starts a phase timer; elapsed time accumulates on drop.
     pub fn timed(&self, phase: &'static str) -> PhaseTimer<'a> {
-        PhaseTimer { stats: self.stats, phase, start: Instant::now() }
+        PhaseTimer { stats: self.stats, phase, start: Instant::now(), _span: efm_obs::span(phase) }
     }
 
     /// Adds abstract work units to a phase counter.
@@ -635,6 +641,7 @@ impl<'a> NodeCtx<'a> {
 
     /// [`NodeCtx::barrier`] with an explicit deadline.
     pub fn barrier_deadline(&self, timeout: Duration) -> Result<(), ClusterError> {
+        let _span = efm_obs::span("barrier wait");
         match self.barrier.wait_deadline(timeout) {
             Ok(()) => Ok(()),
             Err(BarrierFailure::Poisoned) => Err(self.aborted()),
@@ -654,16 +661,38 @@ impl<'a> NodeCtx<'a> {
         };
         let straggle = inj.straggle_millis(self.rank);
         if straggle > 0 {
+            if efm_obs::enabled() {
+                efm_obs::instant_dyn(format!("fault: straggle {straggle}ms @{phase}"));
+            }
             std::thread::sleep(Duration::from_millis(straggle));
         }
         if let Some(at) = inj.crash_at(self.rank, phase, iteration) {
+            if efm_obs::enabled() {
+                efm_obs::instant_dyn(format!("fault: crash @{at}"));
+            }
             return Err(ClusterError::InjectedCrash { rank: self.rank, at });
         }
         Ok(())
     }
 
+    /// Records `bytes` of payload about to travel on this rank's link to
+    /// `dst`. The cluster fabric moves boxed values, not serialized bytes,
+    /// so senders that know their payload's true size (the engine knows
+    /// its candidate buffers') report it here; the per-(src→dst) counters
+    /// feed the merged trace and the `comm bytes` total.
+    pub fn note_traffic(&self, dst: usize, bytes: u64) {
+        if efm_obs::enabled() {
+            efm_obs::counter_add_dyn(format!("link {}->{} bytes", self.rank, dst), bytes);
+            efm_obs::counter_add("comm bytes", bytes);
+        }
+    }
+
     /// Delivers an already-numbered packet into `dst`'s mailbox.
     fn deliver<M: Send + 'static>(&self, dst: usize, seq: u64, msg: M) -> Result<(), ClusterError> {
+        if efm_obs::enabled() {
+            efm_obs::counter_add_dyn(format!("link {}->{} msgs", self.rank, dst), 1);
+            efm_obs::counter_add("comm msgs", 1);
+        }
         self.fabric.senders[dst]
             .send(Packet { from: self.rank, seq: Some(seq), payload: Box::new(msg) })
             .map_err(|_| {
@@ -716,6 +745,9 @@ impl<'a> NodeCtx<'a> {
                 SendFate::Drop => {
                     // The fabric swallows the message: consume the sequence
                     // number so the receiver can detect the gap.
+                    if efm_obs::enabled() {
+                        efm_obs::instant_dyn(format!("fault: dropped send to {dst}"));
+                    }
                     self.send_seq[dst].fetch_add(1, Ordering::Relaxed);
                     return Ok(());
                 }
@@ -825,6 +857,7 @@ impl<'a> NodeCtx<'a> {
     /// contributions of all ranks indexed by rank. Every rank must call
     /// this the same number of times in the same order.
     pub fn allgather<M: Clone + Send + 'static>(&self, local: M) -> Result<Vec<M>, ClusterError> {
+        let _span = efm_obs::span("allgather");
         for dst in 0..self.size {
             if dst != self.rank {
                 self.send(dst, local.clone())?;
@@ -832,11 +865,16 @@ impl<'a> NodeCtx<'a> {
         }
         let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
         out[self.rank] = Some(local);
+        // The receive loop is the collective's synchronization point: a
+        // rank blocks here until every peer has sent, so the span length
+        // is the time spent waiting on stragglers.
+        let wait = efm_obs::span("barrier wait");
         for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
                 *slot = Some(self.recv::<M>(src)?);
             }
         }
+        drop(wait);
         Ok(out.into_iter().map(Option::unwrap).collect())
     }
 
@@ -847,6 +885,7 @@ impl<'a> NodeCtx<'a> {
         local: M,
         op: impl Fn(M, M) -> M,
     ) -> Result<M, ClusterError> {
+        let _span = efm_obs::span("allreduce");
         let all = self.allgather(local)?;
         let mut it = all.into_iter();
         let first = it.next().expect("cluster has at least one rank");
@@ -862,6 +901,7 @@ impl<'a> NodeCtx<'a> {
         local: Option<M>,
     ) -> Result<M, ClusterError> {
         assert!(root < self.size, "broadcast root out of range");
+        let _span = efm_obs::span("broadcast");
         if self.rank == root {
             let v = local.expect("root must supply the broadcast value");
             for dst in 0..self.size {
@@ -883,6 +923,7 @@ impl<'a> NodeCtx<'a> {
         local: M,
     ) -> Result<Option<Vec<M>>, ClusterError> {
         assert!(root < self.size, "gather root out of range");
+        let _span = efm_obs::span("gather");
         if self.rank == root {
             let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
             out[self.rank] = Some(local);
@@ -906,6 +947,7 @@ impl<'a> NodeCtx<'a> {
         items: Option<Vec<M>>,
     ) -> Result<M, ClusterError> {
         assert!(root < self.size, "scatter root out of range");
+        let _span = efm_obs::span("scatter");
         if self.rank == root {
             let items = items.expect("root must supply the scatter items");
             assert_eq!(items.len(), self.size, "scatter needs one item per rank");
@@ -986,6 +1028,11 @@ where
             let mailbox = receivers[rank].lock().take().expect("mailbox taken once");
             let body = &body;
             scope.spawn(move || {
+                // One trace track per rank (tid == rank): this is what
+                // merges a cluster run into a single multi-track trace.
+                if efm_obs::enabled() {
+                    efm_obs::set_track(rank as u32, &format!("rank {rank}"));
+                }
                 let ctx = NodeCtx {
                     rank,
                     size: n,

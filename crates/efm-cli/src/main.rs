@@ -38,6 +38,10 @@
 //!   --max-restarts <N>              supervisor restart budget [default: 3]
 //!   --fault-plan <SPEC>             inject deterministic faults, e.g.
 //!                                   "seed=42;crash@1:phase=communicate,iter=3"
+//!   --trace-out <FILE>              write a Chrome trace_event JSON of the run
+//!                                   (.jsonl extension switches to a JSONL event log)
+//!   --metrics-out <FILE>            write final counters/gauges as JSON
+//!   --progress                      live progress line with survivor-count ETA
 //!
 //! Network files may be in the reaction-per-line format of the paper's
 //! figures or in Metatool `.dat` format (auto-detected by the leading
@@ -81,6 +85,9 @@ struct Args {
     supervise: bool,
     max_restarts: u32,
     fault_plan: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    progress: bool,
 }
 
 fn usage() -> ! {
@@ -91,7 +98,8 @@ fn usage() -> ! {
          \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
          \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20                 [--auto-escalate K] [--supervise] [--max-restarts N]\n\
-         \x20                 [--fault-plan SPEC] [--quiet] [NETWORK-FILE]"
+         \x20                 [--fault-plan SPEC] [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20                 [--progress] [--quiet] [NETWORK-FILE]"
     );
     std::process::exit(2);
 }
@@ -125,6 +133,9 @@ fn parse_args() -> Args {
         supervise: false,
         max_restarts: 3,
         fault_plan: None,
+        trace_out: None,
+        metrics_out: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -172,6 +183,9 @@ fn parse_args() -> Args {
                 args.max_restarts = val(&mut it).parse().unwrap_or_else(|_| usage())
             }
             "--fault-plan" => args.fault_plan = Some(val(&mut it)),
+            "--trace-out" => args.trace_out = Some(val(&mut it)),
+            "--metrics-out" => args.metrics_out = Some(val(&mut it)),
+            "--progress" => args.progress = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => args.network = Some(other.to_string()),
             _ => usage(),
@@ -338,6 +352,41 @@ fn run<S: efm_core::EfmScalar>(
     }
 }
 
+/// Writes `--trace-out` / `--metrics-out` files from the global telemetry
+/// snapshot. A `.jsonl` trace path selects the line-oriented event log;
+/// anything else gets Chrome `trace_event` JSON.
+fn export_telemetry(args: &Args) -> Result<(), String> {
+    if args.trace_out.is_none() && args.metrics_out.is_none() {
+        return Ok(());
+    }
+    let snap = efm_obs::snapshot();
+    if let Some(path) = &args.trace_out {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        let res = if path.ends_with(".jsonl") {
+            efm_obs::export::write_jsonl(&snap, &mut f)
+        } else {
+            efm_obs::export::write_chrome_trace(&snap, &mut f)
+        };
+        res.map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote trace ({} events, {} tracks) to {path}",
+            snap.event_count(),
+            snap.tracks.len()
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        efm_obs::export::write_metrics(&snap, &mut f)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics ({} counters) to {path}", snap.counters.len());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let net = match load_network(&args) {
@@ -381,7 +430,19 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    if args.trace_out.is_some() || args.metrics_out.is_some() {
+        efm_obs::set_enabled(true);
+    }
+    if args.progress {
+        efm_obs::progress::set_progress(true);
+    }
     let outcome = if args.float { run::<F64Tol>(&net, &args) } else { run::<DynInt>(&net, &args) };
+    // Export telemetry even on failure: an aborted run's trace is exactly
+    // what you want when diagnosing the abort.
+    if let Err(e) = export_telemetry(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let outcome = match outcome {
         Ok(o) => o,
         Err(e) => {
@@ -402,6 +463,16 @@ fn main() -> ExitCode {
         "candidates generated:  {}   peak intermediate modes: {}",
         outcome.stats.candidates_generated, outcome.stats.peak_modes
     );
+    if !args.quiet {
+        println!(
+            "tree-pruned: {}   dedup hits: {}   rank tests: {}   comm: {} msgs / {} bytes",
+            outcome.stats.tree_pruned,
+            outcome.stats.dedup_hits,
+            outcome.stats.rank_tests,
+            outcome.stats.comm_messages,
+            outcome.stats.comm_bytes
+        );
+    }
     let ph = &outcome.stats.phases;
     println!(
         "phase times: gen={:.3}s dedup={:.3}s ranktest={:.3}s comm={:.3}s merge={:.3}s total={:.3}s",

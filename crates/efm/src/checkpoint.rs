@@ -38,8 +38,12 @@ const MAGIC: &[u8; 4] = b"EFCK";
 /// (u64) + CRC-32 (u32) — so a file truncated *exactly* on a record
 /// boundary (which field-level `read_exact` cannot notice) or silently
 /// bit-flipped is rejected with a typed error instead of restoring garbage
-/// state. Version-1 files (no footer, no recovery log) remain readable.
-const VERSION: u32 = 2;
+/// state. Version 3 adds the observability counters of `RunStats`
+/// (tree-prune / dedup / rank-test / comm totals, transient peak) and a
+/// monotonic timestamp per recovery event. Version-1 files (no footer, no
+/// recovery log) and version-2 files (no counters, no timestamps — they
+/// read back as zero) remain readable.
+const VERSION: u32 = 3;
 
 type SnapshotJob = Box<dyn FnOnce() -> EngineCheckpoint + Send>;
 
@@ -363,6 +367,19 @@ impl EngineCheckpoint {
     #[cfg(test)]
     pub(crate) fn write_to_v1<W: Write>(&self, mut w: W) -> io::Result<()> {
         self.write_body(&mut w, 1)
+    }
+
+    /// Writes a version-2 file (footer present, no v3 counters or event
+    /// timestamps) — compatibility-test helper.
+    #[cfg(test)]
+    pub(crate) fn write_to_v2<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut cw = CrcWriter::new(w);
+        self.write_body(&mut cw, 2)?;
+        let (len, crc) = (cw.len, cw.crc.finish());
+        let mut w = cw.into_inner();
+        put_u64(&mut w, len)?;
+        put_u32(&mut w, crc)?;
+        Ok(())
     }
 
     /// Reads the binary checkpoint format (versions 1 and 2).
@@ -778,6 +795,18 @@ fn put_stats(w: &mut impl Write, s: &RunStats, version: u32) -> io::Result<()> {
     put_u64(w, s.peak_modes as u64)?;
     put_u64(w, s.peak_bytes)?;
     put_u64(w, s.final_modes as u64)?;
+    if version >= 3 {
+        for v in [
+            s.tree_pruned,
+            s.dedup_hits,
+            s.rank_tests,
+            s.comm_messages,
+            s.comm_bytes,
+            s.peak_transient_bytes,
+        ] {
+            put_u64(w, v)?;
+        }
+    }
     for d in [
         s.phases.generate,
         s.phases.dedup,
@@ -814,6 +843,9 @@ fn put_stats(w: &mut impl Write, s: &RunStats, version: u32) -> io::Result<()> {
     if version >= 2 {
         put_u64(w, s.recovery.events.len() as u64)?;
         for e in &s.recovery.events {
+            if version >= 3 {
+                put_u64(w, e.at_us)?;
+            }
             put_u32(w, e.attempt)?;
             put_str(w, &e.error)?;
             put_u32(w, put_class(e.class))?;
@@ -838,6 +870,14 @@ fn get_stats(r: &mut impl Read, version: u32) -> io::Result<RunStats> {
         final_modes: get_u64(r)? as usize,
         ..Default::default()
     };
+    if version >= 3 {
+        s.tree_pruned = get_u64(r)?;
+        s.dedup_hits = get_u64(r)?;
+        s.rank_tests = get_u64(r)?;
+        s.comm_messages = get_u64(r)?;
+        s.comm_bytes = get_u64(r)?;
+        s.peak_transient_bytes = get_u64(r)?;
+    }
     s.phases.generate = get_duration(r)?;
     s.phases.dedup = get_duration(r)?;
     s.phases.tree_filter = get_duration(r)?;
@@ -872,12 +912,21 @@ fn get_stats(r: &mut impl Read, version: u32) -> io::Result<RunStats> {
     if version >= 2 {
         let nevents = checked_len(get_u64(r)?)?;
         for _ in 0..nevents {
+            // v2 events carry no timestamp; they read back as 0.
+            let at_us = if version >= 3 { get_u64(r)? } else { 0 };
             let attempt = get_u32(r)?;
             let error = get_str(r)?;
             let class = get_class(get_u32(r)?)?;
             let action = get_action(get_u32(r)?)?;
             let resumed_from = if get_u32(r)? != 0 { Some(get_u64(r)?) } else { None };
-            s.recovery.events.push(RecoveryEvent { attempt, error, class, action, resumed_from });
+            s.recovery.events.push(RecoveryEvent {
+                at_us,
+                attempt,
+                error,
+                class,
+                action,
+                resumed_from,
+            });
         }
     }
     Ok(s)
@@ -1083,6 +1132,7 @@ mod tests {
         eng.step();
         let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
         ck.stats.recovery.events.push(RecoveryEvent {
+            at_us: 1_234_567,
             attempt: 2,
             error: "rank 1: injected crash at communicate[3]".to_string(),
             class: FailureClass::Retryable,
@@ -1094,6 +1144,59 @@ mod tests {
         let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
         assert_eq!(back, ck);
         assert_eq!(back.stats.recovery.events.len(), 1);
+        assert_eq!(back.stats.recovery.events[0].at_us, 1_234_567);
+    }
+
+    #[test]
+    fn v3_counters_roundtrip() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        ck.stats.tree_pruned = 11;
+        ck.stats.dedup_hits = 22;
+        ck.stats.rank_tests = 33;
+        ck.stats.comm_messages = 44;
+        ck.stats.comm_bytes = 55;
+        ck.stats.peak_transient_bytes = 66;
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.stats.tree_pruned, 11);
+        assert_eq!(back.stats.peak_transient_bytes, 66);
+    }
+
+    #[test]
+    fn v2_files_read_back_with_zeroed_v3_fields() {
+        use crate::types::{FailureClass, RecoveryAction, RecoveryEvent};
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        // These fields don't exist in a v2 file and must come back zeroed.
+        ck.stats.tree_pruned = 7;
+        ck.stats.comm_bytes = 9;
+        ck.stats.peak_transient_bytes = 13;
+        ck.stats.recovery.events.push(RecoveryEvent {
+            at_us: 777,
+            attempt: 1,
+            error: "injected".to_string(),
+            class: FailureClass::Retryable,
+            action: RecoveryAction::Restarted,
+            resumed_from: None,
+        });
+        let mut buf = Vec::new();
+        ck.write_to_v2(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back.stats.tree_pruned, 0);
+        assert_eq!(back.stats.comm_bytes, 0);
+        assert_eq!(back.stats.peak_transient_bytes, 0);
+        assert_eq!(back.stats.recovery.events.len(), 1);
+        assert_eq!(back.stats.recovery.events[0].at_us, 0);
+        assert_eq!(back.stats.recovery.events[0].attempt, 1);
     }
 
     #[test]

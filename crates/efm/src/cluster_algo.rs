@@ -111,11 +111,24 @@ pub fn cluster_supports_resumable<P: BitPattern, S: EfmScalar>(
     let mut stats = RunStats::default();
     for rep in &reports {
         stats.candidates_generated += rep.value.stats.candidates_generated;
+        stats.tree_pruned += rep.value.stats.tree_pruned;
+        stats.dedup_hits += rep.value.stats.dedup_hits;
+        stats.rank_tests += rep.value.stats.rank_tests;
+        stats.comm_messages += rep.value.stats.comm_messages;
+        stats.comm_bytes += rep.value.stats.comm_bytes;
         stats.peak_modes = stats.peak_modes.max(rep.value.stats.peak_modes);
         stats.peak_bytes = stats.peak_bytes.max(rep.peak_memory);
+        stats.peak_transient_bytes =
+            stats.peak_transient_bytes.max(rep.value.stats.peak_transient_bytes);
     }
     if let Some(ck) = resume {
-        stats.candidates_generated -= ck.stats.candidates_generated * (reports.len() as u64 - 1);
+        let replicas = reports.len() as u64 - 1;
+        stats.candidates_generated -= ck.stats.candidates_generated * replicas;
+        stats.tree_pruned -= ck.stats.tree_pruned * replicas;
+        stats.dedup_hits -= ck.stats.dedup_hits * replicas;
+        stats.rank_tests -= ck.stats.rank_tests * replicas;
+        stats.comm_messages -= ck.stats.comm_messages * replicas;
+        stats.comm_bytes -= ck.stats.comm_bytes * replicas;
     }
     // Iteration records: take rank 0's skeleton, with pair counts summed
     // across ranks (each rank recorded only its stripe). On a resumed run
@@ -214,10 +227,16 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             rec.prefiltered = eng.generate_range(&part, start, end, &mut set, &mut scratch);
             (part, set)
         };
+        let raw = local.len() as u64;
         // The raw generation output is transient (a streaming generator
         // would never hold it) and is deliberately not charged against the
         // node capacity; the *surviving* stripe is charged after the rank
-        // tests below.
+        // tests below. It is still *recorded*, as a separate gauge, so the
+        // deviation from the paper's Table IV peak-memory accounting is
+        // visible rather than silent.
+        let transient = local.approx_bytes();
+        eng.stats.peak_transient_bytes = eng.stats.peak_transient_bytes.max(transient);
+        efm_obs::gauge_max("peak transient bytes", transient);
         ctx.fault_point("generate", iter_no)?;
         // --- Sort&RemoveDuplicates (local).
         {
@@ -261,7 +280,17 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             let _t = ctx.timed(phases::COMMUNICATE);
             // Under an α/β network model every rank ships its survivor
             // buffer to all peers; record the outgoing volume.
-            ctx.add_work(phases::COMM_BYTES, local_buf.approx_bytes() * (nodes - 1));
+            let out_bytes = local_buf.approx_bytes();
+            ctx.add_work(phases::COMM_BYTES, out_bytes * (nodes - 1));
+            eng.stats.comm_messages += nodes - 1;
+            eng.stats.comm_bytes += out_bytes * (nodes - 1);
+            if efm_obs::enabled() {
+                for dst in 0..nodes as usize {
+                    if dst != ctx.rank() {
+                        ctx.note_traffic(dst, out_bytes);
+                    }
+                }
+            }
             ctx.allgather(local_buf)?
         };
         ctx.fault_point("communicate", iter_no)?;
@@ -282,6 +311,14 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         ctx.fault_point("merge", iter_no)?;
         rec.modes_after = eng.modes.len();
         eng.stats.candidates_generated += rec.pairs;
+        eng.stats.tree_pruned += rec.pairs - rec.prefiltered;
+        eng.stats.dedup_hits += raw - rec.deduped;
+        eng.stats.rank_tests += rec.deduped;
+        efm_obs::counter_add("dedup hits", raw - rec.deduped);
+        eng.note_iteration_counters(&rec);
+        if ctx.rank() == 0 {
+            crate::drivers::note_progress(&eng);
+        }
         eng.stats.iterations.push(rec);
         // --- Iteration boundary: the state is again identical on every
         // rank, so rank 0's snapshot stands for all.

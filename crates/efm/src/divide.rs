@@ -152,6 +152,11 @@ pub fn divide_conquer_supports<P: BitPattern, S: EfmScalar>(
     let mut reports = Vec::with_capacity(1 << qsub);
     for subset_id in 0..1usize << qsub {
         let pattern = subset_pattern(&partition, subset_id);
+        let _span = if efm_obs::enabled() {
+            efm_obs::span_dyn(format!("subset {subset_id}: {pattern}"))
+        } else {
+            efm_obs::Span::off()
+        };
         match run_subset::<P, S>(red, &partition, subset_id, opts, backend)? {
             Some((sups, stats)) => {
                 reports.push(SubsetReport {

@@ -84,14 +84,38 @@ fn run_resumable<P: BitPattern, S: EfmScalar>(
     };
     while !eng.done() {
         check_limit(&eng, opts)?;
-        step(&mut eng);
+        {
+            let _span = efm_obs::span("iteration");
+            step(&mut eng);
+        }
+        note_progress(&eng);
         if let Some(c) = ckpt {
             if c.due(eng.cursor - eng.free_count) {
+                let _span = efm_obs::span("checkpoint");
                 EngineCheckpoint::capture(&eng, fingerprint).save(&c.path)?;
             }
         }
     }
     Ok(finalize(problem, eng, t0))
+}
+
+/// Emits the human `--progress` line for the engine's latest iteration
+/// (no-op unless progress reporting is enabled). Shared by the serial and
+/// rayon drivers here and by the cluster driver's rank 0.
+pub(crate) fn note_progress<P: BitPattern, S: EfmScalar>(eng: &Engine<P, S>) {
+    if !efm_obs::progress::progress_enabled() {
+        return;
+    }
+    let done = (eng.cursor - eng.free_count) as u64;
+    let total = (eng.stop_at - eng.free_count) as u64;
+    let last_pairs = eng.stats.iterations.last().map_or(0, |r| r.pairs);
+    efm_obs::progress::progress(
+        done,
+        total,
+        eng.modes.len() as u64,
+        last_pairs,
+        eng.stats.candidates_generated,
+    );
 }
 
 /// Runs the serial Nullspace Algorithm (Algorithm 1 of the paper).
@@ -214,6 +238,7 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
         ..Default::default()
     };
     let t0 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::GENERATE);
     let part = eng.partition();
     rec.pos = part.pos.len();
     rec.neg = part.neg.len();
@@ -223,7 +248,7 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     let pairs = part.pairs();
     let nchunks = (rayon::current_num_threads() * 4).max(1) as u64;
     let chunk = pairs.div_ceil(nchunks).max(1);
-    let results: Vec<(CandidateSet<P>, u64)> = (0..nchunks)
+    let results: Vec<(CandidateSet<P>, u64, u64)> = (0..nchunks)
         .into_par_iter()
         .map(|c| {
             let start = c * chunk;
@@ -235,22 +260,29 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
             } else {
                 0
             };
+            let raw = set.len() as u64;
             // Local sort while the chunk is still cache-resident: the
             // runs leave this map already sorted, so the join below is a
             // merge, not a re-sort.
             set.sort_dedup();
-            (set, survivors)
+            (set, survivors, raw)
         })
         .collect();
     let mut runs = Vec::with_capacity(results.len());
-    for (b, s) in results {
+    let mut raw = 0u64;
+    for (b, s, r) in results {
         rec.prefiltered += s;
+        raw += r;
         runs.push(b);
     }
+    drop(sp);
     let t1 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::DEDUP);
     let mut set = merge_runs_parallel(runs);
     rec.numeric_pass = set.numeric_pass;
+    drop(sp);
     let t2 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::TREE);
 
     // One shared tree over the zero-row mode supports, built once per
     // iteration and queried from all workers concurrently — first for the
@@ -273,7 +305,9 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
         }
     }
     rec.deduped = set.len() as u64;
+    drop(sp);
     let t3 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::RANK);
 
     match eng.test {
         CandidateTest::Rank => {
@@ -308,9 +342,12 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
             rec.accepted = eng.elementarity_filter(&mut set, &part);
         }
     }
+    drop(sp);
     let t4 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::MERGE);
     let buf = eng.materialize(&set);
     eng.advance(&part, buf);
+    drop(sp);
     let t5 = Instant::now();
     rec.modes_after = eng.modes.len();
     rec.t_generate = t1 - t0;
@@ -323,5 +360,10 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     eng.stats.phases.tree_filter += t3 - t2;
     eng.stats.phases.rank_test += t4 - t3;
     eng.stats.candidates_generated += rec.pairs;
+    eng.stats.tree_pruned += rec.pairs - rec.prefiltered;
+    eng.stats.dedup_hits += raw - rec.deduped;
+    eng.stats.rank_tests += rec.deduped;
+    efm_obs::counter_add("dedup hits", raw - rec.deduped);
+    eng.note_iteration_counters(&rec);
     eng.stats.iterations.push(rec);
 }

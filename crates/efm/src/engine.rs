@@ -1128,6 +1128,7 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
             ..Default::default()
         };
         let t0 = Instant::now();
+        let sp = efm_obs::span(crate::cluster_algo::phases::GENERATE);
         let part = self.partition();
         rec.pos = part.pos.len();
         rec.neg = part.neg.len();
@@ -1137,9 +1138,14 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         let mut scratch = Vec::new();
         rec.prefiltered = self.generate_range(&part, 0, part.pairs(), &mut set, &mut scratch);
         rec.numeric_pass = set.numeric_pass;
+        let raw = set.len() as u64;
+        drop(sp);
         let t1 = Instant::now();
+        let sp = efm_obs::span(crate::cluster_algo::phases::DEDUP);
         set.sort_dedup();
+        drop(sp);
         let t2 = Instant::now();
+        let sp = efm_obs::span(crate::cluster_algo::phases::TREE);
         // One zero-mode support tree per iteration, shared between the
         // duplicate drop (exact membership) and the adjacency test (subset
         // queries).
@@ -1154,11 +1160,16 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
             }
         }
         rec.deduped = set.len() as u64;
+        drop(sp);
         let t3 = Instant::now();
+        let sp = efm_obs::span(crate::cluster_algo::phases::RANK);
         rec.accepted = self.elementarity_filter_with(&mut set, &part, zero_tree.as_ref());
+        drop(sp);
         let t4 = Instant::now();
+        let sp = efm_obs::span(crate::cluster_algo::phases::MERGE);
         let buf = self.materialize(&set);
         self.advance(&part, buf);
+        drop(sp);
         let t5 = Instant::now();
         rec.modes_after = self.modes.len();
         rec.t_generate = t1 - t0;
@@ -1171,8 +1182,27 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         self.stats.phases.tree_filter += t3 - t2;
         self.stats.phases.rank_test += t4 - t3;
         self.stats.candidates_generated += rec.pairs;
+        self.stats.tree_pruned += rec.pairs - rec.prefiltered;
+        self.stats.dedup_hits += raw - rec.deduped;
+        self.stats.rank_tests += rec.deduped;
+        efm_obs::counter_add("dedup hits", raw - rec.deduped);
+        self.note_iteration_counters(&rec);
         self.stats.iterations.push(rec.clone());
         rec
+    }
+
+    /// Samples the per-iteration counters into the trace (no-op unless
+    /// tracing is enabled).
+    pub(crate) fn note_iteration_counters(&self, rec: &IterationStats) {
+        if !efm_obs::enabled() {
+            return;
+        }
+        efm_obs::counter_add("candidates", rec.pairs);
+        efm_obs::counter_add("tree pruned", rec.pairs - rec.prefiltered);
+        efm_obs::counter_add("rank tests", rec.deduped);
+        efm_obs::gauge_set("survivors", rec.modes_after as u64);
+        efm_obs::gauge_max("peak modes", self.stats.peak_modes as u64);
+        efm_obs::gauge_max("peak bytes", self.modes.approx_bytes());
     }
 
     /// Extracts the final supports as patterns over *positions*; when the

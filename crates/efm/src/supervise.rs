@@ -165,7 +165,11 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                 // A restart replays into the same wall; deepen the
                 // divide-and-conquer ladder instead. The subproblems are
                 // different enumerations, so the checkpoint does not apply.
+                if efm_obs::enabled() {
+                    efm_obs::instant_dyn(format!("supervisor: escalate after {err}"));
+                }
                 log.events.push(RecoveryEvent {
+                    at_us: efm_obs::now_us(),
                     attempt,
                     error: err.to_string(),
                     class: FailureClass::Memory,
@@ -205,6 +209,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     // different scalar/ordering): remove it and start over.
                     let _ = std::fs::remove_file(&sup.checkpoint.path);
                     log.events.push(RecoveryEvent {
+                        at_us: efm_obs::now_us(),
                         attempt,
                         error: err.to_string(),
                         class: FailureClass::Retryable,
@@ -212,7 +217,11 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                         resumed_from: None,
                     });
                 } else {
+                    if efm_obs::enabled() {
+                        efm_obs::instant_dyn(format!("supervisor: restart after {err}"));
+                    }
                     log.events.push(RecoveryEvent {
+                        at_us: efm_obs::now_us(),
                         attempt,
                         error: err.to_string(),
                         class: FailureClass::Retryable,
@@ -241,6 +250,7 @@ fn load_checkpoint(
         Err(e) => {
             let _ = std::fs::remove_file(&ckpt.path);
             log.events.push(RecoveryEvent {
+                at_us: efm_obs::now_us(),
                 attempt,
                 error: e.to_string(),
                 class: FailureClass::Retryable,
@@ -254,6 +264,7 @@ fn load_checkpoint(
 
 fn give_up(attempt: u32, err: &EfmError) -> RecoveryEvent {
     RecoveryEvent {
+        at_us: efm_obs::now_us(),
         attempt,
         error: err.to_string(),
         class: classify_failure(err),

@@ -205,6 +205,12 @@ impl std::fmt::Display for RecoveryAction {
 /// One failure the supervisor observed and the action it took.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryEvent {
+    /// When the supervisor observed the failure, in microseconds on the
+    /// process-wide monotonic clock ([`efm_obs::now_us`]) — the same
+    /// timeline trace events are stamped with, so restarts can be lined
+    /// up against the phase spans they interrupted. `0` for events read
+    /// from pre-v3 checkpoints, which did not record timestamps.
+    pub at_us: u64,
     /// 1-based attempt number that failed.
     pub attempt: u32,
     /// Display form of the observed error.
@@ -248,7 +254,15 @@ impl std::fmt::Display for RecoveryLog {
             if i > 0 {
                 writeln!(f)?;
             }
-            write!(f, "attempt {}: [{}] {} -> {}", e.attempt, e.class, e.error, e.action)?;
+            write!(
+                f,
+                "[{:>10.3}s] attempt {}: [{}] {} -> {}",
+                e.at_us as f64 / 1e6,
+                e.attempt,
+                e.class,
+                e.error,
+                e.action
+            )?;
             if let Some(it) = e.resumed_from {
                 write!(f, " (resumed from iteration {it})")?;
             }
@@ -264,11 +278,31 @@ pub struct RunStats {
     pub iterations: Vec<IterationStats>,
     /// Total candidate pairs generated across all iterations.
     pub candidates_generated: u64,
+    /// Candidates eliminated by the bit-pattern prefilter (summary
+    /// rejection and zero-tree superset pruning) before any numeric work.
+    pub tree_pruned: u64,
+    /// Duplicate candidates removed, both within a batch (sort+dedup) and
+    /// against the surviving mode set (tree subset queries).
+    pub dedup_hits: u64,
+    /// Candidates submitted to the elementarity test (rank or adjacency).
+    pub rank_tests: u64,
+    /// Messages exchanged between cluster ranks (`0` off-cluster).
+    pub comm_messages: u64,
+    /// Payload bytes exchanged between cluster ranks (`0` off-cluster).
+    /// Unlike the modeled estimates in the bench tables, this is summed
+    /// from the actual buffers handed to the collectives.
+    pub comm_bytes: u64,
     /// Peak number of intermediate modes.
     pub peak_modes: usize,
     /// Peak accounted memory in bytes, maximised over cluster ranks
     /// (`0` for backends without memory accounting).
     pub peak_bytes: u64,
+    /// Peak bytes of the *transient* raw generation buffer, maximised over
+    /// ranks. Deliberately excluded from `peak_bytes` (a streaming
+    /// generator would never materialise it — see DESIGN.md §4), but
+    /// recorded here so the deviation from the paper's Table IV
+    /// accounting is visible instead of silent.
+    pub peak_transient_bytes: u64,
     /// Final mode count.
     pub final_modes: usize,
     /// Phase time breakdown.
@@ -285,8 +319,14 @@ impl RunStats {
     /// report cumulative numbers across subproblems).
     pub fn accumulate(&mut self, other: &RunStats) {
         self.candidates_generated += other.candidates_generated;
+        self.tree_pruned += other.tree_pruned;
+        self.dedup_hits += other.dedup_hits;
+        self.rank_tests += other.rank_tests;
+        self.comm_messages += other.comm_messages;
+        self.comm_bytes += other.comm_bytes;
         self.peak_modes = self.peak_modes.max(other.peak_modes);
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.peak_transient_bytes = self.peak_transient_bytes.max(other.peak_transient_bytes);
         self.final_modes += other.final_modes;
         self.phases.accumulate(&other.phases);
         self.total_time += other.total_time;

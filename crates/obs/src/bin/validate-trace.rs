@@ -1,0 +1,162 @@
+//! validate-trace — schema validation for exported Chrome traces.
+//!
+//! ```text
+//! validate-trace <trace.json> [--require-tracks N] [--require-names a,b,c]
+//! ```
+//!
+//! Checks, in order:
+//! 1. the file is well-formed JSON with a `traceEvents` array;
+//! 2. every event carries `ph`, `pid` and `tid`, and every `B`/`E`/
+//!    `i`/`C` event carries a numeric `ts`;
+//! 3. per track (tid), timestamps are non-decreasing and `B`/`E`
+//!    events balance without going negative (valid span nesting);
+//! 4. `--require-tracks N`: at least N named (thread_name) tracks with
+//!    at least one span each — one per cluster rank;
+//! 5. `--require-names a,b,...`: each name occurs somewhere as a span
+//!    or instant event — used by CI to assert the six engine phases,
+//!    barrier waits and injected faults all made it into the trace.
+//!
+//! Exits 0 on success, 1 with a message on the first violation.
+
+use efm_obs::json::{parse, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate-trace: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut require_tracks = 0usize;
+    let mut require_names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-tracks" => {
+                require_tracks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--require-tracks wants a number");
+                    std::process::exit(2);
+                })
+            }
+            "--require-names" => {
+                require_names = it
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+                    .unwrap_or_default()
+            }
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            _ => {
+                eprintln!(
+                    "usage: validate-trace <trace.json> [--require-tracks N] \
+                     [--require-names a,b,c]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        return fail("no trace file given");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("not valid JSON: {e}")),
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) else {
+        return fail("no traceEvents array");
+    };
+
+    let mut last_ts: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut depth: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut track_names: BTreeMap<i64, String> = BTreeMap::new();
+    let mut tracks_with_spans: BTreeSet<i64> = BTreeSet::new();
+    let mut seen_names: BTreeSet<String> = BTreeSet::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = match e.get("ph").and_then(Value::as_str) {
+            Some(p) => p,
+            None => return fail(&format!("event {i} has no ph")),
+        };
+        let tid = match e.get("tid").and_then(Value::as_num) {
+            Some(t) => t as i64,
+            None => return fail(&format!("event {i} has no tid")),
+        };
+        if e.get("pid").and_then(Value::as_num).is_none() {
+            return fail(&format!("event {i} has no pid"));
+        }
+        match ph {
+            "M" => {
+                if e.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    if let Some(n) =
+                        e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+                    {
+                        track_names.insert(tid, n.to_string());
+                    }
+                }
+                continue;
+            }
+            "B" | "E" | "i" | "C" => {
+                let Some(ts) = e.get("ts").and_then(Value::as_num) else {
+                    return fail(&format!("event {i} (ph={ph}) has no ts"));
+                };
+                let last = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+                if ts < *last {
+                    return fail(&format!(
+                        "event {i}: ts {ts} goes backwards on tid {tid} (last {last})"
+                    ));
+                }
+                *last = ts;
+            }
+            other => return fail(&format!("event {i}: unknown ph {other:?}")),
+        }
+        if let Some(n) = e.get("name").and_then(Value::as_str) {
+            seen_names.insert(n.to_string());
+        }
+        match ph {
+            "B" => {
+                *depth.entry(tid).or_insert(0) += 1;
+                tracks_with_spans.insert(tid);
+            }
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return fail(&format!("event {i}: E without B on tid {tid}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, d) in &depth {
+        if *d != 0 {
+            return fail(&format!("tid {tid}: {d} unclosed span(s)"));
+        }
+    }
+    let named_span_tracks =
+        tracks_with_spans.iter().filter(|tid| track_names.contains_key(tid)).count();
+    if named_span_tracks < require_tracks {
+        return fail(&format!(
+            "wanted {require_tracks} named tracks with spans, found {named_span_tracks} \
+             ({:?})",
+            track_names.values().collect::<Vec<_>>()
+        ));
+    }
+    for want in &require_names {
+        if !seen_names.iter().any(|n| n.contains(want.as_str())) {
+            return fail(&format!("required event name {want:?} never appears"));
+        }
+    }
+    println!(
+        "validate-trace: OK: {} events, {} tracks ({} named), {} distinct names",
+        events.len(),
+        tracks_with_spans.len().max(last_ts.len()),
+        track_names.len(),
+        seen_names.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! Exporters for a recorded [`Snapshot`].
+//!
+//! * [`chrome_trace`] — Chrome `trace_event` JSON ("JSON Array Format"
+//!   wrapped in a `traceEvents` object). Open it in `chrome://tracing`
+//!   or drag it into <https://ui.perfetto.dev> to get a per-rank
+//!   flamegraph of the six engine phases, barrier waits and faults.
+//! * [`jsonl`] — one JSON object per line, easy to grep/stream.
+//! * [`metrics_json`] — final counter totals as a single JSON object,
+//!   the `--metrics-out` payload.
+
+use crate::json::escape;
+use crate::{EventKind, Snapshot};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// All tracks share one Chrome "process".
+const PID: u32 = 1;
+
+/// Render the snapshot as Chrome `trace_event` JSON.
+///
+/// Span events use `ph:"B"`/`ph:"E"`, instants `ph:"i"` (thread scope),
+/// counter samples `ph:"C"`. Per-track `thread_name` metadata labels
+/// ranks, and `thread_sort_index` keeps rank order stable in the UI.
+/// Timestamps are microseconds, as the format requires.
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+    emit(
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"efm-suite\"}}}}"
+        ),
+        &mut out,
+    );
+    for t in &snap.tracks {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.tid,
+                escape(&t.name)
+            ),
+            &mut out,
+        );
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{}}}}}",
+                t.tid, t.tid
+            ),
+            &mut out,
+        );
+    }
+    for t in &snap.tracks {
+        for e in &t.events {
+            let line = match &e.kind {
+                EventKind::Begin => format!(
+                    "{{\"ph\":\"B\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"name\":\"{}\"}}",
+                    t.tid,
+                    e.ts_us,
+                    escape(&e.name)
+                ),
+                EventKind::End => {
+                    format!("{{\"ph\":\"E\",\"pid\":{PID},\"tid\":{},\"ts\":{}}}", t.tid, e.ts_us)
+                }
+                EventKind::Instant => format!(
+                    "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"name\":\"{}\",\
+                     \"s\":\"t\"}}",
+                    t.tid,
+                    e.ts_us,
+                    escape(&e.name)
+                ),
+                EventKind::Counter(v) => format!(
+                    "{{\"ph\":\"C\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"name\":\"{}\",\
+                     \"args\":{{\"value\":{v}}}}}",
+                    t.tid,
+                    e.ts_us,
+                    escape(&e.name)
+                ),
+            };
+            emit(line, &mut out);
+        }
+        if t.dropped > 0 {
+            let ts = t.events.last().map_or(0, |e| e.ts_us);
+            emit(
+                format!(
+                    "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{},\"ts\":{ts},\
+                     \"name\":\"{} events dropped (track full)\",\"s\":\"t\"}}",
+                    t.tid, t.dropped
+                ),
+                &mut out,
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render the snapshot as JSONL: one event object per line, ordered by
+/// track then record order. Fields: `ts_us`, `tid`, `track`, `ph`
+/// (`B`/`E`/`I`/`C`), `name`, and `value` for counter samples.
+pub fn jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for t in &snap.tracks {
+        for e in &t.events {
+            let (ph, value) = match &e.kind {
+                EventKind::Begin => ("B", None),
+                EventKind::End => ("E", None),
+                EventKind::Instant => ("I", None),
+                EventKind::Counter(v) => ("C", Some(*v)),
+            };
+            let _ = write!(
+                out,
+                "{{\"ts_us\":{},\"tid\":{},\"track\":\"{}\",\"ph\":\"{}\",\"name\":\"{}\"",
+                e.ts_us,
+                t.tid,
+                escape(&t.name),
+                ph,
+                escape(&e.name)
+            );
+            if let Some(v) = value {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+/// Final counter/gauge totals as one JSON object:
+/// `{"counters":{"name":value,...}}`.
+pub fn metrics_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n  \"{}\": {}", escape(name), value);
+    }
+    out.push_str("\n}}\n");
+    out
+}
+
+/// Write [`chrome_trace`] output to `w`.
+pub fn write_chrome_trace<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
+    w.write_all(chrome_trace(snap).as_bytes())
+}
+
+/// Write [`jsonl`] output to `w`.
+pub fn write_jsonl<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
+    w.write_all(jsonl(snap).as_bytes())
+}
+
+/// Write [`metrics_json`] output to `w`.
+pub fn write_metrics<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
+    w.write_all(metrics_json(snap).as_bytes())
+}

@@ -1,0 +1,123 @@
+//! The human `--progress` line.
+//!
+//! One stderr line per (throttled) engine iteration with a
+//! survivor-derived ETA. The nullspace algorithm's iteration cost is
+//! dominated by the pos×neg pair grid, whose size follows the survivor
+//! count — so the ETA assumes each remaining iteration costs what the
+//! current pair grid costs. That deliberately over-estimates early
+//! (grids grow) and converges as the run approaches the final
+//! iterations, which is when an ETA matters.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+struct State {
+    start_us: u64,
+    last_emit_us: u64,
+}
+
+/// Minimum gap between printed lines (except the final iteration).
+const THROTTLE_US: u64 = 200_000;
+
+/// Is the progress line enabled? One relaxed atomic load.
+#[inline(always)]
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Enable or disable the progress line and reset its clock.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::SeqCst);
+    *STATE.lock().unwrap() = None;
+}
+
+/// Report one completed engine iteration. No-op unless enabled.
+///
+/// * `iter`/`total_iters` — iterations done / total reaction rows.
+/// * `survivors` — current intermediate mode count.
+/// * `last_pairs` — pos×neg pairs examined by the iteration just done.
+/// * `candidates` — cumulative candidates generated so far.
+pub fn progress(iter: u64, total_iters: u64, survivors: u64, last_pairs: u64, candidates: u64) {
+    if !progress_enabled() {
+        return;
+    }
+    let now = crate::now_us();
+    let (elapsed_us, due) = {
+        let mut st = STATE.lock().unwrap();
+        let st = st.get_or_insert(State { start_us: now, last_emit_us: 0 });
+        let due = iter >= total_iters || now.saturating_sub(st.last_emit_us) >= THROTTLE_US;
+        if due {
+            st.last_emit_us = now;
+        }
+        (now - st.start_us, due)
+    };
+    if !due {
+        return;
+    }
+    let elapsed_s = elapsed_us as f64 / 1e6;
+    let eta = eta_secs(iter, total_iters, last_pairs, candidates, elapsed_s);
+    let eta_str = match eta {
+        Some(e) => format!("eta~{}", fmt_secs(e)),
+        None => "eta~?".to_string(),
+    };
+    eprintln!(
+        "[progress] iter {iter}/{total_iters}  survivors={survivors}  \
+         candidates={candidates}  elapsed={}  {eta_str}",
+        fmt_secs(elapsed_s)
+    );
+}
+
+/// ETA = (time per candidate so far) × (remaining iterations at the
+/// current pair-grid size). Returns `None` before any candidates exist.
+fn eta_secs(
+    iter: u64,
+    total_iters: u64,
+    last_pairs: u64,
+    candidates: u64,
+    elapsed_s: f64,
+) -> Option<f64> {
+    if candidates == 0 || iter == 0 {
+        return None;
+    }
+    let remaining = total_iters.saturating_sub(iter);
+    let per_candidate = elapsed_s / candidates as f64;
+    Some(per_candidate * remaining as f64 * last_pairs.max(1) as f64)
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 90.0 {
+        format!("{:.0}m{:02.0}s", (s / 60.0).floor(), s % 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_converges_to_zero_at_the_end() {
+        let eta = eta_secs(10, 10, 50, 1000, 2.0).unwrap();
+        assert_eq!(eta, 0.0);
+    }
+
+    #[test]
+    fn eta_scales_with_remaining_grid() {
+        let near = eta_secs(9, 10, 100, 1000, 10.0).unwrap();
+        let far = eta_secs(5, 10, 100, 1000, 10.0).unwrap();
+        assert!(far > near);
+    }
+
+    #[test]
+    fn formats_spans_of_time() {
+        assert_eq!(fmt_secs(0.25), "250ms");
+        assert_eq!(fmt_secs(2.5), "2.5s");
+        assert_eq!(fmt_secs(125.0), "2m05s");
+    }
+}
