@@ -104,17 +104,30 @@ pub fn network_ii(scale: Scale) -> MetabolicNetwork {
 }
 
 /// Chooses a usable divide-and-conquer partition: keeps the preferred
-/// reactions that are still reversible (and distinct) in the reduced
-/// network, topping up with further reversible reduced reactions until
-/// `k` are found. Scaled-down networks can turn the paper's partition
-/// reactions irreversible (the LP sign analysis fixes their direction), so
-/// harnesses fall back transparently and report what they used.
+/// reactions that are still reversible, pivotal, and distinct in the
+/// reduced network, topping up with further qualifying reduced reactions
+/// until `k` are found. Scaled-down networks can turn the paper's
+/// partition reactions irreversible (the LP sign analysis fixes their
+/// direction) or non-pivotal (free kernel columns cannot be ordered last),
+/// so harnesses fall back transparently and report what they used.
 pub fn pick_partition(
     net: &MetabolicNetwork,
     red: &efm_metnet::ReducedNetwork,
     preferred: &[&str],
     k: usize,
 ) -> Vec<String> {
+    // Pivot (dependent) columns of the unsplit kernel: only those can be
+    // ordered last, which Proposition 1 requires of partition reactions.
+    let pivotal: Vec<usize> =
+        efm_core::build_problem::<efm_numeric::DynInt>(red, &EfmOptions::default())
+            .map(|p| {
+                p.row_order[p.free_count..]
+                    .iter()
+                    .filter(|&&c| c < red.num_reduced())
+                    .map(|&c| p.col_to_reduced[c])
+                    .collect()
+            })
+            .unwrap_or_default();
     let mut chosen: Vec<String> = Vec::new();
     let mut reduced_used: Vec<usize> = Vec::new();
     let consider = |name: &str, chosen: &mut Vec<String>, used: &mut Vec<usize>| {
@@ -123,7 +136,7 @@ pub fn pick_partition(
         }
         if let Some(orig) = net.reaction_index(name) {
             if let Some(r) = red.reduced_index_of(orig) {
-                if red.reversible[r] && !used.contains(&r) {
+                if red.reversible[r] && pivotal.contains(&r) && !used.contains(&r) {
                     used.push(r);
                     chosen.push(name.to_string());
                 }

@@ -13,6 +13,8 @@
 //!   --nodes <N>                     simulated cluster ranks [default: 4]
 //!   --memory-limit <BYTES>          per-node memory cap (cluster backend)
 //!   --partition <R1,R2,...>         divide-and-conquer partition reactions
+//!   --dnc-schedule <serial|static|steal> subset schedule  [default: serial]
+//!   --dnc-workers <N>               subset worker threads (0 = one per core)
 //!   --ordering <paper|nnz|asis|random> row ordering      [default: paper]
 //!   --test <rank|adjacency>         elementarity test    [default: rank]
 //!   --float                         f64 arithmetic instead of exact
@@ -49,9 +51,10 @@
 //! ```
 
 use efm_core::{
-    enumerate_divide_conquer_with_scalar, enumerate_resumable_with_scalar,
-    enumerate_supervised_with_scalar, enumerate_with_escalation_scalar, Backend, CandidateTest,
-    CheckpointConfig, EfmOptions, EfmOutcome, EngineCheckpoint, RowOrdering, SuperviseConfig,
+    enumerate_divide_conquer_scheduled_with_scalar, enumerate_resumable_with_scalar,
+    enumerate_supervised_with_scalar, enumerate_with_escalation_scheduled_scalar, Backend,
+    CandidateTest, CheckpointConfig, DncCheckpoint, DncConfig, DncSchedule, EfmOptions, EfmOutcome,
+    EngineCheckpoint, RowOrdering, SuperviseConfig,
 };
 use efm_metnet::{examples, parse_metatool, parse_network, to_metatool, yeast, MetabolicNetwork};
 use efm_numeric::{DynInt, F64Tol};
@@ -64,6 +67,8 @@ struct Args {
     nodes: usize,
     memory_limit: Option<u64>,
     partition: Vec<String>,
+    dnc_schedule: String,
+    dnc_workers: usize,
     ordering: String,
     test: String,
     float: bool,
@@ -94,6 +99,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: efm-compute [--builtin toy|yeast1|yeast2] [--backend serial|rayon|cluster]\n\
          \x20                 [--nodes N] [--memory-limit BYTES] [--partition R1,R2,...]\n\
+         \x20                 [--dnc-schedule serial|static|steal] [--dnc-workers N]\n\
          \x20                 [--ordering paper|nnz|asis|random] [--test rank|adjacency]\n\
          \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
          \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
@@ -112,6 +118,8 @@ fn parse_args() -> Args {
         nodes: 4,
         memory_limit: None,
         partition: Vec::new(),
+        dnc_schedule: "serial".into(),
+        dnc_workers: 0,
         ordering: "paper".into(),
         test: "rank".into(),
         float: false,
@@ -152,6 +160,8 @@ fn parse_args() -> Args {
             "--partition" => {
                 args.partition = val(&mut it).split(',').map(|s| s.trim().to_string()).collect()
             }
+            "--dnc-schedule" => args.dnc_schedule = val(&mut it),
+            "--dnc-workers" => args.dnc_workers = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--ordering" => args.ordering = val(&mut it),
             "--test" => args.test = val(&mut it),
             "--float" => args.float = true,
@@ -236,6 +246,16 @@ fn run<S: efm_core::EfmScalar>(
         _ => usage(),
     };
     let opts = EfmOptions { ordering, test, max_modes: args.max_modes, ..Default::default() };
+    let dnc_schedule = DncSchedule::parse(&args.dnc_schedule).unwrap_or_else(|| {
+        eprintln!("error: bad --dnc-schedule {} (want serial|static|steal)", args.dnc_schedule);
+        usage();
+    });
+    let dnc = DncConfig {
+        schedule: dnc_schedule,
+        workers: args.dnc_workers,
+        max_retries: args.max_restarts,
+        ..Default::default()
+    };
     let backend = match args.backend.as_str() {
         "serial" => Backend::Serial,
         "rayon" => Backend::Rayon,
@@ -272,7 +292,8 @@ fn run<S: efm_core::EfmScalar>(
         });
         let mut sup = SuperviseConfig::new(&ckpt_path)
             .max_restarts(args.max_restarts)
-            .max_qsub(args.auto_escalate.unwrap_or(4));
+            .max_qsub(args.auto_escalate.unwrap_or(4))
+            .with_dnc(dnc.clone());
         sup.checkpoint = sup.checkpoint.every(args.checkpoint_every);
         if let Some(spec) = &args.fault_plan {
             let plan = efm_cluster::FaultPlan::parse(spec).unwrap_or_else(|e| {
@@ -300,7 +321,8 @@ fn run<S: efm_core::EfmScalar>(
             eprintln!("error: --auto-escalate excludes --partition, --checkpoint and --resume");
             usage();
         }
-        let out = enumerate_with_escalation_scalar::<S>(net, &opts, &backend, max_qsub)?;
+        let out =
+            enumerate_with_escalation_scheduled_scalar::<S>(net, &opts, &backend, max_qsub, &dnc)?;
         if !args.quiet {
             for a in &out.attempts {
                 let what = if a.qsub == 0 {
@@ -340,15 +362,34 @@ fn run<S: efm_core::EfmScalar>(
             checkpoint.as_ref(),
         )
     } else {
-        if args.checkpoint.is_some() || args.resume.is_some() {
-            eprintln!(
-                "error: --checkpoint/--resume apply to unsplit runs; \
-                 divide-and-conquer subsets restart cheaply"
-            );
-            usage();
+        // Divide-and-conquer checkpointing is per-subset progress (EFCK
+        // v4): --checkpoint records each completed subset, --resume skips
+        // the recorded ones.
+        let mut dnc = dnc;
+        if let Some(path) = &args.resume {
+            if args.checkpoint.as_ref().is_some_and(|c| c != path) {
+                eprintln!(
+                    "error: --checkpoint and --resume must name the same file \
+                     for divide-and-conquer runs"
+                );
+                usage();
+            }
+            dnc.checkpoint = Some(CheckpointConfig::new(path));
+            dnc.resume = true;
+            if !args.quiet {
+                if let Ok(ck) = DncCheckpoint::load(std::path::Path::new(path)) {
+                    println!(
+                        "resuming from {path}: {} of {} subsets already completed",
+                        ck.done.len(),
+                        1usize << ck.qsub
+                    );
+                }
+            }
+        } else if let Some(path) = &args.checkpoint {
+            dnc.checkpoint = Some(CheckpointConfig::new(path));
         }
         let names: Vec<&str> = args.partition.iter().map(String::as_str).collect();
-        enumerate_divide_conquer_with_scalar::<S>(net, &opts, &names, &backend)
+        enumerate_divide_conquer_scheduled_with_scalar::<S>(net, &opts, &names, &backend, &dnc)
     }
 }
 
@@ -486,6 +527,13 @@ fn main() -> ExitCode {
     if !outcome.subsets.is_empty() && !args.quiet {
         println!("divide-and-conquer subsets:");
         for s in &outcome.subsets {
+            let note = if s.skipped_empty {
+                "  (provably empty, skipped)".to_string()
+            } else if s.retries > 0 {
+                format!("  ({} restarts)", s.retries)
+            } else {
+                String::new()
+            };
             println!(
                 "  [{}] {:40} EFMs={:<10} candidates={:<14} time={:.3}s{}",
                 s.id,
@@ -493,7 +541,7 @@ fn main() -> ExitCode {
                 s.efm_count,
                 s.stats.candidates_generated,
                 s.stats.total_time.as_secs_f64(),
-                if s.skipped_empty { "  (provably empty, skipped)" } else { "" }
+                note
             );
         }
     }

@@ -3,9 +3,10 @@
 use crate::bridge::EfmScalar;
 use crate::checkpoint::{CheckpointConfig, EngineCheckpoint};
 use crate::cluster_algo::cluster_supports_resumable;
-use crate::divide::{divide_conquer_supports, Backend, SubsetReport};
+use crate::divide::{divide_conquer_supports_with, Backend, SubsetReport};
 use crate::drivers::{rayon_supports_resumable, serial_supports_resumable, SupportsAndStats};
 use crate::problem::build_problem;
+use crate::schedule::DncConfig;
 use crate::types::{EfmError, EfmOptions, EfmSet, RunStats};
 use efm_metnet::{compress_with, CompressionStats, MetabolicNetwork, ReducedNetwork};
 use efm_numeric::DynInt;
@@ -145,6 +146,47 @@ pub fn enumerate_divide_conquer_with_scalar<S: EfmScalar>(
     partition_names: &[&str],
     backend: &Backend,
 ) -> Result<EfmOutcome, EfmError> {
+    enumerate_divide_conquer_scheduled_with_scalar::<S>(
+        net,
+        opts,
+        partition_names,
+        backend,
+        &DncConfig::default(),
+    )
+}
+
+/// Divide-and-conquer enumeration under an explicit subset-scheduler
+/// configuration, with exact integer arithmetic.
+pub fn enumerate_divide_conquer_scheduled(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    partition_names: &[&str],
+    backend: &Backend,
+    dnc: &DncConfig,
+) -> Result<EfmOutcome, EfmError> {
+    enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+        net,
+        opts,
+        partition_names,
+        backend,
+        dnc,
+    )
+}
+
+/// Divide-and-conquer enumeration under an explicit subset-scheduler
+/// configuration ([`DncConfig`]: subset order and concurrency, per-subset
+/// restart budget, EFCK v4 progress checkpointing and resume), generic
+/// over the scalar. Every schedule yields the identical EFM set; reports
+/// come back in subset-id order, each carrying only its successful
+/// attempt's statistics, so the aggregation below never double-counts
+/// concurrent or retried work.
+pub fn enumerate_divide_conquer_scheduled_with_scalar<S: EfmScalar>(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    partition_names: &[&str],
+    backend: &Backend,
+    dnc: &DncConfig,
+) -> Result<EfmOutcome, EfmError> {
     let (red, comp) = compress_with(net, &opts.compression);
     if red.num_reduced() == 0 {
         return Ok(assemble(net, &red, comp, Vec::new(), RunStats::default(), Vec::new()));
@@ -156,10 +198,12 @@ pub fn enumerate_divide_conquer_with_scalar<S: EfmScalar>(
         partition_names: &[&str],
         opts: &EfmOptions,
         backend: &Backend,
+        dnc: &DncConfig,
     ) -> Result<(Vec<Vec<usize>>, Vec<SubsetReport>), EfmError> {
-        divide_conquer_supports::<P, S>(net, red, partition_names, opts, backend)
+        divide_conquer_supports_with::<P, S>(net, red, partition_names, opts, backend, dnc)
     }
-    let (sups, subsets) = dispatch_width!(q, run_dc(net, &red, partition_names, opts, backend))?;
+    let (sups, subsets) =
+        dispatch_width!(q, run_dc(net, &red, partition_names, opts, backend, dnc))?;
     let mut stats = RunStats::default();
     for s in &subsets {
         stats.accumulate(&s.stats);

@@ -40,10 +40,21 @@ const MAGIC: &[u8; 4] = b"EFCK";
 /// bit-flipped is rejected with a typed error instead of restoring garbage
 /// state. Version 3 adds the observability counters of `RunStats`
 /// (tree-prune / dedup / rank-test / comm totals, transient peak) and a
-/// monotonic timestamp per recovery event. Version-1 files (no footer, no
-/// recovery log) and version-2 files (no counters, no timestamps — they
-/// read back as zero) remain readable.
-const VERSION: u32 = 3;
+/// monotonic timestamp per recovery event. Version 4 adds a record *kind*
+/// word right after the version so one container format carries both
+/// engine snapshots ([`EngineCheckpoint`], kind 0) and divide-and-conquer
+/// progress records ([`DncCheckpoint`], kind 1: a per-subset completion
+/// bitmap plus the finished subsets' supports and statistics, so a resumed
+/// run skips completed subsets entirely). Version-1 files (no footer, no
+/// recovery log), version-2 files (no counters, no timestamps — they read
+/// back as zero), and version-3 files (no kind word, implicitly engine
+/// snapshots) remain readable.
+const VERSION: u32 = 4;
+
+/// Record kind (v4+): an engine snapshot at an iteration boundary.
+const KIND_ENGINE: u32 = 0;
+/// Record kind (v4+): divide-and-conquer subset-completion progress.
+const KIND_DNC: u32 = 1;
 
 type SnapshotJob = Box<dyn FnOnce() -> EngineCheckpoint + Send>;
 
@@ -335,6 +346,9 @@ impl EngineCheckpoint {
     fn write_body<W: Write>(&self, w: &mut W, version: u32) -> io::Result<()> {
         w.write_all(MAGIC)?;
         put_u32(w, version)?;
+        if version >= 4 {
+            put_u32(w, KIND_ENGINE)?;
+        }
         put_str(w, &self.scalar_tag)?;
         put_u32(w, self.pattern_bits)?;
         put_u64(w, self.fingerprint)?;
@@ -382,7 +396,20 @@ impl EngineCheckpoint {
         Ok(())
     }
 
-    /// Reads the binary checkpoint format (versions 1 and 2).
+    /// Writes a version-3 file (footer and counters present, no kind word) —
+    /// compatibility-test helper.
+    #[cfg(test)]
+    pub(crate) fn write_to_v3<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut cw = CrcWriter::new(w);
+        self.write_body(&mut cw, 3)?;
+        let (len, crc) = (cw.len, cw.crc.finish());
+        let mut w = cw.into_inner();
+        put_u64(&mut w, len)?;
+        put_u32(&mut w, crc)?;
+        Ok(())
+    }
+
+    /// Reads the binary checkpoint format (versions 1 through 4, kind 0).
     pub fn read_from<R: Read>(r: R) -> io::Result<Self> {
         let mut cr = CrcReader::new(r);
         let r = &mut cr;
@@ -394,6 +421,17 @@ impl EngineCheckpoint {
         let version = get_u32(r)?;
         if version == 0 || version > VERSION {
             return Err(bad_data(format!("unsupported checkpoint version {version}")));
+        }
+        if version >= 4 {
+            match get_u32(r)? {
+                KIND_ENGINE => {}
+                KIND_DNC => {
+                    return Err(bad_data(
+                        "divide-and-conquer progress checkpoint (load it with DncCheckpoint::load)",
+                    ))
+                }
+                k => return Err(bad_data(format!("unknown checkpoint kind {k}"))),
+            }
         }
         let scalar_tag = get_str(r)?;
         let pattern_bits = get_u32(r)?;
@@ -482,6 +520,245 @@ impl EngineCheckpoint {
     }
 
     /// Loads a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, EfmError> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| EfmError::Checkpoint(format!("cannot open {}: {e}", path.display())))?;
+        Self::read_from(std::io::BufReader::new(f))
+            .map_err(|e| EfmError::Checkpoint(format!("cannot read {}: {e}", path.display())))
+    }
+}
+
+/// One finished divide-and-conquer subset as recorded in a
+/// [`DncCheckpoint`]: its supports (reduced-network indices) and the run
+/// statistics of the successful attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DncSubsetResult {
+    /// Subset id (bit `i` set ⇔ partition reaction `i` must be nonzero).
+    pub id: usize,
+    /// Whether the subset was skipped as provably empty.
+    pub skipped_empty: bool,
+    /// Supports in reduced-network reaction indices.
+    pub supports: Vec<Vec<usize>>,
+    /// Statistics of the attempt that produced `supports`.
+    pub stats: RunStats,
+}
+
+/// Divide-and-conquer progress record (EFCK v4, kind 1): which of the
+/// `2^qsub` subsets have finished, plus their results, so a resumed run
+/// re-enumerates only the unfinished subsets. Unlike [`EngineCheckpoint`]
+/// this snapshots the *scheduler's* state, not one engine's: subsets
+/// complete in any order under the concurrent schedules, and each
+/// completion atomically rewrites this record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DncCheckpoint {
+    /// Scalar backend that wrote the record ([`EfmScalar::CHECKPOINT_TAG`]).
+    pub scalar_tag: String,
+    /// Fingerprint binding the record to its reduced network + partition
+    /// (see [`dnc_fingerprint`]).
+    pub fingerprint: u64,
+    /// Number of partition reactions (`2^qsub` subsets total).
+    pub qsub: u32,
+    /// Finished subsets, kept sorted by id.
+    pub done: Vec<DncSubsetResult>,
+}
+
+/// Fingerprint binding a [`DncCheckpoint`] to its problem: FNV-1a over the
+/// reduced network's shape, reversibility flags, and names, plus the
+/// partition's reduced indices in order. A record written for a different
+/// network, compression outcome, or partition is rejected at resume.
+pub fn dnc_fingerprint(red: &efm_metnet::ReducedNetwork, partition_indices: &[usize]) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(red.stoich.rows() as u64);
+    h.write_u64(red.num_reduced() as u64);
+    for &r in &red.reversible {
+        h.write_u64(r as u64);
+    }
+    for n in &red.names {
+        h.write_bytes(n.as_bytes());
+        h.write_u64(0xff); // name separator
+    }
+    for &i in partition_indices {
+        h.write_u64(i as u64);
+    }
+    h.finish()
+}
+
+impl DncCheckpoint {
+    /// An empty progress record (no subset finished yet).
+    pub fn new(scalar_tag: &str, fingerprint: u64, qsub: u32) -> Self {
+        DncCheckpoint { scalar_tag: scalar_tag.to_string(), fingerprint, qsub, done: Vec::new() }
+    }
+
+    /// Whether subset `id` is recorded as finished.
+    pub fn is_done(&self, id: usize) -> bool {
+        self.done.binary_search_by_key(&id, |s| s.id).is_ok()
+    }
+
+    /// Records a finished subset (idempotent: a re-recorded id replaces the
+    /// previous entry), keeping `done` sorted by id.
+    pub fn record(&mut self, result: DncSubsetResult) {
+        match self.done.binary_search_by_key(&result.id, |s| s.id) {
+            Ok(i) => self.done[i] = result,
+            Err(i) => self.done.insert(i, result),
+        }
+    }
+
+    /// The completion bitmap: bit `id` set ⇔ subset `id` finished.
+    pub fn bitmap(&self) -> Vec<u64> {
+        let subsets = 1usize << self.qsub;
+        let mut words = vec![0u64; subsets.div_ceil(64)];
+        for s in &self.done {
+            words[s.id / 64] |= 1u64 << (s.id % 64);
+        }
+        words
+    }
+
+    /// Writes the binary record (EFCK v4 kind 1, with the trailing
+    /// length/CRC footer).
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut cw = CrcWriter::new(w);
+        {
+            let w = &mut cw;
+            w.write_all(MAGIC)?;
+            put_u32(w, VERSION)?;
+            put_u32(w, KIND_DNC)?;
+            put_str(w, &self.scalar_tag)?;
+            put_u64(w, self.fingerprint)?;
+            put_u32(w, self.qsub)?;
+            let bitmap = self.bitmap();
+            put_u64(w, bitmap.len() as u64)?;
+            for word in bitmap {
+                put_u64(w, word)?;
+            }
+            put_u64(w, self.done.len() as u64)?;
+            for s in &self.done {
+                put_u64(w, s.id as u64)?;
+                put_u32(w, s.skipped_empty as u32)?;
+                put_u64(w, s.supports.len() as u64)?;
+                for sup in &s.supports {
+                    put_u64(w, sup.len() as u64)?;
+                    for &r in sup {
+                        put_u64(w, r as u64)?;
+                    }
+                }
+                put_stats(w, &s.stats, VERSION)?;
+            }
+        }
+        let (len, crc) = (cw.len, cw.crc.finish());
+        let mut w = cw.into_inner();
+        // The footer travels outside the checksummed region.
+        put_u64(&mut w, len)?;
+        put_u32(&mut w, crc)?;
+        Ok(())
+    }
+
+    /// Reads a divide-and-conquer progress record (EFCK v4 kind 1 only —
+    /// engine snapshots of any version are rejected with a typed error).
+    pub fn read_from<R: Read>(r: R) -> io::Result<Self> {
+        let mut cr = CrcReader::new(r);
+        let r = &mut cr;
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad_data("not an EFCK checkpoint file"));
+        }
+        let version = get_u32(r)?;
+        if version == 0 || version > VERSION {
+            return Err(bad_data(format!("unsupported checkpoint version {version}")));
+        }
+        if version < 4 {
+            return Err(bad_data(
+                "engine snapshot, not a divide-and-conquer progress record \
+                 (load it with EngineCheckpoint::load)",
+            ));
+        }
+        match get_u32(r)? {
+            KIND_DNC => {}
+            KIND_ENGINE => {
+                return Err(bad_data(
+                    "engine snapshot, not a divide-and-conquer progress record \
+                     (load it with EngineCheckpoint::load)",
+                ))
+            }
+            k => return Err(bad_data(format!("unknown checkpoint kind {k}"))),
+        }
+        let scalar_tag = get_str(r)?;
+        let fingerprint = get_u64(r)?;
+        let qsub = get_u32(r)?;
+        if qsub > 20 {
+            return Err(bad_data(format!("implausible qsub {qsub}")));
+        }
+        let nwords = checked_len(get_u64(r)?)?;
+        let mut bitmap = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            bitmap.push(get_u64(r)?);
+        }
+        let ndone = checked_len(get_u64(r)?)?;
+        let mut done = Vec::with_capacity(ndone.min(1 << 20));
+        for _ in 0..ndone {
+            let id = get_u64(r)? as usize;
+            let skipped_empty = get_u32(r)? != 0;
+            let nsups = checked_len(get_u64(r)?)?;
+            let mut supports = Vec::with_capacity(nsups.min(1 << 20));
+            for _ in 0..nsups {
+                let len = checked_len(get_u64(r)?)?;
+                let mut sup = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    sup.push(get_u64(r)? as usize);
+                }
+                supports.push(sup);
+            }
+            let stats = get_stats(r, VERSION)?;
+            done.push(DncSubsetResult { id, skipped_empty, supports, stats });
+        }
+        let (body_len, body_crc) = (cr.len, cr.crc.finish());
+        let inner = cr.inner_mut();
+        let footer_err =
+            |what: &str| bad_data(format!("checkpoint {what} (truncated or corrupt file)"));
+        let mut footer = [0u8; 12];
+        inner.read_exact(&mut footer).map_err(|_| footer_err("footer missing"))?;
+        let want_len = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let want_crc = u32::from_le_bytes(footer[8..12].try_into().unwrap());
+        if want_len != body_len {
+            return Err(footer_err("length mismatch"));
+        }
+        if want_crc != body_crc {
+            return Err(footer_err("CRC mismatch"));
+        }
+        let ck = DncCheckpoint { scalar_tag, fingerprint, qsub, done };
+        if ck.done.iter().any(|s| s.id >= 1usize << ck.qsub) {
+            return Err(bad_data("subset id out of range for qsub"));
+        }
+        if !ck.done.windows(2).all(|w| w[0].id < w[1].id) {
+            return Err(bad_data("subset entries not sorted by id (corrupt or hand-edited file)"));
+        }
+        // The bitmap is redundant with the entry list; a mismatch means a
+        // corrupted or hand-edited file that the CRC happened to cover.
+        if bitmap != ck.bitmap() {
+            return Err(bad_data("completion bitmap disagrees with subset entries"));
+        }
+        Ok(ck)
+    }
+
+    /// Writes the record to `path` atomically (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), EfmError> {
+        let tmp = path.with_extension("tmp");
+        let write = || -> io::Result<()> {
+            let f = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::with_capacity(256 << 10, f);
+            self.write_to(&mut w)?;
+            use std::io::Write as _;
+            w.flush()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            EfmError::Checkpoint(format!("cannot write {}: {e}", path.display()))
+        })
+    }
+
+    /// Loads a progress record from `path`.
     pub fn load(path: &Path) -> Result<Self, EfmError> {
         let f = std::fs::File::open(path)
             .map_err(|e| EfmError::Checkpoint(format!("cannot open {}: {e}", path.display())))?;
@@ -1197,6 +1474,108 @@ mod tests {
         assert_eq!(back.stats.recovery.events.len(), 1);
         assert_eq!(back.stats.recovery.events[0].at_us, 0);
         assert_eq!(back.stats.recovery.events[0].attempt, 1);
+    }
+
+    #[test]
+    fn reads_legacy_v3_files() {
+        // A v3 file has no kind word; it must read back as an engine
+        // snapshot, field for field.
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        ck.stats.tree_pruned = 5;
+        ck.stats.comm_bytes = 17;
+        let mut v3 = Vec::new();
+        ck.write_to_v3(&mut v3).unwrap();
+        let back = EngineCheckpoint::read_from(&v3[..]).unwrap();
+        assert_eq!(back, ck);
+        // And it is *not* a divide-and-conquer progress record.
+        let err = DncCheckpoint::read_from(&v3[..]).unwrap_err().to_string();
+        assert!(err.contains("engine snapshot"), "{err}");
+    }
+
+    #[test]
+    fn dnc_checkpoint_roundtrips_with_bitmap() {
+        let mut ck = DncCheckpoint::new("dynint", 0xfeed, 2);
+        assert!(!ck.is_done(3));
+        ck.record(DncSubsetResult {
+            id: 3,
+            skipped_empty: false,
+            supports: vec![vec![0, 2, 5], vec![1, 4]],
+            stats: RunStats { candidates_generated: 42, final_modes: 2, ..Default::default() },
+        });
+        ck.record(DncSubsetResult {
+            id: 1,
+            skipped_empty: true,
+            supports: vec![],
+            stats: RunStats::default(),
+        });
+        // Entries stay sorted by id whatever the completion order was.
+        assert_eq!(ck.done.iter().map(|s| s.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(ck.bitmap(), vec![0b1010]);
+        assert!(ck.is_done(1) && ck.is_done(3));
+        assert!(!ck.is_done(0) && !ck.is_done(2));
+        // Re-recording an id replaces, never duplicates.
+        ck.record(DncSubsetResult {
+            id: 3,
+            skipped_empty: false,
+            supports: vec![vec![7]],
+            stats: RunStats::default(),
+        });
+        assert_eq!(ck.done.len(), 2);
+        assert_eq!(ck.done[1].supports, vec![vec![7]]);
+
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = DncCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+        // Every truncation fails with a typed error, as for engine files.
+        for cut in 0..buf.len() {
+            assert!(DncCheckpoint::read_from(&buf[..cut]).is_err(), "prefix {cut} parsed");
+        }
+        // A bit flip in the payload fails the CRC.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        assert!(DncCheckpoint::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn dnc_checkpoint_saves_and_loads_on_disk() {
+        let mut ck = DncCheckpoint::new("f64tol", 7, 1);
+        ck.record(DncSubsetResult {
+            id: 0,
+            skipped_empty: false,
+            supports: vec![vec![1, 2]],
+            stats: RunStats::default(),
+        });
+        let dir = std::env::temp_dir().join(format!("efm-dnc-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("progress.efck");
+        ck.save(&path).unwrap();
+        assert_eq!(DncCheckpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_reader_rejects_dnc_records_with_typed_error() {
+        // The two kinds share magic + version; each reader must name the
+        // other's loader instead of mis-parsing the payload.
+        let ck = DncCheckpoint::new("dynint", 1, 1);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let err = EngineCheckpoint::read_from(&buf[..]).unwrap_err().to_string();
+        assert!(err.contains("DncCheckpoint"), "{err}");
+
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        let eck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        let mut ebuf = Vec::new();
+        eck.write_to(&mut ebuf).unwrap();
+        let err = DncCheckpoint::read_from(&ebuf[..]).unwrap_err().to_string();
+        assert!(err.contains("EngineCheckpoint"), "{err}");
     }
 
     #[test]

@@ -59,10 +59,15 @@ pub mod phases {
 #[derive(Debug, Clone)]
 pub struct ClusterNodeOutcome {
     /// Supports in reduced-reaction indices (identical on every rank; only
-    /// rank 0's copy is used by callers).
+    /// rank 0's copy is used by callers). Empty when the run paused at a
+    /// segment boundary before finishing.
     pub supports: Vec<Vec<usize>>,
     /// This rank's run statistics (stripe-local candidate counts).
     pub stats: RunStats,
+    /// Rank 0's snapshot of the (replicated) engine state when a bounded
+    /// segment paused before `eng.done()`; `None` on completion and on all
+    /// other ranks.
+    pub checkpoint: Option<EngineCheckpoint>,
 }
 
 /// Outcome of a cluster run plus per-rank reports.
@@ -97,13 +102,35 @@ pub fn cluster_supports_resumable<P: BitPattern, S: EfmScalar>(
     resume: Option<&EngineCheckpoint>,
     ckpt: Option<&CheckpointConfig>,
 ) -> Result<ClusterOutcome, EfmError> {
+    let (out, _paused) = cluster_supports_segment::<P, S>(problem, opts, cfg, resume, ckpt, None)?;
+    Ok(out)
+}
+
+/// Runs Algorithm 2 up to an iteration bound: like
+/// [`cluster_supports_resumable`], but when `stop_after` is `Some(k)` the
+/// replicated engine pauses before executing absolute iteration `k` and
+/// rank 0 captures the state as an [`EngineCheckpoint`], returned alongside
+/// the (partial) outcome. The scheduler's straggler path uses this to
+/// re-split a slow subset's pair grid mid-run: resume the returned
+/// checkpoint under a `ClusterConfig` with more nodes and the stripes
+/// re-balance automatically (`rank * pairs / nodes` is recomputed each
+/// iteration). A `None` second element means the run finished.
+pub fn cluster_supports_segment<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    cfg: &ClusterConfig,
+    resume: Option<&EngineCheckpoint>,
+    ckpt: Option<&CheckpointConfig>,
+    stop_after: Option<u64>,
+) -> Result<(ClusterOutcome, Option<EngineCheckpoint>), EfmError> {
     // Surface width/checkpoint errors before spawning the cluster.
     match resume {
         Some(ck) => drop(ck.restore::<P, S>(problem, opts)?),
         None => drop(Engine::<P, S>::new(problem, opts)?),
     }
 
-    let reports = run_cluster(cfg, |ctx| node_body::<P, S>(ctx, problem, opts, resume, ckpt))?;
+    let reports =
+        run_cluster(cfg, |ctx| node_body::<P, S>(ctx, problem, opts, resume, ckpt, stop_after))?;
 
     // Aggregate: supports from rank 0; totals across ranks. Iterations
     // replayed from a checkpoint are already totals, so only count their
@@ -162,7 +189,8 @@ pub fn cluster_supports_resumable<P: BitPattern, S: EfmScalar>(
     stats.total_time = reports.iter().map(|r| r.value.stats.total_time).max().unwrap_or_default();
     stats.final_modes = reports[0].value.supports.len();
     let supports = reports[0].value.supports.clone();
-    Ok(ClusterOutcome { supports, stats, per_rank: reports })
+    let paused = reports[0].value.checkpoint.clone();
+    Ok((ClusterOutcome { supports, stats, per_rank: reports }, paused))
 }
 
 fn node_body<P: BitPattern, S: EfmScalar>(
@@ -171,6 +199,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
     opts: &EfmOptions,
     resume: Option<&EngineCheckpoint>,
     ckpt: Option<&CheckpointConfig>,
+    stop_after: Option<u64>,
 ) -> Result<ClusterNodeOutcome, ClusterError> {
     let t_run = Instant::now();
     let as_protocol = |e: EfmError| ClusterError::Protocol(e.to_string());
@@ -202,6 +231,12 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         // continues the numbering, so a fault planted at iteration k fires
         // at the same global point whether or not a restart happened.
         let iter_no = (eng.cursor - eng.free_count) as u64;
+        // Segment bound: every rank computes the same iter_no from the
+        // same replicated state, so all ranks pause together — no rank is
+        // left blocked in a collective.
+        if stop_after.is_some_and(|s| iter_no >= s) {
+            break;
+        }
         ctx.fault_point("iteration", iter_no)?;
         let mut rec = IterationStats {
             position: eng.cursor,
@@ -337,9 +372,19 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         w.finish().map_err(as_protocol)?;
     }
 
+    if !eng.done() {
+        // Paused at a segment boundary: no final supports yet. Rank 0's
+        // snapshot (the state is replicated) lets the caller resume —
+        // possibly on a differently-sized cluster.
+        eng.stats.total_time = t_run.elapsed();
+        let checkpoint = (ctx.rank() == 0).then(|| EngineCheckpoint::capture(&eng, fingerprint));
+        let stats = eng.stats.clone();
+        return Ok(ClusterNodeOutcome { supports: Vec::new(), stats, checkpoint });
+    }
+
     let supports: Vec<Vec<usize>> = crate::drivers::map_final_supports(problem, &eng);
     eng.stats.final_modes = supports.len();
     eng.stats.total_time = t_run.elapsed();
     let stats = eng.stats.clone();
-    Ok(ClusterNodeOutcome { supports, stats })
+    Ok(ClusterNodeOutcome { supports, stats, checkpoint: None })
 }

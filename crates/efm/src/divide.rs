@@ -23,6 +23,7 @@ use crate::bridge::EfmScalar;
 use crate::cluster_algo::cluster_supports;
 use crate::drivers::{rayon_supports, serial_supports, SupportsAndStats};
 use crate::problem::{build_subproblem, EfmProblem};
+use crate::schedule::DncConfig;
 use crate::types::{EfmError, EfmOptions, RunStats};
 use efm_bitset::BitPattern;
 use efm_cluster::ClusterConfig;
@@ -40,7 +41,8 @@ pub enum Backend {
     Cluster(ClusterConfig),
 }
 
-/// Report for one divide-and-conquer subset.
+/// Report for one divide-and-conquer subset. Reports are always returned
+/// in subset-id order, whatever order the schedule completed them in.
 #[derive(Debug, Clone)]
 pub struct SubsetReport {
     /// Subset id: bit `i` set ⇔ partition reaction `i` must be nonzero.
@@ -51,7 +53,12 @@ pub struct SubsetReport {
     pub efm_count: usize,
     /// Whether the subset was skipped as provably empty.
     pub skipped_empty: bool,
-    /// Subset run statistics.
+    /// How many times this subset was restarted after retryable failures
+    /// (see [`crate::DncConfig::max_retries`]); `0` on a clean run.
+    pub retries: u32,
+    /// Subset run statistics — from the successful attempt only, so
+    /// aggregating over reports never double-counts retried work. The
+    /// recovery events of failed attempts are in `stats.recovery`.
     pub stats: RunStats,
 }
 
@@ -137,7 +144,9 @@ pub fn subset_pattern(partition: &Partition, subset_id: usize) -> String {
         .join(" ")
 }
 
-/// Runs the full divide-and-conquer enumeration over all `2^qsub` subsets.
+/// Runs the full divide-and-conquer enumeration over all `2^qsub` subsets
+/// in the paper's sequential order (equivalent to
+/// [`divide_conquer_supports_with`] under a default [`DncConfig`]).
 /// Returns `(all supports in reduced indices, per-subset reports)`.
 pub fn divide_conquer_supports<P: BitPattern, S: EfmScalar>(
     net: &efm_metnet::MetabolicNetwork,
@@ -146,36 +155,28 @@ pub fn divide_conquer_supports<P: BitPattern, S: EfmScalar>(
     opts: &EfmOptions,
     backend: &Backend,
 ) -> Result<(Vec<Vec<usize>>, Vec<SubsetReport>), EfmError> {
-    let partition = resolve_partition(net, red, partition_names)?;
-    let qsub = partition.reduced_indices.len();
-    let mut all = Vec::new();
-    let mut reports = Vec::with_capacity(1 << qsub);
-    for subset_id in 0..1usize << qsub {
-        let pattern = subset_pattern(&partition, subset_id);
-        let _span = if efm_obs::enabled() {
-            efm_obs::span_dyn(format!("subset {subset_id}: {pattern}"))
-        } else {
-            efm_obs::Span::off()
-        };
-        match run_subset::<P, S>(red, &partition, subset_id, opts, backend)? {
-            Some((sups, stats)) => {
-                reports.push(SubsetReport {
-                    id: subset_id,
-                    pattern,
-                    efm_count: sups.len(),
-                    skipped_empty: false,
-                    stats,
-                });
-                all.extend(sups);
-            }
-            None => reports.push(SubsetReport {
-                id: subset_id,
-                pattern,
-                efm_count: 0,
-                skipped_empty: true,
-                stats: RunStats::default(),
-            }),
-        }
-    }
-    Ok((all, reports))
+    divide_conquer_supports_with::<P, S>(
+        net,
+        red,
+        partition_names,
+        opts,
+        backend,
+        &DncConfig::default(),
+    )
+}
+
+/// Runs the full divide-and-conquer enumeration under an explicit
+/// scheduler configuration: subset order and concurrency per
+/// [`DncConfig::schedule`], per-subset restarts, progress checkpointing
+/// (EFCK v4) and resume. Every schedule returns the identical supports and
+/// the reports in subset-id order; only the wall-clock shape differs.
+pub fn divide_conquer_supports_with<P: BitPattern, S: EfmScalar>(
+    net: &efm_metnet::MetabolicNetwork,
+    red: &ReducedNetwork,
+    partition_names: &[&str],
+    opts: &EfmOptions,
+    backend: &Backend,
+    dnc: &DncConfig,
+) -> Result<(Vec<Vec<usize>>, Vec<SubsetReport>), EfmError> {
+    crate::schedule::run_partition::<P, S>(net, red, partition_names, opts, backend, dnc)
 }

@@ -158,6 +158,35 @@ pub fn serial_supports_traced<P: BitPattern, S: EfmScalar>(
     Ok(finalize(problem, eng, t0))
 }
 
+/// Serial Algorithm 1 that can *grow* mid-run: once `grow()` first returns
+/// true the remaining iterations run as [`rayon_step`]s on the shared
+/// pool. The divide-and-conquer scheduler uses this as its straggler path
+/// for the serial backend — while other subsets are queued, each runs
+/// single-threaded (maximum throughput across subsets); when workers go
+/// idle because the queue is drained, the survivors' pair grids are
+/// re-split across the pool instead of leaving cores parked. The serial
+/// and rayon steps advance the engine through identical states (property-
+/// tested), so the switch point cannot change the result.
+pub fn adaptive_supports<P: BitPattern, S: EfmScalar>(
+    problem: &EfmProblem<S>,
+    opts: &EfmOptions,
+    mut grow: impl FnMut() -> bool,
+) -> Result<SupportsAndStats, EfmError> {
+    let mut grown = false;
+    run_resumable::<P, S>(problem, opts, None, None, move |eng| {
+        if !grown && grow() {
+            grown = true;
+            efm_obs::instant("dnc grow to pool");
+            efm_obs::counter_add("dnc resplits", 1);
+        }
+        if grown {
+            rayon_step::<P, S>(eng);
+        } else {
+            eng.step();
+        }
+    })
+}
+
 /// Runs the shared-memory parallel variant: the pair grid and the rank
 /// tests of each iteration are split across the rayon pool.
 pub fn rayon_supports<P: BitPattern, S: EfmScalar>(

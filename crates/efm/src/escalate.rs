@@ -12,8 +12,9 @@
 use crate::apps::suggest_partition;
 use crate::bridge::EfmScalar;
 use crate::divide::Backend;
+use crate::schedule::DncConfig;
 use crate::types::{EfmError, EfmOptions};
-use crate::{enumerate_divide_conquer_with_scalar, enumerate_with_scalar, EfmOutcome};
+use crate::{enumerate_divide_conquer_scheduled_with_scalar, enumerate_with_scalar, EfmOutcome};
 use efm_metnet::{compress_with, MetabolicNetwork};
 use efm_numeric::DynInt;
 
@@ -73,6 +74,27 @@ pub fn enumerate_with_escalation_scalar<S: EfmScalar>(
     backend: &Backend,
     max_qsub: usize,
 ) -> Result<EscalationOutcome, EfmError> {
+    enumerate_with_escalation_scheduled_scalar::<S>(
+        net,
+        opts,
+        backend,
+        max_qsub,
+        &DncConfig::default(),
+    )
+}
+
+/// [`enumerate_with_escalation_scalar`] under an explicit subset-scheduler
+/// configuration: every divide-and-conquer rung of the ladder runs its
+/// `2^qsub` subsets per `dnc` (concurrency, per-subset restart budget,
+/// progress checkpointing), so a rung that fails on one subset retries only
+/// that subset before the whole rung is declared failed.
+pub fn enumerate_with_escalation_scheduled_scalar<S: EfmScalar>(
+    net: &MetabolicNetwork,
+    opts: &EfmOptions,
+    backend: &Backend,
+    max_qsub: usize,
+    dnc: &DncConfig,
+) -> Result<EscalationOutcome, EfmError> {
     let mut attempts = Vec::new();
     let is_memory = |e: &EfmError| matches!(e, EfmError::Cluster(ce) if ce.is_memory_exceeded());
 
@@ -106,7 +128,7 @@ pub fn enumerate_with_escalation_scalar<S: EfmScalar>(
             break;
         }
         let names: Vec<&str> = partition.iter().map(String::as_str).collect();
-        match enumerate_divide_conquer_with_scalar::<S>(net, opts, &names, backend) {
+        match enumerate_divide_conquer_scheduled_with_scalar::<S>(net, opts, &names, backend, dnc) {
             Ok(outcome) => {
                 attempts.push(EscalationAttempt { qsub, partition, error: None });
                 return Ok(EscalationOutcome { outcome, attempts });

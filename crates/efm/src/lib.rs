@@ -48,36 +48,43 @@ pub mod io;
 mod oracle;
 mod problem;
 mod recover;
+mod schedule;
 mod supervise;
 mod types;
 
 pub use api::{
-    enumerate, enumerate_divide_conquer, enumerate_divide_conquer_with_scalar,
+    enumerate, enumerate_divide_conquer, enumerate_divide_conquer_scheduled,
+    enumerate_divide_conquer_scheduled_with_scalar, enumerate_divide_conquer_with_scalar,
     enumerate_resumable_with_scalar, enumerate_with, enumerate_with_scalar, EfmOutcome,
     MAX_REDUCED_REACTIONS,
 };
 pub use apps::{minimal_cut_sets, mode_yields, reaction_participation, suggest_partition};
 pub use bridge::EfmScalar;
-pub use checkpoint::{problem_fingerprint, CheckpointConfig, EngineCheckpoint};
+pub use checkpoint::{
+    dnc_fingerprint, problem_fingerprint, CheckpointConfig, DncCheckpoint, DncSubsetResult,
+    EngineCheckpoint,
+};
 pub use cluster_algo::{
-    cluster_supports, cluster_supports_resumable, phases, ClusterNodeOutcome, ClusterOutcome,
+    cluster_supports, cluster_supports_resumable, cluster_supports_segment, phases,
+    ClusterNodeOutcome, ClusterOutcome,
 };
 pub use divide::{
-    divide_conquer_supports, resolve_partition, run_subset, subset_pattern, Backend, Partition,
-    SubsetReport,
+    divide_conquer_supports, divide_conquer_supports_with, resolve_partition, run_subset,
+    subset_pattern, Backend, Partition, SubsetReport,
 };
 pub use drivers::{
-    rayon_supports, rayon_supports_resumable, serial_supports, serial_supports_resumable,
-    serial_supports_traced, SupportsAndStats,
+    adaptive_supports, rayon_supports, rayon_supports_resumable, serial_supports,
+    serial_supports_resumable, serial_supports_traced, SupportsAndStats,
 };
 pub use engine::{CandidateBuf, CandidateSet, Engine, ModeMatrix, SignPartition, RANK_TOL};
 pub use escalate::{
-    enumerate_with_escalation, enumerate_with_escalation_scalar, EscalationAttempt,
-    EscalationOutcome,
+    enumerate_with_escalation, enumerate_with_escalation_scalar,
+    enumerate_with_escalation_scheduled_scalar, EscalationAttempt, EscalationOutcome,
 };
 pub use oracle::brute_force_efms;
 pub use problem::{build_problem, build_subproblem, EfmProblem};
 pub use recover::{recover_flux, verify_flux};
+pub use schedule::{DncConfig, DncSchedule};
 pub use supervise::{
     classify_failure, enumerate_supervised, enumerate_supervised_with_scalar, SuperviseConfig,
 };

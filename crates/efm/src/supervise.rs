@@ -33,7 +33,8 @@ use crate::api::{enumerate_resumable_with_scalar, EfmOutcome};
 use crate::bridge::EfmScalar;
 use crate::checkpoint::{CheckpointConfig, EngineCheckpoint};
 use crate::divide::Backend;
-use crate::escalate::enumerate_with_escalation_scalar;
+use crate::escalate::enumerate_with_escalation_scheduled_scalar;
+use crate::schedule::DncConfig;
 use crate::types::{
     EfmError, EfmOptions, FailureClass, RecoveryAction, RecoveryEvent, RecoveryLog,
 };
@@ -58,6 +59,12 @@ pub struct SuperviseConfig {
     /// Deterministic faults to inject (chaos testing). `None` supervises a
     /// fault-free run.
     pub fault_plan: Option<FaultPlan>,
+    /// Subset-scheduler configuration for escalated divide-and-conquer
+    /// runs (schedule, workers, segmenting). Its `max_retries` is
+    /// overridden by [`SuperviseConfig::max_restarts`], making the restart
+    /// budget *per subset* once the run escalates — one crashing subset is
+    /// retried alone instead of restarting every sibling.
+    pub dnc: DncConfig,
 }
 
 impl SuperviseConfig {
@@ -72,6 +79,7 @@ impl SuperviseConfig {
             checkpoint: CheckpointConfig::new(checkpoint_path).lazy(true),
             max_qsub: 4,
             fault_plan: None,
+            dnc: DncConfig::default(),
         }
     }
 
@@ -90,6 +98,13 @@ impl SuperviseConfig {
     /// Installs a fault plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the subset-scheduler configuration used by escalated
+    /// divide-and-conquer runs.
+    pub fn with_dnc(mut self, dnc: DncConfig) -> Self {
+        self.dnc = dnc;
         self
     }
 }
@@ -180,11 +195,16 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     log.events.push(give_up(attempt, &err));
                     return Err(exhausted(sup.max_restarts, err, log));
                 }
-                return match enumerate_with_escalation_scalar::<S>(
+                // The restart budget becomes per-subset: a crashed subset
+                // is retried alone, up to `max_restarts` times, without
+                // disturbing its siblings.
+                let dnc = DncConfig { max_retries: sup.max_restarts, ..sup.dnc.clone() };
+                return match enumerate_with_escalation_scheduled_scalar::<S>(
                     net,
                     opts,
                     &backend,
                     sup.max_qsub,
+                    &dnc,
                 ) {
                     Ok(esc) => {
                         let mut out = esc.outcome;

@@ -329,6 +329,13 @@ impl Snapshot {
     }
 }
 
+/// Current total of a named counter; `0` if it was never touched (or
+/// tracing is disabled). Convenience for tests asserting on counters
+/// without taking a full [`snapshot`].
+pub fn counter_value(name: &str) -> u64 {
+    COUNTERS.lock().unwrap().get(name).copied().unwrap_or(0)
+}
+
 /// Copy out all recorded tracks and counter totals. Tracks are sorted
 /// by tid so exports are deterministic.
 pub fn snapshot() -> Snapshot {

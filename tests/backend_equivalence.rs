@@ -1,0 +1,185 @@
+//! Differential backend/schedule equality suite.
+//!
+//! Every execution strategy — serial, rayon, simulated cluster, and the
+//! three divide-and-conquer schedules (`serial`, `static`, `steal`) — must
+//! enumerate the *identical* EFM set. Each comparison goes through one
+//! shared canonical form ([`canon`]: sorted support sets over original
+//! reactions) so there is exactly one notion of equality in the suite.
+//!
+//! The `DNC_SCHEDULE` environment variable filters the schedule axis
+//! (`DNC_SCHEDULE=steal` checks only that mode) — this is how the CI
+//! matrix runs one lane per schedule. Unset, all schedules are checked.
+
+use efm_bench::{network_i, pick_partition, Scale};
+use efm_core::{
+    enumerate_divide_conquer_scheduled_with_scalar, enumerate_with_scalar, Backend, DncConfig,
+    DncSchedule, EfmOptions, EfmOutcome,
+};
+use efm_metnet::examples::toy_network;
+use efm_numeric::{DynInt, F64Tol};
+
+/// The single canonical comparator of the suite: sorted support sets over
+/// original reaction indices. All equality assertions go through this.
+fn canon(out: &EfmOutcome) -> Vec<Vec<usize>> {
+    let mut v: Vec<Vec<usize>> = (0..out.efms.len()).map(|i| out.efms.support(i)).collect();
+    v.sort();
+    v
+}
+
+/// The schedule axis, optionally filtered by `DNC_SCHEDULE` (CI matrix).
+fn schedules() -> Vec<DncSchedule> {
+    let all = [DncSchedule::Serial, DncSchedule::Static, DncSchedule::Steal];
+    match std::env::var("DNC_SCHEDULE") {
+        Ok(want) => all.iter().copied().filter(|m| m.to_string() == want).collect(),
+        Err(_) => all.to_vec(),
+    }
+}
+
+fn dnc(schedule: DncSchedule, workers: usize) -> DncConfig {
+    DncConfig { schedule, workers, ..Default::default() }
+}
+
+#[test]
+fn toy_paper_example_agrees_across_backends_and_schedules() {
+    // The paper's §III.A worked example: partition across {r6r, r8r}.
+    let net = toy_network();
+    let opts = EfmOptions::default();
+    let reference = canon(&enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap());
+    let backends = [
+        ("serial", Backend::Serial),
+        ("rayon", Backend::Rayon),
+        ("cluster", Backend::Cluster(efm_cluster::ClusterConfig::new(3))),
+    ];
+    for (bname, backend) in &backends {
+        for schedule in schedules() {
+            let out = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+                &net,
+                &opts,
+                &["r6r", "r8r"],
+                backend,
+                &dnc(schedule, 2),
+            )
+            .unwrap();
+            assert_eq!(
+                canon(&out),
+                reference,
+                "backend {bname} / schedule {schedule} diverged from the direct serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn yeast_lite_two_way_split_agrees_across_schedules() {
+    let net = network_i(Scale::Lite);
+    let opts = EfmOptions::default();
+    let direct = enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap();
+    let reference = canon(&direct);
+    let partition = pick_partition(&net, &direct.reduced, &["R89r", "R74r"], 2);
+    assert_eq!(partition.len(), 2, "lite Network I must retain a 2-way split");
+    let names: Vec<&str> = partition.iter().map(String::as_str).collect();
+    for schedule in schedules() {
+        let out = enumerate_divide_conquer_scheduled_with_scalar::<F64Tol>(
+            &net,
+            &opts,
+            &names,
+            &Backend::Serial,
+            &dnc(schedule, 2),
+        )
+        .unwrap();
+        assert_eq!(canon(&out), reference, "schedule {schedule} diverged on yeast-lite");
+    }
+}
+
+/// PR 5 acceptance: the 4-reaction yeast-lite partition under
+/// `--dnc-schedule steal` at 4 workers yields the same EFM set as the
+/// sequential schedule (the speedup half of the criterion is measured by
+/// the `dnc_balance` bench, which records BENCH_pr5.json).
+#[test]
+fn yeast_lite_four_way_steal_matches_serial_schedule() {
+    let net = network_i(Scale::Lite);
+    let opts = EfmOptions::default();
+    let (red, _) = efm_metnet::compress(&net);
+    let partition = pick_partition(&net, &red, &["R89r", "R74r", "R90r", "R22r"], 4);
+    assert_eq!(partition.len(), 4, "lite Network I must retain a 4-way split");
+    let names: Vec<&str> = partition.iter().map(String::as_str).collect();
+    let serial = enumerate_divide_conquer_scheduled_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &names,
+        &Backend::Serial,
+        &dnc(DncSchedule::Serial, 1),
+    )
+    .unwrap();
+    let steal = enumerate_divide_conquer_scheduled_with_scalar::<F64Tol>(
+        &net,
+        &opts,
+        &names,
+        &Backend::Serial,
+        &dnc(DncSchedule::Steal, 4),
+    )
+    .unwrap();
+    assert_eq!(canon(&steal), canon(&serial));
+    assert_eq!(steal.efms.len(), serial.efms.len());
+}
+
+/// Cluster-backend divide-and-conquer on yeast-lite is the heavyweight
+/// corner of the matrix; it runs in the `--include-ignored` soak lane.
+#[test]
+#[ignore = "heavy: cluster backend on yeast-lite; run via --include-ignored"]
+fn yeast_lite_cluster_backend_schedules_agree() {
+    let net = network_i(Scale::Lite);
+    let opts = EfmOptions::default();
+    let direct = enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Serial).unwrap();
+    let reference = canon(&direct);
+    let partition = pick_partition(&net, &direct.reduced, &["R89r", "R74r"], 2);
+    let names: Vec<&str> = partition.iter().map(String::as_str).collect();
+    let backend = Backend::Cluster(efm_cluster::ClusterConfig::new(2));
+    for schedule in schedules() {
+        let out = enumerate_divide_conquer_scheduled_with_scalar::<F64Tol>(
+            &net,
+            &opts,
+            &names,
+            &backend,
+            &dnc(schedule, 2),
+        )
+        .unwrap();
+        assert_eq!(canon(&out), reference, "cluster schedule {schedule} diverged");
+    }
+}
+
+/// Regression (PR 5 satellite): whatever order a concurrent schedule
+/// finishes subsets in, reports come back sorted by subset id, and
+/// aggregated statistics count each subset exactly once — the totals are
+/// identical across schedules because each report carries only its own
+/// successful attempt.
+#[test]
+fn reports_are_id_ordered_and_stats_never_double_count() {
+    let net = toy_network();
+    let opts = EfmOptions::default();
+    let mut totals = Vec::new();
+    for schedule in [DncSchedule::Serial, DncSchedule::Static, DncSchedule::Steal] {
+        let out = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+            &net,
+            &opts,
+            &["r6r", "r8r"],
+            &Backend::Serial,
+            &dnc(schedule, 3),
+        )
+        .unwrap();
+        let ids: Vec<usize> = out.subsets.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "schedule {schedule}: reports out of id order");
+        let report_sum: u64 = out.subsets.iter().map(|s| s.stats.candidates_generated).sum();
+        assert_eq!(
+            out.stats.candidates_generated, report_sum,
+            "schedule {schedule}: aggregate disagrees with per-report sum"
+        );
+        let efm_sum: usize = out.subsets.iter().map(|s| s.efm_count).sum();
+        assert_eq!(out.efms.len(), efm_sum, "schedule {schedule}: EFM counts disagree");
+        totals.push((out.stats.candidates_generated, out.stats.rank_tests, canon(&out)));
+    }
+    // Identical subproblems generate identical counts whatever the
+    // schedule; a double-counted concurrent subset would break this.
+    assert_eq!(totals[0], totals[1]);
+    assert_eq!(totals[0], totals[2]);
+}

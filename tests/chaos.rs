@@ -149,3 +149,102 @@ fn overwhelming_crash_plan_exhausts_budget_with_full_log() {
         other => panic!("expected RestartsExhausted, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Concurrent-subset crash matrix (PR 5): crash one divide-and-conquer
+// subset while its siblings run under the work-stealing schedule. The
+// per-subset supervisor must retry only the crashed subset, and the final
+// EFM set must be byte-identical to the fault-free run.
+// ---------------------------------------------------------------------------
+
+use efm_core::{enumerate_divide_conquer_scheduled_with_scalar, Backend, DncConfig, DncSchedule};
+
+/// One divide-and-conquer run of the toy {r6r, r8r} split on the cluster
+/// backend under the stealing schedule, with `plans` injected per subset.
+fn dnc_run(
+    tag: &str,
+    plans: Vec<(usize, FaultPlan)>,
+    max_retries: u32,
+) -> Result<efm_core::EfmOutcome, EfmError> {
+    let _ = tag;
+    within_seconds(120, move || {
+        let net = toy_network();
+        let opts = EfmOptions::default();
+        let cluster =
+            ClusterConfig::new(2).with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let dnc = DncConfig {
+            schedule: DncSchedule::Steal,
+            workers: 2,
+            max_retries,
+            fault_plans: plans,
+            ..Default::default()
+        };
+        enumerate_divide_conquer_scheduled_with_scalar::<efm_numeric::DynInt>(
+            &net,
+            &opts,
+            &["r6r", "r8r"],
+            &Backend::Cluster(cluster),
+            &dnc,
+        )
+    })
+}
+
+fn canon(out: &efm_core::EfmOutcome) -> Vec<Vec<usize>> {
+    let mut v: Vec<Vec<usize>> = (0..out.efms.len()).map(|i| out.efms.support(i)).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn crashed_subset_is_retried_alone_while_siblings_run() {
+    let fault_free = dnc_run("dnc-clean", Vec::new(), 0).unwrap();
+    assert!(fault_free.subsets.iter().all(|s| s.retries == 0));
+    let victim = 3;
+    let plan = FaultPlan::new(55).crash(0, "iteration", 0);
+    let out = dnc_run("dnc-crash", vec![(victim, plan)], 2).unwrap();
+    assert_eq!(canon(&out), canon(&fault_free), "EFM set diverged after subset crash");
+    for s in &out.subsets {
+        let expected = if s.id == victim { 1 } else { 0 };
+        assert_eq!(s.retries, expected, "subset {} ({}) retries: {}", s.id, s.pattern, s.retries);
+    }
+    // The retry is visible in the crashed subset's own recovery log.
+    let crashed = &out.subsets[victim];
+    assert_eq!(crashed.stats.recovery.restarts(), 1, "{}", crashed.stats.recovery);
+}
+
+#[test]
+fn crashed_subset_beyond_budget_fails_the_run_with_typed_error() {
+    let mut plan = FaultPlan::new(56);
+    for it in 0..10 {
+        plan = plan.crash(0, "iteration", it);
+    }
+    let err = dnc_run("dnc-exhaust", vec![(1, plan)], 1).unwrap_err();
+    assert!(
+        matches!(err, EfmError::Cluster(_)),
+        "expected the subset's cluster error to propagate, got {err:?}"
+    );
+}
+
+/// Full matrix: every subset × every instrumented collective phase; the
+/// crashed subset retries exactly once, siblings are untouched, and the
+/// EFM set never changes. Soak lane (`--include-ignored`).
+#[test]
+#[ignore = "soak: 4 subsets x 6 phases of supervised cluster runs; run via --include-ignored"]
+fn concurrent_subset_crash_matrix_recovers_exactly() {
+    let fault_free = dnc_run("dnc-matrix-clean", Vec::new(), 0).unwrap();
+    let reference = canon(&fault_free);
+    for victim in 0..4usize {
+        for (pi, phase) in PHASES.iter().enumerate() {
+            let seed = 500 + (victim * PHASES.len() + pi) as u64;
+            let plan = FaultPlan::new(seed).crash(0, phase, 0);
+            let tag = format!("dnc-matrix-{victim}-{phase}");
+            let out = dnc_run(&tag, vec![(victim, plan)], 2)
+                .unwrap_or_else(|e| panic!("victim={victim} phase={phase}: {e}"));
+            assert_eq!(canon(&out), reference, "victim={victim} phase={phase}");
+            for s in &out.subsets {
+                let expected = if s.id == victim { 1 } else { 0 };
+                assert_eq!(s.retries, expected, "victim={victim} phase={phase} subset={}", s.id);
+            }
+        }
+    }
+}

@@ -102,3 +102,110 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Divide-and-conquer progress resume (EFCK v4): a resumed run skips the
+// subsets the checkpoint records as complete and re-enumerates the rest.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dnc_resume_skips_completed_subsets() {
+    use efm_core::{
+        enumerate_divide_conquer_scheduled_with_scalar, DncCheckpoint, DncConfig, DncSubsetResult,
+    };
+    let net = efm_metnet::examples::toy_network();
+    let opts = EfmOptions::default();
+    let path = std::env::temp_dir().join(format!("efm_dnc_resume_{}.efck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Full run, recording progress after every subset.
+    let checkpointed =
+        DncConfig { checkpoint: Some(CheckpointConfig::new(&path)), ..Default::default() };
+    let full = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+        &net,
+        &opts,
+        &["r6r", "r8r"],
+        &Backend::Serial,
+        &checkpointed,
+    )
+    .unwrap();
+    let complete = DncCheckpoint::load(&path).unwrap();
+    assert_eq!(complete.done.len(), 4, "every subset must be recorded");
+
+    // Doctor a *partial* record whose completed subset carries a sentinel
+    // (no supports): if resume truly skips it, the sentinel — not the
+    // re-enumerated modes — lands in the output.
+    let victim = complete.done[1].id;
+    let mut partial = DncCheckpoint::new(&complete.scalar_tag, complete.fingerprint, complete.qsub);
+    partial.record(DncSubsetResult {
+        id: victim,
+        skipped_empty: false,
+        supports: Vec::new(),
+        stats: Default::default(),
+    });
+    partial.save(&path).unwrap();
+    let resumed = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+        &net,
+        &opts,
+        &["r6r", "r8r"],
+        &Backend::Serial,
+        &DncConfig { resume: true, ..checkpointed.clone() },
+    )
+    .unwrap();
+    assert_eq!(
+        resumed.subsets[victim].efm_count, 0,
+        "resume must take subset {victim} from the checkpoint, not re-run it"
+    );
+    assert_eq!(
+        resumed.efms.len(),
+        full.efms.len() - full.subsets[victim].efm_count,
+        "only the skipped subset's modes may be missing"
+    );
+
+    // Resuming from the *complete* record reproduces the full set exactly
+    // without re-running anything.
+    complete.save(&path).unwrap();
+    let replayed = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+        &net,
+        &opts,
+        &["r6r", "r8r"],
+        &Backend::Serial,
+        &DncConfig { resume: true, ..checkpointed },
+    )
+    .unwrap();
+    assert_eq!(replayed.efms, full.efms);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dnc_resume_rejects_mismatched_partition() {
+    use efm_core::{enumerate_divide_conquer_scheduled_with_scalar, DncConfig};
+    let net = efm_metnet::examples::toy_network();
+    let opts = EfmOptions::default();
+    let path = std::env::temp_dir().join(format!("efm_dnc_mismatch_{}.efck", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let checkpointed =
+        DncConfig { checkpoint: Some(CheckpointConfig::new(&path)), ..Default::default() };
+    enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+        &net,
+        &opts,
+        &["r6r", "r8r"],
+        &Backend::Serial,
+        &checkpointed,
+    )
+    .unwrap();
+    // Same file, different partition: the fingerprint must reject it.
+    let err = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+        &net,
+        &opts,
+        &["r8r"],
+        &Backend::Serial,
+        &DncConfig { resume: true, ..checkpointed },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, efm_core::EfmError::Checkpoint(_)),
+        "expected a typed checkpoint rejection, got {err:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

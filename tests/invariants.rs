@@ -154,3 +154,113 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Divide-and-conquer partition invariants (the paper's Proposition 1),
+// checked on random valid partitions of random networks: the 2^qsub
+// subsets are pairwise disjoint, their union is exactly the unsplit EFM
+// set, and every EFM obeys its subset's zero/nonzero pattern.
+// ---------------------------------------------------------------------------
+
+/// Random valid partition of `red`: reversible, pivotal, distinct reduced
+/// reactions (the same eligibility rule the product enforces), chosen by
+/// `pick` as a rotation over the eligible set. Returns original-network
+/// names, or an empty vector when the network has no eligible split.
+fn random_partition(
+    net: &MetabolicNetwork,
+    red: &efm_metnet::ReducedNetwork,
+    pick: u64,
+    qsub: usize,
+) -> Vec<String> {
+    let Ok(problem) = efm_core::build_problem::<efm_numeric::DynInt>(red, &EfmOptions::default())
+    else {
+        return Vec::new();
+    };
+    let mut eligible: Vec<usize> = problem.row_order[problem.free_count..]
+        .iter()
+        .filter(|&&c| c < red.num_reduced())
+        .map(|&c| problem.col_to_reduced[c])
+        .filter(|&r| red.reversible[r])
+        .collect();
+    eligible.dedup();
+    if eligible.len() < qsub {
+        return Vec::new();
+    }
+    let start = (pick as usize) % eligible.len();
+    (0..qsub)
+        .map(|i| {
+            let r = eligible[(start + i) % eligible.len()];
+            let (orig, _) = red.members[r][0];
+            net.reactions[orig].name.clone()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn partition_subsets_are_disjoint_complete_and_pattern_faithful(
+        seed in 0u64..4000,
+        pick in 0u64..64,
+    ) {
+        let net = net_for(seed);
+        let (red, _) = compress(&net);
+        let qsub = 2;
+        let names = random_partition(&net, &red, pick, qsub);
+        prop_assume!(names.len() == qsub);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let partition = efm_core::resolve_partition(&net, &red, &refs).unwrap();
+
+        let mut union: Vec<Vec<usize>> = Vec::new();
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        for id in 0..1usize << qsub {
+            let Some((sups, _)) = efm_core::run_subset::<efm_bitset::Pattern1, efm_numeric::DynInt>(
+                &red,
+                &partition,
+                id,
+                &opts(),
+                &efm_core::Backend::Serial,
+            )
+            .unwrap() else {
+                continue;
+            };
+            for sup in sups {
+                // Proposition 1: the EFM is nonzero on exactly the
+                // partition reactions whose bit in `id` is set.
+                for (i, &r) in partition.reduced_indices.iter().enumerate() {
+                    let must_use = id >> i & 1 == 1;
+                    prop_assert_eq!(
+                        sup.contains(&r),
+                        must_use,
+                        "subset {} violates its pattern on reaction {} ({:?})",
+                        id,
+                        &names[i],
+                        &sup
+                    );
+                }
+                let mut s = sup.clone();
+                s.sort_unstable();
+                // Pairwise disjoint: no support may appear under two ids
+                // (or twice under one).
+                prop_assert!(
+                    !seen.contains(&s),
+                    "support {:?} appeared in more than one subset",
+                    &s
+                );
+                seen.push(s);
+                let mut expanded = red.expand_support(&sup);
+                expanded.sort_unstable();
+                union.push(expanded);
+            }
+        }
+        union.sort();
+
+        // Union = the unsplit EFM set.
+        let direct = enumerate(&net, &opts()).unwrap();
+        let mut reference: Vec<Vec<usize>> =
+            (0..direct.efms.len()).map(|i| direct.efms.support(i)).collect();
+        reference.sort();
+        prop_assert_eq!(union, reference, "subset union differs from the unsplit EFM set");
+    }
+}
