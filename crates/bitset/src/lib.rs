@@ -17,12 +17,19 @@
 use std::fmt;
 use std::hash::Hash;
 
+pub mod kernel;
 pub mod tree;
 
+pub use kernel::{detect_tier, KernelTier};
 pub use tree::{PatternTree, TreePattern};
 
 /// A fixed-capacity inline bit pattern of `64*W` bits.
+///
+/// `#[repr(transparent)]` guarantees a `Pattern<W>` is layout-identical to
+/// `[u64; W]`, so the [`kernel`] module may view `&[Pattern<W>]` as a flat
+/// `&[u64]` for its SIMD sweeps.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Pattern<const W: usize> {
     words: [u64; W],
 }
@@ -238,13 +245,20 @@ impl DynPattern {
 
     /// Bitwise union (result width is the wider operand's).
     pub fn union(&self, rhs: &Self) -> Self {
+        let mut out = DynPattern::default();
+        self.union_into(rhs, &mut out);
+        out
+    }
+
+    /// Bitwise union written into a caller-provided pattern, reusing its
+    /// word buffer — the allocation-free form for loops that union many
+    /// pairs (a fresh `Vec` per pair otherwise dominates the naive path).
+    pub fn union_into(&self, rhs: &Self, out: &mut Self) {
         let n = self.words.len().max(rhs.words.len());
-        let words = (0..n)
-            .map(|i| {
-                self.words.get(i).copied().unwrap_or(0) | rhs.words.get(i).copied().unwrap_or(0)
-            })
-            .collect();
-        DynPattern { words }
+        out.words.clear();
+        out.words.extend((0..n).map(|i| {
+            self.words.get(i).copied().unwrap_or(0) | rhs.words.get(i).copied().unwrap_or(0)
+        }));
     }
 
     /// Bitwise intersection.
@@ -299,6 +313,55 @@ pub trait BitPattern:
     fn is_subset_of(&self, rhs: &Self) -> bool;
     /// Set bit indices, ascending.
     fn ones(&self) -> Vec<usize>;
+
+    /// Calls `f` with every set bit index in ascending order — the
+    /// allocation-free counterpart of [`ones`](Self::ones) for hot loops.
+    fn for_each_one<F: FnMut(usize)>(&self, mut f: F) {
+        for i in self.ones() {
+            f(i);
+        }
+    }
+
+    /// Negative-side block length (pairs) the cache-blocked generation
+    /// kernel should use for this pattern width (sized so one block's two
+    /// pattern streams stay L1-resident).
+    fn block_pairs() -> usize {
+        kernel::block_pairs(std::mem::size_of::<Self>())
+    }
+
+    /// Batched adjacency pre-filter over one block: appends `base + i` to
+    /// `hits` for every pair with `(pat | negs[i]).count() +
+    /// (sup ^ nsups[i]).count() <= max`, returning the number appended.
+    /// `bounds` is caller-owned scratch. The default is the portable
+    /// scalar loop; inline widths dispatch into the SIMD [`kernel`].
+    #[allow(clippy::too_many_arguments)] // hot-path API: scratch + output buffers ride with the block operands
+    fn prefilter_block(
+        tier: KernelTier,
+        pat: &Self,
+        sup: &Self,
+        negs: &[Self],
+        nsups: &[Self],
+        max: u32,
+        base: u32,
+        bounds: &mut Vec<u32>,
+        hits: &mut Vec<u32>,
+    ) -> usize {
+        let _ = (tier, bounds);
+        let before = hits.len();
+        for (i, n) in negs.iter().enumerate() {
+            if pat.union_count(n) + sup.xor_count(&nsups[i]) <= max {
+                hits.push(base + i as u32);
+            }
+        }
+        hits.len() - before
+    }
+
+    /// Whether any pattern in `cands` is a subset of `sup` (batched form
+    /// of the naive adjacency scan's early-exit probe).
+    fn subset_any(tier: KernelTier, cands: &[Self], sup: &Self) -> bool {
+        let _ = tier;
+        cands.iter().any(|c| c.is_subset_of(sup))
+    }
 }
 
 impl<const W: usize> BitPattern for Pattern<W> {
@@ -345,6 +408,29 @@ impl<const W: usize> BitPattern for Pattern<W> {
     fn ones(&self) -> Vec<usize> {
         self.iter_ones().collect()
     }
+    #[inline]
+    fn for_each_one<F: FnMut(usize)>(&self, mut f: F) {
+        for i in self.iter_ones() {
+            f(i);
+        }
+    }
+    fn prefilter_block(
+        tier: KernelTier,
+        pat: &Self,
+        sup: &Self,
+        negs: &[Self],
+        nsups: &[Self],
+        max: u32,
+        base: u32,
+        bounds: &mut Vec<u32>,
+        hits: &mut Vec<u32>,
+    ) -> usize {
+        kernel::prefilter_hits(tier, pat, sup, negs, nsups, max, base, bounds, hits)
+    }
+    #[inline]
+    fn subset_any(tier: KernelTier, cands: &[Self], sup: &Self) -> bool {
+        kernel::is_subset_any(tier, cands, sup)
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +468,29 @@ mod tests {
         let a = Pattern4::from_indices([0, 70, 140, 250]);
         let b = Pattern4::from_indices([1, 70, 141, 255]);
         assert_eq!(a.union_count(&b), a.union(&b).count());
+    }
+
+    #[test]
+    fn dyn_union_into_reuses_buffer() {
+        let dynp = |bits: &[usize]| {
+            let mut p = DynPattern::default();
+            for &b in bits {
+                p.set(b);
+            }
+            p
+        };
+        let a = dynp(&[0, 5, 130]);
+        let b = dynp(&[5, 64]);
+        let mut out = dynp(&[200, 300]); // stale, wider
+        let cap_before = {
+            a.union_into(&b, &mut out);
+            out.words.capacity()
+        };
+        assert_eq!(out, a.union(&b));
+        // A second union into the same buffer must not grow it again.
+        a.union_into(&b, &mut out);
+        assert_eq!(out.words.capacity(), cap_before);
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![0, 5, 64, 130]);
     }
 
     #[test]

@@ -71,6 +71,7 @@ struct Args {
     dnc_workers: usize,
     ordering: String,
     test: String,
+    kernel: String,
     float: bool,
     max_modes: Option<usize>,
     print_modes: usize,
@@ -101,6 +102,7 @@ fn usage() -> ! {
          \x20                 [--nodes N] [--memory-limit BYTES] [--partition R1,R2,...]\n\
          \x20                 [--dnc-schedule serial|static|steal] [--dnc-workers N]\n\
          \x20                 [--ordering paper|nnz|asis|random] [--test rank|adjacency]\n\
+         \x20                 [--kernel auto|scalar|simd]\n\
          \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
          \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20                 [--auto-escalate K] [--supervise] [--max-restarts N]\n\
@@ -122,6 +124,7 @@ fn parse_args() -> Args {
         dnc_workers: 0,
         ordering: "paper".into(),
         test: "rank".into(),
+        kernel: "auto".into(),
         float: false,
         max_modes: None,
         print_modes: 20,
@@ -164,6 +167,7 @@ fn parse_args() -> Args {
             "--dnc-workers" => args.dnc_workers = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--ordering" => args.ordering = val(&mut it),
             "--test" => args.test = val(&mut it),
+            "--kernel" => args.kernel = val(&mut it),
             "--float" => args.float = true,
             "--max-modes" => {
                 args.max_modes = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
@@ -245,7 +249,12 @@ fn run<S: efm_core::EfmScalar>(
         "adjacency" => CandidateTest::Adjacency,
         _ => usage(),
     };
-    let opts = EfmOptions { ordering, test, max_modes: args.max_modes, ..Default::default() };
+    let kernel = args.kernel.parse().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage();
+    });
+    let opts =
+        EfmOptions { ordering, test, kernel, max_modes: args.max_modes, ..Default::default() };
     let dnc_schedule = DncSchedule::parse(&args.dnc_schedule).unwrap_or_else(|| {
         eprintln!("error: bad --dnc-schedule {} (want serial|static|steal)", args.dnc_schedule);
         usage();

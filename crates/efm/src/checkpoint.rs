@@ -47,9 +47,10 @@ const MAGIC: &[u8; 4] = b"EFCK";
 /// bitmap plus the finished subsets' supports and statistics, so a resumed
 /// run skips completed subsets entirely). Version-1 files (no footer, no
 /// recovery log), version-2 files (no counters, no timestamps — they read
-/// back as zero), and version-3 files (no kind word, implicitly engine
-/// snapshots) remain readable.
-const VERSION: u32 = 4;
+/// back as zero), version-3 files (no kind word, implicitly engine
+/// snapshots) and version-4 files (no kernel/arena counters — they read
+/// back as zero / empty tier) remain readable.
+const VERSION: u32 = 5;
 
 /// Record kind (v4+): an engine snapshot at an iteration boundary.
 const KIND_ENGINE: u32 = 0;
@@ -326,6 +327,10 @@ impl EngineCheckpoint {
             tail_len: self.tail_len as usize,
         };
         eng.stats = self.stats.clone();
+        // The tier is a property of the resuming host/options, not of the
+        // snapshot: re-resolve it live (pre-v5 files also read back with an
+        // empty tier string).
+        eng.stats.kernel_tier = eng.kernel_tier.name().to_string();
         Ok(eng)
     }
 
@@ -1136,6 +1141,12 @@ fn put_stats(w: &mut impl Write, s: &RunStats, version: u32) -> io::Result<()> {
             }
         }
     }
+    if version >= 5 {
+        put_str(w, &s.kernel_tier)?;
+        put_u64(w, s.kernel_blocks)?;
+        put_u64(w, s.kernel_pruned)?;
+        put_u64(w, s.arena_peak_bytes)?;
+    }
     Ok(())
 }
 
@@ -1205,6 +1216,12 @@ fn get_stats(r: &mut impl Read, version: u32) -> io::Result<RunStats> {
                 resumed_from,
             });
         }
+    }
+    if version >= 5 {
+        s.kernel_tier = get_str(r)?;
+        s.kernel_blocks = get_u64(r)?;
+        s.kernel_pruned = get_u64(r)?;
+        s.arena_peak_bytes = get_u64(r)?;
     }
     Ok(s)
 }
@@ -1389,7 +1406,15 @@ mod tests {
         let mut v1 = Vec::new();
         ck.write_to_v1(&mut v1).unwrap();
         let back = EngineCheckpoint::read_from(&v1[..]).unwrap();
-        assert_eq!(back, ck);
+        // v1 predates the kernel/arena counters: they read back zeroed.
+        assert_eq!(back.stats.kernel_tier, "");
+        assert_eq!(back.stats.kernel_blocks, 0);
+        let mut want = ck.clone();
+        want.stats.kernel_tier = String::new();
+        want.stats.kernel_blocks = 0;
+        want.stats.kernel_pruned = 0;
+        want.stats.arena_peak_bytes = 0;
+        assert_eq!(back, want);
         // And a resumed engine from the legacy file finishes identically.
         let mut resumed = back.restore::<Pattern1, DynInt>(&problem, &opts).unwrap();
         let mut direct = ck.restore::<Pattern1, DynInt>(&problem, &opts).unwrap();
@@ -1490,7 +1515,13 @@ mod tests {
         let mut v3 = Vec::new();
         ck.write_to_v3(&mut v3).unwrap();
         let back = EngineCheckpoint::read_from(&v3[..]).unwrap();
-        assert_eq!(back, ck);
+        // v3 predates the kernel/arena counters: they read back zeroed.
+        let mut want = ck.clone();
+        want.stats.kernel_tier = String::new();
+        want.stats.kernel_blocks = 0;
+        want.stats.kernel_pruned = 0;
+        want.stats.arena_peak_bytes = 0;
+        assert_eq!(back, want);
         // And it is *not* a divide-and-conquer progress record.
         let err = DncCheckpoint::read_from(&v3[..]).unwrap_err().to_string();
         assert!(err.contains("engine snapshot"), "{err}");

@@ -143,11 +143,17 @@ pub fn cluster_supports_segment<P: BitPattern, S: EfmScalar>(
         stats.rank_tests += rep.value.stats.rank_tests;
         stats.comm_messages += rep.value.stats.comm_messages;
         stats.comm_bytes += rep.value.stats.comm_bytes;
+        stats.kernel_blocks += rep.value.stats.kernel_blocks;
+        stats.kernel_pruned += rep.value.stats.kernel_pruned;
         stats.peak_modes = stats.peak_modes.max(rep.value.stats.peak_modes);
         stats.peak_bytes = stats.peak_bytes.max(rep.peak_memory);
         stats.peak_transient_bytes =
             stats.peak_transient_bytes.max(rep.value.stats.peak_transient_bytes);
+        stats.arena_peak_bytes = stats.arena_peak_bytes.max(rep.value.stats.arena_peak_bytes);
     }
+    // All ranks resolve the same tier (same binary, same host); take it
+    // from rank 0.
+    stats.kernel_tier = reports[0].value.stats.kernel_tier.clone();
     if let Some(ck) = resume {
         let replicas = reports.len() as u64 - 1;
         stats.candidates_generated -= ck.stats.candidates_generated * replicas;
@@ -156,6 +162,8 @@ pub fn cluster_supports_segment<P: BitPattern, S: EfmScalar>(
         stats.rank_tests -= ck.stats.rank_tests * replicas;
         stats.comm_messages -= ck.stats.comm_messages * replicas;
         stats.comm_bytes -= ck.stats.comm_bytes * replicas;
+        stats.kernel_blocks -= ck.stats.kernel_blocks * replicas;
+        stats.kernel_pruned -= ck.stats.kernel_pruned * replicas;
     }
     // Iteration records: take rank 0's skeleton, with pair counts summed
     // across ranks (each rank recorded only its stripe). On a resumed run
@@ -225,6 +233,10 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         Ok(())
     };
     track(ctx, &mut accounted, eng.modes.approx_bytes())?;
+    // Candidate-generation arena: lives for the whole run, reset (not
+    // freed) each iteration, so steady-state iterations do not allocate
+    // on the generation hot path.
+    let mut arena = crate::engine::GenArena::new();
 
     while !eng.done() {
         // Absolute iteration index (checkpoint-stable): a resumed run
@@ -258,10 +270,11 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             rec.pairs = end - start;
             ctx.add_work(phases::GENERATE, end - start);
             let mut set = CandidateSet::<P>::default();
-            let mut scratch = Vec::new();
-            rec.prefiltered = eng.generate_range(&part, start, end, &mut set, &mut scratch);
+            rec.prefiltered = eng.generate_range(&part, start, end, &mut set, &mut arena);
             (part, set)
         };
+        rec.numeric_pass = local.numeric_pass;
+        eng.note_kernel_counters(local.blocks, rec.pairs - rec.numeric_pass, arena.approx_bytes());
         let raw = local.len() as u64;
         // The raw generation output is transient (a streaming generator
         // would never hold it) and is deliberately not charged against the

@@ -123,8 +123,11 @@ pub fn serial_supports<P: BitPattern, S: EfmScalar>(
     problem: &EfmProblem<S>,
     opts: &EfmOptions,
 ) -> Result<SupportsAndStats, EfmError> {
-    run_resumable::<P, S>(problem, opts, None, None, |eng| {
-        eng.step();
+    // One arena for the whole run: reset (not freed) each iteration, so
+    // steady-state iterations perform no candidate-buffer allocation.
+    let mut arena = crate::engine::GenArena::new();
+    run_resumable::<P, S>(problem, opts, None, None, move |eng| {
+        eng.step_with(&mut arena);
     })
 }
 
@@ -136,8 +139,9 @@ pub fn serial_supports_resumable<P: BitPattern, S: EfmScalar>(
     resume: Option<&EngineCheckpoint>,
     ckpt: Option<&CheckpointConfig>,
 ) -> Result<SupportsAndStats, EfmError> {
-    run_resumable::<P, S>(problem, opts, resume, ckpt, |eng| {
-        eng.step();
+    let mut arena = crate::engine::GenArena::new();
+    run_resumable::<P, S>(problem, opts, resume, ckpt, move |eng| {
+        eng.step_with(&mut arena);
     })
 }
 
@@ -150,9 +154,10 @@ pub fn serial_supports_traced<P: BitPattern, S: EfmScalar>(
 ) -> Result<SupportsAndStats, EfmError> {
     let t0 = Instant::now();
     let mut eng = Engine::<P, S>::new(problem, opts)?;
+    let mut arena = crate::engine::GenArena::new();
     while !eng.done() {
         check_limit(&eng, opts)?;
-        let rec = eng.step();
+        let rec = eng.step_with(&mut arena);
         on_iteration(&rec);
     }
     Ok(finalize(problem, eng, t0))
@@ -173,6 +178,7 @@ pub fn adaptive_supports<P: BitPattern, S: EfmScalar>(
     mut grow: impl FnMut() -> bool,
 ) -> Result<SupportsAndStats, EfmError> {
     let mut grown = false;
+    let mut arena = crate::engine::GenArena::new();
     run_resumable::<P, S>(problem, opts, None, None, move |eng| {
         if !grown && grow() {
             grown = true;
@@ -182,7 +188,7 @@ pub fn adaptive_supports<P: BitPattern, S: EfmScalar>(
         if grown {
             rayon_step::<P, S>(eng);
         } else {
-            eng.step();
+            eng.step_with(&mut arena);
         }
     })
 }
@@ -277,15 +283,15 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     let pairs = part.pairs();
     let nchunks = (rayon::current_num_threads() * 4).max(1) as u64;
     let chunk = pairs.div_ceil(nchunks).max(1);
-    let results: Vec<(CandidateSet<P>, u64, u64)> = (0..nchunks)
+    let results: Vec<(CandidateSet<P>, u64, u64, u64)> = (0..nchunks)
         .into_par_iter()
         .map(|c| {
             let start = c * chunk;
             let end = (start + chunk).min(pairs);
             let mut set = CandidateSet::default();
-            let mut scratch = Vec::new();
+            let mut arena = crate::engine::GenArena::new();
             let survivors = if start < end {
-                eng.generate_range(&part, start, end, &mut set, &mut scratch)
+                eng.generate_range(&part, start, end, &mut set, &mut arena)
             } else {
                 0
             };
@@ -294,14 +300,16 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
             // runs leave this map already sorted, so the join below is a
             // merge, not a re-sort.
             set.sort_dedup();
-            (set, survivors, raw)
+            (set, survivors, raw, arena.approx_bytes())
         })
         .collect();
     let mut runs = Vec::with_capacity(results.len());
     let mut raw = 0u64;
-    for (b, s, r) in results {
+    let mut arena_bytes = 0u64;
+    for (b, s, r, a) in results {
         rec.prefiltered += s;
         raw += r;
+        arena_bytes = arena_bytes.max(a);
         runs.push(b);
     }
     drop(sp);
@@ -309,6 +317,7 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     let sp = efm_obs::span(crate::cluster_algo::phases::DEDUP);
     let mut set = merge_runs_parallel(runs);
     rec.numeric_pass = set.numeric_pass;
+    let blocks = set.blocks;
     drop(sp);
     let t2 = Instant::now();
     let sp = efm_obs::span(crate::cluster_algo::phases::TREE);
@@ -393,6 +402,7 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     eng.stats.dedup_hits += raw - rec.deduped;
     eng.stats.rank_tests += rec.deduped;
     efm_obs::counter_add("dedup hits", raw - rec.deduped);
+    eng.note_kernel_counters(blocks, rec.pairs - rec.numeric_pass, arena_bytes);
     eng.note_iteration_counters(&rec);
     eng.stats.iterations.push(rec);
 }

@@ -31,7 +31,7 @@
 use crate::bridge::EfmScalar;
 use crate::problem::EfmProblem;
 use crate::types::{CandidateTest, EfmError, EfmOptions, IterationStats, RunStats};
-use efm_bitset::{BitPattern, PatternTree};
+use efm_bitset::{BitPattern, KernelTier, PatternTree};
 use efm_linalg::{nullity_of_cols, Mat};
 
 /// Absolute tolerance of the floating-point rank test (columns are
@@ -295,6 +295,9 @@ pub struct CandidateSet<P> {
     /// Pairs that reached the numeric combination pass (prefilter hits) —
     /// instrumentation for tuning the cheap bounds.
     pub numeric_pass: u64,
+    /// Cache blocks the generation kernel processed to produce this set —
+    /// instrumentation for the blocked sweep (merged like `numeric_pass`).
+    pub blocks: u64,
 }
 
 impl<P: BitPattern> CandidateSet<P> {
@@ -314,6 +317,7 @@ impl<P: BitPattern> CandidateSet<P> {
         self.val_sups.append(&mut other.val_sups);
         self.parents.append(&mut other.parents);
         self.numeric_pass += other.numeric_pass;
+        self.blocks += other.blocks;
     }
 
     /// Sorts by `(pattern, value support)` and removes duplicates.
@@ -376,11 +380,12 @@ impl<P: BitPattern> CandidateSet<P> {
         debug_assert!(is_sorted_by_key(&a.patterns, &a.val_sups));
         debug_assert!(is_sorted_by_key(&b.patterns, &b.val_sups));
         let numeric_pass = a.numeric_pass + b.numeric_pass;
+        let blocks = a.blocks + b.blocks;
         if a.is_empty() {
-            return CandidateSet { numeric_pass, ..b };
+            return CandidateSet { numeric_pass, blocks, ..b };
         }
         if b.is_empty() {
-            return CandidateSet { numeric_pass, ..a };
+            return CandidateSet { numeric_pass, blocks, ..a };
         }
         let cap = a.len() + b.len();
         let mut out = CandidateSet {
@@ -388,6 +393,7 @@ impl<P: BitPattern> CandidateSet<P> {
             val_sups: Vec::with_capacity(cap),
             parents: Vec::with_capacity(cap),
             numeric_pass,
+            blocks,
         };
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() || j < b.len() {
@@ -455,6 +461,65 @@ impl<P> SignPartition<P> {
     }
 }
 
+/// Bump-arena-style scratch for the candidate-generation kernel.
+///
+/// A driver owns one arena per worker and carries it across iterations:
+/// every buffer is *reset* (cleared) at the start of a sweep, never freed,
+/// so steady-state generation performs no heap allocation — the buffers
+/// grow to the high-water mark of the run and stay there. The hoisted
+/// positive-row data (`pos_*`) lets the cache-blocked sweep revisit a row
+/// once per negative block without re-deriving its pattern, tail support
+/// or combination coefficient each time.
+#[derive(Debug)]
+pub struct GenArena<P, S> {
+    /// Hoisted patterns of the positive rows covered by the active range.
+    pos_pats: Vec<P>,
+    /// Hoisted tail supports of those rows.
+    pos_sups: Vec<P>,
+    /// Hoisted negative-parent coefficients (`−v_p` per positive row).
+    pos_coeffs: Vec<S>,
+    /// Positive row index the hoisted vectors start at.
+    row_base: usize,
+    /// Prefilter bound buffer (one `u32` per pair of the active block).
+    bounds: Vec<u32>,
+    /// Surviving pair indices of the active (row, block) sweep.
+    hits: Vec<u32>,
+    /// Candidate numeric-section scratch for the exact-arithmetic pass.
+    scratch: Vec<S>,
+}
+
+impl<P, S> Default for GenArena<P, S> {
+    fn default() -> Self {
+        GenArena {
+            pos_pats: Vec::new(),
+            pos_sups: Vec::new(),
+            pos_coeffs: Vec::new(),
+            row_base: 0,
+            bounds: Vec::new(),
+            hits: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<P, S> GenArena<P, S> {
+    /// A fresh (empty) arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate resident bytes across all buffers (capacities, since
+    /// the arena's point is retained capacity).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.pos_pats.capacity() * std::mem::size_of::<P>()
+            + self.pos_sups.capacity() * std::mem::size_of::<P>()
+            + self.pos_coeffs.capacity() * std::mem::size_of::<S>()
+            + self.bounds.capacity() * std::mem::size_of::<u32>()
+            + self.hits.capacity() * std::mem::size_of::<u32>()
+            + self.scratch.capacity() * std::mem::size_of::<S>()) as u64
+    }
+}
+
 /// The engine: problem data plus evolving mode matrix.
 pub struct Engine<P: BitPattern, S: EfmScalar> {
     /// Stoichiometry used by rank tests.
@@ -486,6 +551,9 @@ pub struct Engine<P: BitPattern, S: EfmScalar> {
     /// Whether subset/duplicate scans use bit-pattern trees (see
     /// [`EfmOptions::pattern_trees`]).
     pub pattern_trees: bool,
+    /// Instruction tier the generation kernel dispatches to, resolved once
+    /// from [`EfmOptions::kernel`] + runtime CPU detection.
+    pub kernel_tier: KernelTier,
     /// Run statistics.
     pub stats: RunStats,
     /// Column-major, column-max-scaled f64 copy of `stoich` for the
@@ -567,11 +635,18 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
             test: opts.test,
             exact_rank_test: opts.exact_rank_test,
             pattern_trees: opts.pattern_trees,
+            kernel_tier: opts.kernel.resolve(),
             stats: RunStats::default(),
             stoich_f64,
             row_masks,
         };
         engine.stats.peak_modes = engine.modes.len();
+        engine.stats.kernel_tier = engine.kernel_tier.name().to_string();
+        if efm_obs::enabled() {
+            efm_obs::meta_set("kernel_tier", engine.kernel_tier.name());
+            efm_obs::meta_set("kernel_block_pairs", &P::block_pairs().to_string());
+            efm_obs::meta_set("pattern_words", &(P::capacity() / 64).to_string());
+        }
         Ok(engine)
     }
 
@@ -636,92 +711,153 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     /// `pos × neg` grid (pair `k` = `(pos[k / |neg|], neg[k % |neg|])`).
     /// Survivors of the summary rejection are appended to `out`.
     /// Returns the number of surviving pairs.
+    ///
+    /// The sweep is cache-blocked: the range decomposes into a leading
+    /// partial row, a body of full rows and a trailing partial row; each
+    /// piece is tiled into L1-sized negative-side blocks
+    /// ([`BitPattern::block_pairs`] pairs wide) with the positive-side row
+    /// data hoisted into the arena once per call, so the vectorized
+    /// prefilter streams dense pattern slices block by block. Candidates
+    /// come out block-major rather than row-major — every consumer
+    /// sorts/dedups before use, so only the order within `out` differs
+    /// from the classical sweep, never the surviving set.
     pub fn generate_range(
         &self,
         part: &SignPartition<P>,
         start: u64,
         end: u64,
         out: &mut CandidateSet<P>,
-        scratch: &mut Vec<S>,
+        arena: &mut GenArena<P, S>,
     ) -> u64 {
         let nneg = part.neg.len() as u64;
         if nneg == 0 || start >= end {
             return 0;
         }
+        let head = self.modes.rev_len;
+        let a0 = (start / nneg) as usize;
+        let a1 = ((end - 1) / nneg) as usize; // inclusive last row
+        let b0 = (start % nneg) as usize;
+        let b1 = ((end - 1) % nneg + 1) as usize; // exclusive col end of last row
+                                                  // Hoist the positive-side data for all rows of the range: the
+                                                  // blocked sweep revisits each row once per negative block, and
+                                                  // recomputing the tail support there would re-scan the numeric
+                                                  // section per block instead of once per call.
+        arena.row_base = a0;
+        arena.pos_pats.clear();
+        arena.pos_sups.clear();
+        arena.pos_coeffs.clear();
+        for a in a0..=a1 {
+            let pi = part.pos[a] as usize;
+            arena.pos_pats.push(self.modes.patterns[pi]);
+            arena.pos_sups.push(self.val_support(pi));
+            arena.pos_coeffs.push(self.modes.vals(pi)[head].neg());
+        }
+        let nneg = nneg as usize;
+        if a0 == a1 {
+            self.generate_tiles(part, a0..a0 + 1, b0, b1, out, arena)
+        } else {
+            let mut survivors = self.generate_tiles(part, a0..a0 + 1, b0, nneg, out, arena);
+            survivors += self.generate_tiles(part, a0 + 1..a1, 0, nneg, out, arena);
+            survivors += self.generate_tiles(part, a1..a1 + 1, 0, b1, out, arena);
+            survivors
+        }
+    }
+
+    /// Cache-blocked sweep over rows `rows` × columns `[ca, cb)` of the
+    /// pair grid. The negative-side streams are cut into
+    /// [`BitPattern::block_pairs`]-sized blocks; for each block every
+    /// hoisted positive row runs the batched prefilter
+    /// ([`BitPattern::prefilter_block`], SIMD for inline widths) and only
+    /// surviving pairs reach the exact-arithmetic pass. The bound is exact
+    /// for settled rows (pattern union) and uses the one-parent-nonzero
+    /// guarantee for value slots (XOR of tail supports).
+    fn generate_tiles(
+        &self,
+        part: &SignPartition<P>,
+        rows: std::ops::Range<usize>,
+        ca: usize,
+        cb: usize,
+        out: &mut CandidateSet<P>,
+        arena: &mut GenArena<P, S>,
+    ) -> u64 {
+        if rows.is_empty() || ca >= cb {
+            return 0;
+        }
         let stride = self.modes.stride();
         let head = self.modes.rev_len;
         let max_nz = self.max_support as u32;
+        let reversible = self.current_reversible();
+        let block = P::block_pairs();
+        let GenArena { pos_pats, pos_sups, pos_coeffs, row_base, bounds, hits, scratch } =
+            &mut *arena;
         let mut survivors = 0u64;
-        let mut a = (start / nneg) as usize;
-        let mut b = (start % nneg) as usize;
-        let mut k = start;
-        let last_row = (end - 1) / nneg;
-        let mut hit_idx: Vec<u32> = Vec::new();
-        while k < end {
-            let pi = part.pos[a] as usize;
-            let pat_p = self.modes.patterns[pi];
-            let tail_sup_p = self.val_support(pi);
-            let vals_p = self.modes.vals(pi);
-            let coeff_n = vals_p[head].neg(); // multiplies the negative parent (−v_p)
-            let b_end =
-                if a as u64 == last_row { ((end - 1) % nneg + 1) as usize } else { part.neg.len() };
-            k += (b_end - b) as u64;
-            // Hot prefilter sweep over the dense pattern slices. The lower
-            // bound is exact for settled rows (pattern union) and uses the
-            // one-parent-nonzero guarantee for value slots (XOR of tail
-            // supports); only surviving pairs pay for exact arithmetic.
-            hit_idx.clear();
-            let negs = &part.neg_pats[b..b_end];
-            let nsups = &part.neg_tail_sups[b..b_end];
-            for bi in 0..negs.len() {
-                let bound = pat_p.union_count(&negs[bi]) + tail_sup_p.xor_count(&nsups[bi]);
-                if bound <= max_nz {
-                    hit_idx.push((b + bi) as u32);
-                }
-            }
-            b = 0;
-            a += 1;
-            out.numeric_pass += hit_idx.len() as u64;
-            // Numeric pass on prefilter survivors only; values go to a
-            // reusable scratch — only the support bits are recorded.
-            'hits: for &bidx in &hit_idx {
-                let ni = part.neg[bidx as usize] as usize;
-                let pat_n = &self.modes.patterns[ni];
-                let base = pat_p.union_count(pat_n);
-                let vals_n = self.modes.vals(ni);
-                let coeff_p = vals_n[head].neg(); // = −v_n > 0
-                let mut nz = base;
-                scratch.clear();
-                let mut sup = P::empty();
-                for t in 0..stride {
-                    if t == head {
-                        continue;
-                    }
-                    let v = S::fused_comb(&coeff_p, &vals_p[t], &coeff_n, &vals_n[t]);
-                    if !v.is_zero() {
-                        nz += 1;
-                        if nz > max_nz {
-                            continue 'hits;
+        let mut cs = ca;
+        while cs < cb {
+            let ce = (cs + block).min(cb);
+            out.blocks += 1;
+            let negs = &part.neg_pats[cs..ce];
+            let nsups = &part.neg_tail_sups[cs..ce];
+            for a in rows.clone() {
+                let r = a - *row_base;
+                let pat_p = pos_pats[r];
+                let pi = part.pos[a] as usize;
+                let vals_p = self.modes.vals(pi);
+                let coeff_n = &pos_coeffs[r]; // multiplies the negative parent (−v_p)
+                hits.clear();
+                P::prefilter_block(
+                    self.kernel_tier,
+                    &pat_p,
+                    &pos_sups[r],
+                    negs,
+                    nsups,
+                    max_nz,
+                    cs as u32,
+                    bounds,
+                    hits,
+                );
+                out.numeric_pass += hits.len() as u64;
+                // Numeric pass on prefilter survivors only; values go to
+                // the arena scratch — only the support bits are recorded.
+                'hits: for &bidx in hits.iter() {
+                    let ni = part.neg[bidx as usize] as usize;
+                    let pat_n = &self.modes.patterns[ni];
+                    let base = pat_p.union_count(pat_n);
+                    let vals_n = self.modes.vals(ni);
+                    let coeff_p = vals_n[head].neg(); // = −v_n > 0
+                    let mut nz = base;
+                    scratch.clear();
+                    let mut sup = P::empty();
+                    for t in 0..stride {
+                        if t == head {
+                            continue;
                         }
-                        sup.set(scratch.len());
+                        let v = S::fused_comb(&coeff_p, &vals_p[t], coeff_n, &vals_n[t]);
+                        if !v.is_zero() {
+                            nz += 1;
+                            if nz > max_nz {
+                                continue 'hits;
+                            }
+                            sup.set(scratch.len());
+                        }
+                        scratch.push(v);
                     }
-                    scratch.push(v);
-                }
-                // On reversible rows the (zero) current-row slot stays part
-                // of the numeric section; its support bit is never set, but
-                // slot indices must account for it.
-                if self.current_reversible() {
-                    let mut shifted = P::empty();
-                    for slot in sup.ones() {
-                        shifted.set(if slot >= head { slot + 1 } else { slot });
+                    // On reversible rows the (zero) current-row slot stays
+                    // part of the numeric section; its support bit is never
+                    // set, but slot indices must account for it.
+                    if reversible {
+                        let mut shifted = P::empty();
+                        sup.for_each_one(|slot| {
+                            shifted.set(if slot >= head { slot + 1 } else { slot });
+                        });
+                        sup = shifted;
                     }
-                    sup = shifted;
+                    out.patterns.push(pat_p.union(pat_n));
+                    out.val_sups.push(sup);
+                    out.parents.push((pi as u32, ni as u32));
+                    survivors += 1;
                 }
-                out.patterns.push(pat_p.union(pat_n));
-                out.val_sups.push(sup);
-                out.parents.push((pi as u32, ni as u32));
-                survivors += 1;
             }
+            cs = ce;
         }
         survivors
     }
@@ -783,12 +919,8 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     /// Support column indices (into `stoich`) of candidate `i` in `buf`.
     fn candidate_support_cols(&self, buf: &CandidateSet<P>, i: usize, cols: &mut Vec<usize>) {
         cols.clear();
-        for pos in buf.patterns[i].ones() {
-            cols.push(self.row_order[pos]);
-        }
-        for slot in buf.val_sups[i].ones() {
-            cols.push(self.val_slot_col(slot, true));
-        }
+        buf.patterns[i].for_each_one(|pos| cols.push(self.row_order[pos]));
+        buf.val_sups[i].for_each_one(|slot| cols.push(self.val_slot_col(slot, true)));
     }
 
     /// Full support (positions) of a live mode.
@@ -811,17 +943,18 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     /// Full support (positions) of a candidate.
     pub(crate) fn candidate_support(&self, buf: &CandidateSet<P>, i: usize) -> P {
         let head = self.modes.rev_len;
+        let reversible = self.current_reversible();
         let mut s = buf.patterns[i];
-        for slot in buf.val_sups[i].ones() {
+        buf.val_sups[i].for_each_one(|slot| {
             let pos = if slot < head {
                 self.rev_positions[slot]
-            } else if self.current_reversible() {
+            } else if reversible {
                 self.cursor + (slot - head)
             } else {
                 self.cursor + 1 + (slot - head)
             };
             s.set(pos);
-        }
+        });
         s
     }
 
@@ -1009,22 +1142,41 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
     /// modes and the other candidates can reject. Candidates are
     /// deduplicated beforehand, so subset means strict subset.
     ///
-    /// Classical linear-scan adjacency test: `O(|zero|·|cand| + |cand|²)`
-    /// subset checks. The oracle the tree variant is verified against.
+    /// Classical linear-scan adjacency test, slab-vectorized: subset
+    /// probes run over dense count-sorted support slabs with the batched
+    /// kernel. A subset has at most as many bits as its superset — and a
+    /// *proper* subset strictly fewer — so sorting each slab by popcount
+    /// lets every probe scan only the prefix that can possibly reject,
+    /// instead of the full `O(|zero|·|cand| + |cand|²)` pair grid. The
+    /// oracle the tree variant is verified against.
     fn adjacency_filter_naive(&self, buf: &mut CandidateSet<P>, part: &SignPartition<P>) -> u64 {
-        let zero_sups: Vec<P> = part.zero.iter().map(|&i| self.mode_support(i as usize)).collect();
+        let tier = self.kernel_tier;
+        let by_count = |sups: Vec<P>| -> (Vec<P>, Vec<u32>) {
+            let mut order: Vec<usize> = (0..sups.len()).collect();
+            order.sort_by_key(|&i| sups[i].count());
+            let sorted: Vec<P> = order.iter().map(|&i| sups[i]).collect();
+            let counts: Vec<u32> = sorted.iter().map(P::count).collect();
+            (sorted, counts)
+        };
+        let (zero_sorted, zero_counts) =
+            by_count(part.zero.iter().map(|&i| self.mode_support(i as usize)).collect());
         let cand_sups: Vec<P> = (0..buf.len()).map(|i| self.candidate_support(buf, i)).collect();
+        let (cand_sorted, cand_counts) = by_count(cand_sups.clone());
         let mut keep = Vec::new();
-        'cand: for (i, cs) in cand_sups.iter().enumerate() {
-            for z in &zero_sups {
-                if z.is_subset_of(cs) {
-                    continue 'cand;
-                }
+        for (i, cs) in cand_sups.iter().enumerate() {
+            let k = cs.count();
+            // Zero-row modes reject on any subset (equality included):
+            // probe the prefix with count ≤ k.
+            let zp = zero_counts.partition_point(|&c| c <= k);
+            if P::subset_any(tier, &zero_sorted[..zp], cs) {
+                continue;
             }
-            for (j, other) in cand_sups.iter().enumerate() {
-                if j != i && other.is_subset_of(cs) {
-                    continue 'cand;
-                }
+            // Candidates are pairwise distinct after dedup, so a rejecting
+            // candidate is a *proper* subset: count < k. The strict prefix
+            // also excludes `cs` itself without an index check.
+            let cp = cand_counts.partition_point(|&c| c < k);
+            if P::subset_any(tier, &cand_sorted[..cp], cs) {
+                continue;
             }
             keep.push(i as u32);
         }
@@ -1116,9 +1268,19 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         self.cursor += 1;
     }
 
-    /// Runs one full iteration in-place (used by the serial driver and by
-    /// tests; parallel drivers orchestrate the pieces themselves).
+    /// Runs one full iteration in-place with a throwaway arena. Tests and
+    /// one-shot callers use this; drivers carry a persistent arena across
+    /// iterations via [`Engine::step_with`].
     pub fn step(&mut self) -> IterationStats {
+        let mut arena = GenArena::new();
+        self.step_with(&mut arena)
+    }
+
+    /// Runs one full iteration in-place (used by the serial driver and by
+    /// tests; parallel drivers orchestrate the pieces themselves). The
+    /// arena is reset, not freed, so a driver-owned arena makes the
+    /// generation pass allocation-free in steady state.
+    pub fn step_with(&mut self, arena: &mut GenArena<P, S>) -> IterationStats {
         use std::time::Instant;
         debug_assert!(!self.done());
         let mut rec = IterationStats {
@@ -1135,8 +1297,7 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         rec.zero = part.zero.len();
         rec.pairs = part.pairs();
         let mut set = CandidateSet::default();
-        let mut scratch = Vec::new();
-        rec.prefiltered = self.generate_range(&part, 0, part.pairs(), &mut set, &mut scratch);
+        rec.prefiltered = self.generate_range(&part, 0, part.pairs(), &mut set, arena);
         rec.numeric_pass = set.numeric_pass;
         let raw = set.len() as u64;
         drop(sp);
@@ -1185,10 +1346,25 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
         self.stats.tree_pruned += rec.pairs - rec.prefiltered;
         self.stats.dedup_hits += raw - rec.deduped;
         self.stats.rank_tests += rec.deduped;
+        self.note_kernel_counters(set.blocks, rec.pairs - rec.numeric_pass, arena.approx_bytes());
         efm_obs::counter_add("dedup hits", raw - rec.deduped);
         self.note_iteration_counters(&rec);
         self.stats.iterations.push(rec.clone());
         rec
+    }
+
+    /// Folds one generation pass's kernel instrumentation into the run
+    /// stats and (when tracing) the telemetry counters: blocks processed,
+    /// pairs pruned by the vectorized prefilter, and the arena footprint.
+    pub(crate) fn note_kernel_counters(&mut self, blocks: u64, pruned: u64, arena_bytes: u64) {
+        self.stats.kernel_blocks += blocks;
+        self.stats.kernel_pruned += pruned;
+        self.stats.arena_peak_bytes = self.stats.arena_peak_bytes.max(arena_bytes);
+        if efm_obs::enabled() {
+            efm_obs::counter_add("kernel blocks", blocks);
+            efm_obs::counter_add_dyn(format!("kernel pruned ({})", self.kernel_tier), pruned);
+            efm_obs::gauge_max("arena bytes", arena_bytes);
+        }
     }
 
     /// Samples the per-iteration counters into the trace (no-op unless
@@ -1235,7 +1411,8 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
 
     /// Maps a position-space support pattern to subproblem column indices.
     pub fn support_to_cols(&self, pat: &P) -> Vec<usize> {
-        let mut v: Vec<usize> = pat.ones().into_iter().map(|p| self.row_order[p]).collect();
+        let mut v = Vec::new();
+        pat.for_each_one(|p| v.push(self.row_order[p]));
         v.sort_unstable();
         v
     }
@@ -1301,18 +1478,20 @@ mod tests {
             let part = eng.partition();
             if part.pairs() >= 2 {
                 let mut full = CandidateSet::default();
-                let mut scratch = Vec::new();
+                let mut arena = GenArena::new();
                 let total = part.pairs();
-                eng.generate_range(&part, 0, total, &mut full, &mut scratch);
+                eng.generate_range(&part, 0, total, &mut full, &mut arena);
+                assert!(full.blocks >= 1, "full sweep records its blocks");
                 let mut striped = CandidateSet::default();
                 let bounds = [0, total / 3, 2 * total / 3, total];
                 for w in bounds.windows(2) {
-                    eng.generate_range(&part, w[0], w[1], &mut striped, &mut scratch);
+                    eng.generate_range(&part, w[0], w[1], &mut striped, &mut arena);
                 }
                 full.sort_dedup();
                 striped.sort_dedup();
                 assert_eq!(full.patterns, striped.patterns);
                 assert_eq!(full.val_sups, striped.val_sups);
+                assert!(arena.approx_bytes() > 0, "arena retains capacity after use");
                 return; // compared once, done
             }
             eng.step();

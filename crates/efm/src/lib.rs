@@ -76,7 +76,9 @@ pub use drivers::{
     adaptive_supports, rayon_supports, rayon_supports_resumable, serial_supports,
     serial_supports_resumable, serial_supports_traced, SupportsAndStats,
 };
-pub use engine::{CandidateBuf, CandidateSet, Engine, ModeMatrix, SignPartition, RANK_TOL};
+pub use engine::{
+    CandidateBuf, CandidateSet, Engine, GenArena, ModeMatrix, SignPartition, RANK_TOL,
+};
 pub use escalate::{
     enumerate_with_escalation, enumerate_with_escalation_scalar,
     enumerate_with_escalation_scheduled_scalar, EscalationAttempt, EscalationOutcome,
@@ -89,8 +91,8 @@ pub use supervise::{
     classify_failure, enumerate_supervised, enumerate_supervised_with_scalar, SuperviseConfig,
 };
 pub use types::{
-    CandidateTest, EfmError, EfmOptions, EfmSet, FailureClass, IterationStats, PhaseBreakdown,
-    RecoveryAction, RecoveryEvent, RecoveryLog, RowOrdering, RunStats,
+    CandidateTest, EfmError, EfmOptions, EfmSet, FailureClass, IterationStats, KernelKind,
+    PhaseBreakdown, RecoveryAction, RecoveryEvent, RecoveryLog, RowOrdering, RunStats,
 };
 
 #[cfg(test)]

@@ -28,6 +28,65 @@ pub enum CandidateTest {
     Adjacency,
 }
 
+/// Which candidate-generation kernel the engine dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Pick the best tier the CPU supports (honours the `EFM_KERNEL`
+    /// environment variable, so differential CI lanes can force a tier
+    /// without plumbing options through every harness).
+    #[default]
+    Auto,
+    /// Force the portable scalar reference path.
+    Scalar,
+    /// Use the best vectorized tier available (SSE2/AVX2); degrades to
+    /// scalar on CPUs without vector support.
+    Simd,
+}
+
+impl KernelKind {
+    /// Resolves to the instruction tier the engine will run at. `Auto`
+    /// consults `EFM_KERNEL` (`auto`/`scalar`/`simd`, read once per
+    /// process) and then runtime CPU detection; all tiers produce
+    /// bit-identical results, so this only affects speed.
+    pub fn resolve(self) -> efm_bitset::KernelTier {
+        use std::sync::OnceLock;
+        static ENV: OnceLock<Option<KernelKind>> = OnceLock::new();
+        let kind = match self {
+            KernelKind::Auto => *ENV
+                .get_or_init(|| std::env::var("EFM_KERNEL").ok().and_then(|v| v.parse().ok()))
+                .as_ref()
+                .unwrap_or(&KernelKind::Auto),
+            other => other,
+        };
+        match kind {
+            KernelKind::Scalar => efm_bitset::KernelTier::Scalar,
+            _ => efm_bitset::detect_tier(),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelKind::Auto => write!(f, "auto"),
+            KernelKind::Scalar => write!(f, "scalar"),
+            KernelKind::Simd => write!(f, "simd"),
+        }
+    }
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(KernelKind::Auto),
+            "scalar" => Ok(KernelKind::Scalar),
+            "simd" => Ok(KernelKind::Simd),
+            other => Err(format!("unknown kernel {other:?} (expected auto|scalar|simd)")),
+        }
+    }
+}
+
 /// Options shared by all algorithm variants.
 #[derive(Debug, Clone)]
 pub struct EfmOptions {
@@ -55,6 +114,10 @@ pub struct EfmOptions {
     /// classical linear scans — the A/B baseline for benchmarks and the
     /// oracle for property tests.
     pub pattern_trees: bool,
+    /// Candidate-generation kernel dispatch (`--kernel` on the CLI). All
+    /// choices are bit-identical; `Scalar` exists as the differential
+    /// baseline and escape hatch.
+    pub kernel: KernelKind,
 }
 
 impl Default for EfmOptions {
@@ -67,6 +130,7 @@ impl Default for EfmOptions {
             exact_rank_test: false,
             compression: efm_metnet::CompressionOptions::default(),
             pattern_trees: true,
+            kernel: KernelKind::Auto,
         }
     }
 }
@@ -305,6 +369,20 @@ pub struct RunStats {
     pub peak_transient_bytes: u64,
     /// Final mode count.
     pub final_modes: usize,
+    /// Instruction tier the generation kernel ran at (`"scalar"`,
+    /// `"sse2"` or `"avx2"`; empty for stats that never ran an engine,
+    /// e.g. restored pre-v5 checkpoints). One engine runs exactly one
+    /// tier, so together with `kernel_pruned` this gives the per-tier
+    /// pruning attribution.
+    pub kernel_tier: String,
+    /// Cache blocks the blocked generation kernel processed.
+    pub kernel_blocks: u64,
+    /// Pairs rejected by the vectorized prefilter bound (before the
+    /// numeric combination pass) at `kernel_tier`.
+    pub kernel_pruned: u64,
+    /// Peak resident bytes of the generation arenas, maximised over
+    /// workers/ranks.
+    pub arena_peak_bytes: u64,
     /// Phase time breakdown.
     pub phases: PhaseBreakdown,
     /// Total wall time of the enumeration core.
@@ -327,6 +405,12 @@ impl RunStats {
         self.peak_modes = self.peak_modes.max(other.peak_modes);
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.peak_transient_bytes = self.peak_transient_bytes.max(other.peak_transient_bytes);
+        if self.kernel_tier.is_empty() {
+            self.kernel_tier = other.kernel_tier.clone();
+        }
+        self.kernel_blocks += other.kernel_blocks;
+        self.kernel_pruned += other.kernel_pruned;
+        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
         self.final_modes += other.final_modes;
         self.phases.accumulate(&other.phases);
         self.total_time += other.total_time;

@@ -98,7 +98,21 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
             );
         }
     }
-    out.push_str("\n]}\n");
+    out.push_str("\n]");
+    if !snap.meta.is_empty() {
+        // `otherData` is the trace_event format's free-form metadata
+        // object; chrome://tracing and Perfetto show it in the trace
+        // info panel and ignore unknown keys.
+        out.push_str(",\n\"otherData\":{");
+        for (i, (name, value)) in snap.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(name), escape(value));
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -134,7 +148,8 @@ pub fn jsonl(snap: &Snapshot) -> String {
 }
 
 /// Final counter/gauge totals as one JSON object:
-/// `{"counters":{"name":value,...}}`.
+/// `{"counters":{"name":value,...},"meta":{"name":"value",...}}` (the
+/// `meta` section is omitted when no metadata was recorded).
 pub fn metrics_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -143,7 +158,18 @@ pub fn metrics_json(snap: &Snapshot) -> String {
         }
         let _ = write!(out, "\n  \"{}\": {}", escape(name), value);
     }
-    out.push_str("\n}}\n");
+    out.push_str("\n}");
+    if !snap.meta.is_empty() {
+        out.push_str(",\"meta\":{");
+        for (i, (name, value)) in snap.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{}\": \"{}\"", escape(name), escape(value));
+        }
+        out.push_str("\n}");
+    }
+    out.push_str("}\n");
     out
 }
 

@@ -75,6 +75,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU32 = AtomicU32::new(AUTO_TID_BASE);
 static REGISTRY: Mutex<Vec<SharedTrack>> = Mutex::new(Vec::new());
 static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static META: Mutex<BTreeMap<String, String>> = Mutex::new(BTreeMap::new());
 
 /// Is tracing globally enabled? One relaxed atomic load; this is the
 /// whole disabled-path cost of every recording entry point.
@@ -291,6 +292,24 @@ pub fn gauge_set(name: &'static str, value: u64) {
     push(EventKind::Counter(value as i64), Cow::Borrowed(name));
 }
 
+/// Record a run-level metadata string (kernel tier, block geometry,
+/// backend name, …). Exported as the Chrome trace's `otherData` object
+/// and in the metrics JSON, so flamegraphs are self-describing — a
+/// scalar and a SIMD run are distinguishable from the trace file alone.
+/// Last write per key wins. No-op while tracing is disabled.
+pub fn meta_set(name: &str, value: &str) {
+    if !enabled() {
+        return;
+    }
+    META.lock().unwrap().insert(name.to_string(), value.to_string());
+}
+
+/// Current value of a metadata key; `None` if never set (or tracing is
+/// disabled when it was written).
+pub fn meta_value(name: &str) -> Option<String> {
+    META.lock().unwrap().get(name).cloned()
+}
+
 fn bump(name: String, delta: u64) -> u64 {
     let mut c = COUNTERS.lock().unwrap();
     let e = c.entry(name).or_insert(0);
@@ -315,6 +334,8 @@ pub struct Track {
 pub struct Snapshot {
     pub tracks: Vec<Track>,
     pub counters: Vec<(String, u64)>,
+    /// Run-level metadata strings recorded via [`meta_set`].
+    pub meta: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -350,7 +371,8 @@ pub fn snapshot() -> Snapshot {
         .collect();
     tracks.sort_by_key(|t| t.tid);
     let counters = COUNTERS.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
-    Snapshot { tracks, counters }
+    let meta = META.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    Snapshot { tracks, counters, meta }
 }
 
 /// Clear all recorded events and counters in place. Thread-local
@@ -363,6 +385,7 @@ pub fn reset() {
         b.dropped = 0;
     }
     COUNTERS.lock().unwrap().clear();
+    META.lock().unwrap().clear();
 }
 
 /// `span!("name")` — open a span; bind the result to keep it alive:
@@ -456,6 +479,38 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counter("cands"), Some(15));
         assert_eq!(snap.counter("peak"), Some(7));
+    }
+
+    #[test]
+    fn meta_lands_in_snapshot_and_exports() {
+        let _g = isolated();
+        meta_set("kernel_tier", "avx2");
+        meta_set("kernel_block_pairs", "1024");
+        meta_set("kernel_tier", "scalar"); // last write wins
+        assert_eq!(meta_value("kernel_tier").as_deref(), Some("scalar"));
+        let snap = snapshot();
+        assert_eq!(
+            snap.meta,
+            vec![
+                ("kernel_block_pairs".to_string(), "1024".to_string()),
+                ("kernel_tier".to_string(), "scalar".to_string()),
+            ]
+        );
+        let trace = crate::export::chrome_trace(&snap);
+        assert!(trace.contains("\"otherData\":{\"kernel_block_pairs\":\"1024\""), "{trace}");
+        let metrics = crate::export::metrics_json(&snap);
+        assert!(metrics.contains("\"meta\":{"), "{metrics}");
+        reset();
+        assert_eq!(meta_value("kernel_tier"), None, "reset must clear metadata");
+    }
+
+    #[test]
+    fn meta_disabled_is_noop() {
+        let _g = isolated();
+        set_enabled(false);
+        meta_set("kernel_tier", "avx2");
+        set_enabled(true);
+        assert_eq!(meta_value("kernel_tier"), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use efm_bench::{network_i, pick_partition, Scale};
 use efm_core::{
     enumerate_divide_conquer_scheduled_with_scalar, enumerate_with_scalar, Backend, DncConfig,
-    DncSchedule, EfmOptions, EfmOutcome,
+    DncSchedule, EfmOptions, EfmOutcome, KernelKind,
 };
 use efm_metnet::examples::toy_network;
 use efm_numeric::{DynInt, F64Tol};
@@ -145,6 +145,60 @@ fn yeast_lite_cluster_backend_schedules_agree() {
         )
         .unwrap();
         assert_eq!(canon(&out), reference, "cluster schedule {schedule} diverged");
+    }
+}
+
+/// PR 6 acceptance: the SIMD batch kernel is an *implementation* of the
+/// scalar semantics, not a variant — with the kernel forced on and forced
+/// off, every backend enumerates the identical EFM set (via [`canon`],
+/// the suite's single comparator). The per-primitive bit-identity is
+/// covered by the proptest suite in `crates/bitset/tests/kernel_props.rs`;
+/// this is the whole-pipeline end of that argument.
+#[test]
+fn kernel_on_off_agree_across_backends() {
+    let net = toy_network();
+    let scalar_opts = EfmOptions { kernel: KernelKind::Scalar, ..Default::default() };
+    let simd_opts = EfmOptions { kernel: KernelKind::Simd, ..Default::default() };
+    let reference =
+        canon(&enumerate_with_scalar::<DynInt>(&net, &scalar_opts, &Backend::Serial).unwrap());
+    let backends = [
+        ("serial", Backend::Serial),
+        ("rayon", Backend::Rayon),
+        ("cluster", Backend::Cluster(efm_cluster::ClusterConfig::new(3))),
+    ];
+    for (bname, backend) in &backends {
+        let simd = enumerate_with_scalar::<DynInt>(&net, &simd_opts, backend).unwrap();
+        assert_eq!(canon(&simd), reference, "backend {bname}: simd kernel diverged from scalar");
+        for schedule in schedules() {
+            let out = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+                &net,
+                &simd_opts,
+                &["r6r", "r8r"],
+                backend,
+                &dnc(schedule, 2),
+            )
+            .unwrap();
+            assert_eq!(
+                canon(&out),
+                reference,
+                "backend {bname} / schedule {schedule}: simd kernel diverged from scalar"
+            );
+        }
+    }
+}
+
+/// Same argument on a real network: yeast-lite under the float scalar,
+/// scalar vs SIMD kernel, serial and rayon backends.
+#[test]
+fn kernel_on_off_agree_on_yeast_lite() {
+    let net = network_i(Scale::Lite);
+    let scalar_opts = EfmOptions { kernel: KernelKind::Scalar, ..Default::default() };
+    let simd_opts = EfmOptions { kernel: KernelKind::Simd, ..Default::default() };
+    let reference =
+        canon(&enumerate_with_scalar::<F64Tol>(&net, &scalar_opts, &Backend::Serial).unwrap());
+    for (bname, backend) in [("serial", Backend::Serial), ("rayon", Backend::Rayon)] {
+        let simd = enumerate_with_scalar::<F64Tol>(&net, &simd_opts, &backend).unwrap();
+        assert_eq!(canon(&simd), reference, "backend {bname}: simd kernel diverged on yeast-lite");
     }
 }
 
