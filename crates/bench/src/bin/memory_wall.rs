@@ -1,33 +1,36 @@
 //! The §IV memory-failure narrative: the combinatorial parallel algorithm
-//! (Algorithm 2) aborts when the per-node mode matrix exceeds local memory
+//! (Algorithm 2) aborts when the per-node footprint exceeds local memory
 //! ("the computation had to be abandoned at the 59th iteration, two
-//! iterations before completion"), while the divide-and-conquer split fits
-//! each subproblem within the same per-node capacity.
+//! iterations before completion"), and four recoveries are demonstrated:
+//!
+//! 1. **streaming generation** — the same unsplit enumeration completes
+//!    under the same per-node cap once candidate generation runs through
+//!    the bounded streaming pipeline (the legacy path materializes the
+//!    whole unfiltered pair stripe, and that transient is what breaches
+//!    the cap);
+//! 2. the manual recovery of the paper — re-run as Algorithm 3 over a
+//!    given partition, every subset fitting under the cap;
+//! 3. checkpoint/resume — the capped legacy run snapshots every iteration,
+//!    aborts with a typed `MemoryExceeded`, and is resumed from the last
+//!    completed iteration on an uncapped cluster, byte-identical;
+//! 4. automatic escalation — `enumerate_with_escalation` turns the abort
+//!    into a divide-and-conquer re-launch without operator intervention.
 //!
 //! ```text
 //! memory_wall [--scale toy|lite|full] [--limit BYTES] [--nodes 4]
 //!             [--partition R54r,R90r,R60r]
 //! ```
 //!
-//! Without `--limit`, the harness first measures the unsplit run's peak
-//! per-node footprint and then re-runs with a cap set between the split and
-//! unsplit peaks, demonstrating the failure and the fix — three ways:
-//!
-//! 1. the manual recovery of the paper (re-run as Algorithm 3 over a given
-//!    partition);
-//! 2. checkpoint/resume: the capped run snapshots every iteration, aborts
-//!    with a typed `MemoryExceeded`, and is resumed from the last completed
-//!    iteration on an uncapped cluster — the recovered EFM set is asserted
-//!    identical to the uninterrupted run;
-//! 3. automatic escalation: `enumerate_with_escalation` turns the abort
-//!    into a divide-and-conquer re-launch over suggested splits without
-//!    operator intervention.
+//! Without `--limit`, the harness measures the charged per-node peaks of
+//! the legacy (materialize-then-filter) and streaming unsplit runs plus
+//! the worst split subset, and sets the cap halfway between "roomy enough
+//! for streaming and every subset" and "too tight for the legacy run".
 
 use efm_bench::{flag, harness_options, network_ii, parse_cli, pick_partition, Scale};
 use efm_core::{
     enumerate_divide_conquer_with_scalar, enumerate_resumable_with_scalar,
     enumerate_with_escalation_scalar, enumerate_with_scalar, Backend, CheckpointConfig, EfmError,
-    EngineCheckpoint,
+    EfmOptions, EngineCheckpoint,
 };
 use efm_numeric::F64Tol;
 
@@ -49,20 +52,43 @@ fn main() {
     }
     let names: Vec<&str> = partition.iter().map(String::as_str).collect();
     let opts = harness_options();
+    let legacy_opts = EfmOptions { streaming: false, ..opts.clone() };
 
-    // Phase 1: unlimited run to measure peaks.
+    // Phase 1: unlimited runs to measure the charged per-node peaks. The
+    // legacy path materializes the full unfiltered candidate stripe each
+    // iteration and charges it; the streaming path holds (and charges) at
+    // most one batch of it.
     println!("== phase 1: measure per-node peaks (no memory cap) ==");
-    let unsplit = enumerate_with_scalar::<F64Tol>(
+    let legacy = enumerate_with_scalar::<F64Tol>(
+        &net,
+        &legacy_opts,
+        &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
+    )
+    .expect("unsplit legacy run failed");
+    println!(
+        "unsplit legacy:    {} EFMs, peak {} accounted bytes/node \
+         (transient high-water {} B)",
+        legacy.efms.len(),
+        legacy.stats.peak_bytes,
+        legacy.stats.peak_transient_bytes
+    );
+    let streaming = enumerate_with_scalar::<F64Tol>(
         &net,
         &opts,
         &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
     )
-    .expect("unsplit run failed");
+    .expect("unsplit streaming run failed");
+    assert_eq!(
+        streaming.efms, legacy.efms,
+        "streaming and legacy generation disagree on the EFM set"
+    );
     println!(
-        "unsplit: {} EFMs, peak {} intermediate modes, peak {} accounted bytes/node",
-        unsplit.efms.len(),
-        unsplit.stats.peak_modes,
-        unsplit.stats.peak_bytes
+        "unsplit streaming: {} EFMs, peak {} accounted bytes/node \
+         (transient high-water {} B, {} batches)",
+        streaming.efms.len(),
+        streaming.stats.peak_bytes,
+        streaming.stats.peak_transient_bytes,
+        streaming.stats.stream_batches
     );
     let split = enumerate_divide_conquer_with_scalar::<F64Tol>(
         &net,
@@ -71,27 +97,33 @@ fn main() {
         &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
     )
     .expect("split run failed");
-    let split_peak = split.subsets.iter().map(|s| s.stats.peak_modes).max().unwrap_or(0);
     let split_bytes = split.subsets.iter().map(|s| s.stats.peak_bytes).max().unwrap_or(0);
     println!(
-        "split {{{}}}: {} EFMs, worst subset peak {} intermediate modes, \
-         peak {} accounted bytes/node",
+        "split {{{}}}: {} EFMs, worst subset peak {} accounted bytes/node",
         partition.join(","),
         split.efms.len(),
-        split_peak,
         split_bytes
     );
 
-    // Phase 2: cap between the two measured byte peaks (or user-provided):
-    // roomy enough for every subset of the split, too tight for the
-    // unsplit run.
+    // Phase 2: cap between the measured peaks (or user-provided). The cap
+    // must admit the streaming unsplit run and every subset of the split,
+    // yet be breached by the legacy unsplit run; every quantity is guarded
+    // so a degenerate measurement (zero or inverted peaks, as on the toy
+    // scale) degrades to a loose-but-valid cap instead of a zero or
+    // underflowed one.
+    let fits = streaming.stats.peak_bytes.max(split_bytes);
     let limit: u64 = match flag(&flags, "limit") {
         Some(v) => v.parse().expect("bad --limit"),
-        None if unsplit.stats.peak_bytes > split_bytes => {
-            split_bytes + (unsplit.stats.peak_bytes - split_bytes) / 2
-        }
-        None => split_bytes.max(1) * 2,
+        None if legacy.stats.peak_bytes > fits => fits + (legacy.stats.peak_bytes - fits) / 2,
+        None => fits.saturating_mul(2).max(1),
     };
+    if legacy.stats.peak_bytes <= fits {
+        println!(
+            "note: legacy peak {} B does not exceed the streaming/split peak {} B at this \
+             scale; the cap {limit} B will not reproduce the abort",
+            legacy.stats.peak_bytes, fits
+        );
+    }
     println!("\n== phase 2: per-node capacity {limit} bytes ==");
     let capped = efm_cluster::ClusterConfig::new(nodes).with_memory_limit(limit);
     let ck_path = std::env::temp_dir().join("memory_wall.efck");
@@ -101,7 +133,7 @@ fn main() {
     let mut aborted = false;
     match enumerate_resumable_with_scalar::<F64Tol>(
         &net,
-        &opts,
+        &legacy_opts,
         &Backend::Cluster(capped.clone()),
         None,
         Some(&ck_cfg),
@@ -114,26 +146,41 @@ fn main() {
         })) => {
             aborted = true;
             println!(
-                "unsplit Algorithm 2: ABORTED in {:.2}s — rank {rank} exceeded {limit} B \
+                "unsplit legacy Algorithm 2: ABORTED in {:.2}s — rank {rank} exceeded {limit} B \
                  (had {in_use} B) [reproduces the paper's abandoned run]",
                 t0.elapsed().as_secs_f64()
             );
         }
         Ok(out) => println!(
-            "unsplit Algorithm 2: completed under the cap ({} EFMs) — raise --limit pressure",
+            "unsplit legacy Algorithm 2: completed under the cap ({} EFMs) — raise --limit \
+             pressure",
             out.efms.len()
         ),
-        Err(e) => println!("unsplit Algorithm 2: failed differently: {e}"),
+        Err(e) => println!("unsplit legacy Algorithm 2: failed differently: {e}"),
+    }
+    match enumerate_with_scalar::<F64Tol>(&net, &opts, &Backend::Cluster(capped.clone())) {
+        Ok(out) => {
+            assert_eq!(
+                out.efms, legacy.efms,
+                "capped streaming enumeration diverged from the uncapped run"
+            );
+            println!(
+                "unsplit streaming:          completed under the same cap ({} EFMs, identical \
+                 to the uncapped run) [bounded generation closes the memory hole]",
+                out.efms.len()
+            );
+        }
+        Err(e) => println!("unsplit streaming: failed under the cap: {e} — raise --limit"),
     }
     match enumerate_divide_conquer_with_scalar::<F64Tol>(
         &net,
         &opts,
         &names,
-        &Backend::Cluster(capped.clone()),
+        &Backend::Cluster(capped),
     ) {
         Ok(out) => println!(
-            "combined Algorithm 3: completed under the same cap ({} EFMs across {} subsets) \
-             [the paper's fix]",
+            "combined Algorithm 3:       completed under the same cap ({} EFMs across {} \
+             subsets) [the paper's fix]",
             out.efms.len(),
             out.subsets.len()
         ),
@@ -142,7 +189,7 @@ fn main() {
         }
     }
 
-    // Phase 3: resume the aborted run from its last checkpoint.
+    // Phase 3: resume the aborted legacy run from its last checkpoint.
     println!("\n== phase 3: checkpoint/resume of the aborted run ==");
     if aborted {
         match EngineCheckpoint::load(&ck_path) {
@@ -154,14 +201,14 @@ fn main() {
                 );
                 let resumed = enumerate_resumable_with_scalar::<F64Tol>(
                     &net,
-                    &opts,
+                    &legacy_opts,
                     &Backend::Cluster(efm_cluster::ClusterConfig::new(nodes)),
                     Some(&ck),
                     None,
                 )
                 .expect("resumed run failed");
                 assert_eq!(
-                    resumed.efms, unsplit.efms,
+                    resumed.efms, legacy.efms,
                     "resume-from-checkpoint diverged from the uninterrupted run"
                 );
                 println!(
@@ -176,12 +223,23 @@ fn main() {
     }
 
     // Phase 4: automatic escalation — abort -> suggested split -> complete.
-    println!("\n== phase 4: automatic divide-and-conquer escalation ==");
+    // Streaming closes the *transient* hole, but the replicated mode matrix
+    // itself can still outgrow a node, so the cap here is tightened below
+    // the streaming unsplit peak (while staying above the worst subset):
+    // the direct attempt aborts and the ladder recovers it without
+    // operator intervention.
+    let esc_limit = if streaming.stats.peak_bytes > split_bytes {
+        split_bytes + (streaming.stats.peak_bytes - split_bytes) / 2
+    } else {
+        limit
+    };
+    println!("\n== phase 4: automatic divide-and-conquer escalation ({esc_limit} B/node) ==");
+    let esc_capped = efm_cluster::ClusterConfig::new(nodes).with_memory_limit(esc_limit);
     let t1 = std::time::Instant::now();
     match enumerate_with_escalation_scalar::<F64Tol>(
         &net,
         &opts,
-        &Backend::Cluster(capped),
+        &Backend::Cluster(esc_capped),
         partition.len().max(2),
     ) {
         Ok(out) => {
@@ -197,7 +255,7 @@ fn main() {
                 }
             }
             assert_eq!(
-                out.outcome.efms, unsplit.efms,
+                out.outcome.efms, legacy.efms,
                 "escalated enumeration diverged from the uninterrupted run"
             );
             println!(

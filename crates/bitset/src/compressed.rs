@@ -1,0 +1,351 @@
+//! Delta/RLE-compressed support patterns.
+//!
+//! A survivor mode's support is a sparse, sorted set of reaction indices,
+//! and real metabolic supports cluster into short runs (pathways touch
+//! consecutive reduced reactions after the nullspace permutation). This
+//! module stores a pattern as a byte stream of `(gap, run)` tokens —
+//! LEB128 varints of the gap from the end of the previous run to the start
+//! of the next, followed by `run_length - 1` — which compresses a typical
+//! yeast-scale support to a handful of bytes versus the fixed `64*W`-bit
+//! inline [`Pattern`](crate::Pattern).
+//!
+//! The encoding is *canonical*: a given bit set has exactly one byte
+//! representation, so equality and hashing on the raw bytes agree with set
+//! equality. Decoding is a strictly sequential scan, which is exactly the
+//! access pattern of the spillable mode-matrix stripes that use this type
+//! as their on-disk cell format.
+
+use crate::{BitPattern, DynPattern};
+
+/// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit set
+/// on continuation bytes).
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: usize) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `bytes` starting at `*pos`, advancing `*pos`.
+/// Returns `None` on truncated input or overflow past `usize`.
+#[inline]
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<usize> {
+    let mut v: usize = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= usize::BITS {
+            return None;
+        }
+        v |= ((b & 0x7f) as usize).checked_shl(shift)?;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// A support pattern compressed as delta/RLE varints over its sorted set-bit
+/// indices.
+///
+/// Construction is only possible through the encoders (or the validating
+/// [`from_encoded`](Self::from_encoded)), so every instance holds a
+/// canonical encoding; `PartialEq`/`Hash` therefore compare as sets.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct CompressedPattern {
+    bytes: Vec<u8>,
+    count: u32,
+}
+
+impl CompressedPattern {
+    /// Encodes a pattern from strictly ascending set-bit indices.
+    ///
+    /// # Panics
+    /// If the indices are not strictly ascending.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut bytes = Vec::new();
+        let mut count: u32 = 0;
+        let mut cursor = 0usize; // one past the end of the previous run
+        let mut run: Option<(usize, usize)> = None; // (start, len)
+        for i in iter {
+            count += 1;
+            match run {
+                None => run = Some((i, 1)),
+                Some((s, len)) if i == s + len => run = Some((s, len + 1)),
+                Some((s, len)) => {
+                    write_varint(&mut bytes, s - cursor);
+                    write_varint(&mut bytes, len - 1);
+                    cursor = s + len;
+                    assert!(i >= cursor, "indices must be strictly ascending");
+                    run = Some((i, 1));
+                }
+            }
+        }
+        if let Some((s, len)) = run {
+            write_varint(&mut bytes, s - cursor);
+            write_varint(&mut bytes, len - 1);
+        }
+        CompressedPattern { bytes, count }
+    }
+
+    /// Encodes a [`DynPattern`].
+    pub fn from_dyn(p: &DynPattern) -> Self {
+        Self::from_indices(p.iter_ones())
+    }
+
+    /// Encodes any inline [`BitPattern`].
+    pub fn from_pattern<P: BitPattern>(p: &P) -> Self {
+        Self::from_indices(p.ones())
+    }
+
+    /// Decodes into a [`DynPattern`].
+    pub fn to_dyn(&self) -> DynPattern {
+        let mut p = DynPattern::default();
+        for i in self.iter_ones() {
+            p.set(i);
+        }
+        p
+    }
+
+    /// Decodes into an inline [`BitPattern`]. The caller must know the
+    /// target width is wide enough; out-of-range bits panic in debug builds
+    /// exactly as a direct `set` would.
+    pub fn to_pattern<P: BitPattern>(&self) -> P {
+        let mut p = P::empty();
+        for i in self.iter_ones() {
+            p.set(i);
+        }
+        p
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the pattern has no set bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tests bit `i` (sequential scan — intended for tests and spot checks,
+    /// not hot loops).
+    pub fn get(&self, i: usize) -> bool {
+        self.iter_ones().take_while(|&b| b <= i).any(|b| b == i)
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones { bytes: &self.bytes, pos: 0, cursor: 0, run_left: 0 }
+    }
+
+    /// Whether every set bit of `self` is set in `rhs` (merge walk over the
+    /// two decoded streams; no decompression buffer).
+    pub fn is_subset_of(&self, rhs: &Self) -> bool {
+        if self.count > rhs.count {
+            return false;
+        }
+        let mut b = rhs.iter_ones();
+        let mut next_b = b.next();
+        'outer: for a in self.iter_ones() {
+            while let Some(v) = next_b {
+                match v.cmp(&a) {
+                    std::cmp::Ordering::Less => next_b = b.next(),
+                    std::cmp::Ordering::Equal => {
+                        next_b = b.next();
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Set union (merge walk; result is re-encoded canonically).
+    pub fn union(&self, rhs: &Self) -> Self {
+        let mut a = self.iter_ones().peekable();
+        let mut b = rhs.iter_ones().peekable();
+        Self::from_indices(std::iter::from_fn(move || match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) if x == y => {
+                a.next();
+                b.next()
+            }
+            (Some(&x), Some(&y)) if x < y => a.next(),
+            (Some(_), Some(_)) => b.next(),
+            (Some(_), None) => a.next(),
+            (None, _) => b.next(),
+        }))
+    }
+
+    /// Set intersection (merge walk; result is re-encoded canonically).
+    pub fn intersect(&self, rhs: &Self) -> Self {
+        let mut b = rhs.iter_ones().peekable();
+        Self::from_indices(self.iter_ones().filter(move |&x| {
+            while b.peek().is_some_and(|&y| y < x) {
+                b.next();
+            }
+            b.peek() == Some(&x)
+        }))
+    }
+
+    /// The canonical encoded byte stream (for stripe serialization).
+    #[inline]
+    pub fn encoded(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Length of the encoded byte stream.
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Heap footprint of this pattern in bytes.
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.capacity() + std::mem::size_of::<Self>()
+    }
+
+    /// Rebuilds a pattern from a previously [`encoded`](Self::encoded) byte
+    /// stream, validating that the stream decodes cleanly to exactly
+    /// `count` strictly ascending bits. Returns `None` on any malformation
+    /// (truncated varint, trailing garbage, count mismatch).
+    pub fn from_encoded(bytes: Vec<u8>, count: u32) -> Option<Self> {
+        let mut pos = 0usize;
+        let mut decoded: u32 = 0;
+        while pos < bytes.len() {
+            let _gap = read_varint(&bytes, &mut pos)?;
+            let run_m1 = read_varint(&bytes, &mut pos)?;
+            decoded = decoded.checked_add(u32::try_from(run_m1).ok()?.checked_add(1)?)?;
+        }
+        (decoded == count).then_some(CompressedPattern { bytes, count })
+    }
+}
+
+impl std::fmt::Debug for CompressedPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CompressedPattern{{")?;
+        let mut first = true;
+        for i in self.iter_ones() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Ascending iterator over the set bits of a [`CompressedPattern`].
+pub struct Ones<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    cursor: usize,
+    run_left: usize,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.run_left == 0 {
+            if self.pos >= self.bytes.len() {
+                return None;
+            }
+            // Encoders guarantee well-formed streams; a validating decode
+            // for untrusted bytes lives in `from_encoded`.
+            let gap = read_varint(self.bytes, &mut self.pos)?;
+            let run_m1 = read_varint(self.bytes, &mut self.pos)?;
+            self.cursor += gap;
+            self.run_left = run_m1 + 1;
+        }
+        let i = self.cursor;
+        self.cursor += 1;
+        self.run_left -= 1;
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dynp(bits: &[usize]) -> DynPattern {
+        let mut p = DynPattern::default();
+        for &b in bits {
+            p.set(b);
+        }
+        p
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        for bits in [&[][..], &[0], &[5], &[0, 1, 2], &[3, 7, 8, 9, 200], &[63, 64, 65, 1000]] {
+            let c = CompressedPattern::from_indices(bits.iter().copied());
+            assert_eq!(c.iter_ones().collect::<Vec<_>>(), bits, "bits {bits:?}");
+            assert_eq!(c.count() as usize, bits.len());
+            assert_eq!(c.to_dyn(), dynp(bits));
+        }
+    }
+
+    #[test]
+    fn runs_compress_well() {
+        // 64 consecutive bits: one (gap, run) token, ≤ 3 bytes.
+        let c = CompressedPattern::from_indices(100..164);
+        assert_eq!(c.count(), 64);
+        assert!(c.encoded_len() <= 3, "got {} bytes", c.encoded_len());
+    }
+
+    #[test]
+    fn canonical_equality_and_subset() {
+        let a = CompressedPattern::from_indices([1, 2, 3, 64]);
+        let b = CompressedPattern::from_dyn(&dynp(&[1, 2, 3, 64]));
+        assert_eq!(a, b);
+        let sup = CompressedPattern::from_indices([0, 1, 2, 3, 64, 90]);
+        assert!(a.is_subset_of(&sup));
+        assert!(!sup.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(CompressedPattern::default().is_subset_of(&a));
+    }
+
+    #[test]
+    fn union_intersect_match_dyn() {
+        let xs = [1usize, 5, 6, 7, 130];
+        let ys = [0usize, 6, 130, 131];
+        let a = CompressedPattern::from_indices(xs);
+        let b = CompressedPattern::from_indices(ys);
+        assert_eq!(a.union(&b).to_dyn(), dynp(&xs).union(&dynp(&ys)));
+        assert_eq!(a.intersect(&b).to_dyn(), dynp(&xs).intersect(&dynp(&ys)));
+    }
+
+    #[test]
+    fn from_encoded_validates() {
+        let c = CompressedPattern::from_indices([2, 3, 9]);
+        let ok = CompressedPattern::from_encoded(c.encoded().to_vec(), c.count());
+        assert_eq!(ok.as_ref(), Some(&c));
+        // Wrong count is rejected.
+        assert!(CompressedPattern::from_encoded(c.encoded().to_vec(), 7).is_none());
+        // Truncated stream is rejected.
+        assert!(CompressedPattern::from_encoded(vec![0x80], 1).is_none());
+    }
+
+    #[test]
+    fn inline_pattern_round_trip() {
+        let p = crate::Pattern2::from_indices([0, 63, 64, 127]);
+        let c = CompressedPattern::from_pattern(&p);
+        assert_eq!(c.to_pattern::<crate::Pattern2>(), p);
+    }
+}

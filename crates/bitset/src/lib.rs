@@ -17,9 +17,11 @@
 use std::fmt;
 use std::hash::Hash;
 
+pub mod compressed;
 pub mod kernel;
 pub mod tree;
 
+pub use compressed::CompressedPattern;
 pub use kernel::{detect_tier, KernelTier};
 pub use tree::{PatternTree, TreePattern};
 

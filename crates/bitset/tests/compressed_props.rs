@@ -1,0 +1,83 @@
+//! Property tests for delta/RLE-compressed patterns: encode/decode is the
+//! identity, and subset/union/intersect semantics match `DynPattern`.
+
+use efm_bitset::{CompressedPattern, DynPattern};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn bit_sets(max: usize) -> impl Strategy<Value = BTreeSet<usize>> {
+    proptest::collection::vec(0..max, 0..60).prop_map(|v| v.into_iter().collect())
+}
+
+fn dynp(bits: &BTreeSet<usize>) -> DynPattern {
+    let mut p = DynPattern::default();
+    for &b in bits {
+        p.set(b);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn encode_decode_is_identity(bits in bit_sets(2000)) {
+        let c = CompressedPattern::from_indices(bits.iter().copied());
+        prop_assert_eq!(c.count() as usize, bits.len());
+        prop_assert_eq!(
+            c.iter_ones().collect::<Vec<_>>(),
+            bits.iter().copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(c.to_dyn(), dynp(&bits));
+        // Round-trip through DynPattern is canonical: byte-identical.
+        prop_assert_eq!(&CompressedPattern::from_dyn(&c.to_dyn()), &c);
+        // Round-trip through the raw encoded stream validates and agrees.
+        let back = CompressedPattern::from_encoded(c.encoded().to_vec(), c.count());
+        prop_assert_eq!(back, Some(c));
+    }
+
+    #[test]
+    fn subset_matches_dyn(a in bit_sets(512), b in bit_sets(512)) {
+        let (ca, cb) = (
+            CompressedPattern::from_indices(a.iter().copied()),
+            CompressedPattern::from_indices(b.iter().copied()),
+        );
+        prop_assert_eq!(ca.is_subset_of(&cb), dynp(&a).is_subset_of(&dynp(&b)));
+        prop_assert_eq!(cb.is_subset_of(&ca), dynp(&b).is_subset_of(&dynp(&a)));
+        prop_assert!(ca.is_subset_of(&ca));
+    }
+
+    #[test]
+    fn union_intersect_match_dyn(a in bit_sets(512), b in bit_sets(512)) {
+        let (ca, cb) = (
+            CompressedPattern::from_indices(a.iter().copied()),
+            CompressedPattern::from_indices(b.iter().copied()),
+        );
+        // Compare as index lists: DynPattern equality is sensitive to
+        // trailing zero words, which intersect/union may or may not keep.
+        prop_assert_eq!(
+            ca.union(&cb).iter_ones().collect::<Vec<_>>(),
+            dynp(&a).union(&dynp(&b)).iter_ones().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            ca.intersect(&cb).iter_ones().collect::<Vec<_>>(),
+            dynp(&a).intersect(&dynp(&b)).iter_ones().collect::<Vec<_>>()
+        );
+        // Union is symmetric and canonical.
+        prop_assert_eq!(ca.union(&cb), cb.union(&ca));
+    }
+
+    #[test]
+    fn get_matches_membership(bits in bit_sets(256), probe in 0usize..300) {
+        let c = CompressedPattern::from_indices(bits.iter().copied());
+        prop_assert_eq!(c.get(probe), bits.contains(&probe));
+    }
+
+    #[test]
+    fn dense_runs_beat_bitmap(start in 0usize..256, len in 1usize..128) {
+        // A single run encodes in O(varint) bytes regardless of length.
+        let c = CompressedPattern::from_indices(start..start + len);
+        prop_assert!(c.encoded_len() <= 4);
+        prop_assert_eq!(c.count() as usize, len);
+    }
+}

@@ -625,6 +625,15 @@ impl<'a> NodeCtx<'a> {
         *self.stats.work.lock().entry(phase).or_default() += units;
     }
 
+    /// Adds already-measured elapsed time to a phase counter — for callers
+    /// whose phases interleave at sub-timer granularity (the streaming
+    /// generation pipeline runs all its phases per batch and accumulates
+    /// durations itself, where one [`NodeCtx::timed`] guard per phase
+    /// would misattribute the interleaving).
+    pub fn add_time(&self, phase: &'static str, elapsed: Duration) {
+        *self.stats.times.lock().entry(phase).or_default() += elapsed;
+    }
+
     /// The secondary error reported after another rank's abort.
     fn aborted(&self) -> ClusterError {
         self.abort.aborted_error()
@@ -876,6 +885,48 @@ impl<'a> NodeCtx<'a> {
         }
         drop(wait);
         Ok(out.into_iter().map(Option::unwrap).collect())
+    }
+
+    /// Streaming all-to-all collective: every rank contributes `local` and
+    /// folds the contributions of all ranks **in rank order** with `fold`,
+    /// holding at most the accumulator plus one in-flight contribution —
+    /// never the full `Vec` of all stripes that [`NodeCtx::allgather`]
+    /// materializes. With an order-insensitive `fold` (a sorted merge
+    /// keeping the lower rank's copy on equal keys, say) the result is
+    /// identical to folding the allgather vector left to right.
+    ///
+    /// The wire pattern (send to all peers, then receive per source in
+    /// rank order) is exactly [`NodeCtx::allgather`]'s, so the two are
+    /// interchangeable within a run. Every rank must call collectives in
+    /// the same order.
+    pub fn allgather_fold<M, A>(
+        &self,
+        local: M,
+        init: A,
+        mut fold: impl FnMut(A, usize, M) -> Result<A, ClusterError>,
+    ) -> Result<A, ClusterError>
+    where
+        M: Clone + Send + 'static,
+    {
+        let _span = efm_obs::span("allgather");
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send(dst, local.clone())?;
+            }
+        }
+        // Receive in rank order, folding each contribution as it lands and
+        // releasing it before the next is pulled. The wait span covers the
+        // straggler synchronization exactly like the materialized variant.
+        let wait = efm_obs::span("barrier wait");
+        let mut local = Some(local);
+        let mut acc = init;
+        for src in 0..self.size {
+            let contribution =
+                if src == self.rank { local.take().unwrap() } else { self.recv::<M>(src)? };
+            acc = fold(acc, src, contribution)?;
+        }
+        drop(wait);
+        Ok(acc)
     }
 
     /// Reduction collective: combines every rank's `local` with `op` (the

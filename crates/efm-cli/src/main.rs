@@ -18,6 +18,12 @@
 //!   --ordering <paper|nnz|asis|random> row ordering      [default: paper]
 //!   --test <rank|adjacency>         elementarity test    [default: rank]
 //!   --float                         f64 arithmetic instead of exact
+//!   --no-streaming                  materialize-then-filter candidate generation
+//!                                   (legacy; transient buffer breaches memory caps)
+//!   --streaming-batch <PAIRS>       pair-batch size of the streaming pipeline
+//!                                   [default: 65536]
+//!   --spill-budget <BYTES>          compress finished divide-and-conquer subsets
+//!                                   and spill them to disk beyond BYTES resident
 //!   --max-modes <N>                 abort beyond N intermediate modes
 //!   --print-modes <N>               print up to N modes  [default: 20]
 //!   --coefficients                  recover numeric coefficients
@@ -73,6 +79,9 @@ struct Args {
     test: String,
     kernel: String,
     float: bool,
+    no_streaming: bool,
+    streaming_batch: Option<u64>,
+    spill_budget: Option<u64>,
     max_modes: Option<usize>,
     print_modes: usize,
     coefficients: bool,
@@ -103,7 +112,9 @@ fn usage() -> ! {
          \x20                 [--dnc-schedule serial|static|steal] [--dnc-workers N]\n\
          \x20                 [--ordering paper|nnz|asis|random] [--test rank|adjacency]\n\
          \x20                 [--kernel auto|scalar|simd]\n\
-         \x20                 [--float] [--max-modes N] [--print-modes N] [--coefficients]\n\
+         \x20                 [--float] [--no-streaming] [--streaming-batch PAIRS]\n\
+         \x20                 [--spill-budget BYTES]\n\
+         \x20                 [--max-modes N] [--print-modes N] [--coefficients]\n\
          \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20                 [--auto-escalate K] [--supervise] [--max-restarts N]\n\
          \x20                 [--fault-plan SPEC] [--trace-out FILE] [--metrics-out FILE]\n\
@@ -126,6 +137,9 @@ fn parse_args() -> Args {
         test: "rank".into(),
         kernel: "auto".into(),
         float: false,
+        no_streaming: false,
+        streaming_batch: None,
+        spill_budget: None,
         max_modes: None,
         print_modes: 20,
         coefficients: false,
@@ -169,6 +183,13 @@ fn parse_args() -> Args {
             "--test" => args.test = val(&mut it),
             "--kernel" => args.kernel = val(&mut it),
             "--float" => args.float = true,
+            "--no-streaming" => args.no_streaming = true,
+            "--streaming-batch" => {
+                args.streaming_batch = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--spill-budget" => {
+                args.spill_budget = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
             "--max-modes" => {
                 args.max_modes = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
             }
@@ -253,8 +274,18 @@ fn run<S: efm_core::EfmScalar>(
         eprintln!("error: {e}");
         usage();
     });
-    let opts =
-        EfmOptions { ordering, test, kernel, max_modes: args.max_modes, ..Default::default() };
+    let mut opts = EfmOptions {
+        ordering,
+        test,
+        kernel,
+        max_modes: args.max_modes,
+        streaming: !args.no_streaming,
+        spill_budget: args.spill_budget,
+        ..Default::default()
+    };
+    if let Some(batch) = args.streaming_batch {
+        opts.streaming_batch = batch.max(1);
+    }
     let dnc_schedule = DncSchedule::parse(&args.dnc_schedule).unwrap_or_else(|| {
         eprintln!("error: bad --dnc-schedule {} (want serial|static|steal)", args.dnc_schedule);
         usage();
@@ -522,6 +553,14 @@ fn main() -> ExitCode {
             outcome.stats.comm_messages,
             outcome.stats.comm_bytes
         );
+        if outcome.stats.stream_batches > 0 || outcome.stats.spill_bytes > 0 {
+            println!(
+                "streaming: {} batches   peak transient: {} B   spilled stripes: {} B",
+                outcome.stats.stream_batches,
+                outcome.stats.peak_transient_bytes,
+                outcome.stats.spill_bytes
+            );
+        }
     }
     let ph = &outcome.stats.phases;
     println!(

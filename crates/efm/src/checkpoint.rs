@@ -49,8 +49,10 @@ const MAGIC: &[u8; 4] = b"EFCK";
 /// recovery log), version-2 files (no counters, no timestamps — they read
 /// back as zero), version-3 files (no kind word, implicitly engine
 /// snapshots) and version-4 files (no kernel/arena counters — they read
-/// back as zero / empty tier) remain readable.
-const VERSION: u32 = 5;
+/// back as zero / empty tier) remain readable. Version 6 appends the
+/// streaming-generation counters (`stream_batches`, `spill_bytes`);
+/// version-5 files read them back as zero.
+const VERSION: u32 = 6;
 
 /// Record kind (v4+): an engine snapshot at an iteration boundary.
 const KIND_ENGINE: u32 = 0;
@@ -407,6 +409,19 @@ impl EngineCheckpoint {
     pub(crate) fn write_to_v3<W: Write>(&self, w: W) -> io::Result<()> {
         let mut cw = CrcWriter::new(w);
         self.write_body(&mut cw, 3)?;
+        let (len, crc) = (cw.len, cw.crc.finish());
+        let mut w = cw.into_inner();
+        put_u64(&mut w, len)?;
+        put_u32(&mut w, crc)?;
+        Ok(())
+    }
+
+    /// Writes a version-5 file (no streaming counters) —
+    /// compatibility-test helper.
+    #[cfg(test)]
+    pub(crate) fn write_to_v5<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut cw = CrcWriter::new(w);
+        self.write_body(&mut cw, 5)?;
         let (len, crc) = (cw.len, cw.crc.finish());
         let mut w = cw.into_inner();
         put_u64(&mut w, len)?;
@@ -1147,6 +1162,10 @@ fn put_stats(w: &mut impl Write, s: &RunStats, version: u32) -> io::Result<()> {
         put_u64(w, s.kernel_pruned)?;
         put_u64(w, s.arena_peak_bytes)?;
     }
+    if version >= 6 {
+        put_u64(w, s.stream_batches)?;
+        put_u64(w, s.spill_bytes)?;
+    }
     Ok(())
 }
 
@@ -1222,6 +1241,10 @@ fn get_stats(r: &mut impl Read, version: u32) -> io::Result<RunStats> {
         s.kernel_blocks = get_u64(r)?;
         s.kernel_pruned = get_u64(r)?;
         s.arena_peak_bytes = get_u64(r)?;
+    }
+    if version >= 6 {
+        s.stream_batches = get_u64(r)?;
+        s.spill_bytes = get_u64(r)?;
     }
     Ok(s)
 }
@@ -1468,6 +1491,47 @@ mod tests {
         assert_eq!(back, ck);
         assert_eq!(back.stats.tree_pruned, 11);
         assert_eq!(back.stats.peak_transient_bytes, 66);
+    }
+
+    #[test]
+    fn v6_streaming_counters_roundtrip() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        ck.stats.stream_batches = 19;
+        ck.stats.spill_bytes = 4096;
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.stats.stream_batches, 19);
+        assert_eq!(back.stats.spill_bytes, 4096);
+    }
+
+    #[test]
+    fn v5_files_read_back_with_zeroed_v6_fields() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        // These fields don't exist in a v5 file and must come back zeroed.
+        ck.stats.stream_batches = 7;
+        ck.stats.spill_bytes = 512;
+        ck.stats.kernel_blocks = 3;
+        let mut buf = Vec::new();
+        ck.write_to_v5(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        // v5 fields survive; v6 fields are zeroed.
+        assert_eq!(back.stats.kernel_blocks, 3);
+        assert_eq!(back.stats.stream_batches, 0);
+        assert_eq!(back.stats.spill_bytes, 0);
+        let mut want = ck.clone();
+        want.stats.stream_batches = 0;
+        want.stats.spill_bytes = 0;
+        assert_eq!(back, want);
     }
 
     #[test]

@@ -74,7 +74,7 @@ fn run_resumable<P: BitPattern, S: EfmScalar>(
     opts: &EfmOptions,
     resume: Option<&EngineCheckpoint>,
     ckpt: Option<&CheckpointConfig>,
-    mut step: impl FnMut(&mut Engine<P, S>),
+    mut step: impl FnMut(&mut Engine<P, S>) -> Result<(), EfmError>,
 ) -> Result<SupportsAndStats, EfmError> {
     let t0 = Instant::now();
     let fingerprint = problem_fingerprint(problem);
@@ -86,7 +86,7 @@ fn run_resumable<P: BitPattern, S: EfmScalar>(
         check_limit(&eng, opts)?;
         {
             let _span = efm_obs::span("iteration");
-            step(&mut eng);
+            step(&mut eng)?;
         }
         note_progress(&eng);
         if let Some(c) = ckpt {
@@ -123,12 +123,7 @@ pub fn serial_supports<P: BitPattern, S: EfmScalar>(
     problem: &EfmProblem<S>,
     opts: &EfmOptions,
 ) -> Result<SupportsAndStats, EfmError> {
-    // One arena for the whole run: reset (not freed) each iteration, so
-    // steady-state iterations perform no candidate-buffer allocation.
-    let mut arena = crate::engine::GenArena::new();
-    run_resumable::<P, S>(problem, opts, None, None, move |eng| {
-        eng.step_with(&mut arena);
-    })
+    serial_supports_resumable::<P, S>(problem, opts, None, None)
 }
 
 /// Serial Algorithm 1 with optional resume-from-checkpoint and optional
@@ -139,9 +134,18 @@ pub fn serial_supports_resumable<P: BitPattern, S: EfmScalar>(
     resume: Option<&EngineCheckpoint>,
     ckpt: Option<&CheckpointConfig>,
 ) -> Result<SupportsAndStats, EfmError> {
+    // One arena for the whole run: reset (not freed) each iteration, so
+    // steady-state iterations perform no candidate-buffer allocation.
     let mut arena = crate::engine::GenArena::new();
+    let streaming = opts.streaming_enabled();
+    let batch = opts.streaming_batch;
     run_resumable::<P, S>(problem, opts, resume, ckpt, move |eng| {
-        eng.step_with(&mut arena);
+        if streaming {
+            eng.step_streaming(&mut arena, batch, &mut |_| Ok(())).map(|_| ())
+        } else {
+            eng.step_with(&mut arena);
+            Ok(())
+        }
     })
 }
 
@@ -179,16 +183,25 @@ pub fn adaptive_supports<P: BitPattern, S: EfmScalar>(
 ) -> Result<SupportsAndStats, EfmError> {
     let mut grown = false;
     let mut arena = crate::engine::GenArena::new();
+    let streaming = opts.streaming_enabled();
+    let batch = opts.streaming_batch;
     run_resumable::<P, S>(problem, opts, None, None, move |eng| {
         if !grown && grow() {
             grown = true;
             efm_obs::instant("dnc grow to pool");
             efm_obs::counter_add("dnc resplits", 1);
         }
-        if grown {
-            rayon_step::<P, S>(eng);
-        } else {
-            eng.step_with(&mut arena);
+        match (grown, streaming) {
+            (true, true) => rayon_step_streaming::<P, S>(eng, batch),
+            (true, false) => {
+                rayon_step::<P, S>(eng);
+                Ok(())
+            }
+            (false, true) => eng.step_streaming(&mut arena, batch, &mut |_| Ok(())).map(|_| ()),
+            (false, false) => {
+                eng.step_with(&mut arena);
+                Ok(())
+            }
         }
     })
 }
@@ -199,7 +212,7 @@ pub fn rayon_supports<P: BitPattern, S: EfmScalar>(
     problem: &EfmProblem<S>,
     opts: &EfmOptions,
 ) -> Result<SupportsAndStats, EfmError> {
-    run_resumable::<P, S>(problem, opts, None, None, rayon_step::<P, S>)
+    rayon_supports_resumable::<P, S>(problem, opts, None, None)
 }
 
 /// Shared-memory parallel variant with optional resume-from-checkpoint and
@@ -210,7 +223,16 @@ pub fn rayon_supports_resumable<P: BitPattern, S: EfmScalar>(
     resume: Option<&EngineCheckpoint>,
     ckpt: Option<&CheckpointConfig>,
 ) -> Result<SupportsAndStats, EfmError> {
-    run_resumable::<P, S>(problem, opts, resume, ckpt, rayon_step::<P, S>)
+    let streaming = opts.streaming_enabled();
+    let batch = opts.streaming_batch;
+    run_resumable::<P, S>(problem, opts, resume, ckpt, move |eng| {
+        if streaming {
+            rayon_step_streaming::<P, S>(eng, batch)
+        } else {
+            rayon_step::<P, S>(eng);
+            Ok(())
+        }
+    })
 }
 
 /// Block size for parallel per-candidate work: small enough that uneven
@@ -405,4 +427,169 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     eng.note_kernel_counters(blocks, rec.pairs - rec.numeric_pass, arena_bytes);
     eng.note_iteration_counters(&rec);
     eng.stats.iterations.push(rec);
+}
+
+/// Per-chunk result of the parallel streaming sweep: surviving candidate
+/// set, its stream stats, and the chunk's transient high-water mark.
+type StreamChunk<P> = (CandidateSet<P>, crate::engine::StreamStats, u64);
+
+/// One parallel iteration through the bounded streaming pipeline
+/// ([`Engine::stream_range`]): each chunk of the pair grid flows batch by
+/// batch through generate → dedup → duplicate drop → rank test on its
+/// worker, so no worker ever materializes its full chunk. The per-worker
+/// transient peaks are *summed* into the charged footprint (chunks run
+/// concurrently), and survivor runs merge in parallel pairwise rounds
+/// exactly like [`rayon_step`] — the surviving set is identical.
+pub fn rayon_step_streaming<P: BitPattern, S: EfmScalar>(
+    eng: &mut Engine<P, S>,
+    batch_pairs: u64,
+) -> Result<(), EfmError> {
+    use crate::engine::StreamStats;
+    let mut rec = crate::types::IterationStats {
+        position: eng.cursor,
+        reaction: eng.name_at[eng.cursor].clone(),
+        reversible: eng.reversible_at[eng.cursor],
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let part = eng.partition();
+    rec.pos = part.pos.len();
+    rec.neg = part.neg.len();
+    rec.zero = part.zero.len();
+    rec.pairs = part.pairs();
+    let modes_bytes = eng.modes.approx_bytes();
+    // One shared tree over the zero-row mode supports, queried from all
+    // workers concurrently by the per-batch duplicate drop.
+    let zero_tree =
+        (eng.pattern_trees && !part.zero.is_empty()).then(|| eng.zero_support_tree(&part));
+
+    let pairs = part.pairs();
+    let nchunks = (rayon::current_num_threads() * 4).max(1) as u64;
+    let chunk = pairs.div_ceil(nchunks).max(1);
+    let results: Vec<Result<StreamChunk<P>, EfmError>> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(pairs);
+            let mut set = CandidateSet::default();
+            let mut arena = crate::engine::GenArena::new();
+            let ss = if start < end {
+                eng.stream_range(
+                    &part,
+                    start,
+                    end,
+                    batch_pairs,
+                    zero_tree.as_ref(),
+                    true,
+                    &mut set,
+                    &mut arena,
+                    &mut |_| Ok(()),
+                )?
+            } else {
+                StreamStats::default()
+            };
+            Ok((set, ss, arena.approx_bytes()))
+        })
+        .collect();
+    let mut runs = Vec::with_capacity(results.len());
+    let mut ss_tot = StreamStats::default();
+    let mut transient_total = 0u64;
+    let mut arena_bytes = 0u64;
+    for r in results {
+        let (set, ss, ab) = r?;
+        ss_tot.batches += ss.batches;
+        ss_tot.prefiltered += ss.prefiltered;
+        ss_tot.tested += ss.tested;
+        transient_total += ss.transient_peak;
+        ss_tot.t_generate += ss.t_generate;
+        ss_tot.t_dedup += ss.t_dedup;
+        ss_tot.t_tree += ss.t_tree;
+        ss_tot.t_test += ss.t_test;
+        arena_bytes = arena_bytes.max(ab);
+        runs.push(set);
+    }
+    rec.prefiltered = ss_tot.prefiltered;
+    rec.deduped = ss_tot.tested;
+    let t1 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::DEDUP);
+    let mut set = merge_runs_parallel(runs);
+    rec.numeric_pass = set.numeric_pass;
+    let blocks = set.blocks;
+    drop(sp);
+    let t2 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::RANK);
+    match eng.test {
+        // Rank verdicts are batch-local; survivors are already filtered.
+        CandidateTest::Rank => rec.accepted = set.len() as u64,
+        // Adjacency is cross-candidate: run it on the merged set, with the
+        // same shared trees as the materialized path.
+        CandidateTest::Adjacency if eng.pattern_trees => {
+            let n = set.len();
+            let zero_tree = zero_tree.unwrap_or_default();
+            let block = rank_block_size(n);
+            let sup_blocks: Vec<Vec<P>> = (0..n.div_ceil(block))
+                .into_par_iter()
+                .map(|b| {
+                    (b * block..((b + 1) * block).min(n))
+                        .map(|i| eng.candidate_support(&set, i))
+                        .collect()
+                })
+                .collect();
+            let cand_sups: Vec<P> = sup_blocks.into_iter().flatten().collect();
+            let cand_tree = efm_bitset::PatternTree::from_patterns(cand_sups.clone());
+            let keep = par_blocks(n, |range| {
+                eng.adjacency_keep_range(&zero_tree, &cand_tree, &cand_sups, range)
+            });
+            rec.accepted = keep.len() as u64;
+            set.gather(&keep);
+        }
+        CandidateTest::Adjacency => {
+            rec.accepted = eng.elementarity_filter(&mut set, &part);
+        }
+    }
+    drop(sp);
+    let t3 = Instant::now();
+    let sp = efm_obs::span(crate::cluster_algo::phases::MERGE);
+    let buf = eng.materialize(&set);
+    eng.advance(&part, buf);
+    drop(sp);
+    let t4 = Instant::now();
+    rec.modes_after = eng.modes.len();
+    // The streaming phases interleave inside the parallel section, so the
+    // wall time of that section is attributed proportionally to the summed
+    // per-worker phase durations.
+    let wall = t1 - t0;
+    let sums = ss_tot.t_generate + ss_tot.t_dedup + ss_tot.t_tree + ss_tot.t_test;
+    let scale = |d: std::time::Duration| {
+        if sums.is_zero() {
+            std::time::Duration::ZERO
+        } else {
+            wall.mul_f64(d.as_secs_f64() / sums.as_secs_f64())
+        }
+    };
+    rec.t_generate = scale(ss_tot.t_generate);
+    rec.t_merge = scale(ss_tot.t_dedup) + (t2 - t1);
+    rec.t_tree_filter = scale(ss_tot.t_tree);
+    rec.t_dedup = rec.t_merge + rec.t_tree_filter;
+    rec.t_test = scale(ss_tot.t_test) + (t3 - t2) + (t4 - t3);
+    eng.stats.phases.generate += rec.t_generate;
+    eng.stats.phases.dedup += rec.t_merge;
+    eng.stats.phases.tree_filter += rec.t_tree_filter;
+    eng.stats.phases.rank_test += scale(ss_tot.t_test) + (t3 - t2);
+    eng.stats.candidates_generated += rec.pairs;
+    eng.stats.tree_pruned += rec.pairs - rec.prefiltered;
+    eng.stats.dedup_hits += ss_tot.prefiltered - ss_tot.tested;
+    eng.stats.rank_tests += ss_tot.tested;
+    eng.stats.stream_batches += ss_tot.batches;
+    eng.stats.peak_transient_bytes = eng.stats.peak_transient_bytes.max(transient_total);
+    let resident = eng.modes.approx_bytes();
+    eng.stats.peak_bytes = eng.stats.peak_bytes.max(modes_bytes + transient_total).max(resident);
+    efm_obs::counter_add("dedup hits", ss_tot.prefiltered - ss_tot.tested);
+    if efm_obs::enabled() {
+        efm_obs::gauge_max("peak transient bytes", transient_total);
+    }
+    eng.note_kernel_counters(blocks, rec.pairs - rec.numeric_pass, arena_bytes);
+    eng.note_iteration_counters(&rec);
+    eng.stats.iterations.push(rec);
+    Ok(())
 }

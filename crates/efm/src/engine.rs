@@ -520,6 +520,36 @@ impl<P, S> GenArena<P, S> {
     }
 }
 
+/// Counters and phase timings of one bounded streaming generation pass
+/// ([`Engine::stream_range`]).
+///
+/// The pass interleaves all pipeline phases per batch, so timings are
+/// accumulated here and folded into the driver's phase breakdown afterwards
+/// (an RAII phase timer per batch would misattribute the interleaving).
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Bounded batches processed.
+    pub batches: u64,
+    /// Pairs that survived the summary rejection (raw candidates).
+    pub prefiltered: u64,
+    /// Candidates reaching the elementarity test after per-batch dedup and
+    /// the duplicate-of-existing drop (cross-batch duplicates count once
+    /// per batch they appear in).
+    pub tested: u64,
+    /// High-water transient footprint in bytes: accumulated survivors +
+    /// in-flight batch + generation arena, maximised over batches. This is
+    /// exactly what the pass reports to its `charge` hook.
+    pub transient_peak: u64,
+    /// Time spent generating candidates.
+    pub t_generate: std::time::Duration,
+    /// Time spent in per-batch sort/dedup.
+    pub t_dedup: std::time::Duration,
+    /// Time spent in the duplicate-of-existing drop.
+    pub t_tree: std::time::Duration,
+    /// Time spent in the per-batch elementarity test.
+    pub t_test: std::time::Duration,
+}
+
 /// The engine: problem data plus evolving mode matrix.
 pub struct Engine<P: BitPattern, S: EfmScalar> {
     /// Stoichiometry used by rank tests.
@@ -860,6 +890,205 @@ impl<P: BitPattern, S: EfmScalar> Engine<P, S> {
             cs = ce;
         }
         survivors
+    }
+
+    /// [`Engine::drop_duplicates_of_existing`] against a prebuilt support
+    /// set — the hash-set fallback the streaming pass builds once per call
+    /// instead of once per batch.
+    fn drop_duplicates_with_set(
+        &self,
+        buf: &mut CandidateSet<P>,
+        zero_sups: &std::collections::HashSet<P>,
+    ) -> u64 {
+        if buf.is_empty() || zero_sups.is_empty() {
+            return 0;
+        }
+        let keep: Vec<u32> = (0..buf.len())
+            .filter(|&i| !zero_sups.contains(&self.candidate_support(buf, i)))
+            .map(|i| i as u32)
+            .collect();
+        let dropped = buf.len() as u64 - keep.len() as u64;
+        if dropped > 0 {
+            buf.gather(&keep);
+        }
+        dropped
+    }
+
+    /// Streaming counterpart of [`Engine::generate_range`]: the pair range
+    /// is processed in bounded batches of at most `batch_pairs` pairs, and
+    /// each batch flows through sort/dedup → duplicate-of-existing drop →
+    /// (for the rank test) the per-candidate elementarity test *before* the
+    /// next batch is generated. Only survivors accumulate in `out`, so the
+    /// transient footprint is one batch plus the accumulated survivor set
+    /// — not the full materialized pair range.
+    ///
+    /// `charge` is invoked once per batch with the current transient
+    /// footprint in bytes (survivors + in-flight batch + arena); a driver
+    /// charges it against its memory meter and returns an error to abort
+    /// generation with a typed failure instead of OOM-ing.
+    ///
+    /// The surviving set is identical to the materialize-then-filter path:
+    /// the rank test is a per-candidate function of the support columns, so
+    /// batch-local verdicts agree with global ones, and cross-batch
+    /// duplicates receive equal verdicts and collapse in the sorted merge
+    /// (which keeps the first copy, exactly like the global sort+dedup).
+    /// The cross-candidate adjacency test cannot run batch-locally, so with
+    /// `filter` set it is deferred to the caller on the merged set.
+    #[allow(clippy::too_many_arguments)] // driver-facing orchestration point: range + scratch + accounting hook
+    pub fn stream_range(
+        &self,
+        part: &SignPartition<P>,
+        start: u64,
+        end: u64,
+        batch_pairs: u64,
+        zero_tree: Option<&PatternTree<P>>,
+        filter: bool,
+        out: &mut CandidateSet<P>,
+        arena: &mut GenArena<P, S>,
+        charge: &mut dyn FnMut(u64) -> Result<(), EfmError>,
+    ) -> Result<StreamStats, EfmError> {
+        use std::time::Instant;
+        let mut ss = StreamStats::default();
+        if start >= end || part.neg.is_empty() {
+            return Ok(ss);
+        }
+        let batch_pairs = batch_pairs.max(1);
+        // Hash-set fallback of the duplicate-of-existing drop, built once
+        // per pass (the tree variant receives its tree from the caller).
+        let zero_sups: Option<std::collections::HashSet<P>> = (zero_tree.is_none()
+            && !part.zero.is_empty())
+        .then(|| part.zero.iter().map(|&i| self.mode_support(i as usize)).collect());
+        let per_batch_filter = filter && matches!(self.test, CandidateTest::Rank);
+        let mut s = start;
+        while s < end {
+            let e = (s + batch_pairs).min(end);
+            ss.batches += 1;
+            let t0 = Instant::now();
+            let sp = efm_obs::span(crate::cluster_algo::phases::GENERATE);
+            let mut batch = CandidateSet::default();
+            ss.prefiltered += self.generate_range(part, s, e, &mut batch, arena);
+            drop(sp);
+            let t1 = Instant::now();
+            let sp = efm_obs::span(crate::cluster_algo::phases::DEDUP);
+            batch.sort_dedup();
+            drop(sp);
+            let t2 = Instant::now();
+            let sp = efm_obs::span(crate::cluster_algo::phases::TREE);
+            match (&zero_tree, &zero_sups) {
+                (Some(tree), _) => {
+                    self.drop_duplicates_with_tree(&mut batch, tree);
+                }
+                (None, Some(sups)) => {
+                    self.drop_duplicates_with_set(&mut batch, sups);
+                }
+                _ => {}
+            }
+            drop(sp);
+            let t3 = Instant::now();
+            ss.tested += batch.len() as u64;
+            if per_batch_filter {
+                let sp = efm_obs::span(crate::cluster_algo::phases::RANK);
+                let keep = self.rank_filter_range(&batch, 0..batch.len());
+                batch.gather(&keep);
+                drop(sp);
+            }
+            let t4 = Instant::now();
+            let transient = out.approx_bytes() + batch.approx_bytes() + arena.approx_bytes();
+            ss.transient_peak = ss.transient_peak.max(transient);
+            charge(transient)?;
+            *out = CandidateSet::merge_sorted(std::mem::take(out), batch);
+            ss.t_generate += t1 - t0;
+            ss.t_dedup += t2 - t1;
+            ss.t_tree += t3 - t2;
+            ss.t_test += t4 - t3;
+            s = e;
+        }
+        Ok(ss)
+    }
+
+    /// Runs one full iteration with the bounded streaming pipeline
+    /// ([`Engine::stream_range`]) instead of materialize-then-filter. The
+    /// surviving mode set is identical to [`Engine::step_with`]; only the
+    /// transient footprint (and hence `peak_transient_bytes`, which this
+    /// path both bounds and charges via `charge`) differs.
+    pub fn step_streaming(
+        &mut self,
+        arena: &mut GenArena<P, S>,
+        batch_pairs: u64,
+        charge: &mut dyn FnMut(u64) -> Result<(), EfmError>,
+    ) -> Result<IterationStats, EfmError> {
+        use std::time::Instant;
+        debug_assert!(!self.done());
+        let mut rec = IterationStats {
+            position: self.cursor,
+            reaction: self.name_at[self.cursor].clone(),
+            reversible: self.current_reversible(),
+            ..Default::default()
+        };
+        let part = self.partition();
+        rec.pos = part.pos.len();
+        rec.neg = part.neg.len();
+        rec.zero = part.zero.len();
+        rec.pairs = part.pairs();
+        let modes_bytes = self.modes.approx_bytes();
+        let zero_tree =
+            (self.pattern_trees && !part.zero.is_empty()).then(|| self.zero_support_tree(&part));
+        let mut set = CandidateSet::default();
+        let ss = self.stream_range(
+            &part,
+            0,
+            part.pairs(),
+            batch_pairs,
+            zero_tree.as_ref(),
+            true,
+            &mut set,
+            arena,
+            charge,
+        )?;
+        rec.prefiltered = ss.prefiltered;
+        rec.numeric_pass = set.numeric_pass;
+        rec.deduped = ss.tested;
+        let t_accept = Instant::now();
+        rec.accepted = if matches!(self.test, CandidateTest::Rank) {
+            set.len() as u64
+        } else {
+            // Adjacency is a cross-candidate test: it needs the merged
+            // survivor set of the whole iteration.
+            self.elementarity_filter_with(&mut set, &part, zero_tree.as_ref())
+        };
+        let t_extra = t_accept.elapsed();
+        let sp = efm_obs::span(crate::cluster_algo::phases::MERGE);
+        let buf = self.materialize(&set);
+        self.advance(&part, buf);
+        drop(sp);
+        rec.modes_after = self.modes.len();
+        rec.t_generate = ss.t_generate;
+        rec.t_merge = ss.t_dedup;
+        rec.t_tree_filter = ss.t_tree;
+        rec.t_dedup = ss.t_dedup + ss.t_tree;
+        rec.t_test = ss.t_test + t_extra;
+        self.stats.phases.generate += ss.t_generate;
+        self.stats.phases.dedup += ss.t_dedup;
+        self.stats.phases.tree_filter += ss.t_tree;
+        self.stats.phases.rank_test += ss.t_test + t_extra;
+        self.stats.candidates_generated += rec.pairs;
+        self.stats.tree_pruned += rec.pairs - rec.prefiltered;
+        self.stats.dedup_hits += ss.prefiltered - ss.tested;
+        self.stats.rank_tests += ss.tested;
+        self.stats.stream_batches += ss.batches;
+        self.stats.peak_transient_bytes = self.stats.peak_transient_bytes.max(ss.transient_peak);
+        // Honest charged peak: resident modes plus the bounded transient.
+        let resident = self.modes.approx_bytes();
+        self.stats.peak_bytes =
+            self.stats.peak_bytes.max(modes_bytes + ss.transient_peak).max(resident);
+        self.note_kernel_counters(set.blocks, rec.pairs - rec.numeric_pass, arena.approx_bytes());
+        if efm_obs::enabled() {
+            efm_obs::counter_add("dedup hits", ss.prefiltered - ss.tested);
+            efm_obs::gauge_max("peak transient bytes", ss.transient_peak);
+        }
+        self.note_iteration_counters(&rec);
+        self.stats.iterations.push(rec.clone());
+        Ok(rec)
     }
 
     /// Recomputes the numeric sections for the surviving candidates (their
@@ -1548,6 +1777,72 @@ mod tests {
         assert_eq!(eng.modes.len(), 8);
         assert_eq!(eng.final_supports().len(), 8);
     }
+
+    #[test]
+    fn streaming_step_matches_step_with() {
+        let mut legacy = toy_engine();
+        let mut streaming = toy_engine();
+        let mut arena_a = GenArena::new();
+        let mut arena_b = GenArena::new();
+        while !legacy.done() {
+            legacy.step_with(&mut arena_a);
+        }
+        let mut charges = 0u64;
+        while !streaming.done() {
+            // Tiny batches force multiple charge/merge rounds per iteration.
+            streaming
+                .step_streaming(&mut arena_b, 2, &mut |_bytes| {
+                    charges += 1;
+                    Ok(())
+                })
+                .unwrap();
+        }
+        assert_eq!(legacy.final_supports(), streaming.final_supports());
+        assert_eq!(legacy.modes.len(), streaming.modes.len());
+        assert!(charges > 0, "streaming pass reports its transient footprint");
+        assert!(streaming.stats.peak_transient_bytes > 0);
+        assert!(streaming.stats.peak_bytes >= streaming.modes.approx_bytes());
+        // Pair totals are identical; only transient bookkeeping may differ.
+        assert_eq!(legacy.stats.candidates_generated, streaming.stats.candidates_generated);
+    }
+
+    #[test]
+    fn streaming_step_matches_step_with_adjacency() {
+        let net = efm_metnet::examples::toy_network();
+        let (red, _) = compress(&net);
+        let opts = EfmOptions { test: CandidateTest::Adjacency, ..Default::default() };
+        let problem = build_problem::<DynInt>(&red, &opts).unwrap();
+        let mut legacy: Engine<Pattern1, DynInt> = Engine::new(&problem, &opts).unwrap();
+        let mut streaming: Engine<Pattern1, DynInt> = Engine::new(&problem, &opts).unwrap();
+        let mut arena = GenArena::new();
+        while !legacy.done() {
+            legacy.step_with(&mut arena);
+        }
+        while !streaming.done() {
+            streaming.step_streaming(&mut arena, 3, &mut |_| Ok(())).unwrap();
+        }
+        assert_eq!(legacy.final_supports(), streaming.final_supports());
+    }
+
+    #[test]
+    fn streaming_charge_error_aborts_iteration() {
+        let mut eng = toy_engine();
+        let err = loop {
+            assert!(!eng.done(), "toy run generates pairs before finishing");
+            if let Err(e) = eng.step_streaming(&mut GenArena::new(), 1, &mut |bytes| {
+                if bytes > 0 {
+                    Err(EfmError::Checkpoint("cap".into()))
+                } else {
+                    Ok(())
+                }
+            }) {
+                break e;
+            }
+        };
+        assert!(matches!(err, EfmError::Checkpoint(_)));
+    }
+
+    use crate::types::CandidateTest;
 
     #[test]
     fn candidate_buf_append_and_gather() {

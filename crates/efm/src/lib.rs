@@ -49,6 +49,7 @@ mod oracle;
 mod problem;
 mod recover;
 mod schedule;
+mod stripes;
 mod supervise;
 mod types;
 
@@ -77,7 +78,7 @@ pub use drivers::{
     serial_supports_resumable, serial_supports_traced, SupportsAndStats,
 };
 pub use engine::{
-    CandidateBuf, CandidateSet, Engine, GenArena, ModeMatrix, SignPartition, RANK_TOL,
+    CandidateBuf, CandidateSet, Engine, GenArena, ModeMatrix, SignPartition, StreamStats, RANK_TOL,
 };
 pub use escalate::{
     enumerate_with_escalation, enumerate_with_escalation_scalar,
@@ -87,6 +88,7 @@ pub use oracle::brute_force_efms;
 pub use problem::{build_problem, build_subproblem, EfmProblem};
 pub use recover::{recover_flux, verify_flux};
 pub use schedule::{DncConfig, DncSchedule};
+pub use stripes::StripeStore;
 pub use supervise::{
     classify_failure, enumerate_supervised, enumerate_supervised_with_scalar, SuperviseConfig,
 };

@@ -460,15 +460,51 @@ type SlotResult = (SubsetReport, Vec<Vec<usize>>);
 struct ProgressSink<'a> {
     slots: Mutex<(Vec<Option<SlotResult>>, DncCheckpoint)>,
     checkpoint: Option<&'a crate::checkpoint::CheckpointConfig>,
+    /// With `EfmOptions::spill_budget` set, completed stripes move into
+    /// this compressed, disk-spillable store instead of sitting in their
+    /// slot uncompressed; the slot then carries an empty support list and
+    /// assembly streams the stripe back out.
+    store: Option<Mutex<crate::stripes::StripeStore>>,
 }
 
 impl ProgressSink<'_> {
+    fn new<'a>(
+        subsets: usize,
+        progress: DncCheckpoint,
+        dnc: &'a DncConfig,
+        opts: &EfmOptions,
+    ) -> ProgressSink<'a> {
+        ProgressSink {
+            slots: Mutex::new((vec![None; subsets], progress)),
+            checkpoint: dnc.checkpoint.as_ref(),
+            store: opts
+                .spill_budget
+                .map(|b| Mutex::new(crate::stripes::StripeStore::new(subsets, b))),
+        }
+    }
+
     fn complete(
         &self,
         id: usize,
-        report: SubsetReport,
+        mut report: SubsetReport,
         sups: Vec<Vec<usize>>,
     ) -> Result<(), EfmError> {
+        let sups = match &self.store {
+            Some(store) => {
+                let mut st = store.lock().unwrap();
+                let spilled_before = st.spill_bytes();
+                st.put(id, &sups)?;
+                report.stats.spill_bytes += st.spill_bytes() - spilled_before;
+                // The progress record still needs the uncompressed list; it
+                // is written out (or dropped) inside this call either way.
+                if self.checkpoint.is_some() {
+                    sups
+                } else {
+                    Vec::new()
+                }
+            }
+            None => sups,
+        };
         let mut g = self.slots.lock().unwrap();
         g.1.record(DncSubsetResult {
             id,
@@ -476,11 +512,17 @@ impl ProgressSink<'_> {
             supports: sups.clone(),
             stats: report.stats.clone(),
         });
-        g.0[id] = Some((report, sups));
+        let stored = self.store.is_some();
+        g.0[id] = Some((report, if stored { Vec::new() } else { sups }));
         if let Some(cfg) = self.checkpoint {
             g.1.save(&cfg.path)?;
         }
         Ok(())
+    }
+
+    /// Tears the sink down into its slots and (optional) stripe store.
+    fn into_parts(self) -> (Vec<Option<SlotResult>>, Option<crate::stripes::StripeStore>) {
+        (self.slots.into_inner().unwrap().0, self.store.map(|s| s.into_inner().unwrap()))
     }
 }
 
@@ -503,7 +545,7 @@ pub(crate) fn run_partition<P: BitPattern, S: EfmScalar>(
     let progress = load_progress::<S>(dnc, fingerprint, qsub as u32)?;
     let injectors = build_injectors(dnc);
 
-    let results = match dnc.schedule {
+    let (results, mut store) = match dnc.schedule {
         DncSchedule::Serial => {
             serial_schedule::<P, S>(red, &partition, opts, backend, dnc, progress, &injectors)?
         }
@@ -514,12 +556,18 @@ pub(crate) fn run_partition<P: BitPattern, S: EfmScalar>(
 
     // Assembly in subset-id order, regardless of completion order: both
     // the concatenated support list and the report vector are identical
-    // across schedules.
+    // across schedules. With a stripe store active, completed stripes
+    // stream back out of it (decompressed, possibly from disk) one subset
+    // at a time; slots not in the store (resumed subsets) stay inline.
     let mut all = Vec::new();
     let mut reports = Vec::with_capacity(subsets);
     let mut times = Vec::new();
-    for slot in results {
+    for (id, slot) in results.into_iter().enumerate() {
         let (rep, sups) = slot.expect("every subset slot filled on success");
+        let sups = match store.as_mut().map(|st| st.take(id)).transpose()? {
+            Some(Some(stored)) => stored,
+            _ => sups,
+        };
         if !rep.skipped_empty {
             times.push(rep.stats.total_time.as_secs_f64());
         }
@@ -547,12 +595,9 @@ fn serial_schedule<P: BitPattern, S: EfmScalar>(
     dnc: &DncConfig,
     progress: DncCheckpoint,
     injectors: &[(usize, Arc<FaultInjector>)],
-) -> Result<Vec<Option<SlotResult>>, EfmError> {
+) -> Result<(Vec<Option<SlotResult>>, Option<crate::stripes::StripeStore>), EfmError> {
     let subsets = 1usize << partition.reduced_indices.len();
-    let sink = ProgressSink {
-        slots: Mutex::new((vec![None; subsets], progress)),
-        checkpoint: dnc.checkpoint.as_ref(),
-    };
+    let sink = ProgressSink::new(subsets, progress, dnc, opts);
     for id in 0..subsets {
         let pattern = subset_pattern(partition, id);
         if let Some(prev) = resume_slot(&sink, id, &pattern) {
@@ -586,7 +631,7 @@ fn serial_schedule<P: BitPattern, S: EfmScalar>(
         };
         sink.complete(id, report, sups)?;
     }
-    Ok(sink.slots.into_inner().unwrap().0)
+    Ok(sink.into_parts())
 }
 
 /// The concurrent schedules: probe, deal longest-first, run on a scoped
@@ -600,7 +645,7 @@ fn concurrent_schedule<P: BitPattern, S: EfmScalar>(
     dnc: &DncConfig,
     progress: DncCheckpoint,
     injectors: &[(usize, Arc<FaultInjector>)],
-) -> Result<Vec<Option<SlotResult>>, EfmError> {
+) -> Result<(Vec<Option<SlotResult>>, Option<crate::stripes::StripeStore>), EfmError> {
     let subsets = 1usize << partition.reduced_indices.len();
 
     // --- Probe: build every subproblem, estimate costs, pre-fill the
@@ -612,10 +657,7 @@ fn concurrent_schedule<P: BitPattern, S: EfmScalar>(
             .collect::<Result<Vec<_>, EfmError>>()?
     };
     let costs: Vec<u64> = probes.iter().map(|p| p.cost).collect();
-    let sink = ProgressSink {
-        slots: Mutex::new((vec![None; subsets], progress)),
-        checkpoint: dnc.checkpoint.as_ref(),
-    };
+    let sink = ProgressSink::new(subsets, progress, dnc, opts);
     let mut runnable: Vec<usize> = Vec::new();
     for (id, probe) in probes.iter().enumerate() {
         if let Some(prev) = resume_slot(&sink, id, &probe.pattern) {
@@ -703,7 +745,7 @@ fn concurrent_schedule<P: BitPattern, S: EfmScalar>(
     if let Some(e) = first_error.into_inner().unwrap() {
         return Err(e);
     }
-    Ok(sink.slots.into_inner().unwrap().0)
+    Ok(sink.into_parts())
 }
 
 /// Report for a probed-empty subset.

@@ -118,6 +118,45 @@ pub struct EfmOptions {
     /// choices are bit-identical; `Scalar` exists as the differential
     /// baseline and escape hatch.
     pub kernel: KernelKind,
+    /// Generate candidates through the bounded streaming pipeline
+    /// (`Engine::stream_range`): per-batch dedup + elementarity testing
+    /// releases each batch before the next is generated, bounding the
+    /// transient buffer and letting drivers charge it against their memory
+    /// meter. Disabling restores the materialize-then-filter path — the
+    /// A/B baseline whose transient allocation is invisible to memory caps.
+    /// Overridable per process via `EFM_STREAMING` (`1`/`0`).
+    pub streaming: bool,
+    /// Pair-batch size of the streaming pipeline. Smaller batches bound
+    /// the transient tighter at the cost of more merge rounds.
+    pub streaming_batch: u64,
+    /// Resident-byte budget for completed divide-and-conquer survivor
+    /// stripes. `Some(b)` compresses each finished subset's supports
+    /// (delta/run-length, [`efm_bitset::CompressedPattern`]) and spills
+    /// whole stripes to a temporary file once the compressed residents
+    /// exceed `b` bytes; assembly streams them back one stripe at a time.
+    /// `None` (the default) keeps the legacy uncompressed in-memory lists.
+    pub spill_budget: Option<u64>,
+}
+
+impl EfmOptions {
+    /// Whether streaming generation is active, honoring the
+    /// `EFM_STREAMING` environment override (`1`/`on`/`true` forces the
+    /// streaming pipeline, `0`/`off`/`false`/`legacy` the materialized
+    /// one; read once per process, like `EFM_KERNEL`).
+    pub fn streaming_enabled(&self) -> bool {
+        use std::sync::OnceLock;
+        static ENV: OnceLock<Option<bool>> = OnceLock::new();
+        ENV.get_or_init(|| {
+            std::env::var("EFM_STREAMING").ok().and_then(|v| {
+                match v.to_ascii_lowercase().as_str() {
+                    "1" | "on" | "true" | "stream" | "streaming" => Some(true),
+                    "0" | "off" | "false" | "legacy" => Some(false),
+                    _ => None,
+                }
+            })
+        })
+        .unwrap_or(self.streaming)
+    }
 }
 
 impl Default for EfmOptions {
@@ -131,6 +170,9 @@ impl Default for EfmOptions {
             compression: efm_metnet::CompressionOptions::default(),
             pattern_trees: true,
             kernel: KernelKind::Auto,
+            streaming: true,
+            streaming_batch: 1 << 16,
+            spill_budget: None,
         }
     }
 }
@@ -358,15 +400,26 @@ pub struct RunStats {
     pub comm_bytes: u64,
     /// Peak number of intermediate modes.
     pub peak_modes: usize,
-    /// Peak accounted memory in bytes, maximised over cluster ranks
-    /// (`0` for backends without memory accounting).
+    /// Peak accounted memory in bytes, maximised over cluster ranks. With
+    /// streaming generation (the default) this *includes* the bounded
+    /// transient generation buffer — resident modes plus the charged
+    /// batch-pipeline high water (DESIGN.md §13). On the legacy
+    /// materialized path it reverts to the old resident-only accounting
+    /// (`0` for backends without memory accounting there).
     pub peak_bytes: u64,
-    /// Peak bytes of the *transient* raw generation buffer, maximised over
-    /// ranks. Deliberately excluded from `peak_bytes` (a streaming
-    /// generator would never materialise it — see DESIGN.md §4), but
-    /// recorded here so the deviation from the paper's Table IV
-    /// accounting is visible instead of silent.
+    /// Peak bytes of the *transient* generation buffer, maximised over
+    /// ranks — kept as a separate gauge so the transient trajectory stays
+    /// comparable across streaming/legacy runs. Historically this was
+    /// excluded from `peak_bytes` (the raw materialized buffer dwarfed
+    /// subset peaks, see DESIGN.md §4); the streaming pipeline bounds it
+    /// and folds it into `peak_bytes`.
     pub peak_transient_bytes: u64,
+    /// Bounded batches the streaming generation pipeline processed
+    /// (`0` on the legacy materialized path).
+    pub stream_batches: u64,
+    /// Cumulative bytes of survivor stripes written to spill storage by
+    /// the stripe store (`0` when spilling never engaged).
+    pub spill_bytes: u64,
     /// Final mode count.
     pub final_modes: usize,
     /// Instruction tier the generation kernel ran at (`"scalar"`,
@@ -411,6 +464,8 @@ impl RunStats {
         self.kernel_blocks += other.kernel_blocks;
         self.kernel_pruned += other.kernel_pruned;
         self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
+        self.stream_batches += other.stream_batches;
+        self.spill_bytes += other.spill_bytes;
         self.final_modes += other.final_modes;
         self.phases.accumulate(&other.phases);
         self.total_time += other.total_time;

@@ -148,6 +148,68 @@ fn yeast_lite_cluster_backend_schedules_agree() {
     }
 }
 
+/// PR 7 acceptance: streaming generation and the compressed/spilled
+/// subset assembly are *implementations* of the same semantics. Crossing
+/// streaming-on/off with spill-on/off over every backend and schedule
+/// must yield the identical canonical EFM set — a zero resident budget
+/// forces every finished subset through the compress + spill + stream-back
+/// path.
+#[test]
+fn streaming_and_spill_agree_across_backends_and_schedules() {
+    let net = toy_network();
+    let reference = canon(
+        &enumerate_with_scalar::<DynInt>(&net, &EfmOptions::default(), &Backend::Serial).unwrap(),
+    );
+    let backends = [
+        ("serial", Backend::Serial),
+        ("rayon", Backend::Rayon),
+        ("cluster", Backend::Cluster(efm_cluster::ClusterConfig::new(3))),
+    ];
+    let variants = [
+        ("streaming", EfmOptions { streaming: true, ..Default::default() }),
+        ("legacy", EfmOptions { streaming: false, ..Default::default() }),
+        (
+            "streaming+spill",
+            EfmOptions { streaming: true, spill_budget: Some(0), ..Default::default() },
+        ),
+        (
+            "legacy+spill",
+            EfmOptions { streaming: false, spill_budget: Some(0), ..Default::default() },
+        ),
+    ];
+    for (bname, backend) in &backends {
+        for (vname, opts) in &variants {
+            let direct = enumerate_with_scalar::<DynInt>(&net, opts, backend).unwrap();
+            assert_eq!(
+                canon(&direct),
+                reference,
+                "backend {bname} / {vname}: direct run diverged from the default serial run"
+            );
+            for schedule in schedules() {
+                let out = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+                    &net,
+                    opts,
+                    &["r6r", "r8r"],
+                    backend,
+                    &dnc(schedule, 2),
+                )
+                .unwrap();
+                assert_eq!(
+                    canon(&out),
+                    reference,
+                    "backend {bname} / {vname} / schedule {schedule} diverged"
+                );
+                if opts.spill_budget.is_some() {
+                    assert!(
+                        out.stats.spill_bytes > 0,
+                        "backend {bname} / {vname} / schedule {schedule}: zero budget must spill"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// PR 6 acceptance: the SIMD batch kernel is an *implementation* of the
 /// scalar semantics, not a variant — with the kernel forced on and forced
 /// off, every backend enumerates the identical EFM set (via [`canon`],

@@ -225,6 +225,78 @@ fn crashed_subset_beyond_budget_fails_the_run_with_typed_error() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Hard memory cap (PR 7): a byte cap that trips mid-run must surface as a
+// typed `MemoryExceeded` — never a hang, a panic, or a wrong answer — and
+// the aborted run must resume from its last checkpoint to the byte-identical
+// EFM set. With streaming generation (the default) the transient batch is
+// charged against the meter, so the cap can fire inside generation itself.
+// ---------------------------------------------------------------------------
+
+use efm_core::{enumerate_resumable_with_scalar, CheckpointConfig, EngineCheckpoint};
+
+#[test]
+fn hard_cap_mid_run_aborts_typed_and_resumes_byte_identical() {
+    let net = toy_network();
+    let opts = EfmOptions::default();
+    let uncapped = enumerate_resumable_with_scalar::<efm_numeric::DynInt>(
+        &net,
+        &opts,
+        &Backend::Cluster(ClusterConfig::new(3)),
+        None,
+        None,
+    )
+    .unwrap();
+    let peak = uncapped.stats.peak_bytes;
+    assert!(peak > 0, "the cluster meter must charge real bytes");
+    // One byte below the measured high-water mark: the deterministic replay
+    // of whichever charge set the peak — a generation batch, a survivor
+    // stripe, or a merge step — now trips the cap mid-run.
+    let path = temp_ckpt("hard-cap");
+    let _ = std::fs::remove_file(&path);
+    let err = within_seconds(120, {
+        let path = path.clone();
+        move || {
+            let net = toy_network();
+            let capped = ClusterConfig::new(3).with_memory_limit(peak - 1);
+            enumerate_resumable_with_scalar::<efm_numeric::DynInt>(
+                &net,
+                &EfmOptions::default(),
+                &Backend::Cluster(capped),
+                None,
+                Some(&CheckpointConfig::new(&path)),
+            )
+        }
+    })
+    .unwrap_err();
+    match err {
+        EfmError::Cluster(efm_cluster::ClusterError::MemoryExceeded {
+            requested,
+            in_use,
+            limit,
+            ..
+        }) => {
+            assert!(in_use + requested > limit, "the typed abort must carry the breaching charge");
+            assert_eq!(limit, peak - 1);
+        }
+        other => panic!("expected MemoryExceeded, got {other:?}"),
+    }
+    // The abort left the last completed iteration on disk; resuming on an
+    // uncapped cluster recovers the exact set of the uninterrupted run.
+    let ck = EngineCheckpoint::load(&path).expect("abort must leave an iteration snapshot");
+    assert!(ck.iterations_completed() >= 1, "the cap tripped before the first checkpoint");
+    let resumed = enumerate_resumable_with_scalar::<efm_numeric::DynInt>(
+        &net,
+        &opts,
+        &Backend::Cluster(ClusterConfig::new(3)),
+        Some(&ck),
+        None,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(resumed.efms, uncapped.efms, "resumed EFM set diverged from the uncapped run");
+}
+
 /// Full matrix: every subset × every instrumented collective phase; the
 /// crashed subset retries exactly once, siblings are untouched, and the
 /// EFM set never changes. Soak lane (`--include-ignored`).

@@ -103,6 +103,42 @@ proptest! {
     }
 }
 
+/// Regression: a resumed cluster run aggregates `peak_bytes` from the
+/// segment's *fresh* memory meters, which know nothing about the
+/// pre-checkpoint high water — the reported peaks must be maxed with the
+/// checkpoint's, never silently lowered.
+#[test]
+fn resumed_cluster_run_carries_checkpoint_peaks() {
+    let mut picked = None;
+    for seed in 0..50u64 {
+        let net = net_for(seed);
+        let path = std::env::temp_dir().join(format!("efm_peak_carry_{seed}.efck"));
+        let ck = interrupted_checkpoint(&net, 6, &path);
+        let _ = std::fs::remove_file(&path);
+        if let Some(ck) = ck {
+            picked = Some((net, ck));
+            break;
+        }
+    }
+    let (net, mut ck) = picked.expect("some seed yields an interrupted checkpoint");
+    // Simulate a pre-crash segment that peaked far above anything the short
+    // resumed tail will reach.
+    ck.stats.peak_bytes = ck.stats.peak_bytes.max(1 << 40);
+    ck.stats.peak_transient_bytes = ck.stats.peak_transient_bytes.max(1 << 39);
+    ck.stats.arena_peak_bytes = ck.stats.arena_peak_bytes.max(1 << 38);
+    let opts = EfmOptions::default();
+    let cluster = Backend::Cluster(efm_cluster::ClusterConfig::new(3));
+    let resumed =
+        enumerate_resumable_with_scalar::<DynInt>(&net, &opts, &cluster, Some(&ck), None).unwrap();
+    assert!(
+        resumed.stats.peak_bytes >= 1 << 40,
+        "resumed peak_bytes {} lost the checkpoint high water",
+        resumed.stats.peak_bytes
+    );
+    assert!(resumed.stats.peak_transient_bytes >= 1 << 39);
+    assert!(resumed.stats.arena_peak_bytes >= 1 << 38);
+}
+
 // ---------------------------------------------------------------------------
 // Divide-and-conquer progress resume (EFCK v4): a resumed run skips the
 // subsets the checkpoint records as complete and re-enumerates the rest.
