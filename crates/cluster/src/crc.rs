@@ -1,0 +1,90 @@
+//! Table-driven CRC-32 (IEEE 802.3 polynomial), shared between the
+//! checkpoint file format (EFCK) and the cluster data plane's per-frame
+//! checksums.
+//!
+//! The table is built at compile time. Checkpoints run to megabytes and
+//! are checksummed once per write *and* read, and every data-plane frame
+//! header is checksummed on both send and receive, so the 8× win over a
+//! bitwise loop is worth 1 KB of table.
+
+/// Byte-at-a-time lookup table for the reflected IEEE 802.3 polynomial,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 state. Feed bytes with [`Crc32::update`], read the
+/// final (bit-inverted) checksum with [`Crc32::finish`].
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh checksum state (initial value `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 >> 8) ^ CRC32_TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The final checksum (inverted per the IEEE convention). The state is
+    /// not consumed; further updates continue from the pre-inversion value.
+    pub fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot convenience: the CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The canonical IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut c = Crc32::new();
+        c.update(b"hello ");
+        c.update(b"world");
+        assert_eq!(c.finish(), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn distinguishes_single_bit_flip() {
+        let a = crc32(&[0x00, 0x01, 0x02, 0x03]);
+        let b = crc32(&[0x00, 0x01, 0x02, 0x07]);
+        assert_ne!(a, b);
+    }
+}

@@ -84,6 +84,19 @@ pub enum FaultSpec {
         /// Sleep per fault point in milliseconds.
         millis: u64,
     },
+    /// The rank dies *silently* at the given fault point: unlike
+    /// [`FaultSpec::Crash`], the death is not propagated through the abort
+    /// machinery — the barrier is not poisoned and no abort packets are
+    /// sent — so the heartbeat detector (not error propagation) must notice
+    /// the loss. Fires when `fault_point(phase, iteration)` matches.
+    KillRank {
+        /// Rank that is killed.
+        rank: usize,
+        /// Fault-point label (e.g. `"iteration"`, `"communicate"`).
+        phase: String,
+        /// Iteration index the kill fires at.
+        iteration: u64,
+    },
 }
 
 /// A seeded, deterministic set of faults to inject into a cluster run.
@@ -138,19 +151,20 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a silent kill at `(phase, iteration)` on `rank` (no abort
+    /// propagation — only heartbeat detection notices).
+    pub fn kill_rank(mut self, rank: usize, phase: &str, iteration: u64) -> Self {
+        self.faults.push(FaultSpec::KillRank { rank, phase: phase.to_string(), iteration });
+        self
+    }
+
     /// Generates `count` pseudo-random faults over `nodes` ranks from the
     /// plan seed (SplitMix64) — the soak-test workhorse: same seed, same
     /// plan, forever.
     pub fn scatter(seed: u64, nodes: usize, count: usize) -> Self {
         let mut plan = FaultPlan::new(seed);
         let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
-        let mut next = || {
-            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        };
+        let mut next = || splitmix64(&mut state);
         const PHASES: [&str; 6] =
             ["iteration", "generate", "dedup", "rank", "communicate", "merge"];
         for _ in 0..count {
@@ -222,11 +236,28 @@ impl FaultPlan {
                     FaultSpec::FlakySend { rank, nth: num("nth")?, failures: num("fails")? as u32 }
                 }
                 "straggle" => FaultSpec::Straggler { rank, millis: num("ms")? },
+                "kill" => FaultSpec::KillRank {
+                    rank,
+                    phase: args.get("phase").unwrap_or(&"iteration").to_string(),
+                    iteration: num("iter")?,
+                },
                 other => return Err(format!("unknown fault kind {other:?} in {clause:?}")),
             });
         }
         Ok(plan)
     }
+}
+
+/// One SplitMix64 step: advances `state` and returns the next pseudo-random
+/// word. Shared by [`FaultPlan::scatter`] and the seeded send-retry jitter
+/// ([`backoff_with_jitter`](crate::backoff_with_jitter)) so every derived
+/// random stream is reproducible from the plan seed alone.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl std::fmt::Display for FaultSpec {
@@ -244,6 +275,9 @@ impl std::fmt::Display for FaultSpec {
                 write!(f, "flaky@{rank}:nth={nth},fails={failures}")
             }
             FaultSpec::Straggler { rank, millis } => write!(f, "straggle@{rank}:ms={millis}"),
+            FaultSpec::KillRank { rank, phase, iteration } => {
+                write!(f, "kill@{rank}:phase={phase},iter={iteration}")
+            }
         }
     }
 }
@@ -333,6 +367,19 @@ impl FaultInjector {
         None
     }
 
+    /// If a silent kill is planted at this rank/phase/iteration and has not
+    /// fired yet, fires it and returns its description.
+    pub fn kill_at(&self, rank: usize, phase: &str, iteration: u64) -> Option<String> {
+        for (i, f) in self.plan.faults.iter().enumerate() {
+            if let FaultSpec::KillRank { rank: r, phase: p, iteration: k } = f {
+                if *r == rank && p == phase && *k == iteration && self.claim(i) {
+                    return Some(format!("injected kill at {phase}[{iteration}]"));
+                }
+            }
+        }
+        None
+    }
+
     /// Milliseconds this rank must straggle at every fault point.
     pub fn straggle_millis(&self, rank: usize) -> u64 {
         self.plan
@@ -405,7 +452,8 @@ mod tests {
             .duplicate_send(2, 1)
             .delay_send(1, 4, 50)
             .flaky_send(1, 2, 3)
-            .straggler(3, 10);
+            .straggler(3, 10)
+            .kill_rank(2, "merge", 4);
         let spec = plan.to_string();
         let back = FaultPlan::parse(&spec).unwrap();
         assert_eq!(back, plan);
@@ -427,6 +475,17 @@ mod tests {
         assert!(inj.crash_at(1, "iteration", 1).is_none(), "wrong iteration");
         assert!(inj.crash_at(1, "iteration", 2).is_some());
         assert!(inj.crash_at(1, "iteration", 2).is_none(), "one-shot latch");
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn kill_fires_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan::new(0).kill_rank(2, "rank", 1));
+        assert!(inj.kill_at(1, "rank", 1).is_none(), "wrong rank");
+        assert!(inj.kill_at(2, "merge", 1).is_none(), "wrong phase");
+        assert!(inj.kill_at(2, "rank", 0).is_none(), "wrong iteration");
+        assert!(inj.kill_at(2, "rank", 1).is_some());
+        assert!(inj.kill_at(2, "rank", 1).is_none(), "one-shot latch");
         assert!(inj.exhausted());
     }
 

@@ -38,8 +38,26 @@
 //! * [`run_cluster`] returns the *originating* error — peers' secondary
 //!   `Aborted` errors are discarded.
 
+//!
+//! ## Degraded-mode failover
+//!
+//! With [`ClusterConfig::with_failover`] enabled the runtime additionally
+//! carries a **liveness layer**: every rank gets a heartbeat thread that
+//! both beats on the rank's behalf and watches its peers' last-seen
+//! stamps. A rank that dies *silently* (the [`fault::FaultSpec::KillRank`]
+//! fault, modelling a node that vanishes without an MPI error) stops
+//! beating; the first peer detector to notice declares it dead, advances
+//! the **membership epoch**, and converts the loss into a typed
+//! [`ClusterError::RankLost`] that wakes every survivor at the current
+//! boundary. Data packets are stamped with the epoch they were sent under
+//! and receivers drop stale-epoch traffic, so in-flight frames from the
+//! old view cannot leak into the new one. The supervisor (crates/efm)
+//! then re-enters the run from the last checkpoint with N−1 ranks instead
+//! of replaying it — see DESIGN.md §14.
+
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod fault;
 
 pub use fault::{FaultInjector, FaultPlan, FaultSpec, SendFate};
@@ -107,6 +125,15 @@ pub struct ClusterConfig {
     /// one injector across restarts — point faults then fire exactly once
     /// per recovery session, not once per attempt.
     pub injector: Option<Arc<FaultInjector>>,
+    /// Enables the heartbeat/liveness layer: a silently dead non-zero rank
+    /// is detected by its peers and surfaced as [`ClusterError::RankLost`]
+    /// (the supervisor's cue for in-place failover) instead of stalling
+    /// the collective until a deadline.
+    pub failover: bool,
+    /// Heartbeat period for the liveness layer (default 10 ms). The
+    /// staleness window is `20 × heartbeat`, floored at 200 ms so OS
+    /// scheduler hiccups on loaded CI runners cannot fake a death.
+    pub heartbeat: Duration,
 }
 
 impl ClusterConfig {
@@ -118,6 +145,8 @@ impl ClusterConfig {
             memory_limit: None,
             timeouts: ClusterTimeouts::default(),
             injector: None,
+            failover: false,
+            heartbeat: Duration::from_millis(10),
         }
     }
 
@@ -142,6 +171,19 @@ impl ClusterConfig {
     /// Installs an existing (possibly partially fired) injector.
     pub fn with_injector(mut self, injector: Arc<FaultInjector>) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Enables or disables the heartbeat/liveness layer (degraded-mode
+    /// failover). Off by default.
+    pub fn with_failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Sets the heartbeat period for the liveness layer.
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
         self
     }
 }
@@ -183,6 +225,37 @@ pub enum ClusterError {
         rank: usize,
         /// Fault-point description (phase and iteration).
         at: String,
+    },
+    /// A planted [`fault::FaultSpec::KillRank`] silently terminated this
+    /// rank: unlike [`ClusterError::InjectedCrash`] the death is *not*
+    /// propagated through the abort machinery — peers must notice via the
+    /// heartbeat detector. This variant only surfaces directly when
+    /// failover is disabled (or the victim is rank 0), where it takes the
+    /// ordinary retryable-restart path.
+    RankKilled {
+        /// Rank that was killed.
+        rank: usize,
+        /// Fault-point description (phase and iteration).
+        at: String,
+    },
+    /// The heartbeat detector declared a rank dead and advanced the
+    /// membership epoch. The supervisor treats this as its failover cue:
+    /// re-enter the run at the last checkpoint with the survivors.
+    RankLost {
+        /// Rank declared dead.
+        rank: usize,
+        /// Membership epoch after the view change.
+        epoch: u64,
+    },
+    /// A data-plane frame failed its CRC-32 header checksum — corruption
+    /// in the fabric rather than loss or duplication.
+    CorruptFrame {
+        /// Sending rank stamped on the frame.
+        src: usize,
+        /// Receiving rank that detected the corruption.
+        dst: usize,
+        /// Sequence number carried by the frame (0 for control frames).
+        seq: u64,
     },
     /// A send kept failing transiently past the retry budget.
     SendFailed {
@@ -230,11 +303,16 @@ impl ClusterError {
     /// *not* retryable (a restart hits the same wall; it needs
     /// divide-and-conquer escalation), and protocol errors are programming
     /// bugs.
+    /// [`ClusterError::RankLost`] is deliberately *not* retryable: it has
+    /// its own failover path in the supervisor (re-enter with N−1 ranks),
+    /// classified before the retryable check.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             ClusterError::Timeout { .. }
                 | ClusterError::InjectedCrash { .. }
+                | ClusterError::RankKilled { .. }
+                | ClusterError::CorruptFrame { .. }
                 | ClusterError::SendFailed { .. }
                 | ClusterError::MessageLost { .. }
                 | ClusterError::NodePanicked { .. }
@@ -259,6 +337,15 @@ impl std::fmt::Display for ClusterError {
             }
             ClusterError::InjectedCrash { rank, at } => {
                 write!(f, "rank {rank}: {at}")
+            }
+            ClusterError::RankKilled { rank, at } => {
+                write!(f, "rank {rank}: {at} (silent death)")
+            }
+            ClusterError::RankLost { rank, epoch } => {
+                write!(f, "rank {rank} lost (heartbeat stale; membership epoch now {epoch})")
+            }
+            ClusterError::CorruptFrame { src, dst, seq } => {
+                write!(f, "rank {dst}: corrupt frame from rank {src} (seq {seq}) failed its CRC")
             }
             ClusterError::SendFailed { rank, dst, attempts } => {
                 write!(f, "rank {rank}: send to rank {dst} failed after {attempts} attempts")
@@ -388,11 +475,159 @@ impl MemoryMeter {
 /// One fabric message. Data packets carry a per-(sender→receiver) FIFO
 /// sequence number so the receiver can discard duplicated deliveries and
 /// detect lost ones (a gap in the stream); control packets (aborts) travel
-/// outside the numbered stream.
+/// outside the numbered stream. Every packet additionally carries the
+/// membership epoch it was sent under (receivers drop stale-epoch data
+/// frames after a view change) and a CRC-32 over its header fields, so a
+/// frame corrupted in the fabric surfaces as a typed
+/// [`ClusterError::CorruptFrame`] instead of being decoded as garbage.
 struct Packet {
     from: usize,
     seq: Option<u64>,
+    /// Membership epoch at send time; [`CONTROL_EPOCH`] for control frames
+    /// (aborts are never stale).
+    epoch: u64,
+    /// CRC-32 over `(from, seq, epoch)` — see [`frame_crc`].
+    crc: u32,
     payload: Box<dyn Any + Send>,
+}
+
+/// Epoch stamp for control-plane frames: never compares less than any real
+/// epoch, so aborts survive a view change.
+const CONTROL_EPOCH: u64 = u64::MAX;
+
+/// Header checksum of a fabric frame. The payload is a boxed value (never
+/// serialized bytes), so the CRC covers the routing header — the part a
+/// corrupted/duplicated delivery would garble first.
+fn frame_crc(from: usize, seq: Option<u64>, epoch: u64) -> u32 {
+    let mut c = crc::Crc32::new();
+    c.update(&(from as u64).to_le_bytes());
+    c.update(&[seq.is_some() as u8]);
+    c.update(&seq.unwrap_or(0).to_le_bytes());
+    c.update(&epoch.to_le_bytes());
+    c.finish()
+}
+
+/// Shared liveness table for one run: per-rank last-beat stamps, exit
+/// flags, and the membership epoch. Beats are written by per-rank
+/// heartbeat threads (see [`run_cluster`]); detection is a peer noticing a
+/// stamp has gone stale while the rank is neither done nor already dead.
+struct Membership {
+    /// Current membership epoch; advanced by the winning detector on each
+    /// declared death.
+    epoch: AtomicU64,
+    /// Time origin for the beat stamps.
+    start: Instant,
+    /// Last beat per rank, µs since `start`.
+    last_beat: Vec<AtomicU64>,
+    /// Rank exited cleanly (or with a propagated error) — exempt from
+    /// staleness: silence after a clean exit is not a death.
+    done: Vec<AtomicBool>,
+    /// Rank died silently (kill fault under failover): its beater stops,
+    /// and the stale stamp *is* the detection signal.
+    killed: Vec<AtomicBool>,
+    /// Rank declared dead by a detector (CAS winner advances the epoch).
+    dead: Vec<AtomicBool>,
+}
+
+impl Membership {
+    fn new(n: usize) -> Self {
+        Membership {
+            epoch: AtomicU64::new(0),
+            start: Instant::now(),
+            last_beat: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn beat(&self, rank: usize) {
+        self.last_beat[rank].store(self.now_us(), Ordering::Relaxed);
+    }
+
+    fn mark_done(&self, rank: usize) {
+        self.done[rank].store(true, Ordering::Release);
+    }
+
+    fn mark_killed(&self, rank: usize) {
+        self.killed[rank].store(true, Ordering::Release);
+    }
+
+    /// Whether the rank's worker has exited (cleanly or killed) — its
+    /// heartbeat thread stops on this.
+    fn finished(&self, rank: usize) -> bool {
+        self.done[rank].load(Ordering::Acquire) || self.killed[rank].load(Ordering::Acquire)
+    }
+
+    fn is_killed(&self, rank: usize) -> bool {
+        self.killed[rank].load(Ordering::Acquire)
+    }
+
+    /// First silently-killed rank, if any (post-join sweep: a kill at the
+    /// final phase can let every survivor finish before detection fires).
+    fn first_killed(&self) -> Option<usize> {
+        (0..self.killed.len()).find(|&r| self.is_killed(r) && !self.dead[r].load(Ordering::Acquire))
+    }
+
+    /// Declares `rank` dead; the CAS winner advances the membership epoch
+    /// and returns `true` (exactly one view change per death).
+    fn declare_dead(&self, rank: usize) -> bool {
+        let won = !self.dead[rank].swap(true, Ordering::AcqRel);
+        if won {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        won
+    }
+
+    /// Scans for a peer whose beat is older than `window` and that is
+    /// neither done nor already declared dead.
+    fn find_stale(&self, me: usize, window: Duration) -> Option<usize> {
+        let now = self.now_us();
+        let window_us = window.as_micros() as u64;
+        (0..self.last_beat.len()).find(|&peer| {
+            peer != me
+                && !self.done[peer].load(Ordering::Acquire)
+                && !self.dead[peer].load(Ordering::Acquire)
+                && now.saturating_sub(self.last_beat[peer].load(Ordering::Relaxed)) > window_us
+        })
+    }
+}
+
+/// Deterministic, seeded jitter for the exponential send-retry backoff.
+///
+/// Plain exponential backoff re-collides: in a bulk-synchronous program the
+/// ranks run in lockstep, so if two ranks hit a transient send failure at
+/// the same instant they retry at the same instant too, forever. The
+/// jitter spreads attempt `attempt` uniformly over `[0.5, 1.5)` of the
+/// capped exponential delay, derived from SplitMix64 over
+/// `(seed, rank, nth, attempt)` — the fault-plan seed keeps chaos runs
+/// exactly reproducible.
+pub fn backoff_with_jitter(
+    base: Duration,
+    attempt: u32,
+    seed: u64,
+    rank: usize,
+    nth: u64,
+) -> Duration {
+    // Exponential, capped at 1 s so a large retry budget cannot sleep for
+    // minutes (same cap the un-jittered schedule had).
+    let exp = base
+        .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16))
+        .min(Duration::from_secs(1));
+    let mut state = seed
+        ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ nth.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ (attempt as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let r = fault::splitmix64(&mut state);
+    exp / 2 + (exp * ((r % 1024) as u32)) / 1024
 }
 
 /// Control-plane marker delivered to every mailbox when a rank aborts; it
@@ -441,6 +676,8 @@ impl AbortState {
             let _ = fabric.senders[dst].send(Packet {
                 from: origin,
                 seq: None,
+                epoch: CONTROL_EPOCH,
+                crc: frame_crc(origin, None, CONTROL_EPOCH),
                 payload: Box::new(AbortPacket),
             });
         }
@@ -585,10 +822,12 @@ pub struct NodeCtx<'a> {
     parked: Mutex<Vec<(usize, Box<dyn Any + Send>)>>,
     barrier: &'a PoisonBarrier,
     abort: &'a AbortState,
+    membership: &'a Membership,
     meter: &'a MemoryMeter,
     stats: &'a PhaseStats,
     timeouts: &'a ClusterTimeouts,
     injector: Option<&'a FaultInjector>,
+    failover: bool,
     /// Total sends performed by this rank (fault addressing).
     send_count: AtomicU64,
     /// Next sequence number per destination (sender side).
@@ -597,6 +836,8 @@ pub struct NodeCtx<'a> {
     recv_expect: Vec<AtomicU64>,
     /// Duplicate deliveries discarded by the sequence check.
     dups_dropped: AtomicU64,
+    /// Stale-epoch data frames discarded after a view change.
+    stale_dropped: AtomicU64,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -681,6 +922,12 @@ impl<'a> NodeCtx<'a> {
             }
             return Err(ClusterError::InjectedCrash { rank: self.rank, at });
         }
+        if let Some(at) = inj.kill_at(self.rank, phase, iteration) {
+            if efm_obs::enabled() {
+                efm_obs::instant_dyn(format!("fault: kill @{at}"));
+            }
+            return Err(ClusterError::RankKilled { rank: self.rank, at });
+        }
         Ok(())
     }
 
@@ -702,11 +949,24 @@ impl<'a> NodeCtx<'a> {
             efm_obs::counter_add_dyn(format!("link {}->{} msgs", self.rank, dst), 1);
             efm_obs::counter_add("comm msgs", 1);
         }
+        let epoch = self.membership.epoch();
         self.fabric.senders[dst]
-            .send(Packet { from: self.rank, seq: Some(seq), payload: Box::new(msg) })
+            .send(Packet {
+                from: self.rank,
+                seq: Some(seq),
+                epoch,
+                crc: frame_crc(self.rank, Some(seq), epoch),
+                payload: Box::new(msg),
+            })
             .map_err(|_| {
                 if self.abort.is_flagged() {
                     self.aborted()
+                } else if self.failover && self.membership.is_killed(dst) {
+                    // The sender discovered the death before the heartbeat
+                    // window elapsed: declare it here and surface the
+                    // failover cue immediately.
+                    self.membership.declare_dead(dst);
+                    ClusterError::RankLost { rank: dst, epoch: self.membership.epoch() }
                 } else {
                     ClusterError::Protocol(format!(
                         "rank {}: send to rank {dst} failed (mailbox closed — peer already exited)",
@@ -743,13 +1003,16 @@ impl<'a> NodeCtx<'a> {
                     if attempts > self.timeouts.send_retries {
                         return Err(ClusterError::SendFailed { rank: self.rank, dst, attempts });
                     }
-                    // Exponential backoff: base × 2^(attempt-1), capped so a
-                    // large retry budget cannot sleep for minutes.
-                    let backoff = self
-                        .timeouts
-                        .send_retry_base
-                        .saturating_mul(1u32 << (attempts - 1).min(16));
-                    std::thread::sleep(backoff.min(Duration::from_secs(1)));
+                    // Exponential backoff with seeded jitter: lockstep ranks
+                    // that failed together must not retry together.
+                    let seed = self.injector.map_or(0, |i| i.plan().seed);
+                    std::thread::sleep(backoff_with_jitter(
+                        self.timeouts.send_retry_base,
+                        attempts,
+                        seed,
+                        self.rank,
+                        nth,
+                    ));
                 }
                 SendFate::Drop => {
                     // The fabric swallows the message: consume the sequence
@@ -805,6 +1068,11 @@ impl<'a> NodeCtx<'a> {
         self.dups_dropped.load(Ordering::Relaxed)
     }
 
+    /// Stale-epoch data frames discarded on this rank after a view change.
+    pub fn stale_frames_dropped(&self) -> u64 {
+        self.stale_dropped.load(Ordering::Relaxed)
+    }
+
     /// Receives the next message of type `M` from rank `src` within the
     /// default deadline ([`ClusterTimeouts::recv`]). Messages of other
     /// types or sources are parked, preserving per-sender order. Wakes with
@@ -847,8 +1115,26 @@ impl<'a> NodeCtx<'a> {
                 // down, which implies an abort is in flight.
                 Err(RecvTimeoutError::Disconnected) => return Err(self.aborted()),
             };
+            if packet.crc != frame_crc(packet.from, packet.seq, packet.epoch) {
+                return Err(ClusterError::CorruptFrame {
+                    src: packet.from,
+                    dst: self.rank,
+                    seq: packet.seq.unwrap_or(0),
+                });
+            }
             if packet.payload.is::<AbortPacket>() {
                 return Err(self.aborted());
+            }
+            if packet.epoch < self.membership.epoch() {
+                // Traffic from a pre-view-change epoch: the sender's view
+                // included a rank that is now dead. Consume the sequence
+                // number (the frame *was* delivered, merely obsolete) so
+                // in-epoch traffic behind it is not mistaken for a gap.
+                if let Some(seq) = packet.seq {
+                    self.recv_expect[packet.from].fetch_max(seq + 1, Ordering::Relaxed);
+                }
+                self.stale_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
             if let Some(seq) = packet.seq {
                 if !self.check_seq(packet.from, seq)? {
@@ -1060,6 +1346,7 @@ where
     let fabric = Fabric { senders };
     let barrier = PoisonBarrier::new(n);
     let abort = AbortState::new();
+    let membership = Membership::new(n);
     let meters: Vec<MemoryMeter> =
         (0..n).map(|r| MemoryMeter::new(r, config.memory_limit)).collect();
     let stats: Vec<PhaseStats> = (0..n).map(|_| PhaseStats::default()).collect();
@@ -1068,11 +1355,18 @@ where
     let receivers: Vec<Mutex<Option<Receiver<Packet>>>> =
         receivers.into_iter().map(|r| Mutex::new(Some(r))).collect();
 
+    // Heartbeat staleness window: generous relative to the beat period,
+    // floored so OS scheduler hiccups on loaded runners cannot fake a
+    // death. Detection latency stays well under every recv/barrier
+    // deadline, so the typed RankLost beats any Timeout to the latch.
+    let stale_window = config.heartbeat.saturating_mul(20).max(Duration::from_millis(200));
+
     std::thread::scope(|scope| {
         for rank in 0..n {
             let fabric = &fabric;
             let barrier = &barrier;
             let abort = &abort;
+            let membership = &membership;
             let meter = &meters[rank];
             let stat = &stats[rank];
             let slot = &results[rank];
@@ -1092,14 +1386,17 @@ where
                     parked: Mutex::new(Vec::new()),
                     barrier,
                     abort,
+                    membership,
                     meter,
                     stats: stat,
                     timeouts: &config.timeouts,
                     injector: config.injector.as_deref(),
+                    failover: config.failover,
                     send_count: AtomicU64::new(0),
                     send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
                     recv_expect: (0..n).map(|_| AtomicU64::new(0)).collect(),
                     dups_dropped: AtomicU64::new(0),
+                    stale_dropped: AtomicU64::new(0),
                 };
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                 let failure = match &out {
@@ -1114,21 +1411,91 @@ where
                     }
                     Ok(Ok(_)) => None,
                 };
-                if let Some(err) = failure {
-                    // Secondary Aborted errors never displace the original
-                    // failure: the latch is first-writer-wins, and a rank
-                    // woken by someone else's abort reports Aborted here.
-                    abort.trigger(rank, err, barrier, fabric);
+                match failure {
+                    // A silent kill under failover: the rank just stops —
+                    // no abort, no barrier poison. Its heartbeat goes
+                    // stale and a peer detector declares the death. Rank 0
+                    // (the coordinator) is never silently lost: its death
+                    // takes the ordinary abort → restart-ladder path.
+                    Some(ClusterError::RankKilled { .. })
+                        if config.failover && n > 1 && rank != 0 =>
+                    {
+                        membership.mark_killed(rank);
+                        if efm_obs::enabled() {
+                            efm_obs::instant_dyn(format!("fault: rank {rank} died silently"));
+                        }
+                    }
+                    Some(err) => {
+                        // Secondary Aborted errors never displace the
+                        // original failure: the latch is first-writer-wins,
+                        // and a rank woken by someone else's abort reports
+                        // Aborted here.
+                        membership.mark_done(rank);
+                        abort.trigger(rank, err, barrier, fabric);
+                    }
+                    None => membership.mark_done(rank),
                 }
                 if let Ok(r) = out {
                     *slot.lock() = Some(r);
                 }
             });
         }
+        // The liveness layer: one beater/detector thread per rank. It
+        // beats on the rank's behalf every heartbeat (so a busy compute
+        // loop never looks dead) and scans peers for stale stamps. The
+        // winning detector advances the membership epoch and triggers the
+        // abort machinery with RankLost — barrier poison plus abort
+        // packets ARE the view-change wake-up: every survivor blocked in
+        // a collective returns at the current boundary, and the
+        // supervisor re-enters with the agreed N−1 membership.
+        if config.failover && n > 1 {
+            for rank in 0..n {
+                let fabric = &fabric;
+                let barrier = &barrier;
+                let abort = &abort;
+                let membership = &membership;
+                let heartbeat = config.heartbeat;
+                scope.spawn(move || loop {
+                    if membership.finished(rank) || abort.is_flagged() {
+                        return;
+                    }
+                    membership.beat(rank);
+                    if let Some(dead) = membership.find_stale(rank, stale_window) {
+                        if membership.declare_dead(dead) {
+                            let epoch = membership.epoch();
+                            if efm_obs::enabled() {
+                                efm_obs::instant_dyn(format!(
+                                    "failover: rank {dead} lost, membership epoch {epoch}"
+                                ));
+                            }
+                            abort.trigger(
+                                rank,
+                                ClusterError::RankLost { rank: dead, epoch },
+                                barrier,
+                                fabric,
+                            );
+                        }
+                        return;
+                    }
+                    std::thread::sleep(heartbeat);
+                });
+            }
+        }
     });
 
     if let Some(err) = abort.take_origin_error() {
         return Err(err);
+    }
+
+    // A kill at the very last phase can let every survivor finish before
+    // the heartbeat window elapses: no detector fired, but the dead rank
+    // produced no result. Synthesize the view change here so the caller
+    // still sees the failover cue rather than an untyped protocol error.
+    if config.failover {
+        if let Some(dead) = membership.first_killed() {
+            membership.declare_dead(dead);
+            return Err(ClusterError::RankLost { rank: dead, epoch: membership.epoch() });
+        }
     }
 
     let mut reports = Vec::with_capacity(n);
@@ -1692,5 +2059,224 @@ mod tests {
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(1);
+        for attempt in 1..=8u32 {
+            let a = backoff_with_jitter(base, attempt, 42, 3, 7);
+            let b = backoff_with_jitter(base, attempt, 42, 3, 7);
+            assert_eq!(a, b, "same inputs must give the same delay");
+            let exp = base * (1u32 << (attempt - 1));
+            assert!(a >= exp / 2, "attempt {attempt}: {a:?} below half the exponential {exp:?}");
+            assert!(a < exp * 3 / 2, "attempt {attempt}: {a:?} at or above 1.5x {exp:?}");
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_separates_lockstep_ranks() {
+        let base = Duration::from_millis(1);
+        // Two ranks retrying the same nth send at the same attempt must not
+        // share a delay (for at least one attempt in a short horizon —
+        // individual collisions are possible but not across the board).
+        let distinct = (1..=8u32).any(|attempt| {
+            backoff_with_jitter(base, attempt, 42, 0, 7)
+                != backoff_with_jitter(base, attempt, 42, 1, 7)
+        });
+        assert!(distinct, "ranks 0 and 1 collided on every attempt");
+    }
+
+    #[test]
+    fn jittered_backoff_still_grows_exponentially() {
+        let base = Duration::from_millis(1);
+        // Attempt k+2's minimum (0.5 x 4 x 2^(k-1)) strictly exceeds
+        // attempt k's maximum (1.5 x 2^(k-1)): the schedule still escalates
+        // despite the jitter.
+        for attempt in 1..=6u32 {
+            let now = backoff_with_jitter(base, attempt, 9, 2, 0);
+            let later = backoff_with_jitter(base, attempt + 2, 9, 2, 0);
+            assert!(later > now, "attempt {}: {later:?} <= {now:?}", attempt + 2);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_is_detected_typed() {
+        let err = run_cluster(&ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                // Bypass send(): inject a frame whose CRC does not match
+                // its header, as fabric corruption would produce.
+                let sent = ctx.fabric.senders[1].send(Packet {
+                    from: 0,
+                    seq: Some(0),
+                    epoch: 0,
+                    crc: 0xDEAD_BEEF,
+                    payload: Box::new(7u32),
+                });
+                assert!(sent.is_ok());
+                Ok(0)
+            } else {
+                ctx.recv::<u32>(0)
+            }
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::CorruptFrame { src: 0, dst: 1, seq: 0 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_dropped_not_delivered() {
+        let observed = Mutex::new((0u32, 0u64));
+        run_cluster(&ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10u32)?; // stamped epoch 0
+                ctx.barrier()?; // rank 1 advances the epoch
+                ctx.barrier()?;
+                ctx.send(1, 20u32)?; // stamped epoch 1
+                Ok(())
+            } else {
+                ctx.barrier()?;
+                // Simulate a view change between rank 0's two sends.
+                ctx.membership.epoch.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier()?;
+                let v = ctx.recv::<u32>(0)?;
+                *observed.lock() = (v, ctx.stale_frames_dropped());
+                Ok(())
+            }
+        })
+        .unwrap();
+        let (v, stale) = *observed.lock();
+        assert_eq!(v, 20, "the pre-view-change frame must not be delivered");
+        assert_eq!(stale, 1, "exactly one stale frame discarded");
+    }
+
+    #[test]
+    fn killed_rank_is_detected_as_rank_lost() {
+        // Rank 1 dies silently mid-run; rank 0 blocks in recv with a long
+        // deadline. Only the heartbeat detector can wake it.
+        let plan = FaultPlan::new(11).kill_rank(1, "iteration", 0);
+        let cfg = ClusterConfig::new(2)
+            .with_fault_plan(plan)
+            .with_failover(true)
+            .with_heartbeat(Duration::from_millis(5))
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let start = Instant::now();
+        let err = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("iteration", 0)?;
+            if ctx.rank() == 0 {
+                ctx.recv::<u32>(1)?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::RankLost { rank: 1, epoch } => assert!(epoch >= 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "detection must come from the heartbeat window, not the recv deadline"
+        );
+    }
+
+    #[test]
+    fn kill_at_final_phase_synthesizes_rank_lost_after_join() {
+        // No collective follows the kill: every survivor finishes before
+        // the staleness window elapses, so the post-join sweep must still
+        // surface the loss as RankLost (not an untyped protocol error).
+        let plan = FaultPlan::new(12).kill_rank(2, "merge", 0);
+        let cfg = ClusterConfig::new(3).with_fault_plan(plan).with_failover(true);
+        let err = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("merge", 0)?;
+            Ok(ctx.rank())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::RankLost { rank: 2, epoch: 1 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_without_failover_takes_the_abort_path() {
+        let plan = FaultPlan::new(13).kill_rank(1, "iteration", 0);
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan);
+        let err = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("iteration", 0)?;
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        match &err {
+            ClusterError::RankKilled { rank: 1, at } => {
+                assert!(at.contains("iteration"), "{at}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.is_retryable(), "kill without failover restarts");
+    }
+
+    #[test]
+    fn killed_rank_zero_is_not_silently_lost() {
+        // The coordinator's death must go through the restart ladder even
+        // with failover on: survivors cannot re-plan without rank 0.
+        let plan = FaultPlan::new(14).kill_rank(0, "iteration", 0);
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan).with_failover(true);
+        let err = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("iteration", 0)?;
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::RankKilled { rank: 0, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failover_run_without_faults_is_unperturbed() {
+        // The liveness layer must be inert on a healthy run: same results,
+        // no stale drops, no spurious deaths.
+        let cfg =
+            ClusterConfig::new(4).with_failover(true).with_heartbeat(Duration::from_millis(5));
+        let reports = run_cluster(&cfg, |ctx| {
+            let all = ctx.allgather(ctx.rank() as u64)?;
+            ctx.barrier()?;
+            Ok(all.iter().sum::<u64>())
+        })
+        .unwrap();
+        for rep in reports {
+            assert_eq!(rep.value, 6);
+        }
+    }
+
+    #[test]
+    fn sender_to_killed_rank_surfaces_rank_lost() {
+        // The survivor discovers the death through a closed mailbox before
+        // the heartbeat window elapses; the error must still be the typed
+        // failover cue, not a protocol error.
+        let plan = FaultPlan::new(15).kill_rank(1, "iteration", 0);
+        let cfg = ClusterConfig::new(2).with_fault_plan(plan).with_failover(true);
+        let err = run_cluster(&cfg, |ctx| {
+            ctx.fault_point("iteration", 0)?;
+            if ctx.rank() == 0 {
+                // Keep sending until the death is observed one way or the
+                // other (mailbox close or heartbeat detection).
+                for _ in 0..1_000_000 {
+                    ctx.send(1, 1u8)?;
+                    std::thread::yield_now();
+                }
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::RankLost { rank: 1, .. } => {}
+            ClusterError::Aborted { .. } => {} // detector won the race
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

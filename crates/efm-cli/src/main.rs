@@ -44,6 +44,10 @@
 //!                                   supervisor: restart from the newest checkpoint on
 //!                                   transient failures, escalate on memory aborts
 //!   --max-restarts <N>              supervisor restart budget [default: 3]
+//!   --failover                      degrade instead of restarting when a non-zero
+//!                                   rank dies: survivors re-stripe the dead rank's
+//!                                   work and continue with N-1 ranks
+//!   --heartbeat-ms <MS>             liveness heartbeat period [default: 10]
 //!   --fault-plan <SPEC>             inject deterministic faults, e.g.
 //!                                   "seed=42;crash@1:phase=communicate,iter=3"
 //!   --trace-out <FILE>              write a Chrome trace_event JSON of the run
@@ -99,6 +103,8 @@ struct Args {
     auto_escalate: Option<usize>,
     supervise: bool,
     max_restarts: u32,
+    failover: bool,
+    heartbeat_ms: Option<u64>,
     fault_plan: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -117,6 +123,7 @@ fn usage() -> ! {
          \x20                 [--max-modes N] [--print-modes N] [--coefficients]\n\
          \x20                 [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20                 [--auto-escalate K] [--supervise] [--max-restarts N]\n\
+         \x20                 [--failover] [--heartbeat-ms MS]\n\
          \x20                 [--fault-plan SPEC] [--trace-out FILE] [--metrics-out FILE]\n\
          \x20                 [--progress] [--quiet] [NETWORK-FILE]"
     );
@@ -157,6 +164,8 @@ fn parse_args() -> Args {
         auto_escalate: None,
         supervise: false,
         max_restarts: 3,
+        failover: false,
+        heartbeat_ms: None,
         fault_plan: None,
         trace_out: None,
         metrics_out: None,
@@ -216,6 +225,10 @@ fn parse_args() -> Args {
             "--supervise" => args.supervise = true,
             "--max-restarts" => {
                 args.max_restarts = val(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--failover" => args.failover = true,
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
             }
             "--fault-plan" => args.fault_plan = Some(val(&mut it)),
             "--trace-out" => args.trace_out = Some(val(&mut it)),
@@ -303,6 +316,12 @@ fn run<S: efm_core::EfmScalar>(
             let mut cfg = efm_cluster::ClusterConfig::new(args.nodes);
             if let Some(limit) = args.memory_limit {
                 cfg = cfg.with_memory_limit(limit);
+            }
+            if args.failover {
+                cfg = cfg.with_failover(true);
+            }
+            if let Some(ms) = args.heartbeat_ms {
+                cfg = cfg.with_heartbeat(std::time::Duration::from_millis(ms.max(1)));
             }
             Backend::Cluster(cfg)
         }

@@ -51,8 +51,13 @@ const MAGIC: &[u8; 4] = b"EFCK";
 /// snapshots) and version-4 files (no kernel/arena counters — they read
 /// back as zero / empty tier) remain readable. Version 6 appends the
 /// streaming-generation counters (`stream_batches`, `spill_bytes`);
-/// version-5 files read them back as zero.
-const VERSION: u32 = 6;
+/// version-5 files read them back as zero. Version 7 appends per-rank
+/// stripe provenance (`stripe_weights`: the cost-model weights the writing
+/// group striped the pair grid with, one per rank) and the failover
+/// counters of `RunStats` (`failovers`, `ranks_lost`); version-6 files
+/// read them back as empty/zero — an empty weight vector means uniform
+/// striping, exactly what every pre-failover run used.
+const VERSION: u32 = 7;
 
 /// Record kind (v4+): an engine snapshot at an iteration boundary.
 const KIND_ENGINE: u32 = 0;
@@ -130,6 +135,13 @@ pub struct EngineCheckpoint {
     pub vals: Vec<String>,
     /// Run statistics accumulated up to the snapshot.
     pub stats: RunStats,
+    /// Stripe provenance (v7+): the cost-model weights the writing group
+    /// striped the candidate pair grid with, one entry per rank of the
+    /// group that wrote the snapshot. Empty means uniform striping (all
+    /// pre-v7 files, and runs that never overrode the stripes). On
+    /// failover the supervisor recovers the dead rank's share from this
+    /// vector and redistributes it across the survivors.
+    pub stripe_weights: Vec<u64>,
 }
 
 /// Structural fingerprint binding a checkpoint to its problem: FNV-1a over
@@ -198,6 +210,7 @@ impl EngineCheckpoint {
                 .collect(),
             vals: eng.modes.vals.iter().map(EfmScalar::encode_checkpoint).collect(),
             stats: eng.stats.clone(),
+            stripe_weights: Vec::new(),
         }
     }
 
@@ -236,6 +249,7 @@ impl EngineCheckpoint {
                 .collect(),
             vals: vals.iter().map(EfmScalar::encode_checkpoint).collect(),
             stats,
+            stripe_weights: Vec::new(),
         }
     }
 
@@ -380,6 +394,12 @@ impl EngineCheckpoint {
             put_str(w, v)?;
         }
         put_stats(w, &self.stats, version)?;
+        if version >= 7 {
+            put_u64(w, self.stripe_weights.len() as u64)?;
+            for &sw in &self.stripe_weights {
+                put_u64(w, sw)?;
+            }
+        }
         Ok(())
     }
 
@@ -422,6 +442,19 @@ impl EngineCheckpoint {
     pub(crate) fn write_to_v5<W: Write>(&self, w: W) -> io::Result<()> {
         let mut cw = CrcWriter::new(w);
         self.write_body(&mut cw, 5)?;
+        let (len, crc) = (cw.len, cw.crc.finish());
+        let mut w = cw.into_inner();
+        put_u64(&mut w, len)?;
+        put_u32(&mut w, crc)?;
+        Ok(())
+    }
+
+    /// Writes a version-6 file (no stripe provenance or failover counters) —
+    /// compatibility-test helper.
+    #[cfg(test)]
+    pub(crate) fn write_to_v6<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut cw = CrcWriter::new(w);
+        self.write_body(&mut cw, 6)?;
         let (len, crc) = (cw.len, cw.crc.finish());
         let mut w = cw.into_inner();
         put_u64(&mut w, len)?;
@@ -482,6 +515,18 @@ impl EngineCheckpoint {
             vals.push(get_str(r)?);
         }
         let stats = get_stats(r, version)?;
+        let stripe_weights = if version >= 7 {
+            let nw = checked_len(get_u64(r)?)?;
+            let mut weights = Vec::with_capacity(nw.min(1 << 20));
+            for _ in 0..nw {
+                weights.push(get_u64(r)?);
+            }
+            weights
+        } else {
+            // Pre-v7 files carry no stripe provenance; an empty vector means
+            // "assume the uniform split" to every consumer.
+            Vec::new()
+        };
         if version >= 2 {
             // Validate the footer against what was actually read: a file
             // truncated exactly on a record boundary parses cleanly up to
@@ -514,6 +559,7 @@ impl EngineCheckpoint {
             mode_patterns,
             vals,
             stats,
+            stripe_weights,
         })
     }
 
@@ -901,45 +947,10 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, bitwise — checkpoint files are small
-/// enough that a lookup table buys nothing).
-struct Crc32(u32);
-
-/// Byte-at-a-time lookup table, built at compile time. Checkpoints run to
-/// megabytes and are checksummed once per write *and* read, so the 8×
-/// win over the bitwise loop is worth 1 KB of table.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-impl Crc32 {
-    fn new() -> Self {
-        Crc32(0xFFFF_FFFF)
-    }
-
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 >> 8) ^ CRC32_TABLE[((self.0 ^ b as u32) & 0xFF) as usize];
-        }
-    }
-
-    fn finish(&self) -> u32 {
-        !self.0
-    }
-}
+// The table-driven CRC-32 now lives in `efm_cluster::crc`, shared with the
+// cluster data plane's per-frame checksums (same IEEE 802.3 polynomial, same
+// table). The wrappers below keep the checkpoint-specific accounting.
+use efm_cluster::crc::Crc32;
 
 /// Writer wrapper accumulating the running CRC and byte count of the body.
 struct CrcWriter<W> {
@@ -1056,6 +1067,7 @@ fn put_class(c: FailureClass) -> u32 {
         FailureClass::Fatal => 0,
         FailureClass::Retryable => 1,
         FailureClass::Memory => 2,
+        FailureClass::RankLost => 3,
     }
 }
 
@@ -1064,6 +1076,7 @@ fn get_class(v: u32) -> io::Result<FailureClass> {
         0 => FailureClass::Fatal,
         1 => FailureClass::Retryable,
         2 => FailureClass::Memory,
+        3 => FailureClass::RankLost,
         other => return Err(bad_data(format!("unknown failure class {other}"))),
     })
 }
@@ -1074,6 +1087,7 @@ fn put_action(a: RecoveryAction) -> u32 {
         RecoveryAction::Escalated => 1,
         RecoveryAction::DiscardedCheckpoint => 2,
         RecoveryAction::GaveUp => 3,
+        RecoveryAction::FailedOver => 4,
     }
 }
 
@@ -1083,6 +1097,7 @@ fn get_action(v: u32) -> io::Result<RecoveryAction> {
         1 => RecoveryAction::Escalated,
         2 => RecoveryAction::DiscardedCheckpoint,
         3 => RecoveryAction::GaveUp,
+        4 => RecoveryAction::FailedOver,
         other => return Err(bad_data(format!("unknown recovery action {other}"))),
     })
 }
@@ -1166,6 +1181,10 @@ fn put_stats(w: &mut impl Write, s: &RunStats, version: u32) -> io::Result<()> {
         put_u64(w, s.stream_batches)?;
         put_u64(w, s.spill_bytes)?;
     }
+    if version >= 7 {
+        put_u32(w, s.failovers)?;
+        put_u32(w, s.ranks_lost)?;
+    }
     Ok(())
 }
 
@@ -1245,6 +1264,10 @@ fn get_stats(r: &mut impl Read, version: u32) -> io::Result<RunStats> {
     if version >= 6 {
         s.stream_batches = get_u64(r)?;
         s.spill_bytes = get_u64(r)?;
+    }
+    if version >= 7 {
+        s.failovers = get_u32(r)?;
+        s.ranks_lost = get_u32(r)?;
     }
     Ok(s)
 }
@@ -1531,6 +1554,52 @@ mod tests {
         let mut want = ck.clone();
         want.stats.stream_batches = 0;
         want.stats.spill_bytes = 0;
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn v7_stripe_provenance_and_failover_counters_roundtrip() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        ck.stripe_weights = vec![3, 1, 2, 2];
+        ck.stats.failovers = 2;
+        ck.stats.ranks_lost = 1;
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.stripe_weights, vec![3, 1, 2, 2]);
+        assert_eq!(back.stats.failovers, 2);
+        assert_eq!(back.stats.ranks_lost, 1);
+    }
+
+    #[test]
+    fn v6_files_read_back_with_zeroed_v7_fields() {
+        let problem = toy_problem();
+        let opts = EfmOptions::default();
+        let mut eng = Engine::<Pattern1, DynInt>::new(&problem, &opts).unwrap();
+        eng.step();
+        let mut ck = EngineCheckpoint::capture(&eng, problem_fingerprint(&problem));
+        // These fields don't exist in a v6 file and must come back empty/zero.
+        ck.stripe_weights = vec![5, 5];
+        ck.stats.failovers = 3;
+        ck.stats.ranks_lost = 2;
+        ck.stats.stream_batches = 11;
+        let mut buf = Vec::new();
+        ck.write_to_v6(&mut buf).unwrap();
+        let back = EngineCheckpoint::read_from(&buf[..]).unwrap();
+        // v6 fields survive; v7 fields are absent.
+        assert_eq!(back.stats.stream_batches, 11);
+        assert!(back.stripe_weights.is_empty());
+        assert_eq!(back.stats.failovers, 0);
+        assert_eq!(back.stats.ranks_lost, 0);
+        let mut want = ck.clone();
+        want.stripe_weights = Vec::new();
+        want.stats.failovers = 0;
+        want.stats.ranks_lost = 0;
         assert_eq!(back, want);
     }
 

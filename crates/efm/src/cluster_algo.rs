@@ -213,6 +213,40 @@ pub fn cluster_supports_segment<P: BitPattern, S: EfmScalar>(
     Ok((ClusterOutcome { supports, stats, per_rank: reports }, paused))
 }
 
+/// This rank's half-open slice of the iteration's `pos × neg` pair grid.
+/// `None` (or a weight vector whose length does not match the group) gives
+/// the paper's uniform `rank·pairs/nodes` stripes; otherwise the grid is
+/// split proportionally to the weights — the failover path's mechanism for
+/// spreading a dead rank's share across every survivor instead of doubling
+/// one neighbour's load. The proportional split uses `u128` prefix sums so
+/// it is exact for genome-scale pair counts, and with uniform weights it
+/// reproduces the classic `rank·pairs/nodes` bounds bit for bit (so
+/// fault-free runs are unchanged by passing explicit uniform weights).
+fn stripe_bounds(pairs: u64, nodes: u64, rank: u64, weights: Option<&[u64]>) -> (u64, u64) {
+    if let Some(w) = weights {
+        if w.len() as u64 == nodes {
+            let total: u128 = w.iter().map(|&x| x.max(1) as u128).sum();
+            let prefix: u128 = w[..rank as usize].iter().map(|&x| x.max(1) as u128).sum();
+            let mine = w[rank as usize].max(1) as u128;
+            let start = (pairs as u128 * prefix / total) as u64;
+            let end = (pairs as u128 * (prefix + mine) / total) as u64;
+            return (start, end);
+        }
+    }
+    (rank * pairs / nodes, (rank + 1) * pairs / nodes)
+}
+
+/// The stripe weights a rank-0 snapshot records as provenance (EFCK v7):
+/// the weights this run striped with, normalized to the explicit uniform
+/// vector when none were supplied — a resumed failover then always has a
+/// well-formed prior to carve the survivors' shares from.
+fn stripe_provenance(opts: &EfmOptions, nodes: usize) -> Vec<u64> {
+    match &opts.stripe_weights {
+        Some(w) if w.len() == nodes => w.clone(),
+        _ => vec![1; nodes],
+    }
+}
+
 fn node_body<P: BitPattern, S: EfmScalar>(
     ctx: &NodeCtx,
     problem: &EfmProblem<S>,
@@ -278,8 +312,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             // open (see the `transient` comment there) is closed here.
             let part = eng.partition();
             let pairs = part.pairs();
-            let start = rank * pairs / nodes;
-            let end = (rank + 1) * pairs / nodes;
+            let (start, end) = stripe_bounds(pairs, nodes, rank, opts.stripe_weights.as_deref());
             rec.pos = part.pos.len();
             rec.neg = part.neg.len();
             rec.zero = part.zero.len();
@@ -421,8 +454,8 @@ fn node_body<P: BitPattern, S: EfmScalar>(
                 let _t = ctx.timed(phases::GENERATE);
                 let part = eng.partition();
                 let pairs = part.pairs();
-                let start = rank * pairs / nodes;
-                let end = (rank + 1) * pairs / nodes;
+                let (start, end) =
+                    stripe_bounds(pairs, nodes, rank, opts.stripe_weights.as_deref());
                 rec.pos = part.pos.len();
                 rec.neg = part.neg.len();
                 rec.zero = part.zero.len();
@@ -543,8 +576,17 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             // never waits on serialization, and checkpoint overhead stays
             // a bounded fraction of the run.
             if c.due(eng.cursor - eng.free_count) && (!c.lazy || w.within_budget(t_run.elapsed())) {
-                w.submit(EngineCheckpoint::capture_deferred(&eng, fingerprint))
-                    .map_err(as_protocol)?;
+                // Stamp stripe provenance (EFCK v7) onto the deferred
+                // snapshot: the serialization thread knows the engine
+                // state but not the striping, which lives in the options.
+                let weights = stripe_provenance(opts, nodes as usize);
+                let job = EngineCheckpoint::capture_deferred(&eng, fingerprint);
+                w.submit(move || {
+                    let mut ck = job();
+                    ck.stripe_weights = weights;
+                    ck
+                })
+                .map_err(as_protocol)?;
             }
         }
     }
@@ -557,7 +599,11 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         // snapshot (the state is replicated) lets the caller resume —
         // possibly on a differently-sized cluster.
         eng.stats.total_time = t_run.elapsed();
-        let checkpoint = (ctx.rank() == 0).then(|| EngineCheckpoint::capture(&eng, fingerprint));
+        let checkpoint = (ctx.rank() == 0).then(|| {
+            let mut ck = EngineCheckpoint::capture(&eng, fingerprint);
+            ck.stripe_weights = stripe_provenance(opts, nodes as usize);
+            ck
+        });
         let stats = eng.stats.clone();
         return Ok(ClusterNodeOutcome { supports: Vec::new(), stats, checkpoint });
     }
@@ -567,4 +613,51 @@ fn node_body<P: BitPattern, S: EfmScalar>(
     eng.stats.total_time = t_run.elapsed();
     let stats = eng.stats.clone();
     Ok(ClusterNodeOutcome { supports, stats, checkpoint: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_reproduce_classic_stripes() {
+        // The weighted split must be bit-identical to `rank·pairs/nodes`
+        // under uniform weights — fault-free runs see no change at all.
+        for pairs in [0u64, 1, 7, 100, 12_345, u32::MAX as u64] {
+            for nodes in 1u64..=8 {
+                let w = vec![1u64; nodes as usize];
+                for rank in 0..nodes {
+                    let classic = (rank * pairs / nodes, (rank + 1) * pairs / nodes);
+                    assert_eq!(stripe_bounds(pairs, nodes, rank, Some(&w)), classic);
+                    assert_eq!(stripe_bounds(pairs, nodes, rank, None), classic);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_stripes_cover_the_grid_without_gaps() {
+        let w = [3u64, 1, 2, 2];
+        for pairs in [0u64, 1, 9, 1000, 99_991] {
+            let mut cursor = 0;
+            for rank in 0..4u64 {
+                let (start, end) = stripe_bounds(pairs, 4, rank, Some(&w));
+                assert_eq!(start, cursor, "stripe {rank} must abut its predecessor");
+                assert!(end >= start);
+                cursor = end;
+            }
+            assert_eq!(cursor, pairs, "stripes must cover the whole grid");
+        }
+        // Proportionality: rank 0 (weight 3) gets about 3/8 of the grid.
+        let (s0, e0) = stripe_bounds(8000, 4, 0, Some(&w));
+        assert_eq!((s0, e0), (0, 3000));
+    }
+
+    #[test]
+    fn mismatched_weight_length_falls_back_to_uniform() {
+        // A weight vector for a different group size (stale provenance)
+        // must not skew the stripes.
+        let stale = [5u64, 1];
+        assert_eq!(stripe_bounds(900, 3, 1, Some(&stale)), (300, 600));
+    }
 }

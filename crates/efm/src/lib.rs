@@ -87,7 +87,7 @@ pub use escalate::{
 pub use oracle::brute_force_efms;
 pub use problem::{build_problem, build_subproblem, EfmProblem};
 pub use recover::{recover_flux, verify_flux};
-pub use schedule::{DncConfig, DncSchedule};
+pub use schedule::{survivor_weights, DncConfig, DncSchedule};
 pub use stripes::StripeStore;
 pub use supervise::{
     classify_failure, enumerate_supervised, enumerate_supervised_with_scalar, SuperviseConfig,

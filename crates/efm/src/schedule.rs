@@ -171,6 +171,15 @@ fn estimate_cost<S: EfmScalar>(p: &EfmProblem<S>) -> u64 {
     (width * width * iters).saturating_mul(1 + rev).max(1)
 }
 
+/// Stripe weights for the N−1 survivors after rank `dead` is lost: the
+/// dead rank's entry is removed and its share implicitly redistributed —
+/// proportional striping over the remaining weights spreads the missing
+/// capacity across every survivor instead of doubling one neighbour's
+/// load (the same longest-first reasoning as [`estimate_cost`]).
+pub fn survivor_weights(prior: &[u64], dead: usize) -> Vec<u64> {
+    prior.iter().enumerate().filter(|&(r, _)| r != dead).map(|(_, &w)| w.max(1)).collect()
+}
+
 /// Builds subset `id`'s subproblem exactly as [`crate::divide::run_subset`]
 /// does, plus the cost estimate.
 fn probe_subset<S: EfmScalar>(
@@ -322,6 +331,7 @@ fn execute_subset<P: BitPattern, S: EfmScalar>(
 ) -> Result<(SupportsAndStats, u32), EfmError> {
     let mut log: Vec<RecoveryEvent> = Vec::new();
     let mut retries = 0u32;
+    let mut failed_over = 0u32;
     let stealing = shared.is_some_and(|s| s.steal);
     let out = match backend {
         Backend::Serial => loop {
@@ -356,9 +366,15 @@ fn execute_subset<P: BitPattern, S: EfmScalar>(
             // Segment progress survives retries: a crashed attempt resumes
             // from the last boundary snapshot, not from scratch.
             let mut seg_ck: Option<EngineCheckpoint> = None;
+            // Local copy so a failover can re-stripe the survivors; the
+            // group may also regrow at segment boundaries (re-split), which
+            // resets the weights to uniform over the grown group.
+            let mut sub_opts = opts.clone();
             let run = loop {
                 let mut cfg = ClusterConfig::new(group).with_timeouts(base.timeouts.clone());
                 cfg.memory_limit = base.memory_limit;
+                cfg.failover = base.failover;
+                cfg.heartbeat = base.heartbeat;
                 if let Some(inj) = injector.clone().or_else(|| base.injector.clone()) {
                     cfg = cfg.with_injector(inj);
                 }
@@ -367,7 +383,7 @@ fn execute_subset<P: BitPattern, S: EfmScalar>(
                 });
                 match cluster_supports_segment::<P, S>(
                     problem,
-                    opts,
+                    &sub_opts,
                     &cfg,
                     seg_ck.as_ref(),
                     None,
@@ -384,6 +400,7 @@ fn execute_subset<P: BitPattern, S: EfmScalar>(
                             if extra > 0 {
                                 group += extra;
                                 charged += extra;
+                                sub_opts.stripe_weights = None;
                                 efm_obs::counter_add("dnc resplits", 1);
                                 if efm_obs::enabled() {
                                     efm_obs::instant_dyn(format!("resplit onto {group} nodes"));
@@ -393,6 +410,43 @@ fn execute_subset<P: BitPattern, S: EfmScalar>(
                     }
                     Err(e) => {
                         let resumed = seg_ck.as_ref().map(|c| c.iterations_completed());
+                        // In-place failover: a lost non-coordinator rank
+                        // degrades the group instead of burning a retry —
+                        // survivors re-enter from the last boundary with
+                        // the dead rank's stripe redistributed.
+                        if let EfmError::Cluster(efm_cluster::ClusterError::RankLost {
+                            rank: dead,
+                            ..
+                        }) = &e
+                        {
+                            let dead = *dead;
+                            if group > 1 && dead != 0 && dead < group {
+                                let prior = sub_opts
+                                    .stripe_weights
+                                    .take()
+                                    .filter(|w| w.len() == group)
+                                    .unwrap_or_else(|| vec![1; group]);
+                                sub_opts.stripe_weights = Some(survivor_weights(&prior, dead));
+                                log.push(RecoveryEvent {
+                                    at_us: efm_obs::now_us(),
+                                    attempt: retries + 1,
+                                    error: e.to_string(),
+                                    class: FailureClass::RankLost,
+                                    action: RecoveryAction::FailedOver,
+                                    resumed_from: resumed,
+                                });
+                                group -= 1;
+                                failed_over += 1;
+                                efm_obs::counter_add("failovers", 1);
+                                efm_obs::counter_add("ranks lost", 1);
+                                if efm_obs::enabled() {
+                                    efm_obs::instant_dyn(format!(
+                                        "failover: rank {dead} lost, continuing on {group} nodes"
+                                    ));
+                                }
+                                continue;
+                            }
+                        }
                         if let Err(e) =
                             retry_or_fail(e, &mut retries, dnc.max_retries, &mut log, resumed)
                         {
@@ -408,6 +462,8 @@ fn execute_subset<P: BitPattern, S: EfmScalar>(
         }
     };
     let (sups, mut stats) = out;
+    stats.failovers += failed_over;
+    stats.ranks_lost += failed_over;
     stats.recovery.events.extend(log);
     Ok(((sups, stats), retries))
 }
@@ -878,5 +934,17 @@ mod tests {
         let fatal = EfmError::UnknownReaction("r".into());
         assert!(retry_or_fail(fatal, &mut retries2, 2, &mut Vec::new(), None).is_err());
         assert_eq!(retries2, 0);
+    }
+
+    #[test]
+    fn survivor_weights_drop_the_dead_rank() {
+        // Uniform prior: the survivors inherit equal shares.
+        assert_eq!(survivor_weights(&[1, 1, 1, 1], 2), vec![1, 1, 1]);
+        // Weighted prior: the other entries keep their proportions.
+        assert_eq!(survivor_weights(&[3, 1, 2, 2], 0), vec![1, 2, 2]);
+        assert_eq!(survivor_weights(&[3, 1, 2, 2], 3), vec![3, 1, 2]);
+        // Zero weights are clamped so no survivor gets an empty stripe
+        // forever.
+        assert_eq!(survivor_weights(&[0, 5, 0], 1), vec![1, 1]);
     }
 }

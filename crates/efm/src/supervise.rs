@@ -34,11 +34,11 @@ use crate::bridge::EfmScalar;
 use crate::checkpoint::{CheckpointConfig, EngineCheckpoint};
 use crate::divide::Backend;
 use crate::escalate::enumerate_with_escalation_scheduled_scalar;
-use crate::schedule::DncConfig;
+use crate::schedule::{survivor_weights, DncConfig};
 use crate::types::{
     EfmError, EfmOptions, FailureClass, RecoveryAction, RecoveryEvent, RecoveryLog,
 };
-use efm_cluster::{ClusterConfig, FaultInjector, FaultPlan};
+use efm_cluster::{ClusterConfig, ClusterError, FaultInjector, FaultPlan};
 use efm_metnet::MetabolicNetwork;
 use efm_numeric::DynInt;
 use std::sync::Arc;
@@ -113,6 +113,9 @@ impl SuperviseConfig {
 pub fn classify_failure(e: &EfmError) -> FailureClass {
     match e {
         EfmError::Cluster(ce) if ce.is_memory_exceeded() => FailureClass::Memory,
+        // A heartbeat-detected rank death: the survivors are intact, so
+        // the recovery is in-place failover, not a restart.
+        EfmError::Cluster(ClusterError::RankLost { .. }) => FailureClass::RankLost,
         EfmError::Cluster(ce) if ce.is_retryable() => FailureClass::Retryable,
         // An unreadable or mismatched checkpoint is recoverable by
         // discarding it and restarting fresh.
@@ -144,17 +147,27 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
     // attempt's ClusterConfig).
     let injector: Option<Arc<FaultInjector>> =
         sup.fault_plan.clone().map(|p| Arc::new(FaultInjector::new(p)));
-    let mut cfg = cluster.clone();
-    if let Some(inj) = &injector {
-        cfg = cfg.with_injector(Arc::clone(inj));
-    }
-    let backend = Backend::Cluster(cfg);
 
     let mut log = RecoveryLog::default();
     let mut restarts: u32 = 0;
     let mut attempt: u32 = 0;
+    // Live membership: a failover shrinks `nodes` and re-stripes the
+    // survivors via `run_opts.stripe_weights`; every later attempt
+    // (including plain restarts) runs on the degraded group.
+    let mut nodes = cluster.nodes;
+    let mut run_opts = opts.clone();
+    let mut failovers: u32 = 0;
+    let mut ranks_lost: u32 = 0;
     loop {
         attempt += 1;
+        // The backend is rebuilt per attempt: failover changes the rank
+        // count, so the config cannot be fixed up front.
+        let mut cfg = cluster.clone();
+        cfg.nodes = nodes;
+        if let Some(inj) = &injector {
+            cfg = cfg.with_injector(Arc::clone(inj));
+        }
+        let backend = Backend::Cluster(cfg);
         // Newest valid checkpoint, if any. An unreadable file is discarded
         // here (logged); a structurally mismatched one is rejected by the
         // engine below and discarded on the Checkpoint error path.
@@ -162,7 +175,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
         let resume_iter = resume.as_ref().map(|ck| ck.iterations_completed());
         let result = enumerate_resumable_with_scalar::<S>(
             net,
-            opts,
+            &run_opts,
             &backend,
             resume.as_ref(),
             Some(&sup.checkpoint),
@@ -170,6 +183,8 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
         let err = match result {
             Ok(mut out) => {
                 out.stats.recovery = log;
+                out.stats.failovers += failovers;
+                out.stats.ranks_lost += ranks_lost;
                 return Ok(out);
             }
             Err(e) => e,
@@ -201,7 +216,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                 let dnc = DncConfig { max_retries: sup.max_restarts, ..sup.dnc.clone() };
                 return match enumerate_with_escalation_scheduled_scalar::<S>(
                     net,
-                    opts,
+                    &run_opts,
                     &backend,
                     sup.max_qsub,
                     &dnc,
@@ -209,6 +224,8 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     Ok(esc) => {
                         let mut out = esc.outcome;
                         out.stats.recovery = log;
+                        out.stats.failovers += failovers;
+                        out.stats.ranks_lost += ranks_lost;
                         Ok(out)
                     }
                     Err(e) => {
@@ -216,6 +233,70 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                         Err(exhausted(sup.max_restarts, e, log))
                     }
                 };
+            }
+            FailureClass::RankLost => {
+                let dead = match &err {
+                    EfmError::Cluster(ClusterError::RankLost { rank, .. }) => *rank,
+                    // classify_failure only returns RankLost for that
+                    // variant; an impossible index below forces the
+                    // restart fallback rather than a bad reassignment.
+                    _ => usize::MAX,
+                };
+                if nodes <= 1 || dead == 0 || dead >= nodes {
+                    // Cannot degrade further, or the loss is not a clean
+                    // non-coordinator death: fall back to the restart
+                    // ladder, burning budget like any retryable fault.
+                    restarts += 1;
+                    if restarts > sup.max_restarts {
+                        log.events.push(give_up(attempt, &err));
+                        return Err(exhausted(sup.max_restarts, err, log));
+                    }
+                    if efm_obs::enabled() {
+                        efm_obs::instant_dyn(format!("supervisor: restart after {err}"));
+                    }
+                    log.events.push(RecoveryEvent {
+                        at_us: efm_obs::now_us(),
+                        attempt,
+                        error: err.to_string(),
+                        class: FailureClass::RankLost,
+                        action: RecoveryAction::Restarted,
+                        resumed_from: resume_iter,
+                    });
+                    continue;
+                }
+                // In-place failover: re-enter at the current boundary with
+                // N−1 ranks, the dead rank's stripe redistributed across
+                // survivors. Deliberately does not consume the restart
+                // budget — the survivors' work is intact, nothing replays
+                // beyond the current iteration.
+                if efm_obs::enabled() {
+                    efm_obs::instant_dyn(format!("supervisor: failover after {err}"));
+                }
+                log.events.push(RecoveryEvent {
+                    at_us: efm_obs::now_us(),
+                    attempt,
+                    error: err.to_string(),
+                    class: FailureClass::RankLost,
+                    action: RecoveryAction::FailedOver,
+                    resumed_from: resume_iter,
+                });
+                // Stripe provenance: the checkpoint records the weights
+                // the interrupted attempt ran with (EFCK v7); an absent or
+                // pre-v7 record falls back to the weights this session is
+                // tracking, and a fresh fault-free session to the uniform
+                // split.
+                let prior = resume
+                    .as_ref()
+                    .map(|ck| ck.stripe_weights.clone())
+                    .filter(|w| w.len() == nodes)
+                    .or_else(|| run_opts.stripe_weights.clone().filter(|w| w.len() == nodes))
+                    .unwrap_or_else(|| vec![1; nodes]);
+                run_opts.stripe_weights = Some(survivor_weights(&prior, dead));
+                nodes -= 1;
+                failovers += 1;
+                ranks_lost += 1;
+                efm_obs::counter_add("failovers", 1);
+                efm_obs::counter_add("ranks lost", 1);
             }
             FailureClass::Retryable => {
                 let discard = matches!(err, EfmError::Checkpoint(_));
@@ -436,6 +517,110 @@ mod tests {
             }
             Err(other) => panic!("unexpected {other:?}"),
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_rank_fails_over_without_restart() {
+        let net = efm_metnet::examples::toy_network();
+        let opts = EfmOptions::default();
+        let direct = crate::enumerate(&net, &opts).unwrap();
+        let path = temp_ckpt("failover");
+        let _ = std::fs::remove_file(&path);
+        let sup = SuperviseConfig::new(&path).with_fault_plan(FaultPlan::new(21).kill_rank(
+            2,
+            "communicate",
+            2,
+        ));
+        let cluster = ClusterConfig::new(3)
+            .with_failover(true)
+            .with_heartbeat(Duration::from_millis(5))
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let out = enumerate_supervised(&net, &opts, &cluster, &sup).unwrap();
+        assert_eq!(out.efms, direct.efms);
+        assert_eq!(out.stats.recovery.restarts(), 0, "{}", out.stats.recovery);
+        assert_eq!(out.stats.failovers, 1);
+        assert_eq!(out.stats.ranks_lost, 1);
+        let ev = out
+            .stats
+            .recovery
+            .events
+            .iter()
+            .find(|e| e.action == RecoveryAction::FailedOver)
+            .expect("failover event in the log");
+        assert_eq!(ev.class, FailureClass::RankLost);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_coordinator_recovers_via_restart_ladder() {
+        let net = efm_metnet::examples::toy_network();
+        let opts = EfmOptions::default();
+        let direct = crate::enumerate(&net, &opts).unwrap();
+        let path = temp_ckpt("failover-rank0");
+        let _ = std::fs::remove_file(&path);
+        // Rank 0 owns the checkpoint writer and the result slot; its death
+        // cannot be failed over and must fall back to a full restart.
+        let sup = SuperviseConfig::new(&path).with_fault_plan(FaultPlan::new(22).kill_rank(
+            0,
+            "communicate",
+            2,
+        ));
+        let cluster = ClusterConfig::new(3)
+            .with_failover(true)
+            .with_heartbeat(Duration::from_millis(5))
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let out = enumerate_supervised(&net, &opts, &cluster, &sup).unwrap();
+        assert_eq!(out.efms, direct.efms);
+        assert_eq!(out.stats.failovers, 0, "{}", out.stats.recovery);
+        assert_eq!(out.stats.recovery.restarts(), 1, "{}", out.stats.recovery);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn two_killed_ranks_degrade_twice() {
+        let net = efm_metnet::examples::toy_network();
+        let opts = EfmOptions::default();
+        let direct = crate::enumerate(&net, &opts).unwrap();
+        let path = temp_ckpt("failover-twice");
+        let _ = std::fs::remove_file(&path);
+        // Two separate deaths: 4 -> 3 -> 2 ranks, zero full restarts. The
+        // second plan entry names the rank index in the *degraded* group.
+        let sup = SuperviseConfig::new(&path).with_fault_plan(
+            FaultPlan::new(23).kill_rank(3, "generate", 1).kill_rank(1, "merge", 3),
+        );
+        let cluster = ClusterConfig::new(4)
+            .with_failover(true)
+            .with_heartbeat(Duration::from_millis(5))
+            .with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let out = enumerate_supervised(&net, &opts, &cluster, &sup).unwrap();
+        assert_eq!(out.efms, direct.efms);
+        assert_eq!(out.stats.recovery.restarts(), 0, "{}", out.stats.recovery);
+        assert_eq!(out.stats.failovers, 2);
+        assert_eq!(out.stats.ranks_lost, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_rank_without_failover_restarts() {
+        let net = efm_metnet::examples::toy_network();
+        let opts = EfmOptions::default();
+        let direct = crate::enumerate(&net, &opts).unwrap();
+        let path = temp_ckpt("kill-no-failover");
+        let _ = std::fs::remove_file(&path);
+        // Without the liveness layer a kill surfaces through the abort
+        // machinery as a retryable fault: the old restart behaviour.
+        let sup = SuperviseConfig::new(&path).with_fault_plan(FaultPlan::new(24).kill_rank(
+            1,
+            "communicate",
+            2,
+        ));
+        let cluster =
+            ClusterConfig::new(3).with_timeouts(ClusterTimeouts::uniform(Duration::from_secs(30)));
+        let out = enumerate_supervised(&net, &opts, &cluster, &sup).unwrap();
+        assert_eq!(out.efms, direct.efms);
+        assert_eq!(out.stats.failovers, 0);
+        assert_eq!(out.stats.recovery.restarts(), 1, "{}", out.stats.recovery);
         let _ = std::fs::remove_file(&path);
     }
 

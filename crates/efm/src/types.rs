@@ -136,6 +136,14 @@ pub struct EfmOptions {
     /// exceed `b` bytes; assembly streams them back one stripe at a time.
     /// `None` (the default) keeps the legacy uncompressed in-memory lists.
     pub spill_budget: Option<u64>,
+    /// Per-rank stripe weights for the cluster backend's candidate-pair
+    /// split. `None` (the default) means the uniform `rank·pairs/nodes`
+    /// stripes; `Some(w)` (length = node count) splits each iteration's
+    /// pair range proportionally to `w`. Set by the failover path so a
+    /// survivor inheriting a dead rank's share keeps the work balanced by
+    /// the PR 5 cost model, and recorded in EFCK v7 checkpoints as stripe
+    /// provenance.
+    pub stripe_weights: Option<Vec<u64>>,
 }
 
 impl EfmOptions {
@@ -173,6 +181,7 @@ impl Default for EfmOptions {
             streaming: true,
             streaming_batch: 1 << 16,
             spill_budget: None,
+            stripe_weights: None,
         }
     }
 }
@@ -272,6 +281,11 @@ pub enum FailureClass {
     /// Memory exhaustion — a restart hits the same wall; the recovery is
     /// divide-and-conquer escalation (a deeper `2^qsub` split).
     Memory,
+    /// A single non-coordinator rank died (heartbeat went stale). The
+    /// surviving ranks' work is intact, so the recovery is in-place
+    /// failover — re-enter the run with N−1 ranks and the dead rank's
+    /// stripe redistributed — rather than a full restart.
+    RankLost,
 }
 
 impl std::fmt::Display for FailureClass {
@@ -280,6 +294,7 @@ impl std::fmt::Display for FailureClass {
             FailureClass::Fatal => write!(f, "fatal"),
             FailureClass::Retryable => write!(f, "retryable"),
             FailureClass::Memory => write!(f, "memory"),
+            FailureClass::RankLost => write!(f, "rank lost"),
         }
     }
 }
@@ -295,6 +310,10 @@ pub enum RecoveryAction {
     DiscardedCheckpoint,
     /// Exhausted the retry budget and surfaced the error.
     GaveUp,
+    /// Continued in place with one fewer rank after a rank loss, the dead
+    /// rank's stripe redistributed across survivors. Not a restart:
+    /// [`RecoveryLog::restarts`] excludes these events.
+    FailedOver,
 }
 
 impl std::fmt::Display for RecoveryAction {
@@ -304,6 +323,7 @@ impl std::fmt::Display for RecoveryAction {
             RecoveryAction::Escalated => write!(f, "escalated"),
             RecoveryAction::DiscardedCheckpoint => write!(f, "discarded checkpoint"),
             RecoveryAction::GaveUp => write!(f, "gave up"),
+            RecoveryAction::FailedOver => write!(f, "failed over"),
         }
     }
 }
@@ -440,6 +460,13 @@ pub struct RunStats {
     pub phases: PhaseBreakdown,
     /// Total wall time of the enumeration core.
     pub total_time: Duration,
+    /// In-place failovers performed (rank lost, survivors continued with
+    /// the dead rank's stripe redistributed). `0` for runs without
+    /// `--failover` or without rank deaths.
+    pub failovers: u32,
+    /// Ranks declared dead over the run's lifetime. Usually equals
+    /// `failovers`; differs when a loss fell back to the restart ladder.
+    pub ranks_lost: u32,
     /// Faults observed and recovery actions taken by the supervisor
     /// (empty for unsupervised or fault-free runs).
     pub recovery: RecoveryLog,
@@ -466,6 +493,8 @@ impl RunStats {
         self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
         self.stream_batches += other.stream_batches;
         self.spill_bytes += other.spill_bytes;
+        self.failovers += other.failovers;
+        self.ranks_lost += other.ranks_lost;
         self.final_modes += other.final_modes;
         self.phases.accumulate(&other.phases);
         self.total_time += other.total_time;

@@ -299,3 +299,106 @@ fn reports_are_id_ordered_and_stats_never_double_count() {
     assert_eq!(totals[0], totals[1]);
     assert_eq!(totals[0], totals[2]);
 }
+
+// ---------------------------------------------------------------------------
+// PR 8: degraded-mode differential suite. A killed rank must *degrade* the
+// run — survivors re-stripe and continue with N−1 ranks — never change the
+// answer, and never trigger a full restart when failover is on.
+// ---------------------------------------------------------------------------
+
+/// Engine fault points, in iteration order (the six phases of Algorithm 2
+/// plus the iteration boundary they bracket).
+const KILL_PHASES: [&str; 6] = ["iteration", "generate", "dedup", "rank", "communicate", "merge"];
+
+fn failover_cluster(nodes: usize) -> efm_cluster::ClusterConfig {
+    efm_cluster::ClusterConfig::new(nodes)
+        .with_failover(true)
+        .with_heartbeat(std::time::Duration::from_millis(5))
+        .with_timeouts(efm_cluster::ClusterTimeouts::uniform(std::time::Duration::from_secs(60)))
+}
+
+/// Kill every non-zero rank at every engine phase under the supervisor:
+/// each degraded run must produce the set-identical EFM set with a
+/// `RecoveryLog` showing failover and zero full restarts.
+#[test]
+fn killing_any_rank_at_any_phase_fails_over_to_identical_set() {
+    use efm_core::{enumerate_supervised_with_scalar, RecoveryAction, SuperviseConfig};
+    let net = toy_network();
+    let opts = EfmOptions::default();
+    let reference = canon(&enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap());
+    let nodes = 3;
+    let dir = std::env::temp_dir().join(format!("efm-kill-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for victim in 1..nodes {
+        for (pi, phase) in KILL_PHASES.iter().enumerate() {
+            let path = dir.join(format!("kill-{victim}-{phase}.efck"));
+            let _ = std::fs::remove_file(&path);
+            let seed = (victim * 10 + pi) as u64;
+            let sup = SuperviseConfig::new(&path)
+                .with_fault_plan(efm_cluster::FaultPlan::new(seed).kill_rank(victim, phase, 1));
+            let out = enumerate_supervised_with_scalar::<DynInt>(
+                &net,
+                &opts,
+                &failover_cluster(nodes),
+                &sup,
+            )
+            .unwrap_or_else(|e| panic!("kill rank {victim} at {phase}: {e}"));
+            assert_eq!(canon(&out), reference, "kill rank {victim} at {phase}: EFM set diverged");
+            assert_eq!(
+                out.stats.recovery.restarts(),
+                0,
+                "kill rank {victim} at {phase}: failover must not full-restart\n{}",
+                out.stats.recovery
+            );
+            assert!(
+                out.stats.recovery.events.iter().any(|e| e.action == RecoveryAction::FailedOver),
+                "kill rank {victim} at {phase}: no failover recorded\n{}",
+                out.stats.recovery
+            );
+            assert_eq!(out.stats.failovers, 1, "kill rank {victim} at {phase}");
+            assert_eq!(out.stats.ranks_lost, 1, "kill rank {victim} at {phase}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same degradation argument through the divide-and-conquer scheduler:
+/// under the `static` and `steal` schedules a killed subset rank fails
+/// over inside its node group — the run completes with the identical set
+/// and the per-subset recovery events show failover, not restart.
+#[test]
+fn dnc_schedules_fail_over_killed_ranks_to_identical_set() {
+    use efm_core::RecoveryAction;
+    let net = toy_network();
+    let opts = EfmOptions::default();
+    let reference = canon(&enumerate_with_scalar::<DynInt>(&net, &opts, &Backend::Serial).unwrap());
+    for schedule in [DncSchedule::Static, DncSchedule::Steal] {
+        // One one-shot kill in the shared base injector: whichever subset
+        // group's rank 1 reaches generate[0] first loses that rank.
+        let plan = efm_cluster::FaultPlan::new(77).kill_rank(1, "generate", 0);
+        let base = failover_cluster(4)
+            .with_injector(std::sync::Arc::new(efm_cluster::FaultInjector::new(plan)));
+        let out = enumerate_divide_conquer_scheduled_with_scalar::<DynInt>(
+            &net,
+            &opts,
+            &["r6r", "r8r"],
+            &Backend::Cluster(base),
+            &dnc(schedule, 2),
+        )
+        .unwrap_or_else(|e| panic!("schedule {schedule}: {e}"));
+        assert_eq!(canon(&out), reference, "schedule {schedule}: EFM set diverged");
+        assert!(
+            out.stats.recovery.events.iter().any(|e| e.action == RecoveryAction::FailedOver),
+            "schedule {schedule}: no failover recorded\n{}",
+            out.stats.recovery
+        );
+        assert_eq!(
+            out.stats.recovery.restarts(),
+            0,
+            "schedule {schedule}: failover must not consume a retry\n{}",
+            out.stats.recovery
+        );
+        assert!(out.stats.failovers >= 1, "schedule {schedule}");
+    }
+}
