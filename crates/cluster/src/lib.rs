@@ -486,7 +486,12 @@ struct Packet {
     /// Membership epoch at send time; [`CONTROL_EPOCH`] for control frames
     /// (aborts are never stale).
     epoch: u64,
-    /// CRC-32 over `(from, seq, epoch)` — see [`frame_crc`].
+    /// Causal flow id stamped by the sender (see [`efm_obs::next_flow_id`]);
+    /// `0` when tracing is disabled. The receiver closes the flow when it
+    /// *consumes* the payload, which is what draws the comm arrow between
+    /// rank tracks in the merged trace.
+    flow: u64,
+    /// CRC-32 over `(from, seq, epoch, flow)` — see [`frame_crc`].
     crc: u32,
     payload: Box<dyn Any + Send>,
 }
@@ -498,12 +503,13 @@ const CONTROL_EPOCH: u64 = u64::MAX;
 /// Header checksum of a fabric frame. The payload is a boxed value (never
 /// serialized bytes), so the CRC covers the routing header — the part a
 /// corrupted/duplicated delivery would garble first.
-fn frame_crc(from: usize, seq: Option<u64>, epoch: u64) -> u32 {
+fn frame_crc(from: usize, seq: Option<u64>, epoch: u64, flow: u64) -> u32 {
     let mut c = crc::Crc32::new();
     c.update(&(from as u64).to_le_bytes());
     c.update(&[seq.is_some() as u8]);
     c.update(&seq.unwrap_or(0).to_le_bytes());
     c.update(&epoch.to_le_bytes());
+    c.update(&flow.to_le_bytes());
     c.finish()
 }
 
@@ -634,6 +640,12 @@ pub fn backoff_with_jitter(
 /// wakes ranks blocked in `recv` so they can observe the abort flag.
 struct AbortPacket;
 
+/// Trace name of the abort flow: a rank-death abort is the view-change
+/// edge the failover path pivots on; everything else is a plain abort.
+fn abort_flow_name(err: &ClusterError) -> &'static str {
+    if matches!(err, ClusterError::RankLost { .. }) { "view change" } else { "abort" }
+}
+
 struct Fabric {
     /// `senders[dst]` delivers into `dst`'s mailbox.
     senders: Vec<Sender<Packet>>,
@@ -644,16 +656,27 @@ struct Fabric {
 struct AbortState {
     flagged: AtomicBool,
     info: Mutex<Option<(usize, ClusterError)>>,
+    /// Causal edge from the triggering failure to every rank that observes
+    /// it: `(flow id, flow name)`, set once by the winning trigger. Ranks
+    /// close the flow the first time they see the abort (whether through a
+    /// control packet, a poisoned barrier, or the flag), so the trace shows
+    /// the view change fanning out from the detector to the survivors.
+    flow: Mutex<Option<(u64, &'static str)>>,
 }
 
 impl AbortState {
     fn new() -> Self {
-        AbortState { flagged: AtomicBool::new(false), info: Mutex::new(None) }
+        AbortState { flagged: AtomicBool::new(false), info: Mutex::new(None), flow: Mutex::new(None) }
     }
 
     /// Whether an abort has been triggered (fast path, no lock).
     fn is_flagged(&self) -> bool {
         self.flagged.load(Ordering::Acquire)
+    }
+
+    /// The abort's causal flow id and name, if tracing recorded one.
+    fn flow(&self) -> Option<(u64, &'static str)> {
+        *self.flow.lock()
     }
 
     /// Records the first failure, poisons the barrier, and wakes every
@@ -666,6 +689,12 @@ impl AbortState {
         {
             let mut info = self.info.lock();
             if info.is_none() {
+                if efm_obs::enabled() {
+                    let name = abort_flow_name(&err);
+                    let id = efm_obs::next_flow_id();
+                    efm_obs::flow_start(name, id);
+                    *self.flow.lock() = Some((id, name));
+                }
                 *info = Some((origin, err));
             }
         }
@@ -677,7 +706,8 @@ impl AbortState {
                 from: origin,
                 seq: None,
                 epoch: CONTROL_EPOCH,
-                crc: frame_crc(origin, None, CONTROL_EPOCH),
+                flow: 0,
+                crc: frame_crc(origin, None, CONTROL_EPOCH, 0),
                 payload: Box::new(AbortPacket),
             });
         }
@@ -714,6 +744,10 @@ struct BarrierState {
     arrived: usize,
     generation: u64,
     poisoned: bool,
+    /// Flow id of the most recent release (0 = untraced). The releasing
+    /// rank starts the flow; woken waiters close it, so the trace shows
+    /// the release fanning out from the last arriver to every waiter.
+    release_flow: u64,
 }
 
 /// Why a barrier wait returned early.
@@ -726,7 +760,12 @@ impl PoisonBarrier {
     fn new(total: usize) -> Self {
         PoisonBarrier {
             total,
-            state: StdMutex::new(BarrierState { arrived: 0, generation: 0, poisoned: false }),
+            state: StdMutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+                release_flow: 0,
+            }),
             cvar: Condvar::new(),
         }
     }
@@ -745,6 +784,14 @@ impl PoisonBarrier {
         if s.arrived == self.total {
             s.arrived = 0;
             s.generation = s.generation.wrapping_add(1);
+            // The last arriver releases the round: start the causal flow the
+            // woken waiters close. (With one rank there is nobody to wake;
+            // the unmatched start would be dropped at export anyway.)
+            if efm_obs::enabled() && self.total > 1 {
+                let id = efm_obs::next_flow_id();
+                efm_obs::flow_start("barrier release", id);
+                s.release_flow = id;
+            }
             self.cvar.notify_all();
             return Ok(());
         }
@@ -761,6 +808,10 @@ impl PoisonBarrier {
         if s.generation == gen {
             Err(BarrierFailure::Poisoned)
         } else {
+            // Woken by a release: close the releaser's flow. The id cannot
+            // belong to a later round — the next release needs this rank to
+            // arrive again, which it has not.
+            efm_obs::flow_end("barrier release", s.release_flow);
             Ok(())
         }
     }
@@ -818,8 +869,10 @@ pub struct NodeCtx<'a> {
     fabric: &'a Fabric,
     mailbox: Receiver<Packet>,
     /// Out-of-order packets parked until a matching `recv` (sequence
-    /// numbers already validated and consumed at mailbox-pull time).
-    parked: Mutex<Vec<(usize, Box<dyn Any + Send>)>>,
+    /// numbers already validated and consumed at mailbox-pull time). Each
+    /// entry keeps the sender's flow id so the comm arrow lands where the
+    /// payload is consumed, not where it was pulled off the mailbox.
+    parked: Mutex<Vec<(usize, u64, Box<dyn Any + Send>)>>,
     barrier: &'a PoisonBarrier,
     abort: &'a AbortState,
     membership: &'a Membership,
@@ -838,6 +891,8 @@ pub struct NodeCtx<'a> {
     dups_dropped: AtomicU64,
     /// Stale-epoch data frames discarded after a view change.
     stale_dropped: AtomicU64,
+    /// This rank already closed the run's abort flow (one arrow per rank).
+    abort_flow_closed: AtomicBool,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -875,8 +930,16 @@ impl<'a> NodeCtx<'a> {
         *self.stats.times.lock().entry(phase).or_default() += elapsed;
     }
 
-    /// The secondary error reported after another rank's abort.
+    /// The secondary error reported after another rank's abort. The first
+    /// observation on this rank closes the abort/view-change flow, drawing
+    /// the causal arrow from the trigger (a failing rank or the winning
+    /// heartbeat detector) to this rank's track.
     fn aborted(&self) -> ClusterError {
+        if efm_obs::enabled() && !self.abort_flow_closed.swap(true, Ordering::Relaxed) {
+            if let Some((id, name)) = self.abort.flow() {
+                efm_obs::flow_end(name, id);
+            }
+        }
         self.abort.aborted_error()
     }
 
@@ -892,7 +955,10 @@ impl<'a> NodeCtx<'a> {
     /// [`NodeCtx::barrier`] with an explicit deadline.
     pub fn barrier_deadline(&self, timeout: Duration) -> Result<(), ClusterError> {
         let _span = efm_obs::span("barrier wait");
-        match self.barrier.wait_deadline(timeout) {
+        let start = Instant::now();
+        let result = self.barrier.wait_deadline(timeout);
+        efm_obs::hist::record("barrier wait us", start.elapsed().as_micros() as u64);
+        match result {
             Ok(()) => Ok(()),
             Err(BarrierFailure::Poisoned) => Err(self.aborted()),
             Err(BarrierFailure::TimedOut) => {
@@ -911,6 +977,9 @@ impl<'a> NodeCtx<'a> {
         };
         let straggle = inj.straggle_millis(self.rank);
         if straggle > 0 {
+            // A span (not just an instant) so the critical-path analyzer can
+            // attribute the stall to the straggler category by enclosure.
+            let _sp = efm_obs::span("straggle");
             if efm_obs::enabled() {
                 efm_obs::instant_dyn(format!("fault: straggle {straggle}ms @{phase}"));
             }
@@ -945,9 +1014,16 @@ impl<'a> NodeCtx<'a> {
 
     /// Delivers an already-numbered packet into `dst`'s mailbox.
     fn deliver<M: Send + 'static>(&self, dst: usize, seq: u64, msg: M) -> Result<(), ClusterError> {
+        let mut flow = 0u64;
         if efm_obs::enabled() {
             efm_obs::counter_add_dyn(format!("link {}->{} msgs", self.rank, dst), 1);
             efm_obs::counter_add("comm msgs", 1);
+            // Stamp the frame with a causal flow: started here on the
+            // sender's track, closed where the receiver consumes the
+            // payload. A duplicated delivery reuses the duplicate's id and
+            // the discarded copy simply never closes.
+            flow = efm_obs::next_flow_id();
+            efm_obs::flow_start_dyn(format!("msg {}->{}", self.rank, dst), flow);
         }
         let epoch = self.membership.epoch();
         self.fabric.senders[dst]
@@ -955,7 +1031,8 @@ impl<'a> NodeCtx<'a> {
                 from: self.rank,
                 seq: Some(seq),
                 epoch,
-                crc: frame_crc(self.rank, Some(seq), epoch),
+                flow,
+                crc: frame_crc(self.rank, Some(seq), epoch, flow),
                 payload: Box::new(msg),
             })
             .map_err(|_| {
@@ -1006,13 +1083,15 @@ impl<'a> NodeCtx<'a> {
                     // Exponential backoff with seeded jitter: lockstep ranks
                     // that failed together must not retry together.
                     let seed = self.injector.map_or(0, |i| i.plan().seed);
-                    std::thread::sleep(backoff_with_jitter(
+                    let pause = backoff_with_jitter(
                         self.timeouts.send_retry_base,
                         attempts,
                         seed,
                         self.rank,
                         nth,
-                    ));
+                    );
+                    efm_obs::hist::record("send backoff us", pause.as_micros() as u64);
+                    std::thread::sleep(pause);
                 }
                 SendFate::Drop => {
                     // The fabric swallows the message: consume the sequence
@@ -1092,8 +1171,10 @@ impl<'a> NodeCtx<'a> {
         // Check parked packets first.
         {
             let mut parked = self.parked.lock();
-            if let Some(pos) = parked.iter().position(|(from, b)| *from == src && b.is::<M>()) {
-                let (_, b) = parked.remove(pos);
+            if let Some(pos) = parked.iter().position(|(from, _, b)| *from == src && b.is::<M>()) {
+                let (from, flow, b) = parked.remove(pos);
+                drop(parked);
+                self.close_msg_flow(from, flow);
                 return Ok(*b.downcast::<M>().unwrap());
             }
         }
@@ -1115,7 +1196,7 @@ impl<'a> NodeCtx<'a> {
                 // down, which implies an abort is in flight.
                 Err(RecvTimeoutError::Disconnected) => return Err(self.aborted()),
             };
-            if packet.crc != frame_crc(packet.from, packet.seq, packet.epoch) {
+            if packet.crc != frame_crc(packet.from, packet.seq, packet.epoch, packet.flow) {
                 return Err(ClusterError::CorruptFrame {
                     src: packet.from,
                     dst: self.rank,
@@ -1142,9 +1223,18 @@ impl<'a> NodeCtx<'a> {
                 }
             }
             if packet.from == src && packet.payload.is::<M>() {
+                self.close_msg_flow(packet.from, packet.flow);
                 return Ok(*packet.payload.downcast::<M>().unwrap());
             }
-            self.parked.lock().push((packet.from, packet.payload));
+            self.parked.lock().push((packet.from, packet.flow, packet.payload));
+        }
+    }
+
+    /// Closes a data-frame flow at its consumption point (the receiver's
+    /// matching `recv`), completing the sender-started arrow.
+    fn close_msg_flow(&self, from: usize, flow: u64) {
+        if flow != 0 && efm_obs::enabled() {
+            efm_obs::flow_end_dyn(format!("msg {}->{}", from, self.rank), flow);
         }
     }
 
@@ -1164,11 +1254,13 @@ impl<'a> NodeCtx<'a> {
         // rank blocks here until every peer has sent, so the span length
         // is the time spent waiting on stragglers.
         let wait = efm_obs::span("barrier wait");
+        let wait_start = Instant::now();
         for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
                 *slot = Some(self.recv::<M>(src)?);
             }
         }
+        efm_obs::hist::record("barrier wait us", wait_start.elapsed().as_micros() as u64);
         drop(wait);
         Ok(out.into_iter().map(Option::unwrap).collect())
     }
@@ -1204,6 +1296,7 @@ impl<'a> NodeCtx<'a> {
         // releasing it before the next is pulled. The wait span covers the
         // straggler synchronization exactly like the materialized variant.
         let wait = efm_obs::span("barrier wait");
+        let wait_start = Instant::now();
         let mut local = Some(local);
         let mut acc = init;
         for src in 0..self.size {
@@ -1211,6 +1304,7 @@ impl<'a> NodeCtx<'a> {
                 if src == self.rank { local.take().unwrap() } else { self.recv::<M>(src)? };
             acc = fold(acc, src, contribution)?;
         }
+        efm_obs::hist::record("barrier wait us", wait_start.elapsed().as_micros() as u64);
         drop(wait);
         Ok(acc)
     }
@@ -1361,6 +1455,18 @@ where
     // deadline, so the typed RankLost beats any Timeout to the latch.
     let stale_window = config.heartbeat.saturating_mul(20).max(Duration::from_millis(200));
 
+    // Attempt flow: caller thread → every rank thread it spawns. This is
+    // the happens-before edge that lets the critical-path analyzer walk
+    // from a restarted attempt back through the supervisor to the failure
+    // that caused it (supervisor respawns are otherwise invisible gaps).
+    let attempt_flow = if efm_obs::enabled() {
+        let id = efm_obs::next_flow_id();
+        efm_obs::flow_start("attempt", id);
+        id
+    } else {
+        0
+    };
+
     std::thread::scope(|scope| {
         for rank in 0..n {
             let fabric = &fabric;
@@ -1377,6 +1483,12 @@ where
                 // merges a cluster run into a single multi-track trace.
                 if efm_obs::enabled() {
                     efm_obs::set_track(rank as u32, &format!("rank {rank}"));
+                    efm_obs::flow_end("attempt", attempt_flow);
+                }
+                // Progress lines from this thread say which rank they
+                // belong to (multi-rank runs interleave on stderr).
+                if efm_obs::progress::progress_enabled() {
+                    efm_obs::progress::set_progress_context(Some(format!("rank {rank}")));
                 }
                 let ctx = NodeCtx {
                     rank,
@@ -1397,6 +1509,7 @@ where
                     recv_expect: (0..n).map(|_| AtomicU64::new(0)).collect(),
                     dups_dropped: AtomicU64::new(0),
                     stale_dropped: AtomicU64::new(0),
+                    abort_flow_closed: AtomicBool::new(false),
                 };
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
                 let failure = match &out {
@@ -1484,6 +1597,13 @@ where
     });
 
     if let Some(err) = abort.take_origin_error() {
+        // The caller observes the abort here: one more arrival on its
+        // track closes the abort/view-change flow at the exact timestamp
+        // the failure reached the supervisor (the export picks the
+        // latest arrival as the arrowhead).
+        if let Some((id, name)) = abort.flow() {
+            efm_obs::flow_end(name, id);
+        }
         return Err(err);
     }
 
@@ -2110,6 +2230,7 @@ mod tests {
                     from: 0,
                     seq: Some(0),
                     epoch: 0,
+                    flow: 0,
                     crc: 0xDEAD_BEEF,
                     payload: Box::new(7u32),
                 });

@@ -108,6 +108,7 @@ struct Args {
     fault_plan: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    postmortem_dir: Option<String>,
     progress: bool,
 }
 
@@ -125,7 +126,7 @@ fn usage() -> ! {
          \x20                 [--auto-escalate K] [--supervise] [--max-restarts N]\n\
          \x20                 [--failover] [--heartbeat-ms MS]\n\
          \x20                 [--fault-plan SPEC] [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20                 [--progress] [--quiet] [NETWORK-FILE]"
+         \x20                 [--postmortem-dir DIR] [--progress] [--quiet] [NETWORK-FILE]"
     );
     std::process::exit(2);
 }
@@ -169,6 +170,7 @@ fn parse_args() -> Args {
         fault_plan: None,
         trace_out: None,
         metrics_out: None,
+        postmortem_dir: None,
         progress: false,
     };
     let mut it = std::env::args().skip(1);
@@ -233,6 +235,7 @@ fn parse_args() -> Args {
             "--fault-plan" => args.fault_plan = Some(val(&mut it)),
             "--trace-out" => args.trace_out = Some(val(&mut it)),
             "--metrics-out" => args.metrics_out = Some(val(&mut it)),
+            "--postmortem-dir" => args.postmortem_dir = Some(val(&mut it)),
             "--progress" => args.progress = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => args.network = Some(other.to_string()),
@@ -354,6 +357,9 @@ fn run<S: efm_core::EfmScalar>(
             .max_qsub(args.auto_escalate.unwrap_or(4))
             .with_dnc(dnc.clone());
         sup.checkpoint = sup.checkpoint.every(args.checkpoint_every);
+        if let Some(dir) = &args.postmortem_dir {
+            sup = sup.with_postmortem_dir(dir);
+        }
         if let Some(spec) = &args.fault_plan {
             let plan = efm_cluster::FaultPlan::parse(spec).unwrap_or_else(|e| {
                 eprintln!("error: bad --fault-plan: {e}");
@@ -530,7 +536,9 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    if args.trace_out.is_some() || args.metrics_out.is_some() {
+    // --postmortem-dir implies recording: the flight recorder can only
+    // dump a trace tail if the ring buffers were filling.
+    if args.trace_out.is_some() || args.metrics_out.is_some() || args.postmortem_dir.is_some() {
         efm_obs::set_enabled(true);
     }
     if args.progress {
@@ -547,6 +555,19 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
+            // Flight recorder: a terminal failure dumps everything a
+            // postmortem needs, even when the run was not supervised.
+            if let Some(dir) = &args.postmortem_dir {
+                match efm_obs::postmortem::write_bundle(
+                    std::path::Path::new(dir),
+                    "cli-error",
+                    &e.to_string(),
+                    &[],
+                ) {
+                    Ok(p) => eprintln!("[postmortem] bundle written to {}", p.display()),
+                    Err(we) => eprintln!("[postmortem] failed to write bundle: {we}"),
+                }
+            }
             return ExitCode::FAILURE;
         }
     };

@@ -566,6 +566,7 @@ impl EngineCheckpoint {
     /// Writes the checkpoint to `path` atomically (temp file + rename), so
     /// a crash mid-write never corrupts the previous checkpoint.
     pub fn save(&self, path: &Path) -> Result<(), EfmError> {
+        let t0 = std::time::Instant::now();
         let tmp = path.with_extension("tmp");
         let write = || -> io::Result<()> {
             let f = std::fs::File::create(&tmp)?;
@@ -579,10 +580,12 @@ impl EngineCheckpoint {
             std::fs::rename(&tmp, path)?;
             Ok(())
         };
-        write().map_err(|e| {
+        let out = write().map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             EfmError::Checkpoint(format!("cannot write {}: {e}", path.display()))
-        })
+        });
+        efm_obs::hist::record("checkpoint write us", t0.elapsed().as_micros() as u64);
+        out
     }
 
     /// Loads a checkpoint from `path`.
@@ -808,6 +811,7 @@ impl DncCheckpoint {
 
     /// Writes the record to `path` atomically (temp file + rename).
     pub fn save(&self, path: &Path) -> Result<(), EfmError> {
+        let t0 = std::time::Instant::now();
         let tmp = path.with_extension("tmp");
         let write = || -> io::Result<()> {
             let f = std::fs::File::create(&tmp)?;
@@ -818,10 +822,12 @@ impl DncCheckpoint {
             std::fs::rename(&tmp, path)?;
             Ok(())
         };
-        write().map_err(|e| {
+        let out = write().map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             EfmError::Checkpoint(format!("cannot write {}: {e}", path.display()))
-        })
+        });
+        efm_obs::hist::record("checkpoint write us", t0.elapsed().as_micros() as u64);
+        out
     }
 
     /// Loads a progress record from `path`.

@@ -257,6 +257,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
 ) -> Result<ClusterNodeOutcome, ClusterError> {
     let t_run = Instant::now();
     let as_protocol = |e: EfmError| ClusterError::Protocol(e.to_string());
+    let setup_span = efm_obs::span("setup");
     let mut eng = match resume {
         Some(ck) => ck.restore::<P, S>(problem, opts).map_err(as_protocol)?,
         None => Engine::<P, S>::new(problem, opts).map_err(as_protocol)?,
@@ -283,6 +284,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
     // freed) each iteration, so steady-state iterations do not allocate
     // on the generation hot path.
     let mut arena = crate::engine::GenArena::new();
+    drop(setup_span);
 
     while !eng.done() {
         // Absolute iteration index (checkpoint-stable): a resumed run
@@ -295,6 +297,11 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         if stop_after.is_some_and(|s| iter_no >= s) {
             break;
         }
+        // One span per loop body: together with the phase spans nested
+        // inside it, a rank track is covered wall-to-wall, which is what
+        // lets `efm-analyze` attribute (rather than guess at) every
+        // microsecond between setup and finalize.
+        let _iter_span = efm_obs::span("iteration");
         ctx.fault_point("iteration", iter_no)?;
         let mut rec = IterationStats {
             position: eng.cursor,
@@ -352,6 +359,7 @@ fn node_body<P: BitPattern, S: EfmScalar>(
             ctx.add_time(phases::TREE, ss.t_tree);
             ctx.add_time(phases::RANK, ss.t_test);
             ctx.add_work(phases::RANK, ss.tested);
+            efm_obs::hist::record("rank test batch us", ss.t_test.as_micros() as u64);
             rec.prefiltered = ss.prefiltered;
             rec.numeric_pass = local.numeric_pass;
             rec.deduped = ss.tested;
@@ -509,12 +517,14 @@ fn node_body<P: BitPattern, S: EfmScalar>(
                 zero_tree
             };
             // --- RankTests (local).
+            let t_rank = Instant::now();
             let local_buf = {
                 let _t = ctx.timed(phases::RANK);
                 ctx.add_work(phases::RANK, local.len() as u64);
                 rec.accepted = eng.elementarity_filter_with(&mut local, &part, zero_tree.as_ref());
                 eng.materialize(&local)
             };
+            efm_obs::hist::record("rank test batch us", t_rank.elapsed().as_micros() as u64);
             drop(local);
             // The materialized survivor stripe is this rank's private memory
             // load — it differs across ranks, so a capacity failure here is
@@ -608,7 +618,9 @@ fn node_body<P: BitPattern, S: EfmScalar>(
         return Ok(ClusterNodeOutcome { supports: Vec::new(), stats, checkpoint });
     }
 
+    let final_span = efm_obs::span("finalize");
     let supports: Vec<Vec<usize>> = crate::drivers::map_final_supports(problem, &eng);
+    drop(final_span);
     eng.stats.final_modes = supports.len();
     eng.stats.total_time = t_run.elapsed();
     let stats = eng.stats.clone();

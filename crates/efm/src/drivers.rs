@@ -109,13 +109,12 @@ pub(crate) fn note_progress<P: BitPattern, S: EfmScalar>(eng: &Engine<P, S>) {
     let done = (eng.cursor - eng.free_count) as u64;
     let total = (eng.stop_at - eng.free_count) as u64;
     let last_pairs = eng.stats.iterations.last().map_or(0, |r| r.pairs);
-    efm_obs::progress::progress(
-        done,
-        total,
-        eng.modes.len() as u64,
-        last_pairs,
-        eng.stats.candidates_generated,
-    );
+    // Cumulative pairs *examined*, summed from the iteration records so
+    // the ETA's cost-per-unit and remaining-work legs share one unit.
+    // (Dividing by a passed-candidate total here once inflated the ETA
+    // by the prefilter ratio.)
+    let pairs_done: u64 = eng.stats.iterations.iter().map(|r| r.pairs).sum();
+    efm_obs::progress::progress(done, total, eng.modes.len() as u64, last_pairs, pairs_done);
 }
 
 /// Runs the serial Nullspace Algorithm (Algorithm 1 of the paper).
@@ -419,6 +418,7 @@ pub fn rayon_step<P: BitPattern, S: EfmScalar>(eng: &mut Engine<P, S>) {
     eng.stats.phases.dedup += t2 - t1;
     eng.stats.phases.tree_filter += t3 - t2;
     eng.stats.phases.rank_test += t4 - t3;
+    efm_obs::hist::record("rank test batch us", (t4 - t3).as_micros() as u64);
     eng.stats.candidates_generated += rec.pairs;
     eng.stats.tree_pruned += rec.pairs - rec.prefiltered;
     eng.stats.dedup_hits += raw - rec.deduped;
@@ -576,6 +576,10 @@ pub fn rayon_step_streaming<P: BitPattern, S: EfmScalar>(
     eng.stats.phases.dedup += rec.t_merge;
     eng.stats.phases.tree_filter += rec.t_tree_filter;
     eng.stats.phases.rank_test += scale(ss_tot.t_test) + (t3 - t2);
+    efm_obs::hist::record(
+        "rank test batch us",
+        (scale(ss_tot.t_test) + (t3 - t2)).as_micros() as u64,
+    );
     eng.stats.candidates_generated += rec.pairs;
     eng.stats.tree_pruned += rec.pairs - rec.prefiltered;
     eng.stats.dedup_hits += ss_tot.prefiltered - ss_tot.tested;

@@ -665,6 +665,9 @@ fn serial_schedule<P: BitPattern, S: EfmScalar>(
         } else {
             efm_obs::Span::off()
         };
+        if efm_obs::progress::progress_enabled() {
+            efm_obs::progress::set_progress_context(Some(format!("subset {id}")));
+        }
         let probe = probe_subset::<S>(red, partition, id, opts)?;
         let (report, sups) = match probe.problem {
             None => (empty_report(id, pattern), Vec::new()),
@@ -773,6 +776,9 @@ fn concurrent_schedule<P: BitPattern, S: EfmScalar>(
                     } else {
                         efm_obs::Span::off()
                     };
+                    if efm_obs::progress::progress_enabled() {
+                        efm_obs::progress::set_progress_context(Some(format!("subset {id}")));
+                    }
                     let problem = probe.problem.as_ref().expect("runnable ⇒ probed non-empty");
                     let injector = injectors.iter().find(|(s, _)| *s == id).map(|(_, i)| i.clone());
                     let done =

@@ -221,23 +221,28 @@ impl SpillFile {
 
     /// Appends `bytes` at the end; returns the record's offset.
     fn append(&mut self, bytes: &[u8]) -> Result<u64, EfmError> {
+        let t0 = std::time::Instant::now();
         let offset = self.len;
         self.file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", e))?;
         self.file.write_all(bytes).map_err(|e| io_err("write", e))?;
         self.len += bytes.len() as u64;
+        efm_obs::hist::record("spill write us", t0.elapsed().as_micros() as u64);
         Ok(offset)
     }
 
     /// Reads back `[offset, offset + len)` — through a transient `mmap`
     /// window on Unix, falling back to seek-and-read when mapping fails.
     fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>, EfmError> {
+        let t0 = std::time::Instant::now();
         #[cfg(unix)]
         if let Some(bytes) = mmap::read(&self.file, self.len, offset, len) {
+            efm_obs::hist::record("spill read us", t0.elapsed().as_micros() as u64);
             return Ok(bytes);
         }
         self.file.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek", e))?;
         let mut buf = vec![0u8; len as usize];
         self.file.read_exact(&mut buf).map_err(|e| io_err("read", e))?;
+        efm_obs::hist::record("spill read us", t0.elapsed().as_micros() as u64);
         Ok(buf)
     }
 }

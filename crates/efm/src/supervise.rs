@@ -65,6 +65,13 @@ pub struct SuperviseConfig {
     /// budget *per subset* once the run escalates — one crashing subset is
     /// retried alone instead of restarting every sibling.
     pub dnc: DncConfig,
+    /// Where crash postmortem bundles are written. Every recovery action
+    /// (restart, failover, escalation, checkpoint discard) and every
+    /// terminal failure dumps a self-contained bundle — trace tail,
+    /// metrics/histograms, recovery log, checkpoint fingerprint — so a
+    /// failed or degraded run can be diagnosed after the fact. `None`
+    /// disables the flight recorder.
+    pub postmortem_dir: Option<std::path::PathBuf>,
 }
 
 impl SuperviseConfig {
@@ -80,6 +87,7 @@ impl SuperviseConfig {
             max_qsub: 4,
             fault_plan: None,
             dnc: DncConfig::default(),
+            postmortem_dir: None,
         }
     }
 
@@ -106,6 +114,40 @@ impl SuperviseConfig {
     pub fn with_dnc(mut self, dnc: DncConfig) -> Self {
         self.dnc = dnc;
         self
+    }
+
+    /// Enables the flight recorder: postmortem bundles land under `dir`.
+    pub fn with_postmortem_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.postmortem_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Dumps a postmortem bundle for one supervision event. Best-effort: a
+/// bundle that cannot be written must never turn a recoverable fault into
+/// a fatal one, so I/O errors are swallowed (noted on stderr).
+fn postmortem(sup: &SuperviseConfig, tag: &str, reason: &str, log: &RecoveryLog) {
+    let Some(dir) = &sup.postmortem_dir else { return };
+    let mut extra: Vec<(&str, String)> = vec![("recovery.txt", log.to_string())];
+    extra.push(("checkpoint.txt", checkpoint_fingerprint(&sup.checkpoint.path)));
+    match efm_obs::postmortem::write_bundle(dir, tag, reason, &extra) {
+        Ok(path) => eprintln!("[postmortem] bundle written to {}", path.display()),
+        Err(e) => eprintln!("[postmortem] failed to write bundle: {e}"),
+    }
+}
+
+/// Identifies the checkpoint a recovery would resume from: path, byte
+/// length, and CRC-32 of the contents — enough to tell two bundles apart
+/// and to match a bundle to the on-disk file it describes.
+fn checkpoint_fingerprint(path: &std::path::Path) -> String {
+    match std::fs::read(path) {
+        Ok(bytes) => format!(
+            "path: {}\nlen: {}\ncrc32: {:08x}\n",
+            path.display(),
+            bytes.len(),
+            efm_cluster::crc::crc32(&bytes)
+        ),
+        Err(e) => format!("path: {}\nunreadable: {e}\n", path.display()),
     }
 }
 
@@ -190,7 +232,10 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
             Err(e) => e,
         };
         match classify_failure(&err) {
-            FailureClass::Fatal => return Err(err),
+            FailureClass::Fatal => {
+                postmortem(sup, "fatal", &err.to_string(), &log);
+                return Err(err);
+            }
             FailureClass::Memory => {
                 // A restart replays into the same wall; deepen the
                 // divide-and-conquer ladder instead. The subproblems are
@@ -206,8 +251,10 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     action: RecoveryAction::Escalated,
                     resumed_from: None,
                 });
+                postmortem(sup, "escalate", &err.to_string(), &log);
                 if sup.max_qsub == 0 {
                     log.events.push(give_up(attempt, &err));
+                    postmortem(sup, "gave-up", &err.to_string(), &log);
                     return Err(exhausted(sup.max_restarts, err, log));
                 }
                 // The restart budget becomes per-subset: a crashed subset
@@ -230,6 +277,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     }
                     Err(e) => {
                         log.events.push(give_up(attempt, &e));
+                        postmortem(sup, "gave-up", &e.to_string(), &log);
                         Err(exhausted(sup.max_restarts, e, log))
                     }
                 };
@@ -249,6 +297,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     restarts += 1;
                     if restarts > sup.max_restarts {
                         log.events.push(give_up(attempt, &err));
+                        postmortem(sup, "gave-up", &err.to_string(), &log);
                         return Err(exhausted(sup.max_restarts, err, log));
                     }
                     if efm_obs::enabled() {
@@ -262,6 +311,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                         action: RecoveryAction::Restarted,
                         resumed_from: resume_iter,
                     });
+                    postmortem(sup, "restart", &err.to_string(), &log);
                     continue;
                 }
                 // In-place failover: re-enter at the current boundary with
@@ -280,6 +330,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                     action: RecoveryAction::FailedOver,
                     resumed_from: resume_iter,
                 });
+                postmortem(sup, "failover", &err.to_string(), &log);
                 // Stripe provenance: the checkpoint records the weights
                 // the interrupted attempt ran with (EFCK v7); an absent or
                 // pre-v7 record falls back to the weights this session is
@@ -303,6 +354,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                 restarts += 1;
                 if restarts > sup.max_restarts {
                     log.events.push(give_up(attempt, &err));
+                    postmortem(sup, "gave-up", &err.to_string(), &log);
                     return Err(exhausted(sup.max_restarts, err, log));
                 }
                 if discard {
@@ -317,6 +369,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                         action: RecoveryAction::DiscardedCheckpoint,
                         resumed_from: None,
                     });
+                    postmortem(sup, "discard-ckpt", &err.to_string(), &log);
                 } else {
                     if efm_obs::enabled() {
                         efm_obs::instant_dyn(format!("supervisor: restart after {err}"));
@@ -329,6 +382,7 @@ pub fn enumerate_supervised_with_scalar<S: EfmScalar>(
                         action: RecoveryAction::Restarted,
                         resumed_from: resume_iter,
                     });
+                    postmortem(sup, "restart", &err.to_string(), &log);
                 }
             }
         }

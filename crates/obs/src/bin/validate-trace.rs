@@ -2,19 +2,28 @@
 //!
 //! ```text
 //! validate-trace <trace.json> [--require-tracks N] [--require-names a,b,c]
+//!                             [--require-flows N]
 //! ```
 //!
 //! Checks, in order:
 //! 1. the file is well-formed JSON with a `traceEvents` array;
 //! 2. every event carries `ph`, `pid` and `tid`, and every `B`/`E`/
-//!    `i`/`C` event carries a numeric `ts`;
+//!    `i`/`C` event carries a numeric `ts`; flow events (`s`/`t`/`f`)
+//!    additionally carry a numeric `id`;
 //! 3. per track (tid), timestamps are non-decreasing and `B`/`E`
 //!    events balance without going negative (valid span nesting);
-//! 4. `--require-tracks N`: at least N named (thread_name) tracks with
+//! 4. flow pairing: every flow id has exactly one `s` (start) and
+//!    exactly one `f` (finish), every `t`/`f` has a matching `s`, and
+//!    the finish does not precede the start — the exporter is expected
+//!    to drop dangling chains (e.g. a send whose receiver died), so any
+//!    unpaired flow in the file is a bug;
+//! 5. `--require-tracks N`: at least N named (thread_name) tracks with
 //!    at least one span each — one per cluster rank;
-//! 5. `--require-names a,b,...`: each name occurs somewhere as a span
+//! 6. `--require-names a,b,...`: each name occurs somewhere as a span
 //!    or instant event — used by CI to assert the six engine phases,
-//!    barrier waits and injected faults all made it into the trace.
+//!    barrier waits and injected faults all made it into the trace;
+//! 7. `--require-flows N`: at least N distinct flow chains — used by CI
+//!    to assert causal message arrows survived export.
 //!
 //! Exits 0 on success, 1 with a message on the first violation.
 
@@ -30,6 +39,7 @@ fn fail(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut path = None;
     let mut require_tracks = 0usize;
+    let mut require_flows = 0usize;
     let mut require_names: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -37,6 +47,12 @@ fn main() -> ExitCode {
             "--require-tracks" => {
                 require_tracks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--require-tracks wants a number");
+                    std::process::exit(2);
+                })
+            }
+            "--require-flows" => {
+                require_flows = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--require-flows wants a number");
                     std::process::exit(2);
                 })
             }
@@ -50,7 +66,7 @@ fn main() -> ExitCode {
             _ => {
                 eprintln!(
                     "usage: validate-trace <trace.json> [--require-tracks N] \
-                     [--require-names a,b,c]"
+                     [--require-names a,b,c] [--require-flows N]"
                 );
                 std::process::exit(2);
             }
@@ -76,6 +92,8 @@ fn main() -> ExitCode {
     let mut track_names: BTreeMap<i64, String> = BTreeMap::new();
     let mut tracks_with_spans: BTreeSet<i64> = BTreeSet::new();
     let mut seen_names: BTreeSet<String> = BTreeSet::new();
+    // Per flow id: (starts, steps, finishes, start ts, finish ts).
+    let mut flows: BTreeMap<i64, (u32, u32, u32, f64, f64)> = BTreeMap::new();
 
     for (i, e) in events.iter().enumerate() {
         let ph = match e.get("ph").and_then(Value::as_str) {
@@ -100,7 +118,7 @@ fn main() -> ExitCode {
                 }
                 continue;
             }
-            "B" | "E" | "i" | "C" => {
+            "B" | "E" | "i" | "C" | "s" | "t" | "f" => {
                 let Some(ts) = e.get("ts").and_then(Value::as_num) else {
                     return fail(&format!("event {i} (ph={ph}) has no ts"));
                 };
@@ -111,6 +129,24 @@ fn main() -> ExitCode {
                     ));
                 }
                 *last = ts;
+                if matches!(ph, "s" | "t" | "f") {
+                    let Some(id) = e.get("id").and_then(Value::as_num) else {
+                        return fail(&format!("event {i} (ph={ph}) has no flow id"));
+                    };
+                    let entry =
+                        flows.entry(id as i64).or_insert((0, 0, 0, f64::INFINITY, f64::INFINITY));
+                    match ph {
+                        "s" => {
+                            entry.0 += 1;
+                            entry.3 = ts;
+                        }
+                        "t" => entry.1 += 1,
+                        _ => {
+                            entry.2 += 1;
+                            entry.4 = ts;
+                        }
+                    }
+                }
             }
             other => return fail(&format!("event {i}: unknown ph {other:?}")),
         }
@@ -137,6 +173,25 @@ fn main() -> ExitCode {
             return fail(&format!("tid {tid}: {d} unclosed span(s)"));
         }
     }
+    for (id, (starts, steps, finishes, start_ts, finish_ts)) in &flows {
+        if *starts != 1 {
+            return fail(&format!("flow {id}: {starts} start(s), want exactly 1"));
+        }
+        if *finishes != 1 {
+            return fail(&format!(
+                "flow {id}: {finishes} finish(es) for {starts} start + {steps} step(s), \
+                 want exactly 1"
+            ));
+        }
+        if finish_ts < start_ts {
+            return fail(&format!(
+                "flow {id}: finish ts {finish_ts} precedes start ts {start_ts}"
+            ));
+        }
+    }
+    if flows.len() < require_flows {
+        return fail(&format!("wanted {require_flows} flow chains, found {}", flows.len()));
+    }
     let named_span_tracks =
         tracks_with_spans.iter().filter(|tid| track_names.contains_key(tid)).count();
     if named_span_tracks < require_tracks {
@@ -152,11 +207,12 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "validate-trace: OK: {} events, {} tracks ({} named), {} distinct names",
+        "validate-trace: OK: {} events, {} tracks ({} named), {} distinct names, {} flows",
         events.len(),
         tracks_with_spans.len().max(last_ts.len()),
         track_names.len(),
-        seen_names.len()
+        seen_names.len(),
+        flows.len()
     );
     ExitCode::SUCCESS
 }

@@ -10,11 +10,60 @@
 
 use crate::json::escape;
 use crate::{EventKind, Snapshot};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
 /// All tracks share one Chrome "process".
 const PID: u32 = 1;
+
+/// Which flow ids have both halves recorded, and which arrival closes
+/// each chain. A message sent into a run that aborted may never be
+/// received; emitting its lone `ph:"s"` would leave a dangling flow, so
+/// the exporter only emits chains that completed. A multi-recipient
+/// flow (barrier release, view change) has several arrivals: all but
+/// the last become `ph:"t"` steps, the last becomes the `ph:"f"`
+/// finish, which is exactly the chain shape the format expects.
+struct FlowPlan {
+    /// flow id → ts of the final arrival (the `ph:"f"` event).
+    finish_ts: BTreeMap<u64, u64>,
+}
+
+impl FlowPlan {
+    fn build(snap: &Snapshot) -> FlowPlan {
+        let mut starts: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut last_end: BTreeMap<u64, u64> = BTreeMap::new();
+        for t in &snap.tracks {
+            for e in &t.events {
+                match e.kind {
+                    EventKind::FlowStart(id) => {
+                        starts.entry(id).or_insert(e.ts_us);
+                    }
+                    EventKind::FlowEnd(id) => {
+                        let slot = last_end.entry(id).or_insert(e.ts_us);
+                        *slot = (*slot).max(e.ts_us);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let finish_ts =
+            last_end.into_iter().filter(|(id, _)| starts.contains_key(id)).collect();
+        FlowPlan { finish_ts }
+    }
+
+    /// `Some(ph)` if this event should be emitted, `None` to drop it.
+    fn phase(&self, kind: &EventKind, ts_us: u64) -> Option<&'static str> {
+        match kind {
+            EventKind::FlowStart(id) => self.finish_ts.contains_key(id).then_some("s"),
+            EventKind::FlowEnd(id) => {
+                let last = *self.finish_ts.get(id)?;
+                Some(if ts_us >= last { "f" } else { "t" })
+            }
+            _ => None,
+        }
+    }
+}
 
 /// Render the snapshot as Chrome `trace_event` JSON.
 ///
@@ -23,6 +72,7 @@ const PID: u32 = 1;
 /// ranks, and `thread_sort_index` keeps rank order stable in the UI.
 /// Timestamps are microseconds, as the format requires.
 pub fn chrome_trace(snap: &Snapshot) -> String {
+    let flows = FlowPlan::build(snap);
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
     let mut emit = |line: String, out: &mut String| {
@@ -83,6 +133,19 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
                     e.ts_us,
                     escape(&e.name)
                 ),
+                EventKind::FlowStart(id) | EventKind::FlowEnd(id) => {
+                    let Some(ph) = flows.phase(&e.kind, e.ts_us) else { continue };
+                    // `bp:"e"` binds the finish to its enclosing slice,
+                    // which is how Perfetto anchors the arrow head.
+                    let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+                    format!(
+                        "{{\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{},\"ts\":{},\
+                         \"name\":\"{}\",\"cat\":\"flow\",\"id\":{id}{bp}}}",
+                        t.tid,
+                        e.ts_us,
+                        escape(&e.name)
+                    )
+                }
             };
             emit(line, &mut out);
         }
@@ -118,16 +181,21 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
 
 /// Render the snapshot as JSONL: one event object per line, ordered by
 /// track then record order. Fields: `ts_us`, `tid`, `track`, `ph`
-/// (`B`/`E`/`I`/`C`), `name`, and `value` for counter samples.
+/// (`B`/`E`/`I`/`C`, flow halves `s`/`f`), `name`, `value` for counter
+/// samples and `flow` for flow events. Unlike [`chrome_trace`], flow
+/// halves are emitted raw (no pairing pass) — JSONL is the grep
+/// format, and a dangling send is precisely what one greps for.
 pub fn jsonl(snap: &Snapshot) -> String {
     let mut out = String::new();
     for t in &snap.tracks {
         for e in &t.events {
-            let (ph, value) = match &e.kind {
-                EventKind::Begin => ("B", None),
-                EventKind::End => ("E", None),
-                EventKind::Instant => ("I", None),
-                EventKind::Counter(v) => ("C", Some(*v)),
+            let (ph, value, flow) = match &e.kind {
+                EventKind::Begin => ("B", None, None),
+                EventKind::End => ("E", None, None),
+                EventKind::Instant => ("I", None, None),
+                EventKind::Counter(v) => ("C", Some(*v), None),
+                EventKind::FlowStart(id) => ("s", None, Some(*id)),
+                EventKind::FlowEnd(id) => ("f", None, Some(*id)),
             };
             let _ = write!(
                 out,
@@ -141,6 +209,9 @@ pub fn jsonl(snap: &Snapshot) -> String {
             if let Some(v) = value {
                 let _ = write!(out, ",\"value\":{v}");
             }
+            if let Some(id) = flow {
+                let _ = write!(out, ",\"flow\":{id}");
+            }
             out.push_str("}\n");
         }
     }
@@ -148,8 +219,11 @@ pub fn jsonl(snap: &Snapshot) -> String {
 }
 
 /// Final counter/gauge totals as one JSON object:
-/// `{"counters":{"name":value,...},"meta":{"name":"value",...}}` (the
-/// `meta` section is omitted when no metadata was recorded).
+/// `{"counters":{...},"meta":{...},"histograms":{...}}` (the `meta`
+/// and `histograms` sections are omitted when empty). Each histogram
+/// reports `count`, `sum`, `mean`, `p50`/`p95`/`p99`, `max`, and its
+/// non-empty log buckets as `"log2_bucket": count` pairs, which keeps
+/// the object mergeable downstream.
 pub fn metrics_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -166,6 +240,38 @@ pub fn metrics_json(snap: &Snapshot) -> String {
                 out.push(',');
             }
             let _ = write!(out, "\n  \"{}\": \"{}\"", escape(name), escape(value));
+        }
+        out.push_str("\n}");
+    }
+    if !snap.hists.is_empty() {
+        out.push_str(",\"histograms\":{");
+        for (i, (name, h)) in snap.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n  \"{}\": {{\"count\":{},\"sum\":{},\"mean\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"buckets\":{{",
+                escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
+            let mut firstb = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    if !std::mem::take(&mut firstb) {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{b}\":{c}");
+                }
+            }
+            out.push_str("}}");
         }
         out.push_str("\n}");
     }

@@ -55,12 +55,14 @@
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 pub mod export;
+pub mod hist;
 pub mod json;
+pub mod postmortem;
 pub mod progress;
 
 /// Automatic track ids start here; ids below are reserved for cluster
@@ -115,6 +117,13 @@ pub enum EventKind {
     Instant,
     /// Counter/gauge sample: the *running total* after the update.
     Counter(i64),
+    /// Causal flow origin (Chrome `ph:"s"`): this track produced the
+    /// message/release identified by the flow id; the matching
+    /// [`EventKind::FlowEnd`] on another track closes the arrow.
+    FlowStart(u64),
+    /// Causal flow arrival (Chrome `ph:"f"`, intermediate arrivals of a
+    /// multi-recipient flow become `ph:"t"` steps at export time).
+    FlowEnd(u64),
 }
 
 /// One recorded event. `ts_us` is microseconds since [`now_us`]'s epoch
@@ -242,6 +251,51 @@ pub fn instant_dyn(name: String) {
     }
 }
 
+static NEXT_FLOW: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique flow id for a causal edge. Id `0` is
+/// reserved as "untraced" so frame headers can carry it for free when
+/// tracing is disabled.
+#[inline]
+pub fn next_flow_id() -> u64 {
+    NEXT_FLOW.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Record the origin of a causal flow (message send, barrier release,
+/// view change). The arrow closes at the track that records
+/// [`flow_end`] with the same id; unmatched halves are dropped at
+/// export time so a crashed run still yields a well-formed trace.
+#[inline]
+pub fn flow_start(name: &'static str, id: u64) {
+    if enabled() && id != 0 {
+        push(EventKind::FlowStart(id), Cow::Borrowed(name));
+    }
+}
+
+/// [`flow_start`] with a computed name (`"msg 0->3"`). Gate the
+/// `format!` behind [`enabled`].
+pub fn flow_start_dyn(name: String, id: u64) {
+    if enabled() && id != 0 {
+        push(EventKind::FlowStart(id), Cow::Owned(name));
+    }
+}
+
+/// Record the arrival of a causal flow on the current track.
+#[inline]
+pub fn flow_end(name: &'static str, id: u64) {
+    if enabled() && id != 0 {
+        push(EventKind::FlowEnd(id), Cow::Borrowed(name));
+    }
+}
+
+/// [`flow_end`] with a computed name; must match the start's name so
+/// Chrome/Perfetto bind the chain.
+pub fn flow_end_dyn(name: String, id: u64) {
+    if enabled() && id != 0 {
+        push(EventKind::FlowEnd(id), Cow::Owned(name));
+    }
+}
+
 /// Add to a named counter and sample the new total into the trace.
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
@@ -336,6 +390,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Run-level metadata strings recorded via [`meta_set`].
     pub meta: Vec<(String, String)>,
+    /// Log-bucket latency histograms recorded via [`hist::record`].
+    pub hists: Vec<(String, hist::Histogram)>,
 }
 
 impl Snapshot {
@@ -372,7 +428,8 @@ pub fn snapshot() -> Snapshot {
     tracks.sort_by_key(|t| t.tid);
     let counters = COUNTERS.lock().unwrap().iter().map(|(k, v)| (k.clone(), *v)).collect();
     let meta = META.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-    Snapshot { tracks, counters, meta }
+    let hists = hist::all();
+    Snapshot { tracks, counters, meta, hists }
 }
 
 /// Clear all recorded events and counters in place. Thread-local
@@ -386,6 +443,7 @@ pub fn reset() {
     }
     COUNTERS.lock().unwrap().clear();
     META.lock().unwrap().clear();
+    hist::reset_all();
 }
 
 /// `span!("name")` — open a span; bind the result to keep it alive:

@@ -7,7 +7,23 @@
 //! current pair grid costs. That deliberately over-estimates early
 //! (grids grow) and converges as the run approaches the final
 //! iterations, which is when an ETA matters.
+//!
+//! Both sides of the ETA are measured in **pairs examined**: observed
+//! cost is `elapsed / cumulative pairs examined`, remaining work is
+//! `remaining iterations × current grid size`. An earlier revision
+//! divided by *passed* candidates (the post-prefilter survivors) while
+//! multiplying by *examined* pairs, which inflated the ETA by the
+//! pairs/candidates prefilter ratio — often 10–100× on tree-filtered
+//! runs.
+//!
+//! Multi-rank and steal-scheduled runs emit from several threads, so
+//! each line carries the caller's rank / D&C-subset tag (a thread-local
+//! set via [`set_progress_context`]) and the throttle check, line
+//! formatting and write happen under one lock — concurrent emitters
+//! cannot interleave fragments of a line.
 
+use std::cell::RefCell;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -17,6 +33,10 @@ static STATE: Mutex<Option<State>> = Mutex::new(None);
 struct State {
     start_us: u64,
     last_emit_us: u64,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<String>> = const { RefCell::new(None) };
 }
 
 /// Minimum gap between printed lines (except the final iteration).
@@ -34,57 +54,72 @@ pub fn set_progress(on: bool) {
     *STATE.lock().unwrap() = None;
 }
 
+/// Tag progress lines emitted from the current thread, e.g.
+/// `"rank 0"` or `"rank 0 subset 3"`. Cluster ranks and the subset
+/// scheduler set this so interleaved multi-rank / steal-schedule output
+/// says which worker each line belongs to. `None` clears the tag.
+pub fn set_progress_context(label: Option<String>) {
+    CONTEXT.with(|c| *c.borrow_mut() = label);
+}
+
+/// The current thread's progress tag, if any.
+pub fn progress_context() -> Option<String> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
 /// Report one completed engine iteration. No-op unless enabled.
 ///
 /// * `iter`/`total_iters` — iterations done / total reaction rows.
 /// * `survivors` — current intermediate mode count.
 /// * `last_pairs` — pos×neg pairs examined by the iteration just done.
-/// * `candidates` — cumulative candidates generated so far.
-pub fn progress(iter: u64, total_iters: u64, survivors: u64, last_pairs: u64, candidates: u64) {
+/// * `pairs_done` — cumulative pairs examined so far (the same unit,
+///   so the ETA's cost-per-pair and remaining-pairs legs agree).
+pub fn progress(iter: u64, total_iters: u64, survivors: u64, last_pairs: u64, pairs_done: u64) {
     if !progress_enabled() {
         return;
     }
     let now = crate::now_us();
-    let (elapsed_us, due) = {
-        let mut st = STATE.lock().unwrap();
-        let st = st.get_or_insert(State { start_us: now, last_emit_us: 0 });
-        let due = iter >= total_iters || now.saturating_sub(st.last_emit_us) >= THROTTLE_US;
-        if due {
-            st.last_emit_us = now;
-        }
-        (now - st.start_us, due)
-    };
+    let tag = CONTEXT.with(|c| c.borrow().clone());
+    // Throttle decision, formatting and the write all happen under the
+    // state lock: one writer at a time, whole lines only.
+    let mut st_guard = STATE.lock().unwrap();
+    let st = st_guard.get_or_insert(State { start_us: now, last_emit_us: 0 });
+    let due = iter >= total_iters || now.saturating_sub(st.last_emit_us) >= THROTTLE_US;
     if !due {
         return;
     }
-    let elapsed_s = elapsed_us as f64 / 1e6;
-    let eta = eta_secs(iter, total_iters, last_pairs, candidates, elapsed_s);
-    let eta_str = match eta {
+    st.last_emit_us = now;
+    let elapsed_s = (now - st.start_us) as f64 / 1e6;
+    let eta_str = match eta_secs(iter, total_iters, last_pairs, pairs_done, elapsed_s) {
         Some(e) => format!("eta~{}", fmt_secs(e)),
         None => "eta~?".to_string(),
     };
-    eprintln!(
-        "[progress] iter {iter}/{total_iters}  survivors={survivors}  \
-         candidates={candidates}  elapsed={}  {eta_str}",
+    let tag = tag.map(|t| format!(" {t}")).unwrap_or_default();
+    let line = format!(
+        "[progress{tag}] iter {iter}/{total_iters}  survivors={survivors}  \
+         pairs={pairs_done}  elapsed={}  {eta_str}\n",
         fmt_secs(elapsed_s)
     );
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(line.as_bytes());
 }
 
-/// ETA = (time per candidate so far) × (remaining iterations at the
-/// current pair-grid size). Returns `None` before any candidates exist.
+/// ETA = (elapsed time per examined pair so far) × (remaining
+/// iterations at the current pair-grid size). Pair units on both
+/// sides. Returns `None` before any pairs have been examined.
 fn eta_secs(
     iter: u64,
     total_iters: u64,
     last_pairs: u64,
-    candidates: u64,
+    pairs_done: u64,
     elapsed_s: f64,
 ) -> Option<f64> {
-    if candidates == 0 || iter == 0 {
+    if pairs_done == 0 || iter == 0 {
         return None;
     }
     let remaining = total_iters.saturating_sub(iter);
-    let per_candidate = elapsed_s / candidates as f64;
-    Some(per_candidate * remaining as f64 * last_pairs.max(1) as f64)
+    let per_pair = elapsed_s / pairs_done as f64;
+    Some(per_pair * remaining as f64 * last_pairs.max(1) as f64)
 }
 
 fn fmt_secs(s: f64) -> String {
@@ -112,6 +147,32 @@ mod tests {
         let near = eta_secs(9, 10, 100, 1000, 10.0).unwrap();
         let far = eta_secs(5, 10, 100, 1000, 10.0).unwrap();
         assert!(far > near);
+    }
+
+    #[test]
+    fn eta_uses_pair_units_on_both_sides() {
+        // 1000 pairs examined in 2 s → 2 ms per pair. One remaining
+        // iteration at a 100-pair grid → 0.2 s, regardless of how few
+        // candidates passed the prefilter (the old bug divided by the
+        // passed count, inflating this by the prefilter ratio).
+        let eta = eta_secs(9, 10, 100, 1000, 2.0).unwrap();
+        assert!((eta - 0.2).abs() < 1e-9, "eta={eta}");
+    }
+
+    #[test]
+    fn eta_unknown_before_first_pair() {
+        assert_eq!(eta_secs(0, 10, 0, 0, 0.5), None);
+        assert_eq!(eta_secs(1, 10, 10, 0, 0.5), None);
+    }
+
+    #[test]
+    fn context_tag_is_thread_local() {
+        set_progress_context(Some("rank 0 subset 3".into()));
+        assert_eq!(progress_context().as_deref(), Some("rank 0 subset 3"));
+        let other = std::thread::spawn(progress_context).join().unwrap();
+        assert_eq!(other, None, "tag must not leak across threads");
+        set_progress_context(None);
+        assert_eq!(progress_context(), None);
     }
 
     #[test]

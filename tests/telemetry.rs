@@ -59,7 +59,7 @@ fn check_track_structure(events: &[&BTreeMap<String, Value>]) {
                 depth -= 1;
                 assert!(depth >= 0, "span end without matching begin");
             }
-            "i" | "C" => {}
+            "i" | "C" | "s" | "t" | "f" => {}
             other => panic!("unexpected phase {other:?}"),
         }
     }
@@ -117,7 +117,7 @@ fn jsonl_export_is_line_wise_valid() {
         let ts = v.get("ts_us").and_then(Value::as_num).expect("line has ts_us");
         let tid = v.get("tid").and_then(Value::as_num).expect("line has tid") as i64;
         let ph = v.get("ph").and_then(Value::as_str).expect("line has ph");
-        assert!(["B", "E", "I", "C"].contains(&ph), "unexpected ph {ph:?}");
+        assert!(["B", "E", "I", "C", "s", "f"].contains(&ph), "unexpected ph {ph:?}");
         let name = v.get("name").and_then(Value::as_str).expect("line has name");
         assert!(ph == "E" || !name.is_empty(), "only End events may omit the name");
         let last = last_ts_per_tid.entry(tid).or_insert(f64::NEG_INFINITY);
@@ -163,6 +163,97 @@ fn tracing_is_inert_on_yeast_lite() {
     assert!(snap.event_count() > 0);
 }
 
+#[test]
+fn chrome_trace_flow_events_pair_up() {
+    let _g = OBS_LOCK.lock().unwrap();
+    let net = network_i_lite();
+    let opts = EfmOptions::default();
+    let backend = Backend::Cluster(efm_cluster::ClusterConfig::new(3));
+    let (_, snap) = traced(|| {
+        enumerate_with_scalar::<F64Tol>(&net, &opts, &backend).unwrap();
+        // A deliberately dangling flow: started, never finished. The
+        // exporter must drop the whole chain, not emit an unpaired "s".
+        let dangling = efm_obs::next_flow_id();
+        efm_obs::flow_start("dangling", dangling);
+    });
+    let text = efm_obs::export::chrome_trace(&snap);
+    let root = efm_obs::json::parse(&text).unwrap();
+    let events = root.get("traceEvents").and_then(Value::as_arr).unwrap();
+    // Per flow id: (starts, finishes).
+    let mut flows: BTreeMap<i64, (u32, u32)> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        if !matches!(ph, "s" | "t" | "f") {
+            continue;
+        }
+        assert_eq!(e.get("cat").and_then(Value::as_str), Some("flow"));
+        let id = e.get("id").and_then(Value::as_num).expect("flow event has id") as i64;
+        let entry = flows.entry(id).or_insert((0, 0));
+        match ph {
+            "s" => entry.0 += 1,
+            "f" => entry.1 += 1,
+            _ => {}
+        }
+    }
+    assert!(!flows.is_empty(), "a cluster run must record message flows");
+    for (id, (starts, finishes)) in &flows {
+        assert_eq!(*starts, 1, "flow {id}: every chain has exactly one start");
+        assert_eq!(*finishes, 1, "flow {id}: every chain has exactly one finish");
+    }
+    assert!(
+        !events.iter().any(|e| e.get("name").and_then(Value::as_str) == Some("dangling")),
+        "dangling flows must be dropped at export"
+    );
+}
+
+/// Builds a histogram over `values`.
+fn hist_of(values: &[u64]) -> efm_obs::hist::Histogram {
+    let mut h = efm_obs::hist::Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn histogram_rank0_aggregation_equals_global_recording() {
+    // Merging per-rank histograms at rank 0 must equal recording every
+    // observation into one histogram — the invariant that makes the
+    // metrics export meaningful for multi-rank runs.
+    let per_rank: Vec<Vec<u64>> =
+        vec![vec![1, 5, 900, 17], vec![0, 2, 2, 1 << 40], vec![33, 33, 33]];
+    let mut merged = efm_obs::hist::Histogram::default();
+    for rank in &per_rank {
+        merged.merge(&hist_of(rank));
+    }
+    let all: Vec<u64> = per_rank.concat();
+    let global = hist_of(&all);
+    assert_eq!(merged, global);
+    assert_eq!(merged.count, all.len() as u64);
+    assert_eq!(merged.max, 1 << 40);
+}
+
+#[test]
+fn histogram_resume_unmerge_corrects_double_count() {
+    // Resume replays the checkpointed prefix: the live histogram holds
+    // prefix + prefix + suffix. Subtracting the checkpoint copy restores
+    // prefix + suffix exactly (max stays the observed peak, mirroring the
+    // peak-bytes convention in the engine's resume correction).
+    let prefix = [4u64, 99, 2048, 7];
+    let suffix = [1u64, 1_000_000];
+    let ck = hist_of(&prefix);
+    let mut live = efm_obs::hist::Histogram::default();
+    for &v in prefix.iter().chain(&prefix).chain(&suffix) {
+        live.record(v);
+    }
+    live.unmerge(&ck);
+    let want = hist_of(&[&prefix[..], &suffix[..]].concat());
+    assert_eq!(live.count, want.count);
+    assert_eq!(live.sum, want.sum);
+    assert_eq!(live.buckets, want.buckets);
+    assert_eq!(live.max, 1_000_000, "max is a peak, not subtractable");
+}
+
 fn small_params() -> RandomNetworkParams {
     RandomNetworkParams {
         metabolites: 5,
@@ -176,6 +267,56 @@ fn small_params() -> RandomNetworkParams {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Histogram merge is commutative: a ⊔ b == b ⊔ a.
+    #[test]
+    fn histogram_merge_commutes(
+        a in proptest::collection::vec(0u64..u64::MAX / 2, 0..40),
+        b in proptest::collection::vec(0u64..u64::MAX / 2, 0..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Histogram merge is associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), so
+    /// rank-0 can aggregate partial merges in any tree shape.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX / 2, 0..30),
+        b in proptest::collection::vec(0u64..u64::MAX / 2, 0..30),
+        c in proptest::collection::vec(0u64..u64::MAX / 2, 0..30),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge-then-unmerge round-trips counts, sums and buckets for any
+    /// pair of histograms whose sums stay clear of saturation (max stays
+    /// the peak by design).
+    #[test]
+    fn histogram_unmerge_inverts_merge(
+        a in proptest::collection::vec(0u64..1 << 50, 0..40),
+        b in proptest::collection::vec(0u64..1 << 50, 0..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut m = ha.clone();
+        m.merge(&hb);
+        m.unmerge(&hb);
+        prop_assert_eq!(m.count, ha.count);
+        prop_assert_eq!(m.sum, ha.sum);
+        prop_assert_eq!(m.buckets, ha.buckets);
+    }
 
     /// Tracing on vs. off is observationally inert across random networks
     /// and all three backends.

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# bench_guard.sh — perf-regression guard over BENCH_*.json files.
+#
+#   tools/bench_guard.sh --current NEW.json [--baseline OLD.json] CHECK...
+#
+# Each CHECK is one of:
+#   KEY<=VALUE   absolute ceiling:  current.KEY <= VALUE
+#   KEY>=VALUE   absolute floor:    current.KEY >= VALUE
+#   KEY:PCT      relative ceiling:  current.KEY <= baseline.KEY * (1 + PCT/100)
+#                (requires --baseline; use for lower-is-better metrics
+#                 like wall seconds, with a tolerance wide enough for
+#                 shared-runner noise)
+#
+# Keys are matched at any depth by first occurrence, so prefer
+# unambiguous top-level names (overhead_pct, total_speedup, traced_s).
+# Exits 0 when every check passes, 1 with a message per violation.
+#
+#   tools/bench_guard.sh --current BENCH_pr9.json --baseline BENCH_pr4.json \
+#       "overhead_pct<=2.0" "traced_s:50"
+set -euo pipefail
+
+usage() {
+    echo "usage: bench_guard.sh --current NEW.json [--baseline OLD.json]" >&2
+    echo "                      \"KEY<=VALUE\" | \"KEY>=VALUE\" | \"KEY:PCT\" ..." >&2
+    exit 2
+}
+
+current=""
+baseline=""
+checks=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --current) current="${2:?}"; shift 2 ;;
+        --baseline) baseline="${2:?}"; shift 2 ;;
+        -h|--help) usage ;;
+        *) checks+=("$1"); shift ;;
+    esac
+done
+[ -n "$current" ] && [ "${#checks[@]}" -gt 0 ] || usage
+[ -r "$current" ] || { echo "bench_guard: cannot read $current" >&2; exit 1; }
+
+# First numeric value for "KEY": in FILE (flat extraction, no JSON dep).
+get() {
+    grep -o "\"$2\"[[:space:]]*:[[:space:]]*-\{0,1\}[0-9.eE+-]*" "$1" \
+        | head -1 | sed 's/.*:[[:space:]]*//'
+}
+
+fail=0
+for c in "${checks[@]}"; do
+    case "$c" in
+        *"<="*)
+            key="${c%%<=*}"; lim="${c#*<=}"
+            cur="$(get "$current" "$key")"
+            if [ -z "$cur" ]; then
+                echo "bench_guard: FAIL: $key missing in $current"; fail=1; continue
+            fi
+            if [ "$(awk -v a="$cur" -v b="$lim" 'BEGIN{print (a<=b)?1:0}')" = 1 ]; then
+                echo "bench_guard: ok: $key = $cur <= $lim"
+            else
+                echo "bench_guard: FAIL: $key = $cur exceeds ceiling $lim"; fail=1
+            fi ;;
+        *">="*)
+            key="${c%%>=*}"; lim="${c#*>=}"
+            cur="$(get "$current" "$key")"
+            if [ -z "$cur" ]; then
+                echo "bench_guard: FAIL: $key missing in $current"; fail=1; continue
+            fi
+            if [ "$(awk -v a="$cur" -v b="$lim" 'BEGIN{print (a>=b)?1:0}')" = 1 ]; then
+                echo "bench_guard: ok: $key = $cur >= $lim"
+            else
+                echo "bench_guard: FAIL: $key = $cur below floor $lim"; fail=1
+            fi ;;
+        *:*)
+            key="${c%%:*}"; tol="${c#*:}"
+            [ -n "$baseline" ] || { echo "bench_guard: $c needs --baseline" >&2; exit 2; }
+            [ -r "$baseline" ] || { echo "bench_guard: cannot read $baseline" >&2; exit 1; }
+            cur="$(get "$current" "$key")"
+            base="$(get "$baseline" "$key")"
+            if [ -z "$cur" ] || [ -z "$base" ]; then
+                echo "bench_guard: FAIL: $key missing in $current or $baseline"; fail=1; continue
+            fi
+            lim="$(awk -v b="$base" -v t="$tol" 'BEGIN{printf "%.9g", b*(1+t/100)}')"
+            if [ "$(awk -v a="$cur" -v b="$lim" 'BEGIN{print (a<=b)?1:0}')" = 1 ]; then
+                echo "bench_guard: ok: $key = $cur <= $lim (baseline $base +${tol}%)"
+            else
+                echo "bench_guard: FAIL: $key = $cur regressed past $lim (baseline $base +${tol}%)"
+                fail=1
+            fi ;;
+        *) echo "bench_guard: bad check $c" >&2; usage ;;
+    esac
+done
+exit "$fail"

@@ -2,11 +2,13 @@
 # Validate a Chrome trace_event JSON file produced by `--trace-out`.
 #
 #   tools/validate_trace.sh TRACE.json [--require-tracks N] [--require-names a,b,c]
+#                                      [--require-flows N]
 #
 # Thin wrapper over the schema validator in crates/obs; builds it on first
 # use. Exit 0 when the trace is well-formed (valid JSON, per-track
-# monotonic timestamps, balanced B/E span nesting, required tracks and
-# event names present), 1 otherwise.
+# monotonic timestamps, balanced B/E span nesting, paired flow chains —
+# every ph:"s" start has exactly one ph:"f" finish — and required tracks,
+# event names and flow count present), 1 otherwise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 exec cargo run --release -q -p efm-obs --bin validate-trace -- "$@"
